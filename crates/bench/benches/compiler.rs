@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the compiler itself: parsing, each pass, and
+//! the full pipeline on the BFS benchmark source.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_core::{AggConfig, AggGranularity, Compiler, OptConfig};
+use dp_workloads::benchmarks::{bfs::Bfs, Benchmark};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let src = Bfs.cdp_source();
+    c.bench_function("parse_bfs_source", |b| {
+        b.iter(|| dp_frontend::parse(black_box(src)).unwrap())
+    });
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let src = Bfs.cdp_source();
+    let mut group = c.benchmark_group("transform");
+    for (name, config) in [
+        ("thresholding", OptConfig::none().threshold(128)),
+        ("coarsening", OptConfig::none().coarsen_factor(8)),
+        (
+            "aggregation_multiblock",
+            OptConfig::none().aggregation(AggConfig::new(AggGranularity::MultiBlock(8))),
+        ),
+        ("full_pipeline", OptConfig::all()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut program = dp_frontend::parse(src).unwrap();
+                black_box(dp_transform::apply_pipeline(&mut program, &config))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile_end_to_end(c: &mut Criterion) {
+    let src = Bfs.cdp_source();
+    c.bench_function("compile_bfs_full_pipeline", |b| {
+        b.iter(|| {
+            Compiler::new()
+                .config(OptConfig::all())
+                .compile(black_box(src))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_passes, bench_compile_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the GPU VM: interpreter throughput and
+//! dynamic-launch machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dp_vm::{lower::compile_program, machine::Machine, Value};
+use std::hint::black_box;
+
+fn machine_for(src: &str) -> Machine {
+    let program = dp_frontend::parse(src).unwrap();
+    Machine::new(compile_program(&program).unwrap())
+}
+
+fn bench_alu_loop(c: &mut Criterion) {
+    const ITERS: u64 = 10_000;
+    let src = "__global__ void k(int* out, int n) { \
+                   int s = 0; \
+                   for (int i = 0; i < n; ++i) { s = s + i * 3 - (s >> 1); } \
+                   out[threadIdx.x] = s; }";
+    let mut group = c.benchmark_group("vm");
+    group.throughput(Throughput::Elements(ITERS * 32));
+    group.bench_function("alu_loop_32_threads", |b| {
+        b.iter(|| {
+            let mut m = machine_for(src);
+            let buf = m.alloc(32);
+            m.launch_host("k", 1, 32, &[Value::Int(buf), Value::Int(ITERS as i64)])
+                .unwrap();
+            m.run_to_quiescence().unwrap();
+            black_box(m.stats().instructions)
+        })
+    });
+    group.finish();
+}
+
+fn bench_atomic_contention(c: &mut Criterion) {
+    let src = "__global__ void k(int* ctr, int n) { \
+                   for (int i = 0; i < n; ++i) { atomicAdd(&ctr[0], 1); } }";
+    c.bench_function("vm_atomic_contention_256_threads", |b| {
+        b.iter(|| {
+            let mut m = machine_for(src);
+            let buf = m.alloc(1);
+            m.launch_host("k", 2, 128, &[Value::Int(buf), Value::Int(100)])
+                .unwrap();
+            m.run_to_quiescence().unwrap();
+            black_box(m.read_i64s(buf, 1).unwrap())
+        })
+    });
+}
+
+fn bench_dynamic_launch(c: &mut Criterion) {
+    let src = "__global__ void child(int* d, int i) { d[i] = i; }\n\
+               __global__ void parent(int* d, int n) { \
+                   int i = blockIdx.x * blockDim.x + threadIdx.x; \
+                   if (i < n) { child<<<1, 1>>>(d, i); } }";
+    c.bench_function("vm_dynamic_launch_512_children", |b| {
+        b.iter(|| {
+            let mut m = machine_for(src);
+            let buf = m.alloc(512);
+            m.launch_host("parent", 4, 128, &[Value::Int(buf), Value::Int(512)])
+                .unwrap();
+            m.run_to_quiescence().unwrap();
+            black_box(m.stats().device_launches)
+        })
+    });
+}
+
+criterion_group!(benches, bench_alu_loop, bench_atomic_contention, bench_dynamic_launch);
+criterion_main!(benches);

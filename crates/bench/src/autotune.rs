@@ -1,0 +1,210 @@
+//! A budget-limited autotuner for the optimization parameters.
+//!
+//! Section VIII-C of the paper argues an exhaustive search is unnecessary:
+//! the best threshold leaves a moderate number of launches, performance is
+//! insensitive to the coarsening factor once it is large enough, warp
+//! granularity is never favorable, and "users can typically find a
+//! combination of parameters that is very close to the best with less than
+//! ten runs". This tuner encodes exactly that procedure: a coordinate
+//! search over granularity, then threshold, then coarsening factor, in
+//! decreasing order of measured impact.
+
+use crate::Tuned;
+use dp_core::{AggConfig, AggGranularity, OptConfig, TimingParams};
+use dp_workloads::benchmarks::{run_variant, BenchInput, Benchmark, Variant};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluation {
+    /// The configuration tried.
+    pub tuned: Tuned,
+    /// Simulated time (µs).
+    pub time_us: f64,
+}
+
+/// Autotuning outcome.
+#[derive(Debug, Clone)]
+pub struct AutotuneResult {
+    /// Best configuration found.
+    pub best: Tuned,
+    /// Its simulated time (µs).
+    pub best_time_us: f64,
+    /// Every evaluation, in order.
+    pub history: Vec<Evaluation>,
+}
+
+impl AutotuneResult {
+    /// Number of configurations evaluated.
+    pub fn evaluations(&self) -> usize {
+        self.history.len()
+    }
+}
+
+fn config_of(t: Tuned) -> OptConfig {
+    OptConfig::none()
+        .threshold(t.threshold)
+        .coarsen_factor(t.cfactor)
+        .aggregation(AggConfig::new(t.granularity))
+}
+
+/// Tunes `(granularity, threshold, cfactor)` for one benchmark × input
+/// within `budget` evaluations (the paper's "less than ten runs" procedure
+/// needs 8).
+///
+/// # Panics
+///
+/// Panics if `budget` is zero or a benchmark run fails.
+pub fn autotune(
+    bench: &dyn Benchmark,
+    input: &BenchInput,
+    timing: &TimingParams,
+    budget: usize,
+) -> AutotuneResult {
+    assert!(budget > 0, "autotune needs at least one evaluation");
+    let mut history: Vec<Evaluation> = Vec::new();
+    let mut evaluate = |t: Tuned, history: &mut Vec<Evaluation>| -> f64 {
+        // Reuse previous evaluations of identical configurations.
+        if let Some(e) = history.iter().find(|e| {
+            e.tuned.threshold == t.threshold
+                && e.tuned.cfactor == t.cfactor
+                && e.tuned.granularity == t.granularity
+        }) {
+            return e.time_us;
+        }
+        let run = run_variant(bench, Variant::Cdp(config_of(t)), input)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+        let time_us = run.report.simulate(timing).total_us;
+        history.push(Evaluation { tuned: t, time_us });
+        time_us
+    };
+
+    // Seed: the paper's guidance values (threshold 128, cfactor 16,
+    // multi-block granularity).
+    let mut best = Tuned {
+        threshold: 128,
+        cfactor: 16,
+        granularity: AggGranularity::MultiBlock(8),
+    };
+    let mut best_time = evaluate(best, &mut history);
+
+    // Phase 1: granularity (warp is skipped — "never favorable").
+    for granularity in [AggGranularity::Block, AggGranularity::Grid] {
+        if history.len() >= budget {
+            break;
+        }
+        let candidate = Tuned {
+            granularity,
+            ..best
+        };
+        let t = evaluate(candidate, &mut history);
+        if t < best_time {
+            best = candidate;
+            best_time = t;
+        }
+    }
+
+    // Phase 2: threshold, geometric steps around the seed.
+    for threshold in [16, 512, 2048] {
+        if history.len() >= budget {
+            break;
+        }
+        let candidate = Tuned { threshold, ..best };
+        let t = evaluate(candidate, &mut history);
+        if t < best_time {
+            best = candidate;
+            best_time = t;
+        }
+    }
+
+    // Phase 3: coarsening factor (coarse steps; insensitive above 8).
+    for cfactor in [2, 32] {
+        if history.len() >= budget {
+            break;
+        }
+        let candidate = Tuned { cfactor, ..best };
+        let t = evaluate(candidate, &mut history);
+        if t < best_time {
+            best = candidate;
+            best_time = t;
+        }
+    }
+
+    AutotuneResult {
+        best,
+        best_time_us: best_time,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_workloads::benchmarks::bfs::Bfs;
+    use dp_workloads::datasets::graphs::rmat;
+
+    #[test]
+    fn stays_within_budget_and_improves_on_worst() {
+        let input = BenchInput::Graph(rmat(7, 8, 3));
+        let timing = TimingParams::default();
+        let result = autotune(&Bfs, &input, &timing, 8);
+        assert!(result.evaluations() <= 8);
+        let worst = result
+            .history
+            .iter()
+            .map(|e| e.time_us)
+            .fold(0.0f64, f64::max);
+        assert!(result.best_time_us <= worst);
+        // The returned best really is the minimum of the history.
+        let min = result
+            .history
+            .iter()
+            .map(|e| e.time_us)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(result.best_time_us, min);
+    }
+
+    #[test]
+    fn close_to_exhaustive_best_within_ten_runs() {
+        // The paper's claim: < 10 runs get "very close" to the tuned best.
+        let input = BenchInput::Graph(rmat(7, 8, 4));
+        let timing = TimingParams::default();
+        let tuned = autotune(&Bfs, &input, &timing, 9);
+
+        // Exhaustive over the same axes.
+        let mut exhaustive_best = f64::INFINITY;
+        for granularity in [
+            AggGranularity::Block,
+            AggGranularity::MultiBlock(8),
+            AggGranularity::Grid,
+        ] {
+            for threshold in [16, 128, 512, 2048] {
+                for cfactor in [2, 16, 32] {
+                    let run = run_variant(
+                        &Bfs,
+                        Variant::Cdp(config_of(Tuned {
+                            threshold,
+                            cfactor,
+                            granularity,
+                        })),
+                        &input,
+                    )
+                    .unwrap();
+                    exhaustive_best = exhaustive_best.min(run.report.simulate(&timing).total_us);
+                }
+            }
+        }
+        assert!(
+            tuned.best_time_us <= exhaustive_best * 1.5,
+            "autotuned {:.1}µs should be within 1.5x of exhaustive {:.1}µs",
+            tuned.best_time_us,
+            exhaustive_best
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one evaluation")]
+    fn zero_budget_panics() {
+        let input = BenchInput::Graph(rmat(5, 4, 5));
+        autotune(&Bfs, &input, &TimingParams::default(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Reproduces paper Table I: the benchmark/dataset inventory, with the
+//! statistics of the synthetic substitute datasets at the current scale.
+//!
+//! Usage: `cargo run --release -p dp-bench --bin table1`
+
+use dp_bench::Harness;
+use dp_workloads::{all_benchmarks, datasets_for, describe, DatasetId};
+
+fn main() {
+    let harness = Harness::default();
+    println!("# Table I — benchmarks and datasets (scale={})", harness.scale);
+    println!();
+    println!("{:<10} {:<12} generated instance", "benchmark", "dataset");
+    for bench in all_benchmarks() {
+        for dataset in datasets_for(bench.name()) {
+            let input = dataset.instantiate(harness.scale, harness.seed);
+            println!(
+                "{:<10} {:<12} {}",
+                bench.name(),
+                dataset.name(),
+                describe(&input)
+            );
+        }
+    }
+    println!();
+    println!("# dataset substitutions (see DESIGN.md)");
+    for id in [
+        DatasetId::Kron,
+        DatasetId::Cnr,
+        DatasetId::RoadNy,
+        DatasetId::Rand3,
+        DatasetId::Sat5,
+        DatasetId::T0032C16,
+        DatasetId::T2048C64,
+    ] {
+        println!("{:<12} {}", id.name(), id.description());
+    }
+}

@@ -1,0 +1,189 @@
+//! `dpopt` — command-line source-to-source optimizer for CUDA-subset
+//! dynamic-parallelism code (the analogue of the paper artifact's Clang
+//! tool: `.cu` in, transformed `.cu` out).
+//!
+//! ```text
+//! dpopt transform input.cu [--threshold N] [--coarsen F]
+//!       [--agg warp|block|multiblock:K|grid] [--agg-threshold N] [-o out.cu]
+//! dpopt info input.cu
+//! ```
+
+use dp_core::{AggConfig, AggGranularity, Compiler, OptConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("transform") => transform(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+dpopt — optimize GPU dynamic parallelism (thresholding, coarsening, aggregation)
+
+USAGE:
+    dpopt transform <input.cu> [OPTIONS]
+    dpopt info <input.cu>
+
+TRANSFORM OPTIONS:
+    --threshold <N>        serialize child grids below N threads (pass T)
+    --coarsen <F>          coarsen child blocks by factor F (pass C)
+    --agg <G>              aggregate launches; G = warp | block | multiblock:<K> | grid
+    --agg-threshold <N>    aggregation threshold (block granularity only)
+    -o <file>              write transformed source to file (default: stdout)
+
+INFO:
+    prints kernels, launch sites, and serializability diagnostics
+";
+
+fn transform(args: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut output = None;
+    let mut config = OptConfig::none();
+    let mut agg_threshold = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => match parse_arg(args, &mut i) {
+                Some(v) => config = config.threshold(v),
+                None => return fail("--threshold needs an integer"),
+            },
+            "--coarsen" => match parse_arg(args, &mut i) {
+                Some(v) => config = config.coarsen_factor(v),
+                None => return fail("--coarsen needs an integer"),
+            },
+            "--agg" => {
+                i += 1;
+                let Some(spec) = args.get(i) else {
+                    return fail("--agg needs a granularity");
+                };
+                let granularity = match parse_granularity(spec) {
+                    Some(g) => g,
+                    None => return fail("granularity must be warp|block|multiblock:<K>|grid"),
+                };
+                config = config.aggregation(AggConfig::new(granularity));
+                i += 1;
+            }
+            "--agg-threshold" => match parse_arg(args, &mut i) {
+                Some(v) => agg_threshold = Some(v),
+                None => return fail("--agg-threshold needs an integer"),
+            },
+            "-o" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return fail("-o needs a path");
+                };
+                output = Some(path.clone());
+                i += 1;
+            }
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+                i += 1;
+            }
+            other => return fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    if let (Some(t), Some(agg)) = (agg_threshold, &mut config.aggregation) {
+        agg.agg_threshold = Some(t);
+    }
+    let Some(input) = input else {
+        return fail("missing input file");
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read `{input}`: {e}")),
+    };
+    let compiled = match Compiler::new().config(config).compile(&source) {
+        Ok(c) => c,
+        Err(dp_core::Error::Parse(e)) => {
+            eprintln!("{}", e.render(&source));
+            return ExitCode::FAILURE;
+        }
+        Err(e) => return fail(&e.to_string()),
+    };
+    for diag in &compiled.manifest().diagnostics {
+        eprintln!("note: {diag}");
+    }
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, compiled.transformed_source()) {
+                return fail(&format!("cannot write `{path}`: {e}"));
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{}", compiled.transformed_source()),
+    }
+    ExitCode::SUCCESS
+}
+
+fn info(args: &[String]) -> ExitCode {
+    let Some(input) = args.first() else {
+        return fail("missing input file");
+    };
+    let source = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read `{input}`: {e}")),
+    };
+    let program = match dp_frontend::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}", e.render(&source));
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("kernels:");
+    for f in program.functions() {
+        if f.is_kernel() {
+            println!("  __global__ {} ({} params)", f.name, f.params.len());
+        }
+    }
+    println!("launch sites:");
+    for site in dp_analysis::launch_sites(&program) {
+        let kind = if site.from_device { "device" } else { "host" };
+        println!("  {} -> {} ({kind})", site.parent, site.kernel);
+        if site.from_device {
+            let blockers = dp_analysis::serialization_blockers(&program, &site.kernel);
+            if blockers.is_empty() {
+                println!("      serializable by thresholding: yes");
+            } else {
+                for b in blockers {
+                    println!("      not serializable: {b}");
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_arg(args: &[String], i: &mut usize) -> Option<i64> {
+    *i += 1;
+    let v = args.get(*i)?.parse().ok()?;
+    *i += 1;
+    Some(v)
+}
+
+fn parse_granularity(spec: &str) -> Option<AggGranularity> {
+    match spec {
+        "warp" => Some(AggGranularity::Warp),
+        "block" => Some(AggGranularity::Block),
+        "grid" => Some(AggGranularity::Grid),
+        other => {
+            let rest = other.strip_prefix("multiblock:")?;
+            rest.parse().ok().map(AggGranularity::MultiBlock)
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}

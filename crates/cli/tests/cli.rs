@@ -1,0 +1,112 @@
+//! Integration tests driving the `dpopt` binary end to end.
+
+use std::process::Command;
+
+fn dpopt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dpopt"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("dpopt-cli-test-{name}-{}.cu", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const EXAMPLE: &str = "\
+__global__ void child(int* d, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { d[i] = n; }
+}
+__global__ void parent(int* d, int n) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < n) {
+        child<<<(n + 31) / 32, 32>>>(d, n);
+    }
+}
+";
+
+#[test]
+fn help_prints_usage() {
+    let out = dpopt().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("transform"));
+    assert!(text.contains("--threshold"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = dpopt().arg("explode").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn transform_all_passes_to_stdout() {
+    let input = write_temp("all", EXAMPLE);
+    let out = dpopt()
+        .args(["transform", input.to_str().unwrap()])
+        .args(["--threshold", "64", "--coarsen", "4", "--agg", "multiblock:8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("#define _THRESHOLD 64"));
+    assert!(text.contains("#define _CFACTOR 4"));
+    assert!(text.contains("#define _AGG_GRANULARITY 8"));
+    assert!(text.contains("child_serial"));
+    assert!(text.contains("child_agg"));
+    std::fs::remove_file(input).ok();
+}
+
+#[test]
+fn transform_writes_output_file() {
+    let input = write_temp("out", EXAMPLE);
+    let output = std::env::temp_dir().join(format!("dpopt-cli-out-{}.cu", std::process::id()));
+    let status = dpopt()
+        .args(["transform", input.to_str().unwrap()])
+        .args(["--threshold", "128", "-o", output.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let written = std::fs::read_to_string(&output).unwrap();
+    assert!(written.contains("_THRESHOLD"));
+    std::fs::remove_file(input).ok();
+    std::fs::remove_file(output).ok();
+}
+
+#[test]
+fn info_reports_launch_sites() {
+    let input = write_temp("info", EXAMPLE);
+    let out = dpopt().args(["info", input.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("parent -> child (device)"));
+    assert!(text.contains("serializable by thresholding: yes"));
+    std::fs::remove_file(input).ok();
+}
+
+#[test]
+fn parse_errors_render_with_location() {
+    let input = write_temp("bad", "__global__ void k( {");
+    let out = dpopt()
+        .args(["transform", input.to_str().unwrap(), "--threshold", "8"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("parse error"), "{err}");
+    std::fs::remove_file(input).ok();
+}
+
+#[test]
+fn bad_granularity_is_rejected() {
+    let input = write_temp("gran", EXAMPLE);
+    let out = dpopt()
+        .args(["transform", input.to_str().unwrap(), "--agg", "galaxy"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("granularity"));
+    std::fs::remove_file(input).ok();
+}

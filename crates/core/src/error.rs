@@ -1,0 +1,70 @@
+//! Unified error type for the compile-and-run pipeline.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Any error from parsing, lowering, or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Frontend parse error.
+    Parse(dp_frontend::ParseError),
+    /// Bytecode lowering error.
+    Lower(dp_vm::CompileError),
+    /// Runtime execution error.
+    Exec(dp_vm::ExecError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Lower(e) => write!(f, "{e}"),
+            Error::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Lower(e) => Some(e),
+            Error::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<dp_frontend::ParseError> for Error {
+    fn from(e: dp_frontend::ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<dp_vm::CompileError> for Error {
+    fn from(e: dp_vm::CompileError) -> Self {
+        Error::Lower(e)
+    }
+}
+
+impl From<dp_vm::ExecError> for Error {
+    fn from(e: dp_vm::ExecError) -> Self {
+        Error::Exec(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: Error = dp_vm::ExecError::new("boom").into();
+        assert!(e.to_string().contains("boom"));
+        let e: Error = dp_vm::CompileError::new("bad").into();
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,419 @@
+//! The coarsening transformation (paper Section IV, Fig. 6).
+//!
+//! Each coarsened child block executes the work of `_CFACTOR` original child
+//! blocks through a block-stride loop. The child kernel gains a trailing
+//! parameter carrying the original (uncoarsened) grid dimension, and every
+//! launch site divides its grid dimension by the factor.
+//!
+//! Deviation from Fig. 6 noted in DESIGN.md: since only the x-dimension is
+//! coarsened (as in the paper's example and evaluation), the original grid
+//! dimension is passed as a scalar `int` rather than a `dim3`. This keeps
+//! the aggregation pass composable (all child arguments stay single words)
+//! without changing 1-D semantics.
+
+use crate::manifest::{CoarsenSiteMeta, Diagnostic, TransformManifest};
+use crate::util::*;
+use dp_frontend::ast::*;
+use dp_frontend::visit::{for_each_stmt, replace_builtin_member};
+use std::collections::HashSet;
+
+/// Name of the compile-time coarsening-factor macro.
+pub const CFACTOR_MACRO: &str = "_CFACTOR";
+
+/// Applies coarsening to every child kernel that is dynamically launched.
+///
+/// Children that cannot be coarsened (undefined, use `gridDim` as a whole
+/// value, or are launched with a multi-dimensional grid) are skipped with a
+/// diagnostic.
+pub fn apply(program: &mut Program, factor: i64) -> TransformManifest {
+    let mut manifest = TransformManifest::new();
+    program.set_define(CFACTOR_MACRO, factor);
+
+    // Candidate children: kernels launched from device code.
+    let sites = dp_analysis::launch_sites(program);
+    let mut children: Vec<String> = Vec::new();
+    for site in &sites {
+        if site.from_device && !children.contains(&site.kernel) {
+            children.push(site.kernel.clone());
+        }
+    }
+
+    for child in children {
+        if let Err(diag) = coarsen_child(program, &child, &sites) {
+            manifest.diagnostics.push(diag);
+            continue;
+        }
+        rewrite_launch_sites(program, &child);
+        manifest.coarsen_sites.push(CoarsenSiteMeta {
+            child: child.clone(),
+            factor,
+        });
+    }
+    manifest
+}
+
+/// Checks preconditions and rewrites the child kernel in place.
+fn coarsen_child(
+    program: &mut Program,
+    child: &str,
+    sites: &[dp_analysis::LaunchSite],
+) -> Result<(), Diagnostic> {
+    let Some(child_fn) = program.function(child) else {
+        return Err(diag(child, "child kernel is not defined"));
+    };
+    if uses_builtin_whole(&child_fn.body, "gridDim") {
+        return Err(diag(
+            child,
+            "child uses gridDim as a whole value; x-dimension coarsening would be unsound",
+        ));
+    }
+    // Every launch site must have a 1-D (int-like) grid expression.
+    for site in sites.iter().filter(|s| s.kernel == child) {
+        let parent = program.function(&site.parent).expect("site parent exists");
+        let mut ok = true;
+        for stmt in &parent.body {
+            for_each_stmt(stmt, &mut |s| {
+                if let StmtKind::Launch(l) = &s.kind {
+                    if l.kernel == child && !grid_is_one_dimensional(&l.grid) {
+                        ok = false;
+                    }
+                }
+            });
+        }
+        if !ok {
+            return Err(diag(
+                child,
+                "launch site uses a multi-dimensional grid; only x-dimension coarsening is supported",
+            ));
+        }
+    }
+
+    let child_fn = program.function_mut(child).expect("checked above");
+    let used = idents_in_function(child_fn);
+    let g = fresh_name("_c_gDim", &used);
+    let bx = fresh_name("_c_bx", &used);
+
+    let mut body = std::mem::take(&mut child_fn.body);
+    for stmt in &mut body {
+        replace_builtin_member(stmt, "blockIdx", "x", &bx);
+        replace_builtin_member(stmt, "gridDim", "x", &g);
+    }
+    child_fn.params.push(Param {
+        ty: Type::Int,
+        name: g.clone(),
+    });
+
+    if contains_return(&body) {
+        // `return` would abort the remaining coarsening iterations, so the
+        // body moves to a device function (per-original-block semantics).
+        let body_name = format!("_{child}_coarsen_body");
+        let mut body_params = child_fn.params.clone();
+        body_params.push(Param {
+            ty: Type::Int,
+            name: bx.clone(),
+        });
+        let params_src = params_source(&body_params);
+        let body_fn_src = format!("__device__ void {body_name}({params_src}) {{ }}");
+        let body_prog = dp_frontend::parse(&body_fn_src).expect("internal template");
+        let Item::Function(mut body_fn) = body_prog.items.into_iter().next().unwrap() else {
+            unreachable!()
+        };
+        body_fn.body = body;
+
+        let fwd = args_source(&body_params);
+        let loop_src = format!(
+            "for (int {bx} = blockIdx.x; {bx} < {g}; {bx} += gridDim.x) {{ {body_name}({fwd}); }}"
+        );
+        let mut loop_stmts = parse_template_stmts(&loop_src);
+        tag_origin(&mut loop_stmts, CodeOrigin::CoarsenLoop);
+        let child_fn = program.function_mut(child).expect("still present");
+        child_fn.body = loop_stmts;
+
+        // Insert the body function before the child kernel.
+        let pos = program
+            .items
+            .iter()
+            .position(|item| matches!(item, Item::Function(f) if f.name == child))
+            .unwrap_or(0);
+        program.items.insert(pos, Item::Function(body_fn));
+    } else {
+        let loop_src =
+            format!("for (int {bx} = blockIdx.x; {bx} < {g}; {bx} += gridDim.x) {{ {BODY_MARKER}(); }}");
+        let mut loop_stmts = parse_template_stmts(&loop_src);
+        tag_origin(&mut loop_stmts, CodeOrigin::CoarsenLoop);
+        assert!(splice_body(&mut loop_stmts, body));
+        child_fn.body = loop_stmts;
+    }
+    Ok(())
+}
+
+/// Rewrites every launch of `child` (device and host) to launch the
+/// coarsened grid and pass the original grid dimension (Fig. 6 lines 08–10).
+fn rewrite_launch_sites(program: &mut Program, child: &str) {
+    let mut counter = 0usize;
+    let func_names: Vec<String> = program.functions().map(|f| f.name.clone()).collect();
+    for name in func_names {
+        let func = program.function_mut(&name).expect("function exists");
+        for stmt in &mut func.body {
+            dp_frontend::visit::walk_stmt_mut(stmt, &mut |s| {
+                let StmtKind::Launch(launch) = &mut s.kind else {
+                    return;
+                };
+                if launch.kernel != child {
+                    return;
+                }
+                let g_name = format!("_c_gDim{counter}");
+                let cg_name = format!("_c_cgDim{counter}");
+                counter += 1;
+
+                let grid_int = one_dimensional_grid(&launch.grid);
+                let mut launch_new = launch.clone();
+                launch_new.grid = Expr::ident(&cg_name, CodeOrigin::CoarsenLoop);
+                launch_new
+                    .args
+                    .push(Expr::ident(&g_name, CodeOrigin::CoarsenLoop));
+
+                let g_decl = Stmt::decl(
+                    Type::Int,
+                    g_name.clone(),
+                    Some(grid_int),
+                    CodeOrigin::CoarsenLoop,
+                );
+                let cg_init = parse_template_expr(&format!(
+                    "({g_name} + {CFACTOR_MACRO} - 1) / {CFACTOR_MACRO}"
+                ));
+                let mut cg_decl =
+                    Stmt::decl(Type::Int, cg_name, Some(cg_init), CodeOrigin::CoarsenLoop);
+                cg_decl.origin = CodeOrigin::CoarsenLoop;
+                tag_stmt(&mut cg_decl);
+
+                let launch_span = s.span;
+                let mut launch_stmt = Stmt::new(StmtKind::Launch(launch_new), launch_span);
+                launch_stmt.origin = CodeOrigin::Original;
+                s.kind = StmtKind::Block(vec![g_decl, cg_decl, launch_stmt]);
+                s.origin = CodeOrigin::CoarsenLoop;
+            });
+        }
+    }
+}
+
+fn tag_stmt(stmt: &mut Stmt) {
+    let mut v = vec![std::mem::replace(
+        stmt,
+        Stmt::synth(StmtKind::Empty, CodeOrigin::CoarsenLoop),
+    )];
+    tag_origin(&mut v, CodeOrigin::CoarsenLoop);
+    *stmt = v.pop().unwrap();
+}
+
+/// Whether a grid expression denotes a 1-D grid we can coarsen.
+fn grid_is_one_dimensional(grid: &Expr) -> bool {
+    match &grid.kind {
+        ExprKind::Dim3Ctor(args) => args
+            .iter()
+            .skip(1)
+            .all(|a| matches!(a.kind, ExprKind::IntLit(1))),
+        _ => true, // int expression
+    }
+}
+
+/// The x-extent of a 1-D grid expression.
+fn one_dimensional_grid(grid: &Expr) -> Expr {
+    match &grid.kind {
+        ExprKind::Dim3Ctor(args) => args[0].clone(),
+        _ => grid.clone(),
+    }
+}
+
+/// Identifier prefixes reserved by this pass (exposed for tests).
+pub fn reserved_prefixes() -> HashSet<&'static str> {
+    ["_c_gDim", "_c_bx", "_c_cgDim"].into_iter().collect()
+}
+
+fn diag(child: &str, message: &str) -> Diagnostic {
+    Diagnostic {
+        pass: "coarsening",
+        function: child.to_string(),
+        message: message.to_string(),
+        span: dp_frontend::Span::SYNTH,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frontend::printer::print_program;
+
+    const BASIC: &str = "\
+__global__ void child(int* data, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        data[i] = data[i] + 1;
+    }
+}
+
+__global__ void parent(int* data, int* offsets, int numV) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numV) {
+        int count = offsets[v + 1] - offsets[v];
+        child<<<(count + 31) / 32, 32>>>(data, count);
+    }
+}
+";
+
+    #[test]
+    fn coarsens_child_and_rewrites_launch() {
+        let mut p = dp_frontend::parse(BASIC).unwrap();
+        let manifest = apply(&mut p, 8);
+        assert_eq!(manifest.coarsen_sites.len(), 1);
+        assert!(manifest.diagnostics.is_empty());
+        assert_eq!(p.define("_CFACTOR"), Some(8));
+
+        let child = p.function("child").unwrap();
+        assert_eq!(child.params.last().unwrap().name, "_c_gDim");
+        assert_eq!(child.params.last().unwrap().ty, Type::Int);
+
+        let out = print_program(&p);
+        assert!(out.contains("for (int _c_bx = blockIdx.x; _c_bx < _c_gDim; _c_bx += gridDim.x)"),
+            "stride loop missing:\n{out}");
+        assert!(out.contains("(_c_gDim0 + _CFACTOR - 1) / _CFACTOR"), "{out}");
+        assert!(out.contains("child<<<_c_cgDim0, 32>>>(data, count, _c_gDim0);"), "{out}");
+        dp_frontend::parse(&out).unwrap();
+    }
+
+    #[test]
+    fn body_blockidx_uses_are_replaced() {
+        let mut p = dp_frontend::parse(BASIC).unwrap();
+        apply(&mut p, 4);
+        let child = p.function("child").unwrap();
+        let mut printed = String::new();
+        dp_frontend::printer::print_function(&mut printed, child);
+        // The stride loop header still reads blockIdx.x/gridDim.x; the body
+        // must not.
+        let body_only = printed
+            .split("for (")
+            .nth(1)
+            .unwrap()
+            .split_once('{')
+            .unwrap()
+            .1;
+        assert!(!body_only.contains("blockIdx.x"), "{printed}");
+        assert!(body_only.contains("_c_bx"), "{printed}");
+    }
+
+    #[test]
+    fn child_with_return_gets_body_function() {
+        let src = "\
+__global__ void child(int* d, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) { return; }
+    d[i] = i;
+}
+__global__ void parent(int* d, int n) {
+    child<<<(n + 63) / 64, 64>>>(d, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 16);
+        assert_eq!(manifest.coarsen_sites.len(), 1);
+        assert!(p.function("_child_coarsen_body").is_some());
+        let out = print_program(&p);
+        assert!(out.contains("_child_coarsen_body(d, n, _c_gDim, _c_bx);"), "{out}");
+    }
+
+    #[test]
+    fn whole_griddim_use_is_rejected() {
+        let src = "\
+__device__ int f(dim3 g) { return g.x; }
+__global__ void child(int* d) { d[0] = f(gridDim); }
+__global__ void parent(int* d, int n) {
+    child<<<(n + 31) / 32, 32>>>(d);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let before = print_program(&p);
+        let manifest = apply(&mut p, 8);
+        assert!(manifest.coarsen_sites.is_empty());
+        assert_eq!(manifest.diagnostics.len(), 1);
+        let after = print_program(&p).replace("#define _CFACTOR 8\n", "");
+        assert_eq!(after.trim_start(), before.trim_start());
+    }
+
+    #[test]
+    fn multi_dimensional_grid_is_rejected() {
+        let src = "\
+__global__ void child(int* d) { d[blockIdx.x] = blockIdx.y; }
+__global__ void parent(int* d, int n) {
+    child<<<dim3((n + 31) / 32, 4, 1), 32>>>(d);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 8);
+        assert!(manifest.coarsen_sites.is_empty());
+        assert_eq!(manifest.diagnostics.len(), 1);
+        assert!(manifest.diagnostics[0].message.contains("multi-dimensional"));
+    }
+
+    #[test]
+    fn dim3_with_unit_yz_is_accepted() {
+        let src = "\
+__global__ void child(int* d, int n) { if (blockIdx.x < n) { d[blockIdx.x] = 1; } }
+__global__ void parent(int* d, int n) {
+    child<<<dim3((n + 31) / 32, 1, 1), 32>>>(d, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 8);
+        assert_eq!(manifest.coarsen_sites.len(), 1);
+        let out = print_program(&p);
+        assert!(out.contains("int _c_gDim0 = (n + 31) / 32;"), "{out}");
+    }
+
+    #[test]
+    fn host_only_kernels_are_untouched() {
+        let src = "\
+__global__ void k(int* d, int n) { d[blockIdx.x] = n; }
+void host_main(int* d, int n) {
+    k<<<(n + 31) / 32, 32>>>(d, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 8);
+        assert!(manifest.coarsen_sites.is_empty());
+        let k = p.function("k").unwrap();
+        assert_eq!(k.params.len(), 2, "host-only kernel must keep its signature");
+    }
+
+    #[test]
+    fn multiple_sites_of_same_child_all_rewritten() {
+        let src = "\
+__global__ void child(int* d, int n) { d[blockIdx.x] = n; }
+__global__ void parent(int* d, int n, int m) {
+    child<<<(n + 31) / 32, 32>>>(d, n);
+    child<<<(m + 31) / 32, 32>>>(d, m);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 2);
+        assert_eq!(manifest.coarsen_sites.len(), 1);
+        let out = print_program(&p);
+        assert!(out.contains("_c_gDim0"));
+        assert!(out.contains("_c_gDim1"));
+    }
+
+    #[test]
+    fn name_collision_with_user_code_is_avoided() {
+        let src = "\
+__global__ void child(int* d, int _c_bx) { d[blockIdx.x] = _c_bx; }
+__global__ void parent(int* d, int n) {
+    child<<<(n + 31) / 32, 32>>>(d, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        apply(&mut p, 8);
+        let child = p.function("child").unwrap();
+        let mut printed = String::new();
+        dp_frontend::printer::print_function(&mut printed, child);
+        assert!(printed.contains("_c_bx_2"), "{printed}");
+    }
+}

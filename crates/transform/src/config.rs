@@ -1,0 +1,161 @@
+//! Optimization configuration: which passes run and with what parameters.
+
+use std::fmt;
+
+/// Aggregation granularity (paper Section II-B and V-A).
+///
+/// `Warp`, `Block`, and `Grid` match prior work (KLAP); `MultiBlock(n)` is
+/// the granularity this paper introduces: parent blocks are grouped `n` at a
+/// time and the last block of a group to finish performs the aggregated
+/// launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggGranularity {
+    /// Aggregate launches across the threads of one warp.
+    Warp,
+    /// Aggregate launches across the threads of one block.
+    Block,
+    /// Aggregate launches across a group of `n` blocks (the paper's new
+    /// granularity).
+    MultiBlock(u32),
+    /// Aggregate launches across the whole parent grid; the aggregated
+    /// launch is performed from the host after the parent grid completes.
+    Grid,
+}
+
+impl fmt::Display for AggGranularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggGranularity::Warp => f.write_str("warp"),
+            AggGranularity::Block => f.write_str("block"),
+            AggGranularity::MultiBlock(n) => write!(f, "multi-block({n})"),
+            AggGranularity::Grid => f.write_str("grid"),
+        }
+    }
+}
+
+/// Configuration for the aggregation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggConfig {
+    /// Aggregation granularity.
+    pub granularity: AggGranularity,
+    /// Optional aggregation threshold (paper Section V-B): if fewer than
+    /// this many parent threads participate, child grids are launched
+    /// directly instead of aggregated. Only valid at block granularity
+    /// (barrier synchronization is required to count participants).
+    pub agg_threshold: Option<i64>,
+}
+
+impl AggConfig {
+    /// Aggregation at the given granularity without an aggregation
+    /// threshold.
+    pub fn new(granularity: AggGranularity) -> Self {
+        AggConfig {
+            granularity,
+            agg_threshold: None,
+        }
+    }
+}
+
+/// Which optimizations to apply, with their tuning parameters.
+///
+/// The paper's combinations map as:
+///
+/// | paper | config |
+/// |-------|--------|
+/// | CDP            | `OptConfig::none()` |
+/// | CDP+T          | `.threshold(v)` |
+/// | CDP+C          | `.coarsen_factor(f)` |
+/// | CDP+A (KLAP)   | `.aggregation(AggConfig::new(g))` |
+/// | CDP+T+C+A      | all three |
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OptConfig {
+    /// Thresholding: serialize child grids smaller than this many threads.
+    pub threshold: Option<i64>,
+    /// Coarsening factor: original child blocks per coarsened block.
+    pub coarsen_factor: Option<i64>,
+    /// Aggregation configuration.
+    pub aggregation: Option<AggConfig>,
+}
+
+impl OptConfig {
+    /// No optimizations (plain CDP).
+    pub fn none() -> Self {
+        OptConfig::default()
+    }
+
+    /// All three optimizations with paper-typical defaults
+    /// (threshold 128, coarsening factor 8, multi-block granularity of 8
+    /// blocks).
+    pub fn all() -> Self {
+        OptConfig::none()
+            .threshold(128)
+            .coarsen_factor(8)
+            .aggregation(AggConfig::new(AggGranularity::MultiBlock(8)))
+    }
+
+    /// Enables thresholding with the given launch threshold.
+    pub fn threshold(mut self, value: i64) -> Self {
+        self.threshold = Some(value);
+        self
+    }
+
+    /// Enables coarsening with the given factor.
+    pub fn coarsen_factor(mut self, factor: i64) -> Self {
+        self.coarsen_factor = Some(factor);
+        self
+    }
+
+    /// Enables aggregation.
+    pub fn aggregation(mut self, config: AggConfig) -> Self {
+        self.aggregation = Some(config);
+        self
+    }
+
+    /// A short label such as `"CDP+T+C+A"` (paper Fig. 9 legend style).
+    pub fn label(&self) -> String {
+        let mut label = String::from("CDP");
+        if self.threshold.is_some() {
+            label.push_str("+T");
+        }
+        if self.coarsen_factor.is_some() {
+            label.push_str("+C");
+        }
+        if self.aggregation.is_some() {
+            label.push_str("+A");
+        }
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(OptConfig::none().label(), "CDP");
+        assert_eq!(OptConfig::none().threshold(64).label(), "CDP+T");
+        assert_eq!(
+            OptConfig::none()
+                .coarsen_factor(2)
+                .aggregation(AggConfig::new(AggGranularity::Block))
+                .label(),
+            "CDP+C+A"
+        );
+        assert_eq!(OptConfig::all().label(), "CDP+T+C+A");
+    }
+
+    #[test]
+    fn granularity_display() {
+        assert_eq!(AggGranularity::Warp.to_string(), "warp");
+        assert_eq!(AggGranularity::MultiBlock(16).to_string(), "multi-block(16)");
+    }
+
+    #[test]
+    fn builder_is_chainable() {
+        let c = OptConfig::none().threshold(32).coarsen_factor(4);
+        assert_eq!(c.threshold, Some(32));
+        assert_eq!(c.coarsen_factor, Some(4));
+        assert_eq!(c.aggregation, None);
+    }
+}

@@ -1,0 +1,562 @@
+//! The thresholding transformation (paper Section III, Fig. 3).
+//!
+//! For every dynamic launch `child<<<gDim, bDim>>>(args)` whose child kernel
+//! is serializable (Section III-C) and whose desired thread count can be
+//! extracted from the grid-dimension expression (Section III-D), the pass:
+//!
+//! 1. generates a `__device__` serial version of the child that executes all
+//!    child threads in loops (Fig. 3b lines 09–15),
+//! 2. hoists the desired thread count into `int _threads = N;`, replacing
+//!    the `N` occurrence to avoid duplicating side effects,
+//! 3. wraps the launch in
+//!    `if (_threads >= _THRESHOLD) { launch } else { child_serial(...); }`.
+//!
+//! `_THRESHOLD` is emitted as a `#define` so it can be overridden per
+//! compilation, exactly like the paper's macro variable.
+
+use crate::manifest::{Diagnostic, ThresholdSiteMeta, TransformManifest};
+use crate::util::*;
+use dp_frontend::ast::*;
+use dp_frontend::visit::{replace_builtin_ident, replace_builtin_member};
+use std::collections::HashSet;
+
+/// Name of the compile-time threshold macro.
+pub const THRESHOLD_MACRO: &str = "_THRESHOLD";
+
+/// Applies thresholding to every dynamic launch site in the program.
+///
+/// Launch sites that cannot be transformed (non-serializable child, or no
+/// recognizable ceiling-division pattern) are left untouched and reported in
+/// the manifest's diagnostics, matching the paper's behaviour of falling
+/// back to the unmodified launch.
+pub fn apply(program: &mut Program, threshold: i64) -> TransformManifest {
+    let mut manifest = TransformManifest::new();
+    program.set_define(THRESHOLD_MACRO, threshold);
+
+    let parent_names: Vec<String> = program
+        .functions()
+        .filter(|f| matches!(f.qual, FnQual::Global | FnQual::Device))
+        .map(|f| f.name.clone())
+        .collect();
+
+    let mut serial_fns: Vec<Function> = Vec::new();
+    let mut counter = 0usize;
+
+    for parent_name in parent_names {
+        // Decide per-site transformations against an immutable snapshot,
+        // because generating the serial child needs the whole program.
+        let snapshot = program.clone();
+        let Some(parent) = program.function_mut(&parent_name) else {
+            continue;
+        };
+        normalize_blocks(parent);
+        let mut body = std::mem::take(&mut parent.body);
+        process_block(
+            &mut body,
+            &snapshot,
+            &parent_name,
+            &mut serial_fns,
+            &mut manifest,
+            &mut counter,
+        );
+        let Some(parent) = program.function_mut(&parent_name) else {
+            continue;
+        };
+        parent.body = body;
+    }
+
+    // Insert generated serial functions right after their child kernels.
+    for serial in serial_fns {
+        let child_name = serial
+            .name
+            .strip_suffix("_serial_body")
+            .or_else(|| serial.name.strip_suffix("_serial"))
+            .unwrap_or(&serial.name)
+            .to_string();
+        let pos = program
+            .items
+            .iter()
+            .position(|item| matches!(item, Item::Function(f) if f.name == child_name))
+            .map(|p| p + 1)
+            .unwrap_or(program.items.len());
+        program.items.insert(pos, Item::Function(serial));
+    }
+
+    manifest
+}
+
+/// Rewrites every non-block body of control statements into a block so the
+/// pass can treat all statement lists uniformly.
+pub fn normalize_blocks(func: &mut Function) {
+    for stmt in &mut func.body {
+        dp_frontend::visit::walk_stmt_mut(stmt, &mut |s| {
+            let origin = s.origin;
+            match &mut s.kind {
+                StmtKind::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    ensure_block(then_branch, origin);
+                    if let Some(e) = else_branch {
+                        ensure_block(e, origin);
+                    }
+                }
+                StmtKind::For { body, .. }
+                | StmtKind::While { body, .. }
+                | StmtKind::DoWhile { body, .. } => ensure_block(body, origin),
+                _ => {}
+            }
+        });
+    }
+}
+
+fn ensure_block(stmt: &mut Box<Stmt>, origin: CodeOrigin) {
+    if !matches!(stmt.kind, StmtKind::Block(_)) {
+        let inner = std::mem::replace(
+            stmt.as_mut(),
+            Stmt {
+                kind: StmtKind::Empty,
+                span: dp_frontend::Span::SYNTH,
+                origin,
+            },
+        );
+        stmt.kind = StmtKind::Block(vec![inner]);
+    }
+}
+
+fn process_block(
+    stmts: &mut Vec<Stmt>,
+    snapshot: &Program,
+    parent_name: &str,
+    serial_fns: &mut Vec<Function>,
+    manifest: &mut TransformManifest,
+    counter: &mut usize,
+) {
+    let mut i = 0;
+    while i < stmts.len() {
+        // Recurse into nested statement lists first.
+        match &mut stmts[i].kind {
+            StmtKind::Block(inner) => {
+                process_block(inner, snapshot, parent_name, serial_fns, manifest, counter);
+            }
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                if let StmtKind::Block(inner) = &mut then_branch.kind {
+                    process_block(inner, snapshot, parent_name, serial_fns, manifest, counter);
+                }
+                if let Some(e) = else_branch {
+                    if let StmtKind::Block(inner) = &mut e.kind {
+                        process_block(inner, snapshot, parent_name, serial_fns, manifest, counter);
+                    }
+                }
+            }
+            StmtKind::For { body, .. }
+            | StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. } => {
+                if let StmtKind::Block(inner) = &mut body.kind {
+                    process_block(inner, snapshot, parent_name, serial_fns, manifest, counter);
+                }
+            }
+            _ => {}
+        }
+
+        let StmtKind::Launch(launch) = &stmts[i].kind else {
+            i += 1;
+            continue;
+        };
+        let child_name = launch.kernel.clone();
+        let launch_span = stmts[i].span;
+
+        // Section III-C: reject non-serializable children.
+        let blockers = dp_analysis::serialization_blockers(snapshot, &child_name);
+        if !blockers.is_empty() {
+            let reasons: Vec<String> = blockers.iter().map(|b| b.to_string()).collect();
+            manifest.diagnostics.push(Diagnostic {
+                pass: "thresholding",
+                function: parent_name.to_string(),
+                message: format!("child not serializable: {}", reasons.join("; ")),
+                span: launch_span,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Section III-D: extract the desired thread count.
+        let threads_name = format!("_threads{}", *counter);
+        let Some(tc) = dp_analysis::extract_thread_count(stmts, i, &threads_name) else {
+            manifest.diagnostics.push(Diagnostic {
+                pass: "thresholding",
+                function: parent_name.to_string(),
+                message: "no ceiling-division pattern found in grid dimension".to_string(),
+                span: launch_span,
+            });
+            i += 1;
+            continue;
+        };
+        *counter += 1;
+
+        // Make sure the serial version of the child exists.
+        let serial_name = ensure_serial_fn(snapshot, &child_name, serial_fns);
+
+        // Insert `int _threads = N;` before the statement where N lived.
+        let mut threads_decl = Stmt::decl(Type::Int, threads_name.clone(), Some(tc.n), CodeOrigin::ThresholdCheck);
+        threads_decl.origin = CodeOrigin::ThresholdCheck;
+        stmts.insert(tc.insert_before, threads_decl);
+        let launch_index = if tc.insert_before <= i { i + 1 } else { i };
+
+        // Build the threshold branch around the launch.
+        let launch_stmt = stmts[launch_index].clone();
+        let StmtKind::Launch(launch) = &launch_stmt.kind else {
+            unreachable!("launch index tracked through insertion")
+        };
+        let mut serial_args = launch.args.clone();
+        serial_args.push(launch.grid.clone());
+        serial_args.push(launch.block.clone());
+        let serial_call = Stmt::expr(
+            Expr::call(serial_name.clone(), serial_args, CodeOrigin::ThresholdSerial),
+            CodeOrigin::ThresholdSerial,
+        );
+        let cond = Expr::bin(
+            BinOp::Ge,
+            Expr::ident(&threads_name, CodeOrigin::ThresholdCheck),
+            Expr::ident(THRESHOLD_MACRO, CodeOrigin::ThresholdCheck),
+            CodeOrigin::ThresholdCheck,
+        );
+        stmts[launch_index] = Stmt::synth(
+            StmtKind::If {
+                cond,
+                then_branch: Box::new(Stmt::synth(
+                    StmtKind::Block(vec![launch_stmt]),
+                    CodeOrigin::ThresholdCheck,
+                )),
+                else_branch: Some(Box::new(Stmt::synth(
+                    StmtKind::Block(vec![serial_call]),
+                    CodeOrigin::ThresholdCheck,
+                ))),
+            },
+            CodeOrigin::ThresholdCheck,
+        );
+
+        manifest.threshold_sites.push(ThresholdSiteMeta {
+            parent: parent_name.to_string(),
+            child: child_name,
+            serial_fn: serial_name,
+        });
+        i = launch_index + 1;
+    }
+}
+
+/// Generates (once) the serial `__device__` version of `child`
+/// (Fig. 3b lines 09–15) and returns its name.
+fn ensure_serial_fn(program: &Program, child: &str, serial_fns: &mut Vec<Function>) -> String {
+    let serial_name = format!("{child}_serial");
+    if serial_fns.iter().any(|f| f.name == serial_name) {
+        return serial_name;
+    }
+    let child_fn = program
+        .function(child)
+        .expect("caller verified the child kernel exists");
+
+    let used = idents_in_function(child_fn);
+    let g = fresh_name("_s_gDim", &used);
+    let b = fresh_name("_s_bDim", &used);
+    let idx: Vec<String> = ["_s_bz", "_s_by", "_s_bx", "_s_tz", "_s_ty", "_s_tx"]
+        .iter()
+        .map(|n| fresh_name(n, &used))
+        .collect();
+
+    // Replace builtin index/dimension uses in a copy of the child body.
+    let mut body = child_fn.body.clone();
+    for stmt in &mut body {
+        replace_builtin_member(stmt, "blockIdx", "z", &idx[0]);
+        replace_builtin_member(stmt, "blockIdx", "y", &idx[1]);
+        replace_builtin_member(stmt, "blockIdx", "x", &idx[2]);
+        replace_builtin_member(stmt, "threadIdx", "z", &idx[3]);
+        replace_builtin_member(stmt, "threadIdx", "y", &idx[4]);
+        replace_builtin_member(stmt, "threadIdx", "x", &idx[5]);
+        replace_builtin_ident(stmt, "gridDim", &g);
+        replace_builtin_ident(stmt, "blockDim", &b);
+    }
+    tag_origin(&mut body, CodeOrigin::ThresholdSerial);
+
+    let params = params_source(&child_fn.params);
+    let comma = if child_fn.params.is_empty() { "" } else { ", " };
+
+    if contains_return(&child_fn.body) {
+        // `return` inside serialization loops would abort all remaining
+        // simulated threads, so the body goes into its own device function
+        // and `return` keeps per-thread semantics.
+        let body_name = format!("{child}_serial_body");
+        let idx_params = idx
+            .iter()
+            .map(|n| format!("int {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut body_fn = make_device_fn(
+            &body_name,
+            &format!("{params}{comma}dim3 {g}, dim3 {b}, {idx_params}"),
+            Vec::new(),
+        );
+        body_fn.body = body;
+        serial_fns.push(body_fn);
+
+        let fwd = args_source(&child_fn.params);
+        let fwd_comma = if child_fn.params.is_empty() { "" } else { ", " };
+        let call = format!(
+            "{body_name}({fwd}{fwd_comma}{g}, {b}, {});",
+            idx.join(", ")
+        );
+        let loops = serial_loops(&g, &b, &idx, &call);
+        let mut stmts = parse_template_stmts(&loops);
+        tag_origin(&mut stmts, CodeOrigin::ThresholdSerial);
+        let mut serial_fn = make_device_fn(
+            &serial_name,
+            &format!("{params}{comma}dim3 {g}, dim3 {b}"),
+            Vec::new(),
+        );
+        serial_fn.body = stmts;
+        serial_fns.push(serial_fn);
+    } else {
+        let loops = serial_loops(&g, &b, &idx, &format!("{BODY_MARKER}();"));
+        let mut stmts = parse_template_stmts(&loops);
+        tag_origin(&mut stmts, CodeOrigin::ThresholdSerial);
+        assert!(splice_body(&mut stmts, body), "serial template has a body marker");
+        let mut serial_fn = make_device_fn(
+            &serial_name,
+            &format!("{params}{comma}dim3 {g}, dim3 {b}"),
+            Vec::new(),
+        );
+        serial_fn.body = stmts;
+        serial_fns.push(serial_fn);
+    }
+    serial_name
+}
+
+/// The six nested serialization loops over block and thread indices.
+fn serial_loops(g: &str, b: &str, idx: &[String], innermost: &str) -> String {
+    format!(
+        "for (int {bz} = 0; {bz} < {g}.z; ++{bz}) {{
+             for (int {by} = 0; {by} < {g}.y; ++{by}) {{
+                 for (int {bx} = 0; {bx} < {g}.x; ++{bx}) {{
+                     for (int {tz} = 0; {tz} < {b}.z; ++{tz}) {{
+                         for (int {ty} = 0; {ty} < {b}.y; ++{ty}) {{
+                             for (int {tx} = 0; {tx} < {b}.x; ++{tx}) {{
+                                 {innermost}
+                             }}
+                         }}
+                     }}
+                 }}
+             }}
+         }}",
+        bz = idx[0],
+        by = idx[1],
+        bx = idx[2],
+        tz = idx[3],
+        ty = idx[4],
+        tx = idx[5],
+    )
+}
+
+fn make_device_fn(name: &str, params_src: &str, body: Vec<Stmt>) -> Function {
+    let src = format!("__device__ void {name}({params_src}) {{ }}");
+    let program = dp_frontend::parse(&src)
+        .unwrap_or_else(|e| panic!("internal function template failed: {e}\n{src}"));
+    let Item::Function(mut f) = program.items.into_iter().next().unwrap() else {
+        unreachable!()
+    };
+    f.body = body;
+    f
+}
+
+/// Identifiers used by generated serial functions (for collision tests).
+pub fn serial_index_names() -> HashSet<&'static str> {
+    ["_s_bz", "_s_by", "_s_bx", "_s_tz", "_s_ty", "_s_tx"]
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_frontend::printer::print_program;
+
+    const BASIC: &str = "\
+__global__ void child(int* data, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        data[i] = data[i] + 1;
+    }
+}
+
+__global__ void parent(int* data, int* offsets, int numV) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numV) {
+        int count = offsets[v + 1] - offsets[v];
+        child<<<(count + 31) / 32, 32>>>(data, count);
+    }
+}
+";
+
+    #[test]
+    fn transforms_basic_launch() {
+        let mut p = dp_frontend::parse(BASIC).unwrap();
+        let manifest = apply(&mut p, 128);
+        assert_eq!(manifest.threshold_sites.len(), 1);
+        assert!(manifest.diagnostics.is_empty());
+        assert_eq!(p.define("_THRESHOLD"), Some(128));
+
+        let out = print_program(&p);
+        assert!(out.contains("child_serial"), "serial fn missing:\n{out}");
+        assert!(out.contains("_threads0 >= _THRESHOLD"), "guard missing:\n{out}");
+        assert!(out.contains("int _threads0 = count;"), "hoist missing:\n{out}");
+        // The grid expression now refers to the hoisted count.
+        assert!(out.contains("(_threads0 + 31) / 32"), "rewrite missing:\n{out}");
+        // Output must re-parse (source-to-source invariant).
+        dp_frontend::parse(&out).unwrap();
+    }
+
+    #[test]
+    fn serial_fn_replaces_builtins() {
+        let mut p = dp_frontend::parse(BASIC).unwrap();
+        apply(&mut p, 128);
+        let serial = p.function("child_serial").unwrap();
+        assert_eq!(serial.qual, FnQual::Device);
+        // params + _s_gDim + _s_bDim
+        assert_eq!(serial.params.len(), 4);
+        let mut printed = String::new();
+        dp_frontend::printer::print_function(&mut printed, serial);
+        assert!(printed.contains("_s_bx"), "{printed}");
+        assert!(printed.contains("_s_tx"), "{printed}");
+        assert!(!printed.contains("threadIdx"), "{printed}");
+        assert!(!printed.contains("blockIdx"), "{printed}");
+    }
+
+    #[test]
+    fn child_with_return_uses_body_function() {
+        let src = "\
+__global__ void child(int* data, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i >= n) {
+        return;
+    }
+    data[i] = i;
+}
+__global__ void parent(int* data, int n) {
+    child<<<(n + 63) / 64, 64>>>(data, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 32);
+        assert_eq!(manifest.threshold_sites.len(), 1);
+        assert!(p.function("child_serial_body").is_some());
+        let serial = p.function("child_serial").unwrap();
+        let mut printed = String::new();
+        dp_frontend::printer::print_function(&mut printed, serial);
+        assert!(printed.contains("child_serial_body("), "{printed}");
+    }
+
+    #[test]
+    fn non_serializable_child_is_skipped_with_diagnostic() {
+        let src = "\
+__global__ void child(int* d, int n) {
+    __syncthreads();
+    d[0] = n;
+}
+__global__ void parent(int* d, int n) {
+    child<<<(n + 31) / 32, 32>>>(d, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let before = print_program(&p);
+        let manifest = apply(&mut p, 128);
+        assert!(manifest.threshold_sites.is_empty());
+        assert_eq!(manifest.diagnostics.len(), 1);
+        assert!(manifest.diagnostics[0].message.contains("__syncthreads"));
+        // Program unchanged apart from the #define.
+        let after = print_program(&p);
+        assert_eq!(
+            after.replace("#define _THRESHOLD 128\n", "").trim_start(),
+            before.trim_start()
+        );
+    }
+
+    #[test]
+    fn unrecognizable_grid_expression_is_skipped() {
+        let src = "\
+__global__ void child(int* d, int n) { d[0] = n; }
+__global__ void parent(int* d, int n) {
+    child<<<n * 2, 32>>>(d, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 128);
+        assert!(manifest.threshold_sites.is_empty());
+        assert_eq!(manifest.diagnostics.len(), 1);
+        assert!(manifest.diagnostics[0]
+            .message
+            .contains("no ceiling-division pattern"));
+    }
+
+    #[test]
+    fn two_launches_of_same_child_share_serial_fn() {
+        let src = "\
+__global__ void child(int* d, int n) { d[0] = n; }
+__global__ void parent(int* d, int n, int m) {
+    child<<<(n + 31) / 32, 32>>>(d, n);
+    child<<<(m + 31) / 32, 32>>>(d, m);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 128);
+        assert_eq!(manifest.threshold_sites.len(), 2);
+        let count = p.functions().filter(|f| f.name == "child_serial").count();
+        assert_eq!(count, 1);
+        let out = print_program(&p);
+        assert!(out.contains("_threads0"));
+        assert!(out.contains("_threads1"));
+    }
+
+    #[test]
+    fn variable_defined_grid_dimension() {
+        let src = "\
+__global__ void child(int* d, int n) { d[0] = n; }
+__global__ void parent(int* d, int n) {
+    int blocks = (n - 1) / 256 + 1;
+    child<<<blocks, 256>>>(d, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 64);
+        assert_eq!(manifest.threshold_sites.len(), 1);
+        let out = print_program(&p);
+        assert!(out.contains("int _threads0 = n;"), "{out}");
+        assert!(out.contains("(_threads0 - 1) / 256 + 1"), "{out}");
+    }
+
+    #[test]
+    fn host_launches_are_not_thresholded() {
+        let src = "\
+__global__ void child(int* d, int n) { d[0] = n; }
+void host_main(int* d, int n) {
+    child<<<(n + 31) / 32, 32>>>(d, n);
+}
+";
+        let mut p = dp_frontend::parse(src).unwrap();
+        let manifest = apply(&mut p, 128);
+        assert!(manifest.threshold_sites.is_empty());
+        assert!(manifest.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn output_reparses_after_transform() {
+        let mut p = dp_frontend::parse(BASIC).unwrap();
+        apply(&mut p, 128);
+        let out = print_program(&p);
+        let p2 = dp_frontend::parse(&out).unwrap();
+        assert_eq!(p2.functions().count(), p.functions().count());
+    }
+}

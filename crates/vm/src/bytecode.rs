@@ -1,0 +1,437 @@
+//! Bytecode definitions and the per-instruction cost model.
+//!
+//! The VM is a stack machine. Each instruction slot has a parallel
+//! [`CodeOrigin`](dp_frontend::CodeOrigin) entry recording which pipeline
+//! stage the source statement came from; the execution engine accumulates
+//! cycles per origin, which is how the paper's Fig. 10 execution-time
+//! breakdown is produced.
+
+use dp_frontend::ast::{CodeOrigin, FnQual, Type};
+use std::collections::HashMap;
+
+/// Index of a compiled function within a [`Module`].
+pub type FuncId = u32;
+
+/// Binary operation kinds (typed dynamically by operand values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+` (also pointer arithmetic).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division when both operands are integers).
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Unary operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (yields 0/1).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Atomic read-modify-write operations on memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// `atomicAdd` — returns the old value.
+    Add,
+    /// `atomicSub`
+    Sub,
+    /// `atomicMax`
+    Max,
+    /// `atomicMin`
+    Min,
+    /// `atomicExch`
+    Exch,
+    /// `atomicCAS` — `[addr, compare, val] -> [old]`.
+    Cas,
+    /// `atomicOr`
+    Or,
+    /// `atomicAnd`
+    And,
+}
+
+/// Math intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intrinsic {
+    /// `min(a, b)` (int or float by operands).
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `abs` / `fabs` / `fabsf`
+    Abs,
+    /// `sqrt` / `sqrtf`
+    Sqrt,
+    /// `ceil` / `ceilf`
+    Ceil,
+    /// `floor` / `floorf`
+    Floor,
+    /// `exp` / `expf`
+    Exp,
+    /// `log` / `logf`
+    Log,
+    /// `pow` / `powf`
+    Pow,
+}
+
+/// Builtin special registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Special {
+    /// `threadIdx` (whole dim3).
+    ThreadIdx,
+    /// `blockIdx`
+    BlockIdx,
+    /// `blockDim`
+    BlockDim,
+    /// `gridDim`
+    GridDim,
+}
+
+/// VM instructions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Push an integer constant.
+    PushInt(i64),
+    /// Push a float constant.
+    PushFloat(f64),
+    /// Push local slot.
+    LoadLocal(u16),
+    /// Pop into local slot.
+    StoreLocal(u16),
+    /// `[addr] -> [value]` — load from global/shared memory.
+    LoadMem,
+    /// `[addr, value] -> []` — store to global/shared memory.
+    StoreMem,
+    /// Binary operation `[a, b] -> [a op b]`.
+    Bin(BinKind),
+    /// Unary operation `[a] -> [op a]`.
+    Un(UnKind),
+    /// Truncate to integer.
+    CastInt,
+    /// Convert to float.
+    CastFloat,
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop; jump if zero/false.
+    JumpIfZero(u32),
+    /// Pop; jump if non-zero/true.
+    JumpIfNonZero(u32),
+    /// Call function with `n` arguments popped from the stack
+    /// (first argument pushed first).
+    Call(FuncId, u8),
+    /// Return with the top of stack as value.
+    Ret,
+    /// Return from a void function.
+    RetVoid,
+    /// Dynamic kernel launch: `[grid, block, arg0..argN-1] -> []`.
+    Launch(FuncId, u8),
+    /// `__syncthreads()` — block-wide barrier.
+    Sync,
+    /// `__threadfence()` — memory fence (functional no-op, costed).
+    Fence,
+    /// Atomic op `[addr, operand] -> [old]` (CAS: `[addr, cmp, val]`).
+    Atomic(AtomicOp),
+    /// Math intrinsic (operand count fixed per intrinsic).
+    Intrinsic(Intrinsic),
+    /// Push a builtin special register (whole `dim3`).
+    ReadSpecial(Special),
+    /// Push component `lane` (0..3) of a builtin special register.
+    ReadSpecialComp(Special, u8),
+    /// `[x, y, z] -> [dim3]`.
+    MakeDim3,
+    /// `[dim3] -> [component]`.
+    Dim3Member(u8),
+    /// `[dim3, v] -> [dim3']` with component `lane` replaced.
+    Dim3SetMember(u8),
+    /// Discard top of stack.
+    Pop,
+    /// Duplicate top of stack.
+    Dup,
+    /// Swap the two top stack entries.
+    Swap,
+}
+
+impl Instr {
+    /// The cost class used by the timing model.
+    pub fn cost_class(&self) -> CostClass {
+        match self {
+            Instr::PushInt(_)
+            | Instr::PushFloat(_)
+            | Instr::LoadLocal(_)
+            | Instr::StoreLocal(_)
+            | Instr::Pop
+            | Instr::Dup
+            | Instr::Swap
+            | Instr::ReadSpecial(_)
+            | Instr::ReadSpecialComp(..)
+            | Instr::MakeDim3
+            | Instr::Dim3Member(_)
+            | Instr::Dim3SetMember(_)
+            | Instr::CastInt
+            | Instr::CastFloat => CostClass::Alu,
+            Instr::Bin(BinKind::Mul) => CostClass::Mul,
+            Instr::Bin(BinKind::Div) | Instr::Bin(BinKind::Rem) => CostClass::Div,
+            Instr::Bin(_) | Instr::Un(_) => CostClass::Alu,
+            Instr::LoadMem | Instr::StoreMem => CostClass::Mem,
+            Instr::Jump(_) | Instr::JumpIfZero(_) | Instr::JumpIfNonZero(_) => CostClass::Branch,
+            Instr::Call(..) | Instr::Ret | Instr::RetVoid => CostClass::Call,
+            Instr::Launch(..) => CostClass::Launch,
+            Instr::Sync => CostClass::Sync,
+            Instr::Fence => CostClass::Fence,
+            Instr::Atomic(_) => CostClass::Atomic,
+            Instr::Intrinsic(_) => CostClass::Intrinsic,
+        }
+    }
+}
+
+/// Instruction cost classes (cycles assigned by [`CostModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Simple ALU / register moves.
+    Alu,
+    /// Integer/float multiply.
+    Mul,
+    /// Divide / remainder.
+    Div,
+    /// Global/shared memory access.
+    Mem,
+    /// Branches.
+    Branch,
+    /// Function call/return.
+    Call,
+    /// The device-side launch instruction sequence.
+    Launch,
+    /// Barrier.
+    Sync,
+    /// Memory fence.
+    Fence,
+    /// Atomic RMW.
+    Atomic,
+    /// Math intrinsics.
+    Intrinsic,
+}
+
+/// Cycles charged per instruction, by class. Defaults are V100-flavoured
+/// relative latencies (absolute scale is set by the simulator clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// ALU ops.
+    pub alu: u64,
+    /// Multiplies.
+    pub mul: u64,
+    /// Divisions.
+    pub div: u64,
+    /// Memory accesses (amortized global-memory cost).
+    pub mem: u64,
+    /// Branches.
+    pub branch: u64,
+    /// Call/return overhead.
+    pub call: u64,
+    /// Device-side launch instruction sequence executed by the launching
+    /// thread (API overhead, not queueing delay — that is the simulator's
+    /// launch pipe).
+    pub launch: u64,
+    /// Barrier.
+    pub sync: u64,
+    /// Fence.
+    pub fence: u64,
+    /// Atomic RMW (contention is not modelled per-address).
+    pub atomic: u64,
+    /// Math intrinsics.
+    pub intrinsic: u64,
+    /// Fixed per-thread overhead charged in kernels that contain a launch
+    /// instruction, even if the launch never executes. Models the extra
+    /// generated instructions the paper observes in Section VIII-D.
+    pub launch_presence_overhead: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alu: 1,
+            mul: 2,
+            div: 10,
+            mem: 12,
+            branch: 1,
+            call: 4,
+            launch: 220,
+            sync: 8,
+            fence: 12,
+            atomic: 24,
+            intrinsic: 6,
+            launch_presence_overhead: 60,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cycles for one instruction of the given class.
+    pub fn cycles(&self, class: CostClass) -> u64 {
+        match class {
+            CostClass::Alu => self.alu,
+            CostClass::Mul => self.mul,
+            CostClass::Div => self.div,
+            CostClass::Mem => self.mem,
+            CostClass::Branch => self.branch,
+            CostClass::Call => self.call,
+            CostClass::Launch => self.launch,
+            CostClass::Sync => self.sync,
+            CostClass::Fence => self.fence,
+            CostClass::Atomic => self.atomic,
+            CostClass::Intrinsic => self.intrinsic,
+        }
+    }
+}
+
+/// A compiled function.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// Function name.
+    pub name: String,
+    /// CUDA qualifier.
+    pub qual: FnQual,
+    /// Declared parameter types (used for call coercions, e.g. `int → dim3`).
+    pub param_types: Vec<Type>,
+    /// Number of local slots (including parameters, which occupy the first
+    /// `param_types.len()` slots).
+    pub n_locals: u16,
+    /// Instruction stream.
+    pub code: Vec<Instr>,
+    /// Per-instruction origin tags (same length as `code`).
+    pub origins: Vec<CodeOrigin>,
+    /// Whether the function contains a `Launch` instruction.
+    pub contains_launch: bool,
+    /// Words of shared memory the function's `__shared__` declarations need.
+    pub shared_words: u32,
+}
+
+/// A compiled translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Functions, indexed by [`FuncId`].
+    pub functions: Vec<CompiledFunction>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Adds a function, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn add(&mut self, func: CompiledFunction) -> FuncId {
+        let id = self.functions.len() as FuncId;
+        let prev = self.by_name.insert(func.name.clone(), id);
+        assert!(prev.is_none(), "duplicate function `{}`", func.name);
+        self.functions.push(func);
+        id
+    }
+
+    /// Looks up a function id by name.
+    pub fn id_of(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The function for an id.
+    pub fn function(&self, id: FuncId) -> &CompiledFunction {
+        &self.functions[id as usize]
+    }
+
+    /// The function by name.
+    pub fn by_name(&self, name: &str) -> Option<&CompiledFunction> {
+        self.id_of(name).map(|id| self.function(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_classes_cover_instructions() {
+        assert_eq!(Instr::PushInt(1).cost_class(), CostClass::Alu);
+        assert_eq!(Instr::Bin(BinKind::Div).cost_class(), CostClass::Div);
+        assert_eq!(Instr::LoadMem.cost_class(), CostClass::Mem);
+        assert_eq!(Instr::Launch(0, 2).cost_class(), CostClass::Launch);
+        assert_eq!(Instr::Atomic(AtomicOp::Add).cost_class(), CostClass::Atomic);
+    }
+
+    #[test]
+    fn default_cost_model_is_consistent() {
+        let m = CostModel::default();
+        assert!(m.cycles(CostClass::Launch) > m.cycles(CostClass::Alu));
+        assert!(m.cycles(CostClass::Mem) > m.cycles(CostClass::Alu));
+        assert_eq!(m.cycles(CostClass::Div), m.div);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new();
+        let id = m.add(CompiledFunction {
+            name: "k".into(),
+            qual: FnQual::Global,
+            param_types: vec![],
+            n_locals: 0,
+            code: vec![Instr::RetVoid],
+            origins: vec![CodeOrigin::Original],
+            contains_launch: false,
+            shared_words: 0,
+        });
+        assert_eq!(m.id_of("k"), Some(id));
+        assert!(m.by_name("missing").is_none());
+        assert_eq!(m.function(id).name, "k");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function")]
+    fn duplicate_names_panic() {
+        let mut m = Module::new();
+        let f = CompiledFunction {
+            name: "k".into(),
+            qual: FnQual::Global,
+            param_types: vec![],
+            n_locals: 0,
+            code: vec![],
+            origins: vec![],
+            contains_launch: false,
+            shared_words: 0,
+        };
+        m.add(f.clone());
+        m.add(f);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dp-vm
+//!
+//! A functional GPU executor for the CUDA-C subset: bytecode, lowering, and
+//! an execution machine with grids, blocks, barriers, atomics, shared
+//! memory, and **device-side kernel launches** (dynamic parallelism).
+//!
+//! The VM plays the role of the CUDA toolchain + GPU in the paper's
+//! artifact: transformed programs are *actually executed*, so the
+//! correctness of every compiler pass is testable end-to-end, and the
+//! execution trace (per-warp cycles, per-origin cycle attribution, launch
+//! events) feeds the `dp-sim` timing model that reproduces the paper's
+//! evaluation.
+//!
+//! ## Example
+//!
+//! ```
+//! use dp_vm::{lower::compile_program, machine::Machine, Value};
+//!
+//! let program = dp_frontend::parse(
+//!     "__global__ void child(int* d, int base) { d[base + threadIdx.x] = 1; }\n\
+//!      __global__ void parent(int* d) { child<<<1, 4>>>(d, threadIdx.x * 4); }",
+//! ).unwrap();
+//! let mut machine = Machine::new(compile_program(&program).unwrap());
+//! let buf = machine.alloc(16);
+//! machine.launch_host("parent", 1, 4, &[Value::Int(buf)]).unwrap();
+//! machine.run_to_quiescence().unwrap();
+//! assert_eq!(machine.read_i64s(buf, 16).unwrap(), vec![1; 16]);
+//! ```
+
+pub mod bytecode;
+pub mod error;
+pub mod lower;
+pub mod machine;
+pub mod trace;
+pub mod value;
+
+pub use bytecode::{CostClass, CostModel, Module};
+pub use error::{CompileError, ExecError};
+pub use lower::compile_program;
+pub use machine::{ExecLimits, Machine, MachineStats, Memory};
+pub use trace::{BlockTrace, ExecutionTrace, GridTrace, LaunchOrigin, LaunchRecord, OriginCycles};
+pub use value::Value;

@@ -1,0 +1,1060 @@
+//! Lowering from the CUDA-subset AST to VM bytecode.
+//!
+//! The lowering is deliberately simple (no optimization): the VM's purpose
+//! is *faithful instruction accounting*, so every source-level operation
+//! should cost what comparable SASS would cost, not what an optimizing
+//! compiler could reduce it to. Origin tags flow from statements and
+//! expressions onto the emitted instructions.
+
+use crate::bytecode::*;
+use crate::error::CompileError;
+use crate::value::SHARED_SPACE_BASE;
+use dp_frontend::ast::{self, CodeOrigin, ExprKind, Program, StmtKind, Type};
+use std::collections::HashMap;
+
+/// Compiles a program to a [`Module`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for constructs outside the executable subset
+/// (local arrays, address-of scalars, unknown identifiers, …).
+///
+/// # Examples
+///
+/// ```
+/// let p = dp_frontend::parse(
+///     "__global__ void k(int* d) { d[threadIdx.x] = threadIdx.x * 2; }").unwrap();
+/// let module = dp_vm::lower::compile_program(&p).unwrap();
+/// assert!(module.by_name("k").is_some());
+/// ```
+pub fn compile_program(program: &Program) -> Result<Module, CompileError> {
+    let mut module = Module::new();
+    let mut ids: HashMap<String, FuncId> = HashMap::new();
+    let functions: Vec<&ast::Function> = program.functions().collect();
+    // Pre-assign ids so forward references and recursion work.
+    for (i, f) in functions.iter().enumerate() {
+        if ids.insert(f.name.clone(), i as FuncId).is_some() {
+            return Err(CompileError::new(format!("duplicate function `{}`", f.name)));
+        }
+    }
+    let defines: HashMap<String, i64> = program
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            ast::Item::Define { name, value } => Some((name.clone(), *value)),
+            _ => None,
+        })
+        .collect();
+
+    for f in &functions {
+        let compiled = Lowerer::new(f, &ids, &defines, &functions)
+            .lower()
+            .map_err(|e| e.in_function(&f.name))?;
+        module.add(compiled);
+    }
+    Ok(module)
+}
+
+struct LoopCtx {
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+}
+
+struct Lowerer<'a> {
+    func: &'a ast::Function,
+    ids: &'a HashMap<String, FuncId>,
+    defines: &'a HashMap<String, i64>,
+    functions: &'a [&'a ast::Function],
+    code: Vec<Instr>,
+    origins: Vec<CodeOrigin>,
+    scopes: Vec<HashMap<String, u16>>,
+    shared: HashMap<String, u32>,
+    shared_words: u32,
+    next_slot: u16,
+    tmp_slot: Option<u16>,
+    loops: Vec<LoopCtx>,
+    contains_launch: bool,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(
+        func: &'a ast::Function,
+        ids: &'a HashMap<String, FuncId>,
+        defines: &'a HashMap<String, i64>,
+        functions: &'a [&'a ast::Function],
+    ) -> Self {
+        Lowerer {
+            func,
+            ids,
+            defines,
+            functions,
+            code: Vec::new(),
+            origins: Vec::new(),
+            scopes: vec![HashMap::new()],
+            shared: HashMap::new(),
+            shared_words: 0,
+            next_slot: 0,
+            tmp_slot: None,
+            loops: Vec::new(),
+            contains_launch: false,
+        }
+    }
+
+    fn lower(mut self) -> Result<CompiledFunction, CompileError> {
+        for param in &self.func.params {
+            let slot = self.alloc_slot();
+            self.scopes
+                .last_mut()
+                .unwrap()
+                .insert(param.name.clone(), slot);
+        }
+        for stmt in &self.func.body {
+            self.stmt(stmt)?;
+        }
+        if !matches!(self.code.last(), Some(Instr::Ret) | Some(Instr::RetVoid)) {
+            self.emit(Instr::RetVoid, CodeOrigin::Original);
+        }
+        Ok(CompiledFunction {
+            name: self.func.name.clone(),
+            qual: self.func.qual,
+            param_types: self.func.params.iter().map(|p| p.ty.clone()).collect(),
+            n_locals: self.next_slot,
+            code: self.code,
+            origins: self.origins,
+            contains_launch: self.contains_launch,
+            shared_words: self.shared_words,
+        })
+    }
+
+    fn alloc_slot(&mut self) -> u16 {
+        let slot = self.next_slot;
+        self.next_slot = self
+            .next_slot
+            .checked_add(1)
+            .expect("too many locals in one function");
+        slot
+    }
+
+    fn tmp(&mut self) -> u16 {
+        if let Some(t) = self.tmp_slot {
+            t
+        } else {
+            let t = self.alloc_slot();
+            self.tmp_slot = Some(t);
+            t
+        }
+    }
+
+    fn emit(&mut self, instr: Instr, origin: CodeOrigin) -> usize {
+        self.code.push(instr);
+        self.origins.push(origin);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) => *t = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<u16> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self, stmt: &ast::Stmt) -> Result<(), CompileError> {
+        let og = stmt.origin;
+        match &stmt.kind {
+            StmtKind::Decl(decl) => self.decl(decl, og),
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+                self.emit(Instr::Pop, og);
+                Ok(())
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond)?;
+                let j_else = self.emit(Instr::JumpIfZero(0), og);
+                self.stmt(then_branch)?;
+                match else_branch {
+                    Some(els) => {
+                        let j_end = self.emit(Instr::Jump(0), og);
+                        let else_at = self.here();
+                        self.patch(j_else, else_at);
+                        self.stmt(els)?;
+                        let end = self.here();
+                        self.patch(j_end, end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.patch(j_else, end);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let top = self.here();
+                self.expr(cond)?;
+                let j_exit = self.emit(Instr::JumpIfZero(0), og);
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body)?;
+                let ctx = self.loops.pop().unwrap();
+                for at in ctx.continue_patches {
+                    self.patch(at, top);
+                }
+                self.emit(Instr::Jump(top), og);
+                let end = self.here();
+                self.patch(j_exit, end);
+                for at in ctx.break_patches {
+                    self.patch(at, end);
+                }
+                Ok(())
+            }
+            StmtKind::DoWhile { body, cond } => {
+                let top = self.here();
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body)?;
+                let ctx = self.loops.pop().unwrap();
+                let cond_at = self.here();
+                for at in ctx.continue_patches {
+                    self.patch(at, cond_at);
+                }
+                self.expr(cond)?;
+                self.emit(Instr::JumpIfNonZero(top), og);
+                let end = self.here();
+                for at in ctx.break_patches {
+                    self.patch(at, end);
+                }
+                Ok(())
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let top = self.here();
+                let j_exit = match cond {
+                    Some(c) => {
+                        self.expr(c)?;
+                        Some(self.emit(Instr::JumpIfZero(0), og))
+                    }
+                    None => None,
+                };
+                self.loops.push(LoopCtx {
+                    break_patches: vec![],
+                    continue_patches: vec![],
+                });
+                self.stmt(body)?;
+                let ctx = self.loops.pop().unwrap();
+                let step_at = self.here();
+                for at in ctx.continue_patches {
+                    self.patch(at, step_at);
+                }
+                if let Some(step) = step {
+                    self.expr(step)?;
+                    self.emit(Instr::Pop, og);
+                }
+                self.emit(Instr::Jump(top), og);
+                let end = self.here();
+                if let Some(at) = j_exit {
+                    self.patch(at, end);
+                }
+                for at in ctx.break_patches {
+                    self.patch(at, end);
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            StmtKind::Return(value) => {
+                match value {
+                    Some(e) => {
+                        self.expr(e)?;
+                        self.emit(Instr::Ret, og);
+                    }
+                    None => {
+                        self.emit(Instr::RetVoid, og);
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Break => {
+                let at = self.emit(Instr::Jump(0), og);
+                self.loops
+                    .last_mut()
+                    .ok_or_else(|| CompileError::new("`break` outside a loop"))?
+                    .break_patches
+                    .push(at);
+                Ok(())
+            }
+            StmtKind::Continue => {
+                let at = self.emit(Instr::Jump(0), og);
+                self.loops
+                    .last_mut()
+                    .ok_or_else(|| CompileError::new("`continue` outside a loop"))?
+                    .continue_patches
+                    .push(at);
+                Ok(())
+            }
+            StmtKind::Block(stmts) => {
+                self.scopes.push(HashMap::new());
+                for s in stmts {
+                    self.stmt(s)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            StmtKind::Launch(launch) => self.launch(launch, og),
+            StmtKind::Empty => Ok(()),
+        }
+    }
+
+    fn decl(&mut self, decl: &ast::VarDecl, og: CodeOrigin) -> Result<(), CompileError> {
+        for d in &decl.declarators {
+            if decl.shared {
+                let words = match &d.array_len {
+                    Some(len) => self.const_eval(len).ok_or_else(|| {
+                        CompileError::new(format!(
+                            "__shared__ array `{}` needs a constant size",
+                            d.name
+                        ))
+                    })?,
+                    None => 1,
+                };
+                if words < 0 {
+                    return Err(CompileError::new(format!(
+                        "__shared__ array `{}` has negative size",
+                        d.name
+                    )));
+                }
+                self.shared.insert(d.name.clone(), self.shared_words);
+                self.shared_words += words as u32;
+                if d.init.is_some() {
+                    return Err(CompileError::new(format!(
+                        "__shared__ `{}` cannot have an initializer",
+                        d.name
+                    )));
+                }
+                continue;
+            }
+            if d.array_len.is_some() {
+                return Err(CompileError::new(format!(
+                    "local array `{}` is not supported (only __shared__ arrays)",
+                    d.name
+                )));
+            }
+            let slot = self.alloc_slot();
+            if let Some(init) = &d.init {
+                self.expr(init)?;
+                self.emit_conversion(&decl.ty, og);
+                self.emit(Instr::StoreLocal(slot), og);
+            }
+            self.scopes
+                .last_mut()
+                .unwrap()
+                .insert(d.name.clone(), slot);
+        }
+        Ok(())
+    }
+
+    /// Numeric conversion on initialization/assignment per declared type.
+    fn emit_conversion(&mut self, ty: &Type, og: CodeOrigin) {
+        match ty {
+            Type::Int | Type::UInt | Type::Long | Type::ULong | Type::Bool => {
+                self.emit(Instr::CastInt, og);
+            }
+            Type::Float | Type::Double => {
+                self.emit(Instr::CastFloat, og);
+            }
+            // Pointers are integer addresses; dim3 coercion happens at use.
+            Type::Ptr(_) | Type::Dim3 | Type::Void => {}
+        }
+    }
+
+    fn launch(&mut self, launch: &ast::LaunchStmt, og: CodeOrigin) -> Result<(), CompileError> {
+        let id = *self.ids.get(&launch.kernel).ok_or_else(|| {
+            CompileError::new(format!("launch of undefined kernel `{}`", launch.kernel))
+        })?;
+        let target = self.functions[id as usize];
+        if target.qual != ast::FnQual::Global {
+            return Err(CompileError::new(format!(
+                "`{}` is not a __global__ kernel",
+                launch.kernel
+            )));
+        }
+        if target.params.len() != launch.args.len() {
+            return Err(CompileError::new(format!(
+                "kernel `{}` takes {} arguments, launch passes {}",
+                launch.kernel,
+                target.params.len(),
+                launch.args.len()
+            )));
+        }
+        self.expr(&launch.grid)?;
+        self.expr(&launch.block)?;
+        // Shared-memory size and stream arguments are parsed but not
+        // modelled (per-thread default streams assumed, as in the paper).
+        for arg in &launch.args {
+            self.expr(arg)?;
+        }
+        self.emit(Instr::Launch(id, launch.args.len() as u8), og);
+        self.contains_launch = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, e: &ast::Expr) -> Result<(), CompileError> {
+        let og = e.origin;
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                self.emit(Instr::PushInt(*v), og);
+                Ok(())
+            }
+            ExprKind::FloatLit(v) => {
+                self.emit(Instr::PushFloat(*v), og);
+                Ok(())
+            }
+            ExprKind::BoolLit(b) => {
+                self.emit(Instr::PushInt(*b as i64), og);
+                Ok(())
+            }
+            ExprKind::Ident(name) => self.ident(name, og),
+            ExprKind::Binary(op, lhs, rhs) => self.binary(*op, lhs, rhs, og),
+            ExprKind::Unary(op, operand) => match op {
+                ast::UnOp::Neg => {
+                    self.expr(operand)?;
+                    self.emit(Instr::Un(UnKind::Neg), og);
+                    Ok(())
+                }
+                ast::UnOp::Not => {
+                    self.expr(operand)?;
+                    self.emit(Instr::Un(UnKind::Not), og);
+                    Ok(())
+                }
+                ast::UnOp::BitNot => {
+                    self.expr(operand)?;
+                    self.emit(Instr::Un(UnKind::BitNot), og);
+                    Ok(())
+                }
+                ast::UnOp::Deref => {
+                    self.expr(operand)?;
+                    self.emit(Instr::LoadMem, og);
+                    Ok(())
+                }
+                ast::UnOp::AddrOf => self.addr(operand),
+            },
+            ExprKind::IncDec {
+                inc,
+                prefix,
+                operand,
+            } => self.inc_dec(*inc, *prefix, operand, og),
+            ExprKind::Assign(op, lhs, rhs) => self.assign(*op, lhs, rhs, og),
+            ExprKind::Ternary(c, t, f) => {
+                self.expr(c)?;
+                let j_else = self.emit(Instr::JumpIfZero(0), og);
+                self.expr(t)?;
+                let j_end = self.emit(Instr::Jump(0), og);
+                let else_at = self.here();
+                self.patch(j_else, else_at);
+                self.expr(f)?;
+                let end = self.here();
+                self.patch(j_end, end);
+                Ok(())
+            }
+            ExprKind::Call(name, args) => self.call(name, args, og),
+            ExprKind::Index(base, idx) => {
+                self.index_addr(base, idx)?;
+                self.emit(Instr::LoadMem, og);
+                Ok(())
+            }
+            ExprKind::Member(base, field) => {
+                let lane = dim3_lane(field)
+                    .ok_or_else(|| CompileError::new(format!("unknown member `.{field}`")))?;
+                if let ExprKind::Ident(name) = &base.kind {
+                    if let Some(special) = special_of(name) {
+                        if self.lookup(name).is_none() {
+                            self.emit(Instr::ReadSpecialComp(special, lane), og);
+                            return Ok(());
+                        }
+                    }
+                }
+                self.expr(base)?;
+                self.emit(Instr::Dim3Member(lane), og);
+                Ok(())
+            }
+            ExprKind::Cast(ty, operand) => {
+                self.expr(operand)?;
+                self.emit_conversion(ty, og);
+                Ok(())
+            }
+            ExprKind::Dim3Ctor(args) => {
+                for i in 0..3 {
+                    match args.get(i) {
+                        Some(a) => {
+                            self.expr(a)?;
+                            self.emit(Instr::CastInt, og);
+                        }
+                        None => {
+                            self.emit(Instr::PushInt(1), og);
+                        }
+                    }
+                }
+                self.emit(Instr::MakeDim3, og);
+                Ok(())
+            }
+        }
+    }
+
+    fn ident(&mut self, name: &str, og: CodeOrigin) -> Result<(), CompileError> {
+        if let Some(slot) = self.lookup(name) {
+            self.emit(Instr::LoadLocal(slot), og);
+            return Ok(());
+        }
+        if let Some(offset) = self.shared.get(name) {
+            self.emit(Instr::PushInt(SHARED_SPACE_BASE + *offset as i64), og);
+            return Ok(());
+        }
+        if let Some(special) = special_of(name) {
+            self.emit(Instr::ReadSpecial(special), og);
+            return Ok(());
+        }
+        if let Some(value) = self.defines.get(name) {
+            self.emit(Instr::PushInt(*value), og);
+            return Ok(());
+        }
+        Err(CompileError::new(format!("unknown identifier `{name}`")))
+    }
+
+    fn binary(
+        &mut self,
+        op: ast::BinOp,
+        lhs: &ast::Expr,
+        rhs: &ast::Expr,
+        og: CodeOrigin,
+    ) -> Result<(), CompileError> {
+        use ast::BinOp as B;
+        match op {
+            B::LogAnd => {
+                self.expr(lhs)?;
+                let j_false = self.emit(Instr::JumpIfZero(0), og);
+                self.expr(rhs)?;
+                let j_false2 = self.emit(Instr::JumpIfZero(0), og);
+                self.emit(Instr::PushInt(1), og);
+                let j_end = self.emit(Instr::Jump(0), og);
+                let false_at = self.here();
+                self.patch(j_false, false_at);
+                self.patch(j_false2, false_at);
+                self.emit(Instr::PushInt(0), og);
+                let end = self.here();
+                self.patch(j_end, end);
+                Ok(())
+            }
+            B::LogOr => {
+                self.expr(lhs)?;
+                let j_true = self.emit(Instr::JumpIfNonZero(0), og);
+                self.expr(rhs)?;
+                let j_true2 = self.emit(Instr::JumpIfNonZero(0), og);
+                self.emit(Instr::PushInt(0), og);
+                let j_end = self.emit(Instr::Jump(0), og);
+                let true_at = self.here();
+                self.patch(j_true, true_at);
+                self.patch(j_true2, true_at);
+                self.emit(Instr::PushInt(1), og);
+                let end = self.here();
+                self.patch(j_end, end);
+                Ok(())
+            }
+            _ => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                self.emit(Instr::Bin(bin_kind(op)), og);
+                Ok(())
+            }
+        }
+    }
+
+    /// Address of an lvalue: `a[i]`, `*p`, or a `__shared__` array name.
+    fn addr(&mut self, e: &ast::Expr) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Index(base, idx) => self.index_addr(base, idx),
+            ExprKind::Unary(ast::UnOp::Deref, inner) => self.expr(inner),
+            ExprKind::Ident(name) if self.shared.contains_key(name) => {
+                let off = self.shared[name];
+                self.emit(Instr::PushInt(SHARED_SPACE_BASE + off as i64), e.origin);
+                Ok(())
+            }
+            _ => Err(CompileError::new(
+                "cannot take the address of this expression (only memory lvalues)",
+            )),
+        }
+    }
+
+    fn index_addr(&mut self, base: &ast::Expr, idx: &ast::Expr) -> Result<(), CompileError> {
+        self.expr(base)?;
+        self.expr(idx)?;
+        self.emit(Instr::Bin(BinKind::Add), idx.origin);
+        Ok(())
+    }
+
+    fn inc_dec(
+        &mut self,
+        inc: bool,
+        prefix: bool,
+        operand: &ast::Expr,
+        og: CodeOrigin,
+    ) -> Result<(), CompileError> {
+        let kind = if inc { BinKind::Add } else { BinKind::Sub };
+        if let ExprKind::Ident(name) = &operand.kind {
+            if let Some(slot) = self.lookup(name) {
+                if prefix {
+                    self.emit(Instr::LoadLocal(slot), og);
+                    self.emit(Instr::PushInt(1), og);
+                    self.emit(Instr::Bin(kind), og);
+                    self.emit(Instr::Dup, og);
+                    self.emit(Instr::StoreLocal(slot), og);
+                } else {
+                    self.emit(Instr::LoadLocal(slot), og);
+                    self.emit(Instr::Dup, og);
+                    self.emit(Instr::PushInt(1), og);
+                    self.emit(Instr::Bin(kind), og);
+                    self.emit(Instr::StoreLocal(slot), og);
+                }
+                return Ok(());
+            }
+        }
+        // Memory lvalue.
+        let tmp = self.tmp();
+        self.addr(operand)?; // [a]
+        self.emit(Instr::Dup, og); // [a, a]
+        self.emit(Instr::LoadMem, og); // [a, old]
+        if prefix {
+            self.emit(Instr::PushInt(1), og);
+            self.emit(Instr::Bin(kind), og); // [a, new]
+            self.emit(Instr::Dup, og); // [a, new, new]
+            self.emit(Instr::StoreLocal(tmp), og); // [a, new]
+            self.emit(Instr::StoreMem, og); // []
+        } else {
+            self.emit(Instr::Dup, og); // [a, old, old]
+            self.emit(Instr::StoreLocal(tmp), og); // [a, old]
+            self.emit(Instr::PushInt(1), og);
+            self.emit(Instr::Bin(kind), og); // [a, new]
+            self.emit(Instr::StoreMem, og); // []
+        }
+        self.emit(Instr::LoadLocal(tmp), og);
+        Ok(())
+    }
+
+    fn assign(
+        &mut self,
+        op: ast::AssignOp,
+        lhs: &ast::Expr,
+        rhs: &ast::Expr,
+        og: CodeOrigin,
+    ) -> Result<(), CompileError> {
+        // Local scalar.
+        if let ExprKind::Ident(name) = &lhs.kind {
+            if let Some(slot) = self.lookup(name) {
+                match op.bin_op() {
+                    None => self.expr(rhs)?,
+                    Some(b) => {
+                        self.emit(Instr::LoadLocal(slot), og);
+                        self.expr(rhs)?;
+                        self.emit(Instr::Bin(bin_kind(b)), og);
+                    }
+                }
+                self.emit(Instr::Dup, og);
+                self.emit(Instr::StoreLocal(slot), og);
+                return Ok(());
+            }
+            return Err(CompileError::new(format!(
+                "assignment to unknown identifier `{name}`"
+            )));
+        }
+        // dim3 member on a local: `v.x = e`.
+        if let ExprKind::Member(base, field) = &lhs.kind {
+            let lane = dim3_lane(field)
+                .ok_or_else(|| CompileError::new(format!("unknown member `.{field}`")))?;
+            if let ExprKind::Ident(name) = &base.kind {
+                if let Some(slot) = self.lookup(name) {
+                    let tmp = self.tmp();
+                    self.emit(Instr::LoadLocal(slot), og); // [d3]
+                    match op.bin_op() {
+                        None => self.expr(rhs)?,
+                        Some(b) => {
+                            self.emit(Instr::LoadLocal(slot), og);
+                            self.emit(Instr::Dim3Member(lane), og);
+                            self.expr(rhs)?;
+                            self.emit(Instr::Bin(bin_kind(b)), og);
+                        }
+                    } // [d3, v]
+                    self.emit(Instr::Dup, og); // [d3, v, v]
+                    self.emit(Instr::StoreLocal(tmp), og); // [d3, v]
+                    self.emit(Instr::Dim3SetMember(lane), og); // [d3']
+                    self.emit(Instr::StoreLocal(slot), og); // []
+                    self.emit(Instr::LoadLocal(tmp), og); // [v]
+                    return Ok(());
+                }
+            }
+            return Err(CompileError::new(
+                "member assignment requires a local dim3 variable",
+            ));
+        }
+        // Memory lvalue: `a[i] = e` or `*p = e`.
+        let tmp = self.tmp();
+        self.addr(lhs)?; // [a]
+        match op.bin_op() {
+            None => {
+                self.expr(rhs)?; // [a, v]
+            }
+            Some(b) => {
+                self.emit(Instr::Dup, og); // [a, a]
+                self.emit(Instr::LoadMem, og); // [a, old]
+                self.expr(rhs)?;
+                self.emit(Instr::Bin(bin_kind(b)), og); // [a, v]
+            }
+        }
+        self.emit(Instr::Dup, og); // [a, v, v]
+        self.emit(Instr::StoreLocal(tmp), og); // [a, v]
+        self.emit(Instr::StoreMem, og); // []
+        self.emit(Instr::LoadLocal(tmp), og); // [v]
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[ast::Expr], og: CodeOrigin) -> Result<(), CompileError> {
+        // Synchronization intrinsics.
+        match name {
+            "__syncthreads" => {
+                self.emit(Instr::Sync, og);
+                self.emit(Instr::PushInt(0), og);
+                return Ok(());
+            }
+            "__threadfence" | "__threadfence_block" | "__threadfence_system" => {
+                self.emit(Instr::Fence, og);
+                self.emit(Instr::PushInt(0), og);
+                return Ok(());
+            }
+            _ => {}
+        }
+        // Atomics: first argument is an address (written `&lvalue` or a
+        // pointer-valued expression).
+        if let Some(atomic) = atomic_of(name) {
+            let want = if atomic == AtomicOp::Cas { 3 } else { 2 };
+            if args.len() != want {
+                return Err(CompileError::new(format!(
+                    "`{name}` takes {want} arguments, got {}",
+                    args.len()
+                )));
+            }
+            match &args[0].kind {
+                ExprKind::Unary(ast::UnOp::AddrOf, inner) => self.addr(inner)?,
+                _ => self.expr(&args[0])?,
+            }
+            for a in &args[1..] {
+                self.expr(a)?;
+            }
+            self.emit(Instr::Atomic(atomic), og);
+            return Ok(());
+        }
+        // Math intrinsics.
+        if let Some((intrinsic, arity)) = intrinsic_of(name) {
+            if args.len() != arity {
+                return Err(CompileError::new(format!(
+                    "`{name}` takes {arity} arguments, got {}",
+                    args.len()
+                )));
+            }
+            for a in args {
+                self.expr(a)?;
+            }
+            self.emit(Instr::Intrinsic(intrinsic), og);
+            return Ok(());
+        }
+        // User function.
+        let Some(&id) = self.ids.get(name) else {
+            return Err(CompileError::new(format!("call to unknown function `{name}`")));
+        };
+        let target = self.functions[id as usize];
+        if target.qual == ast::FnQual::Global {
+            return Err(CompileError::new(format!(
+                "kernel `{name}` must be launched with <<<...>>>, not called"
+            )));
+        }
+        if target.params.len() != args.len() {
+            return Err(CompileError::new(format!(
+                "`{name}` takes {} arguments, got {}",
+                target.params.len(),
+                args.len()
+            )));
+        }
+        for a in args {
+            self.expr(a)?;
+        }
+        self.emit(Instr::Call(id, args.len() as u8), og);
+        Ok(())
+    }
+
+    fn const_eval(&self, e: &ast::Expr) -> Option<i64> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Some(*v),
+            ExprKind::Ident(name) => self.defines.get(name).copied(),
+            ExprKind::Binary(op, a, b) => {
+                let a = self.const_eval(a)?;
+                let b = self.const_eval(b)?;
+                match op {
+                    ast::BinOp::Add => Some(a + b),
+                    ast::BinOp::Sub => Some(a - b),
+                    ast::BinOp::Mul => Some(a * b),
+                    ast::BinOp::Div if b != 0 => Some(a / b),
+                    _ => None,
+                }
+            }
+            ExprKind::Cast(_, inner) => self.const_eval(inner),
+            _ => None,
+        }
+    }
+}
+
+fn bin_kind(op: ast::BinOp) -> BinKind {
+    use ast::BinOp as B;
+    match op {
+        B::Add => BinKind::Add,
+        B::Sub => BinKind::Sub,
+        B::Mul => BinKind::Mul,
+        B::Div => BinKind::Div,
+        B::Rem => BinKind::Rem,
+        B::Lt => BinKind::Lt,
+        B::Le => BinKind::Le,
+        B::Gt => BinKind::Gt,
+        B::Ge => BinKind::Ge,
+        B::Eq => BinKind::Eq,
+        B::Ne => BinKind::Ne,
+        B::BitAnd => BinKind::BitAnd,
+        B::BitOr => BinKind::BitOr,
+        B::BitXor => BinKind::BitXor,
+        B::Shl => BinKind::Shl,
+        B::Shr => BinKind::Shr,
+        B::LogAnd | B::LogOr => unreachable!("lowered with jumps"),
+    }
+}
+
+fn special_of(name: &str) -> Option<Special> {
+    match name {
+        "threadIdx" => Some(Special::ThreadIdx),
+        "blockIdx" => Some(Special::BlockIdx),
+        "blockDim" => Some(Special::BlockDim),
+        "gridDim" => Some(Special::GridDim),
+        _ => None,
+    }
+}
+
+fn dim3_lane(field: &str) -> Option<u8> {
+    match field {
+        "x" => Some(0),
+        "y" => Some(1),
+        "z" => Some(2),
+        _ => None,
+    }
+}
+
+fn atomic_of(name: &str) -> Option<AtomicOp> {
+    match name {
+        "atomicAdd" => Some(AtomicOp::Add),
+        "atomicSub" => Some(AtomicOp::Sub),
+        "atomicMax" => Some(AtomicOp::Max),
+        "atomicMin" => Some(AtomicOp::Min),
+        "atomicExch" => Some(AtomicOp::Exch),
+        "atomicCAS" => Some(AtomicOp::Cas),
+        "atomicOr" => Some(AtomicOp::Or),
+        "atomicAnd" => Some(AtomicOp::And),
+        _ => None,
+    }
+}
+
+fn intrinsic_of(name: &str) -> Option<(Intrinsic, usize)> {
+    match name {
+        "min" | "fminf" | "fmin" => Some((Intrinsic::Min, 2)),
+        "max" | "fmaxf" | "fmax" => Some((Intrinsic::Max, 2)),
+        "abs" | "fabs" | "fabsf" => Some((Intrinsic::Abs, 1)),
+        "sqrt" | "sqrtf" => Some((Intrinsic::Sqrt, 1)),
+        "ceil" | "ceilf" => Some((Intrinsic::Ceil, 1)),
+        "floor" | "floorf" => Some((Intrinsic::Floor, 1)),
+        "exp" | "expf" => Some((Intrinsic::Exp, 1)),
+        "log" | "logf" => Some((Intrinsic::Log, 1)),
+        "pow" | "powf" => Some((Intrinsic::Pow, 2)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        compile_program(&dp_frontend::parse(src).unwrap()).unwrap()
+    }
+
+    fn compile_err(src: &str) -> CompileError {
+        compile_program(&dp_frontend::parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn lowers_simple_kernel() {
+        let m = compile("__global__ void k(int* d) { d[threadIdx.x] = 1; }");
+        let f = m.by_name("k").unwrap();
+        assert_eq!(f.param_types, vec![Type::Int.ptr_to()]);
+        assert!(f.code.contains(&Instr::StoreMem));
+        assert!(f
+            .code
+            .contains(&Instr::ReadSpecialComp(Special::ThreadIdx, 0)));
+        assert!(matches!(f.code.last(), Some(Instr::RetVoid)));
+        assert_eq!(f.code.len(), f.origins.len());
+    }
+
+    #[test]
+    fn launch_sets_flag_and_checks_arity() {
+        let m = compile(
+            "__global__ void c(int n) { }\n\
+             __global__ void p(int n) { c<<<n, 32>>>(n); }",
+        );
+        assert!(m.by_name("p").unwrap().contains_launch);
+        assert!(!m.by_name("c").unwrap().contains_launch);
+        let e = compile_err(
+            "__global__ void c(int n) { }\n\
+             __global__ void p(int n) { c<<<n, 32>>>(n, n); }",
+        );
+        assert!(e.to_string().contains("takes 1 arguments"));
+    }
+
+    #[test]
+    fn launching_undefined_kernel_fails() {
+        let e = compile_err("__global__ void p(int n) { nope<<<n, 32>>>(n); }");
+        assert!(e.to_string().contains("undefined kernel"));
+    }
+
+    #[test]
+    fn calling_a_kernel_fails() {
+        let e = compile_err(
+            "__global__ void c(int n) { }\n\
+             __global__ void p(int n) { c(n); }",
+        );
+        assert!(e.to_string().contains("must be launched"));
+    }
+
+    #[test]
+    fn unknown_identifier_fails() {
+        let e = compile_err("__global__ void k(int* d) { d[0] = mystery; }");
+        assert!(e.to_string().contains("unknown identifier `mystery`"));
+    }
+
+    #[test]
+    fn defines_are_inlined() {
+        let m = compile("#define _THRESHOLD 99\n__global__ void k(int* d) { d[0] = _THRESHOLD; }");
+        let f = m.by_name("k").unwrap();
+        assert!(f.code.contains(&Instr::PushInt(99)));
+    }
+
+    #[test]
+    fn local_array_is_rejected() {
+        let e = compile_err("__global__ void k(int* d) { int tmp[4]; d[0] = tmp[0]; }");
+        assert!(e.to_string().contains("local array"));
+    }
+
+    #[test]
+    fn shared_array_allocates_space() {
+        let m = compile("__global__ void k(int* d) { __shared__ int t[32]; t[0] = 1; d[0] = t[0]; }");
+        let f = m.by_name("k").unwrap();
+        assert_eq!(f.shared_words, 32);
+    }
+
+    #[test]
+    fn shared_size_uses_defines() {
+        let m = compile(
+            "#define TILE 16\n__global__ void k(int* d) { __shared__ float t[TILE * 2]; d[0] = (int)t[0]; }",
+        );
+        assert_eq!(m.by_name("k").unwrap().shared_words, 32);
+    }
+
+    #[test]
+    fn atomics_lower_with_addr_of() {
+        let m = compile("__global__ void k(int* d) { int old = atomicAdd(&d[0], 1); d[1] = old; }");
+        let f = m.by_name("k").unwrap();
+        assert!(f.code.contains(&Instr::Atomic(AtomicOp::Add)));
+    }
+
+    #[test]
+    fn atomic_on_pointer_value() {
+        let m = compile("__global__ void k(int* d) { atomicMax(d, 5); }");
+        assert!(m.by_name("k").unwrap().code.contains(&Instr::Atomic(AtomicOp::Max)));
+    }
+
+    #[test]
+    fn intrinsics_check_arity() {
+        let e = compile_err("__global__ void k(int* d) { d[0] = min(1); }");
+        assert!(e.to_string().contains("takes 2 arguments"));
+    }
+
+    #[test]
+    fn break_outside_loop_fails() {
+        let e = compile_err("__global__ void k(int* d) { break; }");
+        assert!(e.to_string().contains("outside a loop"));
+    }
+
+    #[test]
+    fn origin_tags_flow_to_instructions() {
+        use dp_frontend::visit::walk_stmt_mut;
+        let mut p = dp_frontend::parse("__global__ void k(int* d) { d[0] = 1; }").unwrap();
+        let f = p.function_mut("k").unwrap();
+        for s in &mut f.body {
+            walk_stmt_mut(s, &mut |st| st.origin = CodeOrigin::AggLogic);
+            dp_frontend::visit::walk_stmt_exprs_mut(s, &mut |e| e.origin = CodeOrigin::AggLogic);
+        }
+        let m = compile_program(&p).unwrap();
+        let f = m.by_name("k").unwrap();
+        // Everything except the implicit RetVoid carries the tag.
+        let tagged = f
+            .origins
+            .iter()
+            .filter(|o| **o == CodeOrigin::AggLogic)
+            .count();
+        assert_eq!(tagged, f.origins.len() - 1);
+    }
+
+    #[test]
+    fn scopes_shadow_and_expire() {
+        // `i` in the loop shadows nothing; using it after the loop fails.
+        let e = compile_err(
+            "__global__ void k(int* d) { for (int i = 0; i < 4; ++i) { d[i] = i; } d[0] = i; }",
+        );
+        assert!(e.to_string().contains("unknown identifier `i`"));
+    }
+
+    #[test]
+    fn duplicate_functions_rejected() {
+        let e = compile_err("__device__ int f() { return 1; }\n__device__ int f() { return 2; }");
+        assert!(e.to_string().contains("duplicate function"));
+    }
+}

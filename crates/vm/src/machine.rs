@@ -1,0 +1,1160 @@
+//! The GPU execution machine: global memory, grids, blocks, threads,
+//! barriers, atomics, and device-side launches.
+//!
+//! Execution is *functionally deterministic*: grids run in FIFO launch
+//! order; within a block, threads run in index order between barriers.
+//! Timing is not modelled here — the machine produces an
+//! [`ExecutionTrace`](crate::trace::ExecutionTrace) that `dp-sim` replays
+//! against a hardware model.
+
+use crate::bytecode::*;
+use crate::error::ExecError;
+use crate::trace::*;
+use crate::value::{Value, SHARED_SPACE_BASE};
+use dp_frontend::ast::{CodeOrigin, FnQual, Type};
+use std::collections::VecDeque;
+
+/// Execution limits (to keep tests and runaway kernels bounded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum dynamic instructions per `run_to_quiescence` call.
+    pub max_instructions: u64,
+    /// Maximum pending (not yet executed) grids, modelling CUDA's pending
+    /// launch buffer (the paper sets `cudaLimitDevRuntimePendingLaunchCount`
+    /// to avoid overflowing it; we default to a large pool).
+    pub max_pending: usize,
+    /// Maximum threads per block (hardware limit).
+    pub max_threads_per_block: u64,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            max_instructions: u64::MAX,
+            max_pending: 1 << 22,
+            max_threads_per_block: 1024,
+        }
+    }
+}
+
+/// Simulated device global memory (word-addressed).
+#[derive(Debug, Default)]
+pub struct Memory {
+    data: Vec<Value>,
+    bump: usize,
+}
+
+impl Memory {
+    fn new() -> Self {
+        // Address 0 is reserved as a null pointer.
+        Memory {
+            data: vec![Value::Int(0)],
+            bump: 1,
+        }
+    }
+
+    /// Allocates `words` words, returning the base address.
+    pub fn alloc(&mut self, words: usize) -> i64 {
+        let base = self.bump;
+        self.bump += words;
+        if self.data.len() < self.bump {
+            self.data.resize(self.bump, Value::Int(0));
+        }
+        base as i64
+    }
+
+    fn check(&self, addr: i64) -> Result<usize, ExecError> {
+        let a = addr as usize;
+        if addr <= 0 || a >= self.bump {
+            return Err(ExecError::new(format!(
+                "memory access out of bounds: address {addr} (allocated up to {})",
+                self.bump
+            )));
+        }
+        Ok(a)
+    }
+
+    /// Reads one word.
+    pub fn read(&self, addr: i64) -> Result<Value, ExecError> {
+        Ok(self.data[self.check(addr)?])
+    }
+
+    /// Writes one word.
+    pub fn write(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
+        let a = self.check(addr)?;
+        self.data[a] = value;
+        Ok(())
+    }
+
+    /// Fills a range with a value (buffer zeroing).
+    pub fn fill(&mut self, addr: i64, words: usize, value: Value) -> Result<(), ExecError> {
+        for i in 0..words {
+            self.write(addr + i as i64, value)?;
+        }
+        Ok(())
+    }
+
+    /// Words currently allocated.
+    pub fn allocated_words(&self) -> usize {
+        self.bump
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    pc: usize,
+    locals: Vec<Value>,
+}
+
+enum ThreadStatus {
+    Running,
+    AtBarrier,
+    Done,
+}
+
+struct Thread {
+    frames: Vec<Frame>,
+    stack: Vec<Value>,
+    status: ThreadStatus,
+    cycles: u64,
+    instructions: u64,
+    origin_cycles: OriginCycles,
+    tidx: [i64; 3],
+}
+
+struct PendingGrid {
+    kernel: FuncId,
+    grid: [i64; 3],
+    block: [i64; 3],
+    args: Vec<Value>,
+    origin: LaunchOrigin,
+    id: usize,
+}
+
+/// Runtime statistics for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Grids executed.
+    pub grids_executed: u64,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Device-side launch instructions that created a grid.
+    pub device_launches: u64,
+    /// Launches skipped because the grid size was zero.
+    pub empty_launches: u64,
+}
+
+/// The simulated GPU: compiled module + memory + launch queue.
+pub struct Machine {
+    module: Module,
+    /// Global device memory.
+    pub mem: Memory,
+    cost: CostModel,
+    limits: ExecLimits,
+    pending: VecDeque<PendingGrid>,
+    next_grid_id: usize,
+    trace: ExecutionTrace,
+    stats: MachineStats,
+    instr_budget: u64,
+}
+
+impl Machine {
+    /// Creates a machine for a compiled module with default cost model and
+    /// limits.
+    pub fn new(module: Module) -> Self {
+        Machine::with_config(module, CostModel::default(), ExecLimits::default())
+    }
+
+    /// Creates a machine with an explicit cost model and limits.
+    pub fn with_config(module: Module, cost: CostModel, limits: ExecLimits) -> Self {
+        Machine {
+            module,
+            mem: Memory::new(),
+            cost,
+            limits,
+            pending: VecDeque::new(),
+            next_grid_id: 0,
+            trace: ExecutionTrace::default(),
+            stats: MachineStats::default(),
+            instr_budget: limits.max_instructions,
+        }
+    }
+
+    /// The compiled module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Allocates device memory.
+    pub fn alloc(&mut self, words: usize) -> i64 {
+        self.mem.alloc(words)
+    }
+
+    /// Allocates and writes a slice of integers.
+    pub fn alloc_i64s(&mut self, values: &[i64]) -> i64 {
+        let base = self.mem.alloc(values.len().max(1));
+        for (i, v) in values.iter().enumerate() {
+            self.mem
+                .write(base + i as i64, Value::Int(*v))
+                .expect("freshly allocated");
+        }
+        base
+    }
+
+    /// Allocates and writes a slice of floats.
+    pub fn alloc_f64s(&mut self, values: &[f64]) -> i64 {
+        let base = self.mem.alloc(values.len().max(1));
+        for (i, v) in values.iter().enumerate() {
+            self.mem
+                .write(base + i as i64, Value::Float(*v))
+                .expect("freshly allocated");
+        }
+        base
+    }
+
+    /// Reads `len` integers starting at `ptr`.
+    pub fn read_i64s(&self, ptr: i64, len: usize) -> Result<Vec<i64>, ExecError> {
+        (0..len)
+            .map(|i| self.mem.read(ptr + i as i64).map(|v| v.as_int()))
+            .collect()
+    }
+
+    /// Reads `len` floats starting at `ptr`.
+    pub fn read_f64s(&self, ptr: i64, len: usize) -> Result<Vec<f64>, ExecError> {
+        (0..len)
+            .map(|i| self.mem.read(ptr + i as i64).map(|v| v.as_float()))
+            .collect()
+    }
+
+    /// Enqueues a host-side kernel launch. Returns the grid id.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel is unknown, not `__global__`, or the
+    /// configuration violates hardware limits.
+    pub fn launch_host(
+        &mut self,
+        kernel: &str,
+        grid: impl Into<Value>,
+        block: impl Into<Value>,
+        args: &[Value],
+    ) -> Result<usize, ExecError> {
+        let id = self
+            .module
+            .id_of(kernel)
+            .ok_or_else(|| ExecError::new(format!("unknown kernel `{kernel}`")))?;
+        self.enqueue(id, grid.into().as_dim3(), block.into().as_dim3(), args.to_vec(), LaunchOrigin::Host)
+    }
+
+    fn enqueue(
+        &mut self,
+        kernel: FuncId,
+        grid: [i64; 3],
+        block: [i64; 3],
+        args: Vec<Value>,
+        origin: LaunchOrigin,
+    ) -> Result<usize, ExecError> {
+        let func = self.module.function(kernel);
+        if func.qual != FnQual::Global {
+            return Err(ExecError::new(format!(
+                "`{}` is not a __global__ kernel",
+                func.name
+            )));
+        }
+        if args.len() != func.param_types.len() {
+            return Err(ExecError::new(format!(
+                "kernel `{}` takes {} arguments, got {}",
+                func.name,
+                func.param_types.len(),
+                args.len()
+            )));
+        }
+        let threads = block[0] * block[1] * block[2];
+        if threads <= 0 || threads > self.limits.max_threads_per_block as i64 {
+            return Err(ExecError::new(format!(
+                "invalid block size {threads} for kernel `{}`",
+                func.name
+            )));
+        }
+        if grid.iter().any(|&d| d < 0) {
+            return Err(ExecError::new(format!(
+                "negative grid dimension for kernel `{}`",
+                func.name
+            )));
+        }
+        if self.pending.len() >= self.limits.max_pending {
+            return Err(ExecError::new(
+                "pending launch buffer overflow (raise ExecLimits::max_pending)",
+            ));
+        }
+        let id = self.next_grid_id;
+        self.next_grid_id += 1;
+        self.pending.push_back(PendingGrid {
+            kernel,
+            grid,
+            block,
+            args,
+            origin,
+            id,
+        });
+        Ok(id)
+    }
+
+    /// Runs every pending grid (and everything they launch) to completion —
+    /// the equivalent of `cudaDeviceSynchronize()`.
+    pub fn run_to_quiescence(&mut self) -> Result<(), ExecError> {
+        while let Some(grid) = self.pending.pop_front() {
+            self.execute_grid(grid)?;
+        }
+        Ok(())
+    }
+
+    /// Takes the accumulated execution trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> ExecutionTrace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Read-only view of the trace so far.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    fn execute_grid(&mut self, grid: PendingGrid) -> Result<(), ExecError> {
+        let num_blocks = grid.grid[0] * grid.grid[1] * grid.grid[2];
+        let mut gtrace = GridTrace {
+            id: grid.id,
+            kernel: self.module.function(grid.kernel).name.clone(),
+            grid_dim: grid.grid,
+            block_dim: grid.block,
+            origin: grid.origin,
+            blocks: Vec::with_capacity(num_blocks as usize),
+        };
+        for linear in 0..num_blocks {
+            let bx = linear % grid.grid[0];
+            let by = (linear / grid.grid[0]) % grid.grid[1];
+            let bz = linear / (grid.grid[0] * grid.grid[1]);
+            let btrace = self.execute_block(&grid, [bx, by, bz], linear as u64)?;
+            gtrace.blocks.push(btrace);
+        }
+        self.stats.grids_executed += 1;
+        // Grid ids are assigned at enqueue time in FIFO order, so the
+        // executed order matches id order.
+        debug_assert_eq!(gtrace.id, self.trace.grids.len());
+        self.trace.grids.push(gtrace);
+        Ok(())
+    }
+
+    fn execute_block(
+        &mut self,
+        grid: &PendingGrid,
+        block_idx: [i64; 3],
+        linear_block: u64,
+    ) -> Result<BlockTrace, ExecError> {
+        let func = self.module.function(grid.kernel);
+        let contains_launch = func.contains_launch;
+        let n_locals = func.n_locals;
+        let param_types = func.param_types.clone();
+        let n_threads = (grid.block[0] * grid.block[1] * grid.block[2]) as usize;
+        let shared_words = func.shared_words as usize;
+        let mut shared: Vec<Value> = vec![Value::Int(0); shared_words];
+
+        let mut threads: Vec<Thread> = (0..n_threads)
+            .map(|t| {
+                let t = t as i64;
+                let tx = t % grid.block[0];
+                let ty = (t / grid.block[0]) % grid.block[1];
+                let tz = t / (grid.block[0] * grid.block[1]);
+                let mut locals = vec![Value::Int(0); n_locals as usize];
+                for (i, (arg, ty_)) in grid.args.iter().zip(&param_types).enumerate() {
+                    locals[i] = coerce(*arg, ty_);
+                }
+                Thread {
+                    frames: vec![Frame {
+                        func: grid.kernel,
+                        pc: 0,
+                        locals,
+                    }],
+                    stack: Vec::with_capacity(16),
+                    status: ThreadStatus::Running,
+                    cycles: 0,
+                    instructions: 0,
+                    origin_cycles: OriginCycles::default(),
+                    tidx: [tx, ty, tz],
+                }
+            })
+            .collect();
+
+        let mut btrace = BlockTrace::default();
+        let ctx = BlockCtx {
+            grid_dim: grid.grid,
+            block_dim: grid.block,
+            block_idx,
+            grid_id: grid.id,
+            linear_block,
+        };
+
+        loop {
+            let mut all_done = true;
+            for thread in threads.iter_mut() {
+                if matches!(thread.status, ThreadStatus::Running) {
+                    self.run_thread(thread, &ctx, &mut shared, &mut btrace)?;
+                }
+                if !matches!(thread.status, ThreadStatus::Done) {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+            // Every live thread is at the barrier: release them.
+            for thread in threads.iter_mut() {
+                if matches!(thread.status, ThreadStatus::AtBarrier) {
+                    thread.status = ThreadStatus::Running;
+                }
+            }
+        }
+
+        // Per-warp cost: max thread cycles within each 32-thread group.
+        let presence = if contains_launch {
+            self.cost.launch_presence_overhead
+        } else {
+            0
+        };
+        for chunk in threads.chunks(32) {
+            let max = chunk.iter().map(|t| t.cycles + presence).max().unwrap_or(0);
+            btrace.warp_cycles.push(max);
+        }
+        for thread in &threads {
+            btrace.origin_cycles.merge(&thread.origin_cycles);
+            btrace.instructions += thread.instructions;
+        }
+        if presence > 0 {
+            btrace
+                .origin_cycles
+                .add(CodeOrigin::Original, presence * n_threads as u64);
+        }
+        Ok(btrace)
+    }
+
+    fn run_thread(
+        &mut self,
+        thread: &mut Thread,
+        ctx: &BlockCtx,
+        shared: &mut [Value],
+        btrace: &mut BlockTrace,
+    ) -> Result<(), ExecError> {
+        loop {
+            let Some(frame) = thread.frames.last_mut() else {
+                thread.status = ThreadStatus::Done;
+                return Ok(());
+            };
+            let func = &self.module.functions[frame.func as usize];
+            if frame.pc >= func.code.len() {
+                // Fell off the end of a void function.
+                thread.frames.pop();
+                if thread.frames.is_empty() {
+                    thread.status = ThreadStatus::Done;
+                    return Ok(());
+                }
+                thread.stack.push(Value::Int(0));
+                continue;
+            }
+            let instr = func.code[frame.pc];
+            let origin = func.origins[frame.pc];
+            frame.pc += 1;
+
+            let cycles = self.cost.cycles(instr.cost_class());
+            thread.cycles += cycles;
+            thread.instructions += 1;
+            thread.origin_cycles.add(origin, cycles);
+            if self.instr_budget == 0 {
+                return Err(ExecError::new(
+                    "instruction budget exhausted (possible infinite loop; raise ExecLimits::max_instructions)",
+                ));
+            }
+            self.instr_budget -= 1;
+
+            match instr {
+                Instr::PushInt(v) => thread.stack.push(Value::Int(v)),
+                Instr::PushFloat(v) => thread.stack.push(Value::Float(v)),
+                Instr::LoadLocal(slot) => {
+                    let v = thread.frames.last().unwrap().locals[slot as usize];
+                    thread.stack.push(v);
+                }
+                Instr::StoreLocal(slot) => {
+                    let v = pop(&mut thread.stack)?;
+                    thread.frames.last_mut().unwrap().locals[slot as usize] = v;
+                }
+                Instr::LoadMem => {
+                    let addr = pop(&mut thread.stack)?.as_int();
+                    let v = self.load(addr, shared)?;
+                    thread.stack.push(v);
+                }
+                Instr::StoreMem => {
+                    let v = pop(&mut thread.stack)?;
+                    let addr = pop(&mut thread.stack)?.as_int();
+                    self.store(addr, v, shared)?;
+                }
+                Instr::Bin(kind) => {
+                    let b = pop(&mut thread.stack)?;
+                    let a = pop(&mut thread.stack)?;
+                    thread.stack.push(bin_op(kind, a, b)?);
+                }
+                Instr::Un(kind) => {
+                    let a = pop(&mut thread.stack)?;
+                    thread.stack.push(un_op(kind, a));
+                }
+                Instr::CastInt => {
+                    let a = pop(&mut thread.stack)?;
+                    thread.stack.push(Value::Int(a.as_int()));
+                }
+                Instr::CastFloat => {
+                    let a = pop(&mut thread.stack)?;
+                    thread.stack.push(Value::Float(a.as_float()));
+                }
+                Instr::Jump(t) => thread.frames.last_mut().unwrap().pc = t as usize,
+                Instr::JumpIfZero(t) => {
+                    if !pop(&mut thread.stack)?.is_truthy() {
+                        thread.frames.last_mut().unwrap().pc = t as usize;
+                    }
+                }
+                Instr::JumpIfNonZero(t) => {
+                    if pop(&mut thread.stack)?.is_truthy() {
+                        thread.frames.last_mut().unwrap().pc = t as usize;
+                    }
+                }
+                Instr::Call(id, nargs) => {
+                    let callee = &self.module.functions[id as usize];
+                    let mut locals = vec![Value::Int(0); callee.n_locals as usize];
+                    for i in (0..nargs as usize).rev() {
+                        let v = pop(&mut thread.stack)?;
+                        locals[i] = coerce(v, &callee.param_types[i]);
+                    }
+                    if thread.frames.len() > 512 {
+                        return Err(ExecError::new("device call stack overflow"));
+                    }
+                    thread.frames.push(Frame {
+                        func: id,
+                        pc: 0,
+                        locals,
+                    });
+                }
+                Instr::Ret => {
+                    let v = pop(&mut thread.stack)?;
+                    thread.frames.pop();
+                    if thread.frames.is_empty() {
+                        thread.status = ThreadStatus::Done;
+                        return Ok(());
+                    }
+                    thread.stack.push(v);
+                }
+                Instr::RetVoid => {
+                    thread.frames.pop();
+                    if thread.frames.is_empty() {
+                        thread.status = ThreadStatus::Done;
+                        return Ok(());
+                    }
+                    thread.stack.push(Value::Int(0));
+                }
+                Instr::Launch(id, nargs) => {
+                    let mut args = vec![Value::Int(0); nargs as usize];
+                    for i in (0..nargs as usize).rev() {
+                        args[i] = pop(&mut thread.stack)?;
+                    }
+                    let block = pop(&mut thread.stack)?.as_dim3();
+                    let grid = pop(&mut thread.stack)?.as_dim3();
+                    let total_blocks = grid[0] * grid[1] * grid[2];
+                    if total_blocks <= 0 {
+                        self.stats.empty_launches += 1;
+                    } else {
+                        let child = self.enqueue(
+                            id,
+                            grid,
+                            block,
+                            args,
+                            LaunchOrigin::Device {
+                                parent_grid: ctx.grid_id,
+                                parent_block: ctx.linear_block,
+                                issue_cycles: thread.cycles,
+                            },
+                        )?;
+                        btrace.launches.push(LaunchRecord {
+                            child_grid: child,
+                            issue_cycles: thread.cycles,
+                        });
+                        self.stats.device_launches += 1;
+                    }
+                }
+                Instr::Sync => {
+                    thread.status = ThreadStatus::AtBarrier;
+                    return Ok(());
+                }
+                Instr::Fence => {
+                    // Sequential block execution makes fences functional
+                    // no-ops; the cycle cost was already charged.
+                }
+                Instr::Atomic(op) => {
+                    let (old, new) = match op {
+                        AtomicOp::Cas => {
+                            let val = pop(&mut thread.stack)?;
+                            let cmp = pop(&mut thread.stack)?;
+                            let addr = pop(&mut thread.stack)?.as_int();
+                            let old = self.load(addr, shared)?;
+                            let new = if old == cmp { val } else { old };
+                            self.store(addr, new, shared)?;
+                            thread.stack.push(old);
+                            continue;
+                        }
+                        _ => {
+                            let operand = pop(&mut thread.stack)?;
+                            let addr = pop(&mut thread.stack)?.as_int();
+                            let old = self.load(addr, shared)?;
+                            let new = atomic_apply(op, old, operand)?;
+                            self.store(addr, new, shared)?;
+                            (old, (addr, new))
+                        }
+                    };
+                    let _ = new;
+                    thread.stack.push(old);
+                }
+                Instr::Intrinsic(i) => {
+                    let v = match i {
+                        Intrinsic::Min | Intrinsic::Max | Intrinsic::Pow => {
+                            let b = pop(&mut thread.stack)?;
+                            let a = pop(&mut thread.stack)?;
+                            intrinsic2(i, a, b)
+                        }
+                        _ => {
+                            let a = pop(&mut thread.stack)?;
+                            intrinsic1(i, a)
+                        }
+                    };
+                    thread.stack.push(v);
+                }
+                Instr::ReadSpecial(s) => {
+                    let d = match s {
+                        Special::ThreadIdx => thread.tidx,
+                        Special::BlockIdx => ctx.block_idx,
+                        Special::BlockDim => ctx.block_dim,
+                        Special::GridDim => ctx.grid_dim,
+                    };
+                    thread.stack.push(Value::Dim3(d));
+                }
+                Instr::ReadSpecialComp(s, lane) => {
+                    let d = match s {
+                        Special::ThreadIdx => thread.tidx,
+                        Special::BlockIdx => ctx.block_idx,
+                        Special::BlockDim => ctx.block_dim,
+                        Special::GridDim => ctx.grid_dim,
+                    };
+                    thread.stack.push(Value::Int(d[lane as usize]));
+                }
+                Instr::MakeDim3 => {
+                    let z = pop(&mut thread.stack)?.as_int();
+                    let y = pop(&mut thread.stack)?.as_int();
+                    let x = pop(&mut thread.stack)?.as_int();
+                    thread.stack.push(Value::Dim3([x, y, z]));
+                }
+                Instr::Dim3Member(lane) => {
+                    let d = pop(&mut thread.stack)?.as_dim3();
+                    thread.stack.push(Value::Int(d[lane as usize]));
+                }
+                Instr::Dim3SetMember(lane) => {
+                    let v = pop(&mut thread.stack)?.as_int();
+                    let mut d = pop(&mut thread.stack)?.as_dim3();
+                    d[lane as usize] = v;
+                    thread.stack.push(Value::Dim3(d));
+                }
+                Instr::Pop => {
+                    pop(&mut thread.stack)?;
+                }
+                Instr::Dup => {
+                    let v = *thread
+                        .stack
+                        .last()
+                        .ok_or_else(|| ExecError::new("stack underflow on dup"))?;
+                    thread.stack.push(v);
+                }
+                Instr::Swap => {
+                    let n = thread.stack.len();
+                    if n < 2 {
+                        return Err(ExecError::new("stack underflow on swap"));
+                    }
+                    thread.stack.swap(n - 1, n - 2);
+                }
+            }
+        }
+    }
+
+    fn load(&self, addr: i64, shared: &[Value]) -> Result<Value, ExecError> {
+        if addr >= SHARED_SPACE_BASE {
+            let off = (addr - SHARED_SPACE_BASE) as usize;
+            shared.get(off).copied().ok_or_else(|| {
+                ExecError::new(format!("shared memory access out of bounds: offset {off}"))
+            })
+        } else {
+            self.mem.read(addr)
+        }
+    }
+
+    fn store(&mut self, addr: i64, value: Value, shared: &mut [Value]) -> Result<(), ExecError> {
+        if addr >= SHARED_SPACE_BASE {
+            let off = (addr - SHARED_SPACE_BASE) as usize;
+            match shared.get_mut(off) {
+                Some(slot) => {
+                    *slot = value;
+                    Ok(())
+                }
+                None => Err(ExecError::new(format!(
+                    "shared memory access out of bounds: offset {off}"
+                ))),
+            }
+        } else {
+            self.mem.write(addr, value)
+        }
+    }
+}
+
+struct BlockCtx {
+    grid_dim: [i64; 3],
+    block_dim: [i64; 3],
+    block_idx: [i64; 3],
+    grid_id: usize,
+    linear_block: u64,
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value, ExecError> {
+    stack
+        .pop()
+        .ok_or_else(|| ExecError::new("operand stack underflow"))
+}
+
+fn coerce(v: Value, ty: &Type) -> Value {
+    match ty {
+        Type::Int | Type::UInt | Type::Long | Type::ULong | Type::Bool => Value::Int(v.as_int()),
+        Type::Float | Type::Double => Value::Float(v.as_float()),
+        Type::Dim3 => Value::Dim3(v.as_dim3()),
+        Type::Ptr(_) | Type::Void => v,
+    }
+}
+
+fn bin_op(kind: BinKind, a: Value, b: Value) -> Result<Value, ExecError> {
+    use BinKind::*;
+    if a.is_float() || b.is_float() {
+        let (x, y) = (a.as_float(), b.as_float());
+        let v = match kind {
+            Add => Value::Float(x + y),
+            Sub => Value::Float(x - y),
+            Mul => Value::Float(x * y),
+            Div => Value::Float(x / y),
+            Rem => Value::Float(x % y),
+            Lt => Value::from(x < y),
+            Le => Value::from(x <= y),
+            Gt => Value::from(x > y),
+            Ge => Value::from(x >= y),
+            Eq => Value::from(x == y),
+            Ne => Value::from(x != y),
+            BitAnd | BitOr | BitXor | Shl | Shr => {
+                return Err(ExecError::new("bitwise operation on float"))
+            }
+        };
+        return Ok(v);
+    }
+    let (x, y) = (a.as_int(), b.as_int());
+    let v = match kind {
+        Add => Value::Int(x.wrapping_add(y)),
+        Sub => Value::Int(x.wrapping_sub(y)),
+        Mul => Value::Int(x.wrapping_mul(y)),
+        Div => {
+            if y == 0 {
+                return Err(ExecError::new("integer division by zero"));
+            }
+            Value::Int(x.wrapping_div(y))
+        }
+        Rem => {
+            if y == 0 {
+                return Err(ExecError::new("integer remainder by zero"));
+            }
+            Value::Int(x.wrapping_rem(y))
+        }
+        Lt => Value::from(x < y),
+        Le => Value::from(x <= y),
+        Gt => Value::from(x > y),
+        Ge => Value::from(x >= y),
+        Eq => Value::from(x == y),
+        Ne => Value::from(x != y),
+        BitAnd => Value::Int(x & y),
+        BitOr => Value::Int(x | y),
+        BitXor => Value::Int(x ^ y),
+        Shl => Value::Int(x.wrapping_shl((y & 63) as u32)),
+        Shr => Value::Int(x.wrapping_shr((y & 63) as u32)),
+    };
+    Ok(v)
+}
+
+fn un_op(kind: UnKind, a: Value) -> Value {
+    match kind {
+        UnKind::Neg => match a {
+            Value::Float(f) => Value::Float(-f),
+            other => Value::Int(-other.as_int()),
+        },
+        UnKind::Not => Value::from(!a.is_truthy()),
+        UnKind::BitNot => Value::Int(!a.as_int()),
+    }
+}
+
+fn atomic_apply(op: AtomicOp, old: Value, operand: Value) -> Result<Value, ExecError> {
+    let v = match op {
+        AtomicOp::Add => bin_op(BinKind::Add, old, operand)?,
+        AtomicOp::Sub => bin_op(BinKind::Sub, old, operand)?,
+        AtomicOp::Max => {
+            if old.is_float() || operand.is_float() {
+                Value::Float(old.as_float().max(operand.as_float()))
+            } else {
+                Value::Int(old.as_int().max(operand.as_int()))
+            }
+        }
+        AtomicOp::Min => {
+            if old.is_float() || operand.is_float() {
+                Value::Float(old.as_float().min(operand.as_float()))
+            } else {
+                Value::Int(old.as_int().min(operand.as_int()))
+            }
+        }
+        AtomicOp::Exch => operand,
+        AtomicOp::Or => Value::Int(old.as_int() | operand.as_int()),
+        AtomicOp::And => Value::Int(old.as_int() & operand.as_int()),
+        AtomicOp::Cas => unreachable!("handled separately"),
+    };
+    Ok(v)
+}
+
+fn intrinsic1(i: Intrinsic, a: Value) -> Value {
+    match i {
+        Intrinsic::Abs => match a {
+            Value::Float(f) => Value::Float(f.abs()),
+            other => Value::Int(other.as_int().abs()),
+        },
+        Intrinsic::Sqrt => Value::Float(a.as_float().sqrt()),
+        Intrinsic::Ceil => Value::Float(a.as_float().ceil()),
+        Intrinsic::Floor => Value::Float(a.as_float().floor()),
+        Intrinsic::Exp => Value::Float(a.as_float().exp()),
+        Intrinsic::Log => Value::Float(a.as_float().ln()),
+        _ => unreachable!("binary intrinsic"),
+    }
+}
+
+fn intrinsic2(i: Intrinsic, a: Value, b: Value) -> Value {
+    match i {
+        Intrinsic::Min => {
+            if a.is_float() || b.is_float() {
+                Value::Float(a.as_float().min(b.as_float()))
+            } else {
+                Value::Int(a.as_int().min(b.as_int()))
+            }
+        }
+        Intrinsic::Max => {
+            if a.is_float() || b.is_float() {
+                Value::Float(a.as_float().max(b.as_float()))
+            } else {
+                Value::Int(a.as_int().max(b.as_int()))
+            }
+        }
+        Intrinsic::Pow => Value::Float(a.as_float().powf(b.as_float())),
+        _ => unreachable!("unary intrinsic"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::compile_program;
+
+    fn machine(src: &str) -> Machine {
+        let p = dp_frontend::parse(src).unwrap();
+        Machine::new(compile_program(&p).unwrap())
+    }
+
+    #[test]
+    fn simple_kernel_writes_memory() {
+        let mut m = machine("__global__ void k(int* d) { d[threadIdx.x] = threadIdx.x * 2; }");
+        let buf = m.alloc(8);
+        m.launch_host("k", 1, 8, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_i64s(buf, 8).unwrap(), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn grid_and_block_indexing() {
+        let mut m = machine(
+            "__global__ void k(int* d, int n) { \
+                 int i = blockIdx.x * blockDim.x + threadIdx.x; \
+                 if (i < n) { d[i] = i; } }",
+        );
+        let buf = m.alloc(100);
+        m.launch_host("k", 4, 32, &[Value::Int(buf), Value::Int(100)])
+            .unwrap();
+        m.run_to_quiescence().unwrap();
+        let data = m.read_i64s(buf, 100).unwrap();
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as i64));
+    }
+
+    #[test]
+    fn loops_and_floats() {
+        let mut m = machine(
+            "__global__ void k(float* out, int n) { \
+                 float sum = 0.0; \
+                 for (int i = 0; i < n; ++i) { sum += (float)i * 0.5; } \
+                 out[0] = sum; }",
+        );
+        let buf = m.alloc(1);
+        m.launch_host("k", 1, 1, &[Value::Int(buf), Value::Int(10)])
+            .unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_f64s(buf, 1).unwrap()[0], 22.5);
+    }
+
+    #[test]
+    fn device_function_calls() {
+        let mut m = machine(
+            "__device__ int square(int x) { return x * x; }\n\
+             __global__ void k(int* d) { d[threadIdx.x] = square(threadIdx.x); }",
+        );
+        let buf = m.alloc(4);
+        m.launch_host("k", 1, 4, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_i64s(buf, 4).unwrap(), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn recursion_works() {
+        let mut m = machine(
+            "__device__ int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n\
+             __global__ void k(int* d) { d[0] = fact(6); }",
+        );
+        let buf = m.alloc(1);
+        m.launch_host("k", 1, 1, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_i64s(buf, 1).unwrap()[0], 720);
+    }
+
+    #[test]
+    fn atomics_are_deterministic() {
+        let mut m = machine(
+            "__global__ void k(int* counter) { atomicAdd(&counter[0], 1); }",
+        );
+        let buf = m.alloc(1);
+        m.launch_host("k", 4, 64, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_i64s(buf, 1).unwrap()[0], 256);
+    }
+
+    #[test]
+    fn atomic_max_min_cas() {
+        let mut m = machine(
+            "__global__ void k(int* d) { \
+                 atomicMax(&d[0], threadIdx.x); \
+                 atomicMin(&d[1], threadIdx.x); \
+                 atomicCAS(&d[2], 0, threadIdx.x + 100); }",
+        );
+        let buf = m.alloc(3);
+        m.mem.write(buf + 1, Value::Int(999)).unwrap();
+        m.launch_host("k", 1, 8, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        let d = m.read_i64s(buf, 3).unwrap();
+        assert_eq!(d[0], 7);
+        assert_eq!(d[1], 0);
+        assert_eq!(d[2], 100, "only thread 0's CAS succeeds");
+    }
+
+    #[test]
+    fn syncthreads_orders_phases() {
+        // Thread 0 writes after the barrier what thread 7 wrote before it.
+        let mut m = machine(
+            "__global__ void k(int* d) { \
+                 __shared__ int tile[8]; \
+                 tile[threadIdx.x] = threadIdx.x * 10; \
+                 __syncthreads(); \
+                 d[threadIdx.x] = tile[7 - threadIdx.x]; }",
+        );
+        let buf = m.alloc(8);
+        m.launch_host("k", 1, 8, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(
+            m.read_i64s(buf, 8).unwrap(),
+            vec![70, 60, 50, 40, 30, 20, 10, 0]
+        );
+    }
+
+    #[test]
+    fn dynamic_launch_executes_child() {
+        let mut m = machine(
+            "__global__ void child(int* d, int base) { d[base + threadIdx.x] = 1; }\n\
+             __global__ void parent(int* d) { child<<<1, 4>>>(d, threadIdx.x * 4); }",
+        );
+        let buf = m.alloc(16);
+        m.launch_host("parent", 1, 4, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_i64s(buf, 16).unwrap(), vec![1; 16]);
+        assert_eq!(m.stats().device_launches, 4);
+        let trace = m.take_trace();
+        assert_eq!(trace.grids.len(), 5);
+        assert_eq!(trace.device_launches(), 4);
+    }
+
+    #[test]
+    fn zero_sized_launch_is_noop() {
+        let mut m = machine(
+            "__global__ void child(int* d) { d[0] = 99; }\n\
+             __global__ void parent(int* d, int n) { child<<<n, 32>>>(d); }",
+        );
+        let buf = m.alloc(1);
+        m.launch_host("parent", 1, 1, &[Value::Int(buf), Value::Int(0)])
+            .unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_i64s(buf, 1).unwrap()[0], 0);
+        assert_eq!(m.stats().empty_launches, 1);
+        assert_eq!(m.stats().device_launches, 0);
+    }
+
+    #[test]
+    fn nested_launches_two_levels() {
+        let mut m = machine(
+            "__global__ void leaf(int* d) { atomicAdd(&d[0], 1); }\n\
+             __global__ void mid(int* d) { leaf<<<1, 2>>>(d); }\n\
+             __global__ void root(int* d) { mid<<<2, 1>>>(d); }",
+        );
+        let buf = m.alloc(1);
+        m.launch_host("root", 1, 1, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        // root → 2 mid blocks × 1 thread → 2 leaf launches × 2 threads.
+        assert_eq!(m.read_i64s(buf, 1).unwrap()[0], 4);
+    }
+
+    #[test]
+    fn dim3_launch_configuration() {
+        let mut m = machine(
+            "__global__ void k(int* d) { \
+                 int i = (blockIdx.y * gridDim.x + blockIdx.x) * blockDim.x + threadIdx.x; \
+                 d[i] = blockIdx.y; }",
+        );
+        let buf = m.alloc(24);
+        m.launch_host("k", Value::Dim3([3, 2, 1]), 4, &[Value::Int(buf)])
+            .unwrap();
+        m.run_to_quiescence().unwrap();
+        let d = m.read_i64s(buf, 24).unwrap();
+        assert_eq!(d[0], 0);
+        assert_eq!(d[23], 1);
+    }
+
+    #[test]
+    fn out_of_bounds_access_errors() {
+        let mut m = machine("__global__ void k(int* d) { d[1000000] = 1; }");
+        let buf = m.alloc(4);
+        m.launch_host("k", 1, 1, &[Value::Int(buf)]).unwrap();
+        let err = m.run_to_quiescence().unwrap_err();
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let mut m = machine("__global__ void k(int* d, int z) { d[0] = 5 / z; }");
+        let buf = m.alloc(1);
+        m.launch_host("k", 1, 1, &[Value::Int(buf), Value::Int(0)])
+            .unwrap();
+        assert!(m.run_to_quiescence().is_err());
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let p = dp_frontend::parse("__global__ void k(int* d) { while (true) { d[0] = 1; } }")
+            .unwrap();
+        let module = compile_program(&p).unwrap();
+        let limits = ExecLimits {
+            max_instructions: 10_000,
+            ..Default::default()
+        };
+        let mut m = Machine::with_config(module, CostModel::default(), limits);
+        let buf = m.alloc(1);
+        m.launch_host("k", 1, 1, &[Value::Int(buf)]).unwrap();
+        let err = m.run_to_quiescence().unwrap_err();
+        assert!(err.to_string().contains("instruction budget"));
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut m = machine("__global__ void k(int* d) { d[0] = 1; }");
+        let buf = m.alloc(1);
+        assert!(m.launch_host("k", 1, 2048, &[Value::Int(buf)]).is_err());
+    }
+
+    #[test]
+    fn trace_records_warp_cycles_and_divergence() {
+        // Thread 31 does far more work; warp max must reflect it.
+        let mut m = machine(
+            "__global__ void k(int* d) { \
+                 if (threadIdx.x == 31) { \
+                     int s = 0; \
+                     for (int i = 0; i < 1000; ++i) { s += i; } \
+                     d[0] = s; \
+                 } }",
+        );
+        let buf = m.alloc(1);
+        m.launch_host("k", 1, 64, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        let trace = m.take_trace();
+        let block = &trace.grids[0].blocks[0];
+        assert_eq!(block.warp_cycles.len(), 2);
+        assert!(
+            block.warp_cycles[0] > 10 * block.warp_cycles[1],
+            "divergent warp should dominate: {:?}",
+            block.warp_cycles
+        );
+    }
+
+    #[test]
+    fn launch_presence_overhead_is_charged() {
+        let src_with = "__global__ void c(int* d) { d[0] = 1; }\n\
+                        __global__ void k(int* d, int n) { if (n > 1000) { c<<<1, 1>>>(d); } d[1] = 2; }";
+        let src_without = "__global__ void k(int* d, int n) { d[1] = 2; }";
+        let run = |src: &str| {
+            let mut m = machine(src);
+            let buf = m.alloc(2);
+            m.launch_host("k", 1, 32, &[Value::Int(buf), Value::Int(0)])
+                .unwrap();
+            m.run_to_quiescence().unwrap();
+            let t = m.take_trace();
+            t.grids[0].blocks[0].warp_cycles[0]
+        };
+        let with = run(src_with);
+        let without = run(src_without);
+        assert!(
+            with > without + CostModel::default().launch_presence_overhead / 2,
+            "kernel containing a (never-executed) launch must be slower: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn origin_cycles_sum_to_block_totals() {
+        let mut m = machine(
+            "__global__ void k(int* d) { \
+                 for (int i = 0; i < 10; ++i) { d[threadIdx.x] += i; } }",
+        );
+        let buf = m.alloc(32);
+        m.launch_host("k", 1, 32, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        let trace = m.take_trace();
+        let block = &trace.grids[0].blocks[0];
+        assert!(block.origin_cycles.total() > 0);
+        assert_eq!(
+            block.origin_cycles.get(CodeOrigin::Original),
+            block.origin_cycles.total(),
+            "untransformed code is all Original"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Runtime values of the GPU virtual machine.
+//!
+//! The VM is word-oriented: every scalar (integer of any width, float,
+//! double, pointer) occupies one tagged word. Pointers are word addresses
+//! into the global (or shared) address space represented as integers. `dim3`
+//! values exist only in registers (they are never stored to memory by
+//! generated code).
+
+use std::fmt;
+
+/// Base address of the per-block shared-memory address space. Addresses at
+/// or above this value refer to shared memory.
+pub const SHARED_SPACE_BASE: i64 = 1 << 56;
+
+/// A tagged VM word.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integers, booleans, and pointers (word addresses).
+    Int(i64),
+    /// `float` / `double` (both f64 in the VM; see DESIGN.md).
+    Float(f64),
+    /// A `dim3` triple.
+    Dim3([i64; 3]),
+}
+
+impl Value {
+    /// The integer interpretation of the value.
+    ///
+    /// Floats truncate toward zero (C cast semantics); `dim3` is its x
+    /// component (CUDA's implicit `dim3 → size_t` has no analogue, but
+    /// launch configuration coercion needs this).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Float(v) => *v as i64,
+            Value::Dim3(d) => d[0],
+        }
+    }
+
+    /// The float interpretation of the value.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Float(v) => *v,
+            Value::Dim3(d) => d[0] as f64,
+        }
+    }
+
+    /// Truthiness (C semantics: non-zero is true).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Dim3(d) => d.iter().any(|&v| v != 0),
+        }
+    }
+
+    /// Coerces to a `dim3` (scalars become `(v, 1, 1)`, as CUDA's implicit
+    /// `int → dim3` conversion does for launch configurations).
+    pub fn as_dim3(&self) -> [i64; 3] {
+        match self {
+            Value::Dim3(d) => *d,
+            other => [other.as_int(), 1, 1],
+        }
+    }
+
+    /// Whether this value is a float.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Value::Float(_))
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Dim3(d) => write!(f, "dim3({}, {}, {})", d[0], d[1], d[2]),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_conversions() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::Float(3.9).as_int(), 3);
+        assert_eq!(Value::Float(-3.9).as_int(), -3);
+        assert_eq!(Value::Int(2).as_float(), 2.0);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Float(0.5).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+    }
+
+    #[test]
+    fn dim3_coercion() {
+        assert_eq!(Value::Int(64).as_dim3(), [64, 1, 1]);
+        assert_eq!(Value::Dim3([2, 3, 4]).as_dim3(), [2, 3, 4]);
+        assert_eq!(Value::Dim3([2, 3, 4]).as_int(), 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Value::default(), Value::Int(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Dim3([1, 2, 3]).to_string(), "dim3(1, 2, 3)");
+    }
+}

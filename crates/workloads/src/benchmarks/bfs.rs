@@ -1,0 +1,176 @@
+//! BFS — breadth-first search (SHOC flavour).
+//!
+//! Frontier-based: one host launch per level; each frontier vertex's parent
+//! thread discovers its neighbours, either through a dynamically launched
+//! child grid (CDP) or a serial loop (No CDP). Nested parallelism per
+//! parent thread equals the vertex out-degree, which is exactly the
+//! irregular quantity the paper's optimizations target.
+
+use super::{upload_graph, BenchInput, BenchOutput, Benchmark};
+use dp_core::{Executor, Result};
+use dp_vm::Value;
+
+/// The BFS benchmark.
+pub struct Bfs;
+
+const CDP: &str = r#"
+__global__ void bfs_child(int* edges, int* levels, int* frontierNext, int* nextSize, int level, int edgeBegin, int count) {
+    int e = blockIdx.x * blockDim.x + threadIdx.x;
+    if (e < count) {
+        int dst = edges[edgeBegin + e];
+        if (levels[dst] == -1) {
+            int old = atomicCAS(&levels[dst], -1, level);
+            if (old == -1) {
+                int pos = atomicAdd(&nextSize[0], 1);
+                frontierNext[pos] = dst;
+            }
+        }
+    }
+}
+
+__global__ void bfs_parent(int* offsets, int* edges, int* levels, int* frontier, int* frontierSize, int* frontierNext, int* nextSize, int level) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < frontierSize[0]) {
+        int v = frontier[i];
+        int begin = offsets[v];
+        int count = offsets[v + 1] - begin;
+        if (count > 0) {
+            bfs_child<<<(count + 127) / 128, 128>>>(edges, levels, frontierNext, nextSize, level, begin, count);
+        }
+    }
+}
+"#;
+
+const NO_CDP: &str = r#"
+__global__ void bfs_parent(int* offsets, int* edges, int* levels, int* frontier, int* frontierSize, int* frontierNext, int* nextSize, int level) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < frontierSize[0]) {
+        int v = frontier[i];
+        int begin = offsets[v];
+        int count = offsets[v + 1] - begin;
+        for (int e = 0; e < count; ++e) {
+            int dst = edges[begin + e];
+            if (levels[dst] == -1) {
+                int old = atomicCAS(&levels[dst], -1, level);
+                if (old == -1) {
+                    int pos = atomicAdd(&nextSize[0], 1);
+                    frontierNext[pos] = dst;
+                }
+            }
+        }
+    }
+}
+"#;
+
+impl Benchmark for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn cdp_source(&self) -> &'static str {
+        CDP
+    }
+
+    fn no_cdp_source(&self) -> &'static str {
+        NO_CDP
+    }
+
+    fn run(&self, exec: &mut Executor, input: &BenchInput) -> Result<BenchOutput> {
+        let g = input.graph();
+        let n = g.num_vertices;
+        let source = g.max_degree_vertex() as i64;
+        let (offsets, edges, _) = upload_graph(exec, g);
+
+        let mut levels = vec![-1i64; n];
+        levels[source as usize] = 0;
+        let levels_ptr = exec.alloc_i64s(&levels);
+        let mut frontier_a = exec.alloc(n.max(1));
+        let mut frontier_b = exec.alloc(n.max(1));
+        let mut size_a = exec.alloc_i64s(&[1]);
+        let mut size_b = exec.alloc_i64s(&[0]);
+        exec.write_i64(frontier_a, source)?;
+
+        let mut level = 1i64;
+        loop {
+            let frontier_size = exec.read_i64s(size_a, 1)?[0];
+            if frontier_size == 0 || level > n as i64 {
+                break;
+            }
+            let grid = (frontier_size + 255) / 256;
+            exec.launch(
+                "bfs_parent",
+                grid,
+                256,
+                &[
+                    Value::Int(offsets),
+                    Value::Int(edges),
+                    Value::Int(levels_ptr),
+                    Value::Int(frontier_a),
+                    Value::Int(size_a),
+                    Value::Int(frontier_b),
+                    Value::Int(size_b),
+                    Value::Int(level),
+                ],
+            )?;
+            exec.sync()?;
+            std::mem::swap(&mut frontier_a, &mut frontier_b);
+            std::mem::swap(&mut size_a, &mut size_b);
+            exec.write_i64(size_b, 0)?;
+            level += 1;
+        }
+
+        Ok(BenchOutput {
+            ints: exec.read_i64s(levels_ptr, n)?,
+            floats: vec![],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{run_variant, Variant};
+    use crate::datasets::graphs::rmat;
+    use dp_core::OptConfig;
+
+    fn reference_bfs(g: &crate::datasets::csr::CsrGraph, src: usize) -> Vec<i64> {
+        let mut levels = vec![-1i64; g.num_vertices];
+        levels[src] = 0;
+        let mut frontier = vec![src];
+        let mut level = 1;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &u in g.neighbours(v) {
+                    if levels[u as usize] == -1 {
+                        levels[u as usize] = level;
+                        next.push(u as usize);
+                    }
+                }
+            }
+            frontier = next;
+            level += 1;
+        }
+        levels
+    }
+
+    #[test]
+    fn cdp_matches_host_reference() {
+        let g = rmat(7, 4, 11);
+        let input = BenchInput::Graph(g.clone());
+        let run = run_variant(&Bfs, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        let expected = reference_bfs(&g, g.max_degree_vertex());
+        assert_eq!(run.output.ints, expected);
+    }
+
+    #[test]
+    fn no_cdp_matches_cdp() {
+        let g = rmat(6, 4, 12);
+        let input = BenchInput::Graph(g);
+        let cdp = run_variant(&Bfs, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        let no_cdp = run_variant(&Bfs, Variant::NoCdp, &input).unwrap();
+        assert_eq!(cdp.output, no_cdp.output);
+        assert_eq!(no_cdp.report.stats.device_launches, 0);
+        assert!(cdp.report.stats.device_launches > 0);
+    }
+}

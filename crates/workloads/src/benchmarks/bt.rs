@@ -1,0 +1,197 @@
+//! BT — Bézier tessellation (CUDA samples `BezierLineCDP` flavour).
+//!
+//! Parent thread per line: computes a curvature-dependent tessellation
+//! count and launches a child grid with one thread per sample point. The
+//! amount of nested parallelism per line varies with curvature — bounded by
+//! the dataset's maximum tessellation (32 for T0032-C16, 2048 for
+//! T2048-C64).
+
+use super::{BenchInput, BenchOutput, Benchmark};
+use dp_core::{Executor, Result};
+use dp_vm::Value;
+
+/// The BT benchmark.
+pub struct Bt;
+
+const CDP: &str = r#"
+__global__ void bt_child(double* cps, double* out, int line, int nTess, int maxTess) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < nTess) {
+        double t = (double)i / (double)(nTess - 1);
+        double omt = 1.0 - t;
+        double x0 = cps[line * 6];
+        double y0 = cps[line * 6 + 1];
+        double x1 = cps[line * 6 + 2];
+        double y1 = cps[line * 6 + 3];
+        double x2 = cps[line * 6 + 4];
+        double y2 = cps[line * 6 + 5];
+        double bx = omt * omt * x0 + 2.0 * omt * t * x1 + t * t * x2;
+        double by = omt * omt * y0 + 2.0 * omt * t * y1 + t * t * y2;
+        out[(line * maxTess + i) * 2] = bx;
+        out[(line * maxTess + i) * 2 + 1] = by;
+    }
+}
+
+__global__ void bt_parent(double* cps, double* out, int* nTessOut, int numLines, int maxTess, double curvScale) {
+    int line = blockIdx.x * blockDim.x + threadIdx.x;
+    if (line < numLines) {
+        double x0 = cps[line * 6];
+        double y0 = cps[line * 6 + 1];
+        double x1 = cps[line * 6 + 2];
+        double y1 = cps[line * 6 + 3];
+        double x2 = cps[line * 6 + 4];
+        double y2 = cps[line * 6 + 5];
+        double mx = (x0 + x2) / 2.0;
+        double my = (y0 + y2) / 2.0;
+        double dx = x1 - mx;
+        double dy = y1 - my;
+        double curv = sqrt(dx * dx + dy * dy);
+        int nTess = (int)(curv * curvScale);
+        if (nTess < 2) {
+            nTess = 2;
+        }
+        if (nTess > maxTess) {
+            nTess = maxTess;
+        }
+        nTessOut[line] = nTess;
+        bt_child<<<(nTess + 31) / 32, 32>>>(cps, out, line, nTess, maxTess);
+    }
+}
+"#;
+
+const NO_CDP: &str = r#"
+__global__ void bt_parent(double* cps, double* out, int* nTessOut, int numLines, int maxTess, double curvScale) {
+    int line = blockIdx.x * blockDim.x + threadIdx.x;
+    if (line < numLines) {
+        double x0 = cps[line * 6];
+        double y0 = cps[line * 6 + 1];
+        double x1 = cps[line * 6 + 2];
+        double y1 = cps[line * 6 + 3];
+        double x2 = cps[line * 6 + 4];
+        double y2 = cps[line * 6 + 5];
+        double mx = (x0 + x2) / 2.0;
+        double my = (y0 + y2) / 2.0;
+        double dx = x1 - mx;
+        double dy = y1 - my;
+        double curv = sqrt(dx * dx + dy * dy);
+        int nTess = (int)(curv * curvScale);
+        if (nTess < 2) {
+            nTess = 2;
+        }
+        if (nTess > maxTess) {
+            nTess = maxTess;
+        }
+        nTessOut[line] = nTess;
+        for (int i = 0; i < nTess; ++i) {
+            double t = (double)i / (double)(nTess - 1);
+            double omt = 1.0 - t;
+            double bx = omt * omt * x0 + 2.0 * omt * t * x1 + t * t * x2;
+            double by = omt * omt * y0 + 2.0 * omt * t * y1 + t * t * y2;
+            out[(line * maxTess + i) * 2] = bx;
+            out[(line * maxTess + i) * 2 + 1] = by;
+        }
+    }
+}
+"#;
+
+impl Benchmark for Bt {
+    fn name(&self) -> &'static str {
+        "BT"
+    }
+
+    fn cdp_source(&self) -> &'static str {
+        CDP
+    }
+
+    fn no_cdp_source(&self) -> &'static str {
+        NO_CDP
+    }
+
+    fn run(&self, exec: &mut Executor, input: &BenchInput) -> Result<BenchOutput> {
+        let b = input.bezier();
+        let num_lines = b.num_lines();
+        let max_tess = b.max_tess as i64;
+
+        let cps = exec.alloc_f64s(&b.control_points);
+        let out = exec.alloc(num_lines * max_tess as usize * 2);
+        let n_tess_out = exec.alloc(num_lines.max(1));
+
+        let grid = (num_lines as i64 + 255) / 256;
+        exec.launch(
+            "bt_parent",
+            grid,
+            256,
+            &[
+                Value::Int(cps),
+                Value::Int(out),
+                Value::Int(n_tess_out),
+                Value::Int(num_lines as i64),
+                Value::Int(max_tess),
+                Value::Float(b.curvature_scale),
+            ],
+        )?;
+        exec.sync()?;
+
+        // Compare tessellation counts exactly and sampled positions with
+        // float tolerance; reading every position would dominate runtime,
+        // so sample a strided subset plus a checksum.
+        let n_tess = exec.read_i64s(n_tess_out, num_lines)?;
+        let mut floats = Vec::new();
+        let mut checksum = 0.0f64;
+        for (line, &nt) in n_tess.iter().enumerate() {
+            let base = out + (line as i64 * max_tess) * 2;
+            let first = exec.read_f64s(base, 2)?;
+            let last = exec.read_f64s(base + (nt - 1) * 2, 2)?;
+            checksum += first[0] + first[1] + last[0] + last[1];
+            if line % 97 == 0 {
+                floats.extend_from_slice(&first);
+                floats.extend_from_slice(&last);
+            }
+        }
+        floats.push(checksum);
+        Ok(BenchOutput {
+            ints: n_tess,
+            floats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{run_variant, Variant};
+    use crate::datasets::bezier::bezier_lines;
+    use dp_core::OptConfig;
+
+    #[test]
+    fn tessellation_counts_match_host_model() {
+        let b = bezier_lines(50, 32, 16.0, 71);
+        let expected: Vec<i64> = (0..b.num_lines()).map(|l| b.tess_count(l)).collect();
+        let input = BenchInput::Bezier(b);
+        let run = run_variant(&Bt, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        assert_eq!(run.output.ints, expected);
+    }
+
+    #[test]
+    fn endpoints_interpolate_control_points() {
+        let b = bezier_lines(10, 32, 16.0, 72);
+        let cps = b.control_points.clone();
+        let input = BenchInput::Bezier(b);
+        let run = run_variant(&Bt, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        // First sampled line is line 0: first point = P0, last = P2.
+        let f = &run.output.floats;
+        assert!((f[0] - cps[0]).abs() < 1e-12);
+        assert!((f[1] - cps[1]).abs() < 1e-12);
+        assert!((f[2] - cps[4]).abs() < 1e-12);
+        assert!((f[3] - cps[5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variants_agree() {
+        let b = bezier_lines(64, 32, 16.0, 73);
+        let input = BenchInput::Bezier(b);
+        let cdp = run_variant(&Bt, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        let no_cdp = run_variant(&Bt, Variant::NoCdp, &input).unwrap();
+        assert!(cdp.output.approx_eq(&no_cdp.output, 1e-12));
+    }
+}

@@ -1,0 +1,193 @@
+//! MSTF — the *find* kernel of Borůvka's minimum-spanning-tree algorithm
+//! (LonestarGPU flavour).
+//!
+//! Each round, every vertex scans its incident edges (child grid per vertex
+//! under CDP) and `atomicMin`s an encoded `(weight, edge-id)` pair into its
+//! component's minimum-outgoing-edge cell. The host then contracts
+//! components (union-find) and repeats for a few rounds.
+
+use super::{upload_graph, BenchInput, BenchOutput, Benchmark};
+use dp_core::{Executor, Result};
+use dp_vm::Value;
+
+/// The MSTF benchmark.
+pub struct Mstf;
+
+/// Encoding stride: `enc = weight * STRIDE + edge_index`.
+const STRIDE: i64 = 1 << 32;
+/// Sentinel for "no outgoing edge found".
+const NONE: i64 = i64::MAX / 2;
+/// Borůvka rounds to run (each is one parent launch).
+const ROUNDS: usize = 3;
+
+const CDP: &str = r#"
+__global__ void mstf_child(int* edges, int* weights, int* comp, long long* minEdge, int compV, int edgeBegin, int count) {
+    int e = blockIdx.x * blockDim.x + threadIdx.x;
+    if (e < count) {
+        int dst = edges[edgeBegin + e];
+        if (comp[dst] != compV) {
+            long long enc = (long long)weights[edgeBegin + e] * 4294967296 + (long long)(edgeBegin + e);
+            atomicMin(&minEdge[compV], enc);
+        }
+    }
+}
+
+__global__ void mstf_parent(int* offsets, int* edges, int* weights, int* comp, long long* minEdge, int numV) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numV) {
+        int begin = offsets[v];
+        int count = offsets[v + 1] - begin;
+        int compV = comp[v];
+        if (count > 0) {
+            mstf_child<<<(count + 127) / 128, 128>>>(edges, weights, comp, minEdge, compV, begin, count);
+        }
+    }
+}
+"#;
+
+const NO_CDP: &str = r#"
+__global__ void mstf_parent(int* offsets, int* edges, int* weights, int* comp, long long* minEdge, int numV) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numV) {
+        int begin = offsets[v];
+        int count = offsets[v + 1] - begin;
+        int compV = comp[v];
+        for (int e = 0; e < count; ++e) {
+            int dst = edges[begin + e];
+            if (comp[dst] != compV) {
+                long long enc = (long long)weights[begin + e] * 4294967296 + (long long)(begin + e);
+                atomicMin(&minEdge[compV], enc);
+            }
+        }
+    }
+}
+"#;
+
+impl Benchmark for Mstf {
+    fn name(&self) -> &'static str {
+        "MSTF"
+    }
+
+    fn cdp_source(&self) -> &'static str {
+        CDP
+    }
+
+    fn no_cdp_source(&self) -> &'static str {
+        NO_CDP
+    }
+
+    fn run(&self, exec: &mut Executor, input: &BenchInput) -> Result<BenchOutput> {
+        let g = input.graph();
+        let n = g.num_vertices;
+        let (offsets, edges, weights) = upload_graph(exec, g);
+
+        let mut comp: Vec<i64> = (0..n as i64).collect();
+        let comp_ptr = exec.alloc_i64s(&comp);
+        let min_edge = exec.alloc(n.max(1));
+
+        let mut mst_weight = 0i64;
+        let mut mst_edges = 0i64;
+        for _ in 0..ROUNDS {
+            exec.fill_i64(min_edge, n.max(1), NONE)?;
+            let grid = (n as i64 + 255) / 256;
+            exec.launch(
+                "mstf_parent",
+                grid,
+                256,
+                &[
+                    Value::Int(offsets),
+                    Value::Int(edges),
+                    Value::Int(weights),
+                    Value::Int(comp_ptr),
+                    Value::Int(min_edge),
+                    Value::Int(n as i64),
+                ],
+            )?;
+            exec.sync()?;
+
+            // Host-side contraction: union components along their minimum
+            // outgoing edges (deterministic given the atomicMin results).
+            let found = exec.read_i64s(min_edge, n)?;
+            let mut changed = false;
+            for c in 0..n {
+                let enc = found[c];
+                if enc == NONE || comp[c] != c as i64 {
+                    continue;
+                }
+                let edge_idx = (enc % STRIDE) as usize;
+                let weight = enc / STRIDE;
+                let dst = g.edges[edge_idx] as usize;
+                let (mut a, mut b) = (c as i64, comp[dst]);
+                // Resolve roots (comp is kept path-compressed).
+                while comp[a as usize] != a {
+                    a = comp[a as usize];
+                }
+                while comp[b as usize] != b {
+                    b = comp[b as usize];
+                }
+                if a != b {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    comp[hi as usize] = lo;
+                    mst_weight += weight;
+                    mst_edges += 1;
+                    changed = true;
+                }
+            }
+            // Path-compress and push back to the device.
+            for v in 0..n {
+                let mut r = v as i64;
+                while comp[r as usize] != r {
+                    r = comp[r as usize];
+                }
+                comp[v] = r;
+            }
+            for (v, &c) in comp.iter().enumerate() {
+                exec.write_i64(comp_ptr + v as i64, c)?;
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut ints = comp;
+        ints.push(mst_weight);
+        ints.push(mst_edges);
+        Ok(BenchOutput {
+            ints,
+            floats: vec![],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{run_variant, Variant};
+    use crate::datasets::graphs::rmat;
+    use dp_core::OptConfig;
+
+    #[test]
+    fn cdp_and_no_cdp_agree() {
+        let g = rmat(6, 4, 31);
+        let input = BenchInput::Graph(g);
+        let cdp = run_variant(&Mstf, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        let no_cdp = run_variant(&Mstf, Variant::NoCdp, &input).unwrap();
+        assert_eq!(cdp.output, no_cdp.output);
+    }
+
+    #[test]
+    fn components_merge_and_weight_accumulates() {
+        let g = rmat(6, 6, 32);
+        let input = BenchInput::Graph(g.clone());
+        let run = run_variant(&Mstf, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        let n = g.num_vertices;
+        let mst_weight = run.output.ints[n];
+        let mst_edges = run.output.ints[n + 1];
+        assert!(mst_edges > 0, "some components must merge");
+        assert!(mst_weight > 0);
+        // After rounds, number of distinct components decreased.
+        let comps: std::collections::HashSet<i64> =
+            run.output.ints[..n].iter().copied().collect();
+        assert!(comps.len() < n);
+    }
+}

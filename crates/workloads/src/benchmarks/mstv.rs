@@ -1,0 +1,146 @@
+//! MSTV — the *verify* kernel of the MST benchmark (LonestarGPU flavour).
+//!
+//! Given a component labelling, every vertex checks its incident edges
+//! (child grid per vertex under CDP) and counts edges that cross
+//! components, plus the total weight of crossing edges — the quantities the
+//! original benchmark uses to validate a spanning-tree contraction step.
+
+use super::{upload_graph, BenchInput, BenchOutput, Benchmark};
+use dp_core::{Executor, Result};
+use dp_vm::Value;
+
+/// The MSTV benchmark.
+pub struct Mstv;
+
+const CDP: &str = r#"
+__global__ void mstv_child(int* edges, int* weights, int* comp, long long* crossCount, long long* crossWeight, int compV, int edgeBegin, int count) {
+    int e = blockIdx.x * blockDim.x + threadIdx.x;
+    if (e < count) {
+        int dst = edges[edgeBegin + e];
+        if (comp[dst] != compV) {
+            atomicAdd(&crossCount[0], 1);
+            atomicAdd(&crossWeight[0], (long long)weights[edgeBegin + e]);
+        }
+    }
+}
+
+__global__ void mstv_parent(int* offsets, int* edges, int* weights, int* comp, long long* crossCount, long long* crossWeight, int numV) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numV) {
+        int begin = offsets[v];
+        int count = offsets[v + 1] - begin;
+        int compV = comp[v];
+        if (count > 0) {
+            mstv_child<<<(count + 127) / 128, 128>>>(edges, weights, comp, crossCount, crossWeight, compV, begin, count);
+        }
+    }
+}
+"#;
+
+const NO_CDP: &str = r#"
+__global__ void mstv_parent(int* offsets, int* edges, int* weights, int* comp, long long* crossCount, long long* crossWeight, int numV) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numV) {
+        int begin = offsets[v];
+        int count = offsets[v + 1] - begin;
+        int compV = comp[v];
+        for (int e = 0; e < count; ++e) {
+            int dst = edges[begin + e];
+            if (comp[dst] != compV) {
+                atomicAdd(&crossCount[0], 1);
+                atomicAdd(&crossWeight[0], (long long)weights[begin + e]);
+            }
+        }
+    }
+}
+"#;
+
+impl Benchmark for Mstv {
+    fn name(&self) -> &'static str {
+        "MSTV"
+    }
+
+    fn cdp_source(&self) -> &'static str {
+        CDP
+    }
+
+    fn no_cdp_source(&self) -> &'static str {
+        NO_CDP
+    }
+
+    fn run(&self, exec: &mut Executor, input: &BenchInput) -> Result<BenchOutput> {
+        let g = input.graph();
+        let n = g.num_vertices;
+        let (offsets, edges, weights) = upload_graph(exec, g);
+
+        // A mid-contraction labelling: connected-component labels coarsened
+        // by grouping, so a nontrivial fraction of edges cross.
+        let comp: Vec<i64> = (0..n as i64).map(|v| v / 16 * 16).collect();
+        let comp_ptr = exec.alloc_i64s(&comp);
+        let cross_count = exec.alloc_i64s(&[0]);
+        let cross_weight = exec.alloc_i64s(&[0]);
+
+        let grid = (n as i64 + 255) / 256;
+        exec.launch(
+            "mstv_parent",
+            grid,
+            256,
+            &[
+                Value::Int(offsets),
+                Value::Int(edges),
+                Value::Int(weights),
+                Value::Int(comp_ptr),
+                Value::Int(cross_count),
+                Value::Int(cross_weight),
+                Value::Int(n as i64),
+            ],
+        )?;
+        exec.sync()?;
+
+        Ok(BenchOutput {
+            ints: vec![
+                exec.read_i64s(cross_count, 1)?[0],
+                exec.read_i64s(cross_weight, 1)?[0],
+            ],
+            floats: vec![],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{run_variant, Variant};
+    use crate::datasets::graphs::rmat;
+    use dp_core::OptConfig;
+
+    #[test]
+    fn counts_match_host_reference() {
+        let g = rmat(6, 4, 41);
+        let input = BenchInput::Graph(g.clone());
+        let run = run_variant(&Mstv, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        let mut expected_count = 0i64;
+        let mut expected_weight = 0i64;
+        for v in 0..g.num_vertices {
+            let begin = g.offsets[v] as usize;
+            for (i, &u) in g.neighbours(v).iter().enumerate() {
+                let cv = (v as i64) / 16 * 16;
+                let cu = u / 16 * 16;
+                if cv != cu {
+                    expected_count += 1;
+                    expected_weight += g.weights[begin + i];
+                }
+            }
+        }
+        assert_eq!(run.output.ints, vec![expected_count, expected_weight]);
+    }
+
+    #[test]
+    fn variants_agree() {
+        let g = rmat(6, 4, 42);
+        let input = BenchInput::Graph(g);
+        let cdp = run_variant(&Mstv, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        let no_cdp = run_variant(&Mstv, Variant::NoCdp, &input).unwrap();
+        assert_eq!(cdp.output, no_cdp.output);
+    }
+}

@@ -1,0 +1,207 @@
+//! SP — survey propagation on random k-SAT (LonestarGPU flavour,
+//! simplified message schedule).
+//!
+//! Two CDP kernels per iteration: a clause pass (parent per clause, child
+//! per literal) accumulating log-survey contributions, and a variable pass
+//! (parent per variable, child per clause occurrence) accumulating survey
+//! mass back onto variables. On RAND-3 every clause has exactly 3 literals
+//! — the uniformly tiny child grids the paper calls out as a case where
+//! dynamic parallelism cannot win (Section VIII-D).
+
+use super::{BenchInput, BenchOutput, Benchmark};
+use dp_core::{Executor, Result};
+use dp_vm::Value;
+
+/// The SP benchmark.
+pub struct Sp;
+
+/// Message-update iterations.
+const ITERS: usize = 3;
+
+const CDP: &str = r#"
+__global__ void sp_clause_child(int* lits, double* pi, double* etaLog, int c, int litBegin, int count) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < count) {
+        int v = lits[litBegin + i];
+        atomicAdd(&etaLog[c], log(1.0 - pi[v] * 0.9));
+    }
+}
+
+__global__ void sp_clause_parent(int* clauseOffsets, int* lits, double* pi, double* etaLog, int numClauses) {
+    int c = blockIdx.x * blockDim.x + threadIdx.x;
+    if (c < numClauses) {
+        int begin = clauseOffsets[c];
+        int count = clauseOffsets[c + 1] - begin;
+        if (count > 0) {
+            sp_clause_child<<<(count + 31) / 32, 32>>>(lits, pi, etaLog, c, begin, count);
+        }
+    }
+}
+
+__global__ void sp_var_child(int* occ, double* etaLog, double* piAcc, int v, int occBegin, int count) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < count) {
+        int c = occ[occBegin + i];
+        atomicAdd(&piAcc[v], exp(etaLog[c]));
+    }
+}
+
+__global__ void sp_var_parent(int* varOffsets, int* occ, double* etaLog, double* piAcc, int numVars) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numVars) {
+        int begin = varOffsets[v];
+        int count = varOffsets[v + 1] - begin;
+        if (count > 0) {
+            sp_var_child<<<(count + 31) / 32, 32>>>(occ, etaLog, piAcc, v, begin, count);
+        }
+    }
+}
+"#;
+
+const NO_CDP: &str = r#"
+__global__ void sp_clause_parent(int* clauseOffsets, int* lits, double* pi, double* etaLog, int numClauses) {
+    int c = blockIdx.x * blockDim.x + threadIdx.x;
+    if (c < numClauses) {
+        int begin = clauseOffsets[c];
+        int count = clauseOffsets[c + 1] - begin;
+        for (int i = 0; i < count; ++i) {
+            int v = lits[begin + i];
+            atomicAdd(&etaLog[c], log(1.0 - pi[v] * 0.9));
+        }
+    }
+}
+
+__global__ void sp_var_parent(int* varOffsets, int* occ, double* etaLog, double* piAcc, int numVars) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numVars) {
+        int begin = varOffsets[v];
+        int count = varOffsets[v + 1] - begin;
+        for (int i = 0; i < count; ++i) {
+            int c = occ[begin + i];
+            atomicAdd(&piAcc[v], exp(etaLog[c]));
+        }
+    }
+}
+"#;
+
+impl Benchmark for Sp {
+    fn name(&self) -> &'static str {
+        "SP"
+    }
+
+    fn cdp_source(&self) -> &'static str {
+        CDP
+    }
+
+    fn no_cdp_source(&self) -> &'static str {
+        NO_CDP
+    }
+
+    fn run(&self, exec: &mut Executor, input: &BenchInput) -> Result<BenchOutput> {
+        let f = input.sat();
+        let num_clauses = f.num_clauses();
+        let num_vars = f.num_vars;
+
+        let clause_offsets = exec.alloc_i64s(&f.clause_offsets);
+        let lits = exec.alloc_i64s(&f.lits);
+        let var_offsets = exec.alloc_i64s(&f.var_offsets);
+        let occ = exec.alloc_i64s(&f.occ_clauses);
+
+        let mut pi = vec![0.5f64; num_vars];
+        let pi_ptr = exec.alloc_f64s(&pi);
+        let eta_log = exec.alloc_f64s(&vec![0.0; num_clauses.max(1)]);
+        let pi_acc = exec.alloc_f64s(&vec![0.0; num_vars.max(1)]);
+
+        for _ in 0..ITERS {
+            // Clause pass.
+            for c in 0..num_clauses {
+                exec.machine_mut()
+                    .mem
+                    .write(eta_log + c as i64, Value::Float(0.0))?;
+            }
+            let grid = (num_clauses as i64 + 255) / 256;
+            exec.launch(
+                "sp_clause_parent",
+                grid,
+                256,
+                &[
+                    Value::Int(clause_offsets),
+                    Value::Int(lits),
+                    Value::Int(pi_ptr),
+                    Value::Int(eta_log),
+                    Value::Int(num_clauses as i64),
+                ],
+            )?;
+            exec.sync()?;
+
+            // Variable pass.
+            for v in 0..num_vars {
+                exec.machine_mut()
+                    .mem
+                    .write(pi_acc + v as i64, Value::Float(0.0))?;
+            }
+            let grid = (num_vars as i64 + 255) / 256;
+            exec.launch(
+                "sp_var_parent",
+                grid,
+                256,
+                &[
+                    Value::Int(var_offsets),
+                    Value::Int(occ),
+                    Value::Int(eta_log),
+                    Value::Int(pi_acc),
+                    Value::Int(num_vars as i64),
+                ],
+            )?;
+            exec.sync()?;
+
+            // Host normalization (the original benchmark renormalizes
+            // marginals between rounds).
+            let acc = exec.read_f64s(pi_acc, num_vars)?;
+            for v in 0..num_vars {
+                let occs = f.occurrences(v).len() as f64;
+                pi[v] = acc[v] / (1.0 + occs);
+                exec.machine_mut()
+                    .mem
+                    .write(pi_ptr + v as i64, Value::Float(pi[v]))?;
+            }
+        }
+
+        Ok(BenchOutput {
+            ints: vec![],
+            floats: pi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::{run_variant, Variant};
+    use crate::datasets::ksat::random_ksat;
+    use dp_core::OptConfig;
+
+    #[test]
+    fn cdp_and_no_cdp_agree_within_tolerance() {
+        let f = random_ksat(60, 120, 3, 51);
+        let input = BenchInput::Sat(f);
+        let cdp = run_variant(&Sp, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        let no_cdp = run_variant(&Sp, Variant::NoCdp, &input).unwrap();
+        assert!(
+            cdp.output.approx_eq(&no_cdp.output, 1e-9),
+            "marginals diverged"
+        );
+    }
+
+    #[test]
+    fn marginals_are_probabilities() {
+        let f = random_ksat(40, 80, 3, 52);
+        let input = BenchInput::Sat(f);
+        let run = run_variant(&Sp, Variant::Cdp(OptConfig::none()), &input).unwrap();
+        assert!(run
+            .output
+            .floats
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

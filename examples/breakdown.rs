@@ -1,0 +1,55 @@
+//! Mini Fig. 10: execution-time breakdown for SSSP under aggregation
+//! alone (KLAP), +thresholding, and +coarsening — showing how thresholding
+//! shifts child work into the parent and shrinks launch/aggregation/
+//! disaggregation overheads, and how coarsening shrinks disaggregation.
+//!
+//! ```text
+//! cargo run --release --example breakdown
+//! ```
+
+use dpopt::core::{AggConfig, AggGranularity, OptConfig, TimingParams};
+use dpopt::workloads::benchmarks::sssp::Sssp;
+use dpopt::workloads::benchmarks::{run_variant, BenchInput, Variant};
+use dpopt::workloads::datasets::graphs::rmat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = BenchInput::Graph(rmat(10, 16, 42));
+    let timing = TimingParams::default();
+    let agg = AggConfig::new(AggGranularity::MultiBlock(8));
+
+    let variants: Vec<(&str, OptConfig)> = vec![
+        ("KLAP (CDP+A)", OptConfig::none().aggregation(agg)),
+        ("CDP+T+A", OptConfig::none().threshold(128).aggregation(agg)),
+        (
+            "CDP+T+C+A",
+            OptConfig::none()
+                .threshold(128)
+                .coarsen_factor(8)
+                .aggregation(agg),
+        ),
+    ];
+
+    println!(
+        "{:>14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "variant", "parent", "child", "launch", "agg", "disagg", "total"
+    );
+    let mut base_total = None;
+    for (label, config) in variants {
+        let run = run_variant(&Sssp, Variant::Cdp(config), &input)?;
+        let b = run.report.simulate(&timing).breakdown;
+        let total = b.total();
+        let base = *base_total.get_or_insert(total);
+        let n = |x: f64| x / base;
+        println!(
+            "{label:>14} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            n(b.parent_us),
+            n(b.child_us),
+            n(b.launch_us),
+            n(b.aggregation_us),
+            n(b.disaggregation_us),
+            n(total)
+        );
+    }
+    println!("\n(device-time per category, normalized to the KLAP total — paper Fig. 10)");
+    Ok(())
+}

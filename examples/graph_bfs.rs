@@ -1,0 +1,65 @@
+//! End-to-end BFS: generate a Graph500-style R-MAT graph, run the CDP
+//! benchmark under every optimization combination, verify all outputs
+//! agree, and print paper-style speedups over plain CDP.
+//!
+//! ```text
+//! cargo run --release --example graph_bfs
+//! ```
+
+use dpopt::core::{AggConfig, AggGranularity, OptConfig, TimingParams};
+use dpopt::workloads::benchmarks::bfs::Bfs;
+use dpopt::workloads::benchmarks::{run_variant, BenchInput, Variant};
+use dpopt::workloads::datasets::graphs::rmat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = rmat(11, 16, 42);
+    println!(
+        "R-MAT graph: {} vertices, {} edges, max degree {}",
+        graph.num_vertices,
+        graph.num_edges(),
+        graph.max_degree()
+    );
+    let input = BenchInput::Graph(graph);
+    let timing = TimingParams::default();
+
+    let agg = AggConfig::new(AggGranularity::MultiBlock(8));
+    let variants: Vec<(&str, Variant)> = vec![
+        ("No CDP", Variant::NoCdp),
+        ("CDP", Variant::Cdp(OptConfig::none())),
+        ("CDP+T", Variant::Cdp(OptConfig::none().threshold(128))),
+        ("CDP+A", Variant::Cdp(OptConfig::none().aggregation(agg))),
+        (
+            "CDP+T+C+A",
+            Variant::Cdp(
+                OptConfig::none()
+                    .threshold(128)
+                    .coarsen_factor(16)
+                    .aggregation(agg),
+            ),
+        ),
+    ];
+
+    let mut reference = None;
+    let mut cdp_time = None;
+    println!("\n{:>10}  {:>12}  {:>10}  {:>8}", "variant", "time (us)", "launches", "speedup");
+    for (label, variant) in variants {
+        let run = run_variant(&Bfs, variant, &input)?;
+        match &reference {
+            None => reference = Some(run.output.clone()),
+            Some(r) => assert_eq!(&run.output, r, "{label} diverged from No CDP"),
+        }
+        let sim = run.report.simulate(&timing);
+        if label == "CDP" {
+            cdp_time = Some(sim.total_us);
+        }
+        let speedup = cdp_time.map(|t| t / sim.total_us).unwrap_or(f64::NAN);
+        println!(
+            "{label:>10}  {:>12.1}  {:>10}  {:>8}",
+            sim.total_us,
+            run.report.stats.device_launches,
+            if speedup.is_nan() { "-".to_string() } else { format!("{speedup:.2}x") },
+        );
+    }
+    println!("\nall variants produced identical BFS levels");
+    Ok(())
+}

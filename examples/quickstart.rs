@@ -1,0 +1,71 @@
+//! Quickstart: transform the paper's Fig. 3(a) example with all three
+//! optimizations and run it on the simulated GPU.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dpopt::core::{Compiler, OptConfig, TimingParams};
+use dpopt::vm::Value;
+
+const FIG3A: &str = r#"
+__global__ void child(int* data, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        data[i] = data[i] + 1;
+    }
+}
+
+__global__ void parent(int* data, int* offsets, int numV) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numV) {
+        int count = offsets[v + 1] - offsets[v];
+        if (count > 0) {
+            child<<<(count + 31) / 32, 32>>>(data, count);
+        }
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile with thresholding + coarsening + multi-block aggregation
+    //    (the paper's full pipeline, Fig. 8a).
+    let compiled = Compiler::new().config(OptConfig::all()).compile(FIG3A)?;
+
+    println!("=== transformed source (Fig. 3b / 6 / 7 combined) ===\n");
+    println!("{}", compiled.transformed_source());
+
+    // 2. Run it: 64 parent threads with irregular nested work.
+    let mut exec = compiled.executor();
+    let degrees: Vec<i64> = (0..64).map(|v| (v * 37) % 200).collect();
+    let mut offsets = vec![0i64];
+    for d in &degrees {
+        offsets.push(offsets.last().unwrap() + d);
+    }
+    let max_degree = *degrees.iter().max().unwrap() as usize;
+    let data = exec.alloc(max_degree);
+    let offsets_ptr = exec.alloc_i64s(&offsets);
+    exec.launch(
+        "parent",
+        2,
+        32,
+        &[Value::Int(data), Value::Int(offsets_ptr), Value::Int(64)],
+    )?;
+    exec.sync()?;
+
+    // d[i] counts parents with degree > i — check a couple of cells.
+    let out = exec.read_i64s(data, max_degree)?;
+    let expect = |i: i64| degrees.iter().filter(|&&d| d > i).count() as i64;
+    assert_eq!(out[0], expect(0));
+    assert_eq!(out[100], expect(100));
+    println!("=== execution verified ===");
+
+    // 3. Time it against the V100-flavoured model.
+    let report = exec.finish();
+    let sim = report.simulate(&TimingParams::default());
+    println!(
+        "simulated time: {:.1} us  (device launches: {}, host launches: {})",
+        sim.total_us, sim.device_launches, sim.host_launches
+    );
+    Ok(())
+}

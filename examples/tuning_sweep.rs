@@ -1,0 +1,55 @@
+//! Mini Fig. 11: sweep the launch threshold across aggregation
+//! granularities for BFS and watch the trade-off the paper describes —
+//! speedup rises as small grids get serialized, then falls once large
+//! grids are serialized too (control divergence).
+//!
+//! ```text
+//! cargo run --release --example tuning_sweep
+//! ```
+
+use dpopt::core::{AggConfig, AggGranularity, OptConfig, TimingParams};
+use dpopt::workloads::benchmarks::bfs::Bfs;
+use dpopt::workloads::benchmarks::{run_variant, BenchInput, Variant};
+use dpopt::workloads::datasets::graphs::rmat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = BenchInput::Graph(rmat(10, 16, 42));
+    let timing = TimingParams::default();
+
+    let cdp = run_variant(&Bfs, Variant::Cdp(OptConfig::none()), &input)?;
+    let base = cdp.report.simulate(&timing).total_us;
+
+    let thresholds = [None, Some(1), Some(8), Some(64), Some(512), Some(4096), Some(32768)];
+    let granularities: Vec<(&str, Option<AggGranularity>)> = vec![
+        ("none", None),
+        ("block", Some(AggGranularity::Block)),
+        ("multi-block", Some(AggGranularity::MultiBlock(8))),
+        ("grid", Some(AggGranularity::Grid)),
+    ];
+
+    print!("{:>12}", "granularity");
+    for t in thresholds {
+        print!("{:>9}", t.map_or("none".into(), |v: i64| v.to_string()));
+    }
+    println!();
+
+    for (name, gran) in granularities {
+        print!("{name:>12}");
+        for threshold in thresholds {
+            let mut config = OptConfig::none().coarsen_factor(8);
+            if let Some(t) = threshold {
+                config = config.threshold(t);
+            }
+            if let Some(g) = gran {
+                config = config.aggregation(AggConfig::new(g));
+            }
+            let run = run_variant(&Bfs, Variant::Cdp(config), &input)?;
+            assert_eq!(run.output, cdp.output, "outputs must not change");
+            let speedup = base / run.report.simulate(&timing).total_us;
+            print!("{speedup:>9.2}");
+        }
+        println!();
+    }
+    println!("\n(speedup over plain CDP; rows = aggregation granularity, columns = threshold)");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # dpopt — optimizing GPU dynamic parallelism in the compiler
+//!
+//! A Rust reproduction of *"A Compiler Framework for Optimizing Dynamic
+//! Parallelism on GPUs"* (CGO 2022). The facade crate re-exports the
+//! workspace members; see the README for the architecture overview.
+//!
+//! - [`frontend`] — CUDA-subset lexer/parser/AST/printer
+//! - [`analysis`] — launch-site and transformability analyses
+//! - [`transform`] — thresholding, coarsening, aggregation passes
+//! - [`vm`] — functional GPU executor (bytecode VM with device-side launch)
+//! - [`sim`] — trace-driven GPU timing model
+//! - [`core`] — compiler + executor high-level API
+//! - [`workloads`] — datasets and the seven paper benchmarks
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dpopt::core::{Compiler, OptConfig};
+//!
+//! let source = r#"
+//! __global__ void child(int* data, int n) {
+//!     int i = blockIdx.x * blockDim.x + threadIdx.x;
+//!     if (i < n) { data[i] = data[i] + 1; }
+//! }
+//! __global__ void parent(int* data, int* offsets, int n) {
+//!     int v = blockIdx.x * blockDim.x + threadIdx.x;
+//!     if (v < n) {
+//!         int begin = offsets[v];
+//!         int count = offsets[v + 1] - begin;
+//!         child<<<(count + 31) / 32, 32>>>(data, count);
+//!     }
+//! }
+//! "#;
+//! let compiled = Compiler::new()
+//!     .config(OptConfig::all().threshold(64).coarsen_factor(4))
+//!     .compile(source)
+//!     .expect("compiles");
+//! assert!(compiled.transformed_source().contains("_THRESHOLD"));
+//! ```
+
+pub use dp_analysis as analysis;
+pub use dp_core as core;
+pub use dp_frontend as frontend;
+pub use dp_sim as sim;
+pub use dp_transform as transform;
+pub use dp_vm as vm;
+pub use dp_workloads as workloads;

@@ -1,0 +1,133 @@
+//! Property tests for the frontend: printer/parser round-trips and the
+//! ceiling-division extraction heuristic.
+
+use dpopt::frontend::parser::{parse_expr, parse_stmt};
+use dpopt::frontend::printer::{print_expr, print_stmt};
+use dpopt::frontend::visit::{walk_expr_mut, walk_stmt_exprs_mut, walk_stmt_mut};
+use dpopt::frontend::{Expr, Span, Stmt};
+use proptest::prelude::*;
+
+/// Strategy producing syntactically valid expression source strings.
+fn arb_expr_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| v.to_string()),
+        "[a-e]".prop_map(|s| s),
+        Just("threadIdx.x".to_string()),
+        Just("blockDim.x".to_string()),
+        Just("arr[i]".to_string()),
+        Just("1.5".to_string()),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} / ({b} + 1))")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} < {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} && {b})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| format!("({a} ? {b} : {c})")),
+            inner.clone().prop_map(|a| format!("-({a})")),
+            inner.clone().prop_map(|a| format!("f({a})")),
+            inner.clone().prop_map(|a| format!("(float)({a})")),
+            (inner.clone(), inner).prop_map(|(a, b)| format!("min({a}, {b})")),
+        ]
+    })
+}
+
+fn strip_expr(e: &mut Expr) {
+    walk_expr_mut(e, &mut |x| {
+        x.span = Span::SYNTH;
+    });
+}
+
+fn strip_stmt(s: &mut Stmt) {
+    walk_stmt_mut(s, &mut |x| x.span = Span::SYNTH);
+    walk_stmt_exprs_mut(s, &mut |x| x.span = Span::SYNTH);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse ∘ print ∘ parse is the identity on expression ASTs.
+    #[test]
+    fn expr_print_parse_round_trip(src in arb_expr_src()) {
+        let mut first = parse_expr(&src).expect("generated source parses");
+        let printed = print_expr(&first);
+        let mut second = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        strip_expr(&mut first);
+        strip_expr(&mut second);
+        prop_assert_eq!(first, second, "round trip changed `{}`", printed);
+    }
+
+    /// Statement-level round trip via assignment statements.
+    #[test]
+    fn stmt_print_parse_round_trip(src in arb_expr_src()) {
+        let stmt_src = format!("x = {src};");
+        let mut first = parse_stmt(&stmt_src).expect("generated statement parses");
+        let mut printed = String::new();
+        print_stmt(&mut printed, &first, 0);
+        let mut second = parse_stmt(printed.trim()).expect("printed statement re-parses");
+        strip_stmt(&mut first);
+        strip_stmt(&mut second);
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// Strategy for `N` subexpressions the extractor must recover: sums and
+/// differences of identifiers, array loads, and calls (no bare literals —
+/// those are indistinguishable from the pattern's own constants).
+fn arb_n_src() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("n".to_string()),
+        Just("offsets[v + 1] - offsets[v]".to_string()),
+        Just("degree(v)".to_string()),
+        Just("count * 2".to_string()),
+        Just("numEdges - numDone".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every Fig. 4 pattern shape yields the planted `N` back.
+    #[test]
+    fn ceiling_division_extraction_recovers_n(
+        n in arb_n_src(),
+        b in prop_oneof![Just("32".to_string()), Just("128".to_string()), Just("bs".to_string())],
+        form in 0usize..5,
+    ) {
+        let grid = match form {
+            0 => format!("({n} - 1) / {b} + 1"),
+            1 => format!("({n} + {b} - 1) / {b}"),
+            2 => format!("({n}) / {b} + (({n}) % {b} == 0 ? 0 : 1)"),
+            3 => format!("ceil((float)({n}) / {b})"),
+            _ => format!("ceil(({n}) / (float){b})"),
+        };
+        let launch = parse_stmt(&format!("k<<<{grid}, {b}>>>(x);")).unwrap();
+        let mut block = vec![launch];
+        let tc = dpopt::analysis::extract_thread_count(&mut block, 0, "_t")
+            .unwrap_or_else(|| panic!("pattern not recognized: {grid}"));
+        // The extracted N prints back to the planted expression (modulo
+        // parentheses the generator added).
+        let printed = print_expr(&tc.n);
+        let mut expected = parse_expr(&n).unwrap();
+        let mut got = parse_expr(&printed).unwrap();
+        strip_expr(&mut expected);
+        strip_expr(&mut got);
+        prop_assert_eq!(expected, got, "extracted `{}` from `{}`", printed, grid);
+    }
+
+    /// Extraction failure never mutates the launch statement.
+    #[test]
+    fn failed_extraction_is_nondestructive(src in arb_expr_src()) {
+        // Multiplicative grids are not ceiling divisions.
+        let launch_src = format!("k<<<({src}) * 7, 32>>>(x);");
+        let Ok(launch) = parse_stmt(&launch_src) else { return Ok(()); };
+        let mut block = vec![launch.clone()];
+        if dpopt::analysis::extract_thread_count(&mut block, 0, "_t").is_none() {
+            prop_assert_eq!(&block[0], &launch);
+        }
+    }
+}
