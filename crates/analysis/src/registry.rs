@@ -133,7 +133,10 @@ void host_main(int* d, int n) {
         let g = call_graph(&p);
         assert!(g["chain"].contains("helper"));
         assert!(g["child"].contains("chain"));
-        assert!(!g["child"].contains("helper"), "transitive edge should be absent");
+        assert!(
+            !g["child"].contains("helper"),
+            "transitive edge should be absent"
+        );
         // Launches are not call edges.
         assert!(g["parent"].is_empty());
     }

@@ -134,7 +134,9 @@ fn extract_via_variable(
 /// Finds the last statement before `before` that defines `var` (declaration
 /// initializer or simple assignment at block level).
 fn find_last_def(block: &[Stmt], before: usize, var: &str) -> Option<usize> {
-    (0..before).rev().find(|&i| def_expr_of(&block[i], var).is_some())
+    (0..before)
+        .rev()
+        .find(|&i| def_expr_of(&block[i], var).is_some())
 }
 
 fn def_expr_of<'s>(stmt: &'s Stmt, var: &str) -> Option<&'s Expr> {
@@ -368,7 +370,9 @@ pub fn structurally_eq(a: &Expr, b: &Expr) -> bool {
             structurally_eq(c1, c2) && structurally_eq(t1, t2) && structurally_eq(e1, e2)
         }
         (Call(n1, a1), Call(n2, a2)) => {
-            n1 == n2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| structurally_eq(x, y))
+            n1 == n2
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2).all(|(x, y)| structurally_eq(x, y))
         }
         (Index(b1, i1), Index(b2, i2)) => structurally_eq(b1, b2) && structurally_eq(i1, i2),
         (Member(b1, f1), Member(b2, f2)) => f1 == f2 && structurally_eq(b1, b2),

@@ -45,7 +45,10 @@ impl fmt::Display for Blocker {
                 write!(f, "declares __shared__ memory in `{in_function}`")
             }
             Blocker::MissingDefinition { kernel } => {
-                write!(f, "kernel `{kernel}` is not defined in this translation unit")
+                write!(
+                    f,
+                    "kernel `{kernel}` is not defined in this translation unit"
+                )
             }
         }
     }
@@ -171,7 +174,9 @@ mod tests {
         .unwrap();
         let b = serialization_blockers(&p, "c");
         assert_eq!(b.len(), 1);
-        assert!(matches!(&b[0], Blocker::SyncIntrinsic { in_function, .. } if in_function == "helper"));
+        assert!(
+            matches!(&b[0], Blocker::SyncIntrinsic { in_function, .. } if in_function == "helper")
+        );
     }
 
     #[test]

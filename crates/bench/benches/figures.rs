@@ -66,5 +66,10 @@ fn bench_fig12_road(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig9_cell, bench_fig10_breakdown, bench_fig12_road);
+criterion_group!(
+    benches,
+    bench_fig9_cell,
+    bench_fig10_breakdown,
+    bench_fig12_road
+);
 criterion_main!(benches);

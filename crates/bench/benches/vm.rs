@@ -63,5 +63,10 @@ fn bench_dynamic_launch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_alu_loop, bench_atomic_contention, bench_dynamic_launch);
+criterion_group!(
+    benches,
+    bench_alu_loop,
+    bench_atomic_contention,
+    bench_dynamic_launch
+);
 criterion_main!(benches);

@@ -62,7 +62,7 @@ pub fn autotune(
 ) -> AutotuneResult {
     assert!(budget > 0, "autotune needs at least one evaluation");
     let mut history: Vec<Evaluation> = Vec::new();
-    let mut evaluate = |t: Tuned, history: &mut Vec<Evaluation>| -> f64 {
+    let evaluate = |t: Tuned, history: &mut Vec<Evaluation>| -> f64 {
         // Reuse previous evaluations of identical configurations.
         if let Some(e) = history.iter().find(|e| {
             e.tuned.threshold == t.threshold

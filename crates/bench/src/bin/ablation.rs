@@ -20,10 +20,9 @@
 use dp_bench::Harness;
 use dp_core::{Compiler, OptConfig, TimingParams};
 use dp_vm::bytecode::CostModel;
-use dp_workloads::benchmarks::{BenchInput, Benchmark};
 use dp_workloads::benchmarks::bfs::Bfs;
+use dp_workloads::benchmarks::{BenchInput, Benchmark};
 use dp_workloads::datasets::DatasetId;
-
 
 fn main() {
     let harness = Harness::default();
@@ -47,8 +46,14 @@ fn main() {
         base.simulate(params).total_us / r.simulate(params).total_us
     };
     println!("## 1. launch-pipe congestion (BFS/KRON, No CDP speedup over CDP)");
-    println!("   with congestion model : {:.2}x", ratio(&cdp, &normal, &no_cdp).recip());
-    println!("   pipe service zeroed   : {:.2}x", ratio(&cdp, &no_pipe, &no_cdp).recip());
+    println!(
+        "   with congestion model : {:.2}x",
+        ratio(&cdp, &normal, &no_cdp).recip()
+    );
+    println!(
+        "   pipe service zeroed   : {:.2}x",
+        ratio(&cdp, &no_pipe, &no_cdp).recip()
+    );
     println!("   -> congestion is what makes plain CDP pathological\n");
 
     // ------------------------------------------------------------------
@@ -65,20 +70,31 @@ fn main() {
     let road_no_cdp_nop = run_no_cdp(&Bfs, &road, &cost_no_presence);
     // Compare pure device work (the host launch/sync timeline is identical
     // for both versions, so total time dilutes the per-thread effect).
-    let work = |r: &dp_core::RunReport| {
-        r.trace.origin_cycles().total() as f64
-    };
+    let work = |r: &dp_core::RunReport| r.trace.origin_cycles().total() as f64;
     let t_gap = work(&road_t) / work(&road_no_cdp);
     let t_gap_nop = work(&road_t_nop) / work(&road_no_cdp_nop);
     println!("## 2. launch-presence overhead (BFS/road, fully-thresholded CDP vs No CDP)");
-    println!("   with presence overhead: CDP+T executes {:.3}x the device cycles of No CDP", t_gap);
-    println!("   overhead zeroed       : CDP+T executes {:.3}x the device cycles of No CDP", t_gap_nop);
-    println!("   -> the overhead (plus the threshold checks) is the Fig. 12 gap that never closes\n");
+    println!(
+        "   with presence overhead: CDP+T executes {:.3}x the device cycles of No CDP",
+        t_gap
+    );
+    println!(
+        "   overhead zeroed       : CDP+T executes {:.3}x the device cycles of No CDP",
+        t_gap_nop
+    );
+    println!(
+        "   -> the overhead (plus the threshold checks) is the Fig. 12 gap that never closes\n"
+    );
 
     // ------------------------------------------------------------------
     // 3. Divergence (warp-max) accounting.
     // ------------------------------------------------------------------
-    let moderate = run(&Bfs, OptConfig::none().threshold(128), &kron, &CostModel::default());
+    let moderate = run(
+        &Bfs,
+        OptConfig::none().threshold(128),
+        &kron,
+        &CostModel::default(),
+    );
     let excessive = run(&Bfs, huge_threshold, &kron, &CostModel::default());
     let max_deg = degrade(&moderate, &excessive, &normal, false);
     let avg_deg = degrade(&moderate, &excessive, &normal, true);
@@ -89,12 +105,7 @@ fn main() {
 }
 
 /// Runs BFS under `config` with a custom VM cost model, returning the report.
-fn run(
-    bench: &Bfs,
-    config: OptConfig,
-    input: &BenchInput,
-    cost: &CostModel,
-) -> dp_core::RunReport {
+fn run(bench: &Bfs, config: OptConfig, input: &BenchInput, cost: &CostModel) -> dp_core::RunReport {
     let compiled = Compiler::new()
         .config(config)
         .cost_model(cost.clone())

@@ -17,8 +17,18 @@ fn main() {
     } else {
         println!("# Fig. 10 — execution-time breakdown, normalized to KLAP (CDP+A) total");
         println!("# scale={} seed={}", harness.scale, harness.seed);
-        let header = ["benchmark", "dataset", "variant", "parent", "child", "launch", "agg", "disagg", "total"]
-            .map(String::from);
+        let header = [
+            "benchmark",
+            "dataset",
+            "variant",
+            "parent",
+            "child",
+            "launch",
+            "agg",
+            "disagg",
+            "total",
+        ]
+        .map(String::from);
         println!("{}", row(&header, &WIDTHS));
     }
 
@@ -26,7 +36,10 @@ fn main() {
         let t = tuned_for(bench.name());
         let agg = AggConfig::new(t.granularity);
         let variants: Vec<(&'static str, Variant)> = vec![
-            ("KLAP (CDP+A)", Variant::Cdp(OptConfig::none().aggregation(agg))),
+            (
+                "KLAP (CDP+A)",
+                Variant::Cdp(OptConfig::none().aggregation(agg)),
+            ),
             (
                 "CDP+T+A",
                 Variant::Cdp(OptConfig::none().threshold(t.threshold).aggregation(agg)),
@@ -42,7 +55,10 @@ fn main() {
             ),
         ];
         for dataset in datasets_for(bench.name()) {
-            let input = dataset.instantiate(dp_bench::scale_for(bench.name(), harness.scale), harness.seed);
+            let input = dataset.instantiate(
+                dp_bench::scale_for(bench.name(), harness.scale),
+                harness.seed,
+            );
             eprintln!("[fig10] {} / {}", bench.name(), dataset.name());
             let cells = run_series(bench.as_ref(), &input, &variants, &harness.timing);
             let base_total = cells[0]

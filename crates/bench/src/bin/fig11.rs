@@ -69,11 +69,17 @@ fn main() {
         // scale (the paper notes smaller datasets show the same trends).
         let sweep_scale = dp_bench::scale_for(bench.name(), harness.scale * 0.4);
         let input = dataset.instantiate(sweep_scale, harness.seed);
-        eprintln!("[fig11] {} / {} (cfactor {})", bench.name(), dataset.name(), tuned.cfactor);
+        eprintln!(
+            "[fig11] {} / {} (cfactor {})",
+            bench.name(),
+            dataset.name(),
+            tuned.cfactor
+        );
 
         // Build the sweep as one series (verifies all outputs too).
         let mut labels: Vec<String> = Vec::new();
-        let mut variants: Vec<(&'static str, Variant)> = vec![("CDP", Variant::Cdp(OptConfig::none()))];
+        let mut variants: Vec<(&'static str, Variant)> =
+            vec![("CDP", Variant::Cdp(OptConfig::none()))];
         labels.push("CDP".to_string());
         let mut keys: Vec<(String, Option<i64>)> = vec![("baseline".into(), None)];
         for (gname, gran) in granularities() {
@@ -96,10 +102,19 @@ fn main() {
         }
         let cells = run_series(bench.as_ref(), &input, &variants, &harness.timing);
         let base = cells[0].time_us;
-        assert!(cells.iter().all(|c| c.verified), "{}: outputs diverged", bench.name());
+        assert!(
+            cells.iter().all(|c| c.verified),
+            "{}: outputs diverged",
+            bench.name()
+        );
 
         if !csv {
-            println!("\n## {} ({}) — speedup over CDP, coarsening factor {}", bench.name(), dataset.name(), tuned.cfactor);
+            println!(
+                "\n## {} ({}) — speedup over CDP, coarsening factor {}",
+                bench.name(),
+                dataset.name(),
+                tuned.cfactor
+            );
             let mut header = vec!["granularity".to_string()];
             header.extend(THRESHOLDS.iter().map(|t| fmt_threshold(*t)));
             println!("{}", row(&header, &W));
@@ -120,7 +135,13 @@ fn main() {
                     fixed128.push(speedup);
                 }
                 if csv {
-                    println!("{},{},{},{:.3}", bench.name(), gname, fmt_threshold(threshold), speedup);
+                    println!(
+                        "{},{},{},{:.3}",
+                        bench.name(),
+                        gname,
+                        fmt_threshold(threshold),
+                        speedup
+                    );
                 } else {
                     cols.push(format!("{speedup:.2}"));
                 }

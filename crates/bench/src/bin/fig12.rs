@@ -41,7 +41,11 @@ fn main() {
         }
         let variants = fig9_variants(tuned_for(bench.name()));
         let cells = run_series(bench.as_ref(), &input, &variants, &harness.timing);
-        assert!(cells.iter().all(|c| c.verified), "{}: outputs diverged", bench.name());
+        assert!(
+            cells.iter().all(|c| c.verified),
+            "{}: outputs diverged",
+            bench.name()
+        );
         let speedups = speedups_over(&cells, "CDP");
         for (i, (_, s)) in speedups.iter().enumerate() {
             per_label[i].push(*s);

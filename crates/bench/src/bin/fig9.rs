@@ -34,7 +34,10 @@ fn main() {
         let tuned = tuned_for(bench.name());
         let variants = fig9_variants(tuned);
         for dataset in datasets_for(bench.name()) {
-            let input = dataset.instantiate(dp_bench::scale_for(bench.name(), harness.scale), harness.seed);
+            let input = dataset.instantiate(
+                dp_bench::scale_for(bench.name(), harness.scale),
+                harness.seed,
+            );
             eprintln!(
                 "[fig9] {} / {} ({})",
                 bench.name(),
@@ -82,11 +85,21 @@ fn main() {
     let klap = geomean(&per_label[idx("KLAP (CDP+A)")]);
     println!();
     println!("CDP+T+C+A over CDP     : {full:.1}x   (paper: 43.0x)");
-    println!("CDP+T+C+A over No CDP  : {:.1}x   (paper: 8.7x)", full / no_cdp);
-    println!("CDP+T+C+A over KLAP    : {:.1}x   (paper: 3.6x)", full / klap);
+    println!(
+        "CDP+T+C+A over No CDP  : {:.1}x   (paper: 8.7x)",
+        full / no_cdp
+    );
+    println!(
+        "CDP+T+C+A over KLAP    : {:.1}x   (paper: 3.6x)",
+        full / klap
+    );
     println!(
         "output verification     : {}",
-        if all_verified { "all variants match" } else { "MISMATCH (see stderr)" }
+        if all_verified {
+            "all variants match"
+        } else {
+            "MISMATCH (see stderr)"
+        }
     );
 }
 

@@ -8,7 +8,10 @@ use dp_workloads::{all_benchmarks, datasets_for, describe, DatasetId};
 
 fn main() {
     let harness = Harness::default();
-    println!("# Table I — benchmarks and datasets (scale={})", harness.scale);
+    println!(
+        "# Table I — benchmarks and datasets (scale={})",
+        harness.scale
+    );
     println!();
     println!("{:<10} {:<12} generated instance", "benchmark", "dataset");
     for bench in all_benchmarks() {

@@ -1,0 +1,217 @@
+//! `vmbench` — tracked interpreter-throughput benchmark for the GPU VM.
+//!
+//! Runs BFS- and Bézier-style workloads (plus a synthetic ALU loop) through
+//! the execution machine twice per workload:
+//!
+//! - **baseline**: superinstruction fusion off, per-block state pooling off
+//!   — the dispatch behavior of the pre-overhaul interpreter;
+//! - **optimized**: fusion + arena reuse on — the default configuration.
+//!
+//! Both runs execute the *same original instruction stream* (fusion is
+//! accounting-transparent), so instructions/second are directly comparable
+//! and the speedup is pure interpreter overhead removed. Each configuration
+//! runs `reps` times and the best (minimum) wall time is reported, which is
+//! the standard way to suppress scheduler noise for single-threaded
+//! CPU-bound loops.
+//!
+//! Results are printed as a table and written to `BENCH_vm.json` at the
+//! repo root so future changes can track the interpreter's perf trajectory.
+//! Environment knobs: `DPOPT_VMBENCH_REPS` (default 5),
+//! `DPOPT_VMBENCH_SCALE` (workload size multiplier, default 1.0).
+
+use dp_core::{Compiler, OptConfig};
+use dp_frontend::parse;
+use dp_vm::lower::{compile_program_with, LowerOptions};
+use dp_vm::{Machine, Value};
+use dp_workloads::benchmarks::{bfs::Bfs, bt::Bt, BenchInput, Benchmark};
+use dp_workloads::datasets::bezier::bezier_lines;
+use dp_workloads::datasets::graphs::rmat;
+use std::time::Instant;
+
+struct Measurement {
+    wall_s: f64,
+    instructions: u64,
+}
+
+impl Measurement {
+    fn instr_per_sec(&self) -> f64 {
+        self.instructions as f64 / self.wall_s
+    }
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    baseline: Measurement,
+    optimized: Measurement,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        self.baseline.wall_s / self.optimized.wall_s
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn best_of<F: FnMut() -> u64>(reps: usize, mut run: F) -> Measurement {
+    let mut best = f64::INFINITY;
+    let mut instructions = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let instrs = run();
+        let elapsed = start.elapsed().as_secs_f64();
+        if instructions == 0 {
+            instructions = instrs;
+        } else {
+            assert_eq!(instructions, instrs, "instruction count must be stable");
+        }
+        best = best.min(elapsed);
+    }
+    Measurement {
+        wall_s: best,
+        instructions,
+    }
+}
+
+/// One benchmark-driver workload measured under one VM configuration.
+fn run_benchmark(
+    bench: &dyn Benchmark,
+    input: &BenchInput,
+    optimized: bool,
+    reps: usize,
+) -> Measurement {
+    let compiled = Compiler::new()
+        .config(OptConfig::none())
+        .fusion(optimized)
+        .compile(bench.cdp_source())
+        .expect("benchmark source compiles");
+    best_of(reps, || {
+        let mut exec = compiled.executor();
+        exec.machine_mut().set_state_reuse(optimized);
+        bench.run(&mut exec, input).expect("benchmark runs");
+        exec.stats().instructions
+    })
+}
+
+/// The synthetic ALU/loop kernel measured under one VM configuration.
+fn run_alu_loop(optimized: bool, iters: i64, reps: usize) -> Measurement {
+    let src = "__global__ void k(int* out, int n) { \
+                   int s = 0; \
+                   for (int i = 0; i < n; ++i) { s = s + i * 3 - (s >> 1); } \
+                   out[threadIdx.x] = s; }";
+    let program = parse(src).expect("kernel parses");
+    let module =
+        compile_program_with(&program, LowerOptions { fuse: optimized }).expect("kernel compiles");
+    best_of(reps, || {
+        let mut m = Machine::new(module.clone());
+        m.set_state_reuse(optimized);
+        let buf = m.alloc(64);
+        m.launch_host("k", 4, 64, &[Value::Int(buf), Value::Int(iters)])
+            .expect("launch");
+        m.run_to_quiescence().expect("run");
+        m.stats().instructions
+    })
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Workload names are static identifiers; keep the writer honest anyway.
+    assert!(name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+    name
+}
+
+fn write_json(path: &std::path::Path, results: &[WorkloadResult]) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"benchmark\": \"vmbench\",\n  \"unit\": \"instructions_per_second\",\n  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"instructions\": {},\n",
+                "      \"baseline\": {{ \"wall_s\": {:.6}, \"instr_per_sec\": {:.1} }},\n",
+                "      \"optimized\": {{ \"wall_s\": {:.6}, \"instr_per_sec\": {:.1} }},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}{}\n"
+            ),
+            json_escape_free(r.name),
+            r.baseline.instructions,
+            r.baseline.wall_s,
+            r.baseline.instr_per_sec(),
+            r.optimized.wall_s,
+            r.optimized.instr_per_sec(),
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let reps = env_f64("DPOPT_VMBENCH_REPS", 5.0) as usize;
+    let scale = env_f64("DPOPT_VMBENCH_SCALE", 1.0);
+
+    // BFS over a heavy-tailed R-MAT graph: branchy, memory- and
+    // atomic-heavy, lots of device-side launches.
+    let bfs_input = BenchInput::Graph(rmat((10.0 + scale.log2()).round().max(6.0) as u32, 8, 42));
+    // Bézier tessellation: float-dominated with per-line child kernels.
+    let bt_input = BenchInput::Bezier(bezier_lines((600.0 * scale) as usize, 32, 16.0, 42));
+    let alu_iters = (20_000.0 * scale) as i64;
+
+    let mut results = Vec::new();
+    for (name, baseline, optimized) in [
+        (
+            "bfs-rmat",
+            run_benchmark(&Bfs, &bfs_input, false, reps),
+            run_benchmark(&Bfs, &bfs_input, true, reps),
+        ),
+        (
+            "bezier-tess",
+            run_benchmark(&Bt, &bt_input, false, reps),
+            run_benchmark(&Bt, &bt_input, true, reps),
+        ),
+        (
+            "alu-loop",
+            run_alu_loop(false, alu_iters, reps),
+            run_alu_loop(true, alu_iters, reps),
+        ),
+    ] {
+        assert_eq!(
+            baseline.instructions, optimized.instructions,
+            "{name}: fusion must not change the original instruction count"
+        );
+        results.push(WorkloadResult {
+            name,
+            baseline,
+            optimized,
+        });
+    }
+
+    println!(
+        "{:<14} {:>14} {:>12} {:>12} {:>16} {:>16} {:>9}",
+        "workload", "instructions", "base ms", "opt ms", "base instr/s", "opt instr/s", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<14} {:>14} {:>12.2} {:>12.2} {:>16.3e} {:>16.3e} {:>8.2}x",
+            r.name,
+            r.baseline.instructions,
+            r.baseline.wall_s * 1e3,
+            r.optimized.wall_s * 1e3,
+            r.baseline.instr_per_sec(),
+            r.optimized.instr_per_sec(),
+            r.speedup()
+        );
+    }
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_vm.json");
+    write_json(&path, &results).expect("write BENCH_vm.json");
+    let shown = path.canonicalize().unwrap_or(path);
+    println!("\nwrote {}", shown.display());
+}

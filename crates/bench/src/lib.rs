@@ -119,9 +119,18 @@ pub fn fig9_variants(t: Tuned) -> Vec<(&'static str, Variant)> {
     vec![
         ("No CDP", Variant::NoCdp),
         ("CDP", Variant::Cdp(OptConfig::none())),
-        ("KLAP (CDP+A)", Variant::Cdp(OptConfig::none().aggregation(agg))),
-        ("CDP+T", Variant::Cdp(OptConfig::none().threshold(t.threshold))),
-        ("CDP+C", Variant::Cdp(OptConfig::none().coarsen_factor(t.cfactor))),
+        (
+            "KLAP (CDP+A)",
+            Variant::Cdp(OptConfig::none().aggregation(agg)),
+        ),
+        (
+            "CDP+T",
+            Variant::Cdp(OptConfig::none().threshold(t.threshold)),
+        ),
+        (
+            "CDP+C",
+            Variant::Cdp(OptConfig::none().coarsen_factor(t.cfactor)),
+        ),
         (
             "CDP+T+C",
             Variant::Cdp(

@@ -7,7 +7,8 @@ fn dpopt() -> Command {
 }
 
 fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("dpopt-cli-test-{name}-{}.cu", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("dpopt-cli-test-{name}-{}.cu", std::process::id()));
     std::fs::write(&path, content).unwrap();
     path
 }
@@ -45,10 +46,21 @@ fn transform_all_passes_to_stdout() {
     let input = write_temp("all", EXAMPLE);
     let out = dpopt()
         .args(["transform", input.to_str().unwrap()])
-        .args(["--threshold", "64", "--coarsen", "4", "--agg", "multiblock:8"])
+        .args([
+            "--threshold",
+            "64",
+            "--coarsen",
+            "4",
+            "--agg",
+            "multiblock:8",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("#define _THRESHOLD 64"));
     assert!(text.contains("#define _CFACTOR 4"));
@@ -77,7 +89,10 @@ fn transform_writes_output_file() {
 #[test]
 fn info_reports_launch_sites() {
     let input = write_temp("info", EXAMPLE);
-    let out = dpopt().args(["info", input.to_str().unwrap()]).output().unwrap();
+    let out = dpopt()
+        .args(["info", input.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("parent -> child (device)"));

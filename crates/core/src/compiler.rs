@@ -7,7 +7,7 @@ use dp_frontend::ast::Program;
 use dp_frontend::printer::print_program;
 use dp_transform::{apply_pipeline, OptConfig, TransformManifest};
 use dp_vm::bytecode::{CostModel, Module};
-use dp_vm::lower::compile_program;
+use dp_vm::lower::{compile_program_with, LowerOptions};
 use dp_vm::machine::ExecLimits;
 
 /// Compiles CUDA-subset source with a chosen optimization configuration.
@@ -25,11 +25,18 @@ use dp_vm::machine::ExecLimits;
 ///     .unwrap();
 /// assert!(compiled.transformed_source().contains("_THRESHOLD"));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Compiler {
     config: OptConfig,
     cost: CostModel,
     limits: ExecLimits,
+    lower: LowerOptions,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
 }
 
 impl Compiler {
@@ -39,12 +46,22 @@ impl Compiler {
             config: OptConfig::none(),
             cost: CostModel::default(),
             limits: ExecLimits::default(),
+            lower: LowerOptions::default(),
         }
     }
 
     /// Sets the optimization configuration.
     pub fn config(mut self, config: OptConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Enables or disables the VM's superinstruction-fusion pass (on by
+    /// default). Fusion is accounting-transparent — traces, statistics, and
+    /// origin attribution are identical either way — so disabling it is only
+    /// useful as the baseline when benchmarking the interpreter itself.
+    pub fn fusion(mut self, on: bool) -> Self {
+        self.lower.fuse = on;
         self
     }
 
@@ -70,7 +87,7 @@ impl Compiler {
         let mut program = dp_frontend::parse(source)?;
         let manifest = apply_pipeline(&mut program, &self.config);
         let transformed_source = print_program(&program);
-        let module = compile_program(&program)?;
+        let module = compile_program_with(&program, self.lower)?;
         Ok(Compiled {
             program,
             transformed_source,

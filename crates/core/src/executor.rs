@@ -227,9 +227,9 @@ impl Executor {
             args.push(Value::Int(agg.scan_ptr));
             args.push(Value::Int(agg.barr_ptr));
             args.push(Value::Int(num_parents));
-            let gid =
-                self.machine
-                    .launch_host(&agg.agg_kernel, total_blocks, max_bdim, &args)?;
+            let gid = self
+                .machine
+                .launch_host(&agg.agg_kernel, total_blocks, max_bdim, &args)?;
             self.host_events.push(HostEvent::AggLaunch(gid));
             self.machine.run_to_quiescence()?;
             self.host_events.push(HostEvent::Sync);
@@ -293,7 +293,11 @@ __global__ void parent(int* d, int* offsets, int numV) {
             "parent",
             2,
             4,
-            &[Value::Int(d), Value::Int(offs), Value::Int(degrees.len() as i64)],
+            &[
+                Value::Int(d),
+                Value::Int(offs),
+                Value::Int(degrees.len() as i64),
+            ],
         )
         .unwrap();
         exec.sync().unwrap();
@@ -334,9 +338,8 @@ __global__ void parent(int* d, int* offsets, int numV) {
 
     #[test]
     fn aggregation_block_granularity_is_correct() {
-        let (out, report) = run(
-            OptConfig::none().aggregation(AggConfig::new(AggGranularity::Block)),
-        );
+        let (out, report) =
+            run(OptConfig::none().aggregation(AggConfig::new(AggGranularity::Block)));
         assert_eq!(out, expected());
         // One aggregated launch per parent block (both blocks have
         // participants: block 0 hosts v0..3, block 1 hosts v4..5).
@@ -351,9 +354,8 @@ __global__ void parent(int* d, int* offsets, int numV) {
 
     #[test]
     fn aggregation_multiblock_granularity_is_correct() {
-        let (out, report) = run(
-            OptConfig::none().aggregation(AggConfig::new(AggGranularity::MultiBlock(2))),
-        );
+        let (out, report) =
+            run(OptConfig::none().aggregation(AggConfig::new(AggGranularity::MultiBlock(2))));
         assert_eq!(out, expected());
         // Both parent blocks fall into one group: a single aggregated launch.
         assert_eq!(report.stats.device_launches, 1);
@@ -361,7 +363,8 @@ __global__ void parent(int* d, int* offsets, int numV) {
 
     #[test]
     fn aggregation_grid_granularity_launches_from_host() {
-        let (out, report) = run(OptConfig::none().aggregation(AggConfig::new(AggGranularity::Grid)));
+        let (out, report) =
+            run(OptConfig::none().aggregation(AggConfig::new(AggGranularity::Grid)));
         assert_eq!(out, expected());
         assert_eq!(report.stats.device_launches, 0);
         assert!(report
@@ -384,12 +387,10 @@ __global__ void parent(int* d, int* offsets, int numV) {
 
     #[test]
     fn full_pipeline_is_correct() {
-        let (out, report) = run(
-            OptConfig::none()
-                .threshold(32)
-                .coarsen_factor(4)
-                .aggregation(AggConfig::new(AggGranularity::MultiBlock(2))),
-        );
+        let (out, report) = run(OptConfig::none()
+            .threshold(32)
+            .coarsen_factor(4)
+            .aggregation(AggConfig::new(AggGranularity::MultiBlock(2))));
         assert_eq!(out, expected());
         // Two surviving launches aggregated into one.
         assert_eq!(report.stats.device_launches, 1);
@@ -414,14 +415,26 @@ __global__ void parent(int* d, int* offsets, int numV) {
         let d = exec.alloc(8);
         let offs = exec.alloc_i64s(&[0, 4, 8]);
         for _ in 0..3 {
-            exec.launch("parent", 1, 2, &[Value::Int(d), Value::Int(offs), Value::Int(2)])
-                .unwrap();
+            exec.launch(
+                "parent",
+                1,
+                2,
+                &[Value::Int(d), Value::Int(offs), Value::Int(2)],
+            )
+            .unwrap();
             exec.sync().unwrap();
         }
         let out = exec.read_i64s(d, 8).unwrap();
         // Both vertices have degree 4, so each round adds 2 to d[0..4).
-        assert_eq!(out, vec![6, 6, 6, 6, 0, 0, 0, 0], "three rounds of increments");
+        assert_eq!(
+            out,
+            vec![6, 6, 6, 6, 0, 0, 0, 0],
+            "three rounds of increments"
+        );
         let mem_used = exec.machine_mut().mem.allocated_words();
-        assert!(mem_used < 10_000, "buffers must be reused: {mem_used} words");
+        assert!(
+            mem_used < 10_000,
+            "buffers must be reused: {mem_used} words"
+        );
     }
 }

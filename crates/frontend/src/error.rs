@@ -59,7 +59,11 @@ impl fmt::Display for ParseError {
         if self.span.is_synthetic() {
             write!(f, "parse error: {}", self.message)
         } else {
-            write!(f, "parse error at byte {}: {}", self.span.start, self.message)
+            write!(
+                f,
+                "parse error at byte {}: {}",
+                self.span.start, self.message
+            )
         }
     }
 }

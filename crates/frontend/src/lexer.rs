@@ -218,7 +218,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn skip_int_suffix(&mut self) {
-        while matches!(self.peek(), Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')) {
+        while matches!(
+            self.peek(),
+            Some(b'u') | Some(b'U') | Some(b'l') | Some(b'L')
+        ) {
             self.pos += 1;
         }
     }
@@ -501,7 +504,10 @@ mod tests {
     #[test]
     fn directive_with_continuation() {
         let toks = kinds("#define M(a) \\\n  (a + 1)\nx");
-        assert_eq!(toks[0], TokenKind::Directive("#define M(a)   (a + 1)".into()));
+        assert_eq!(
+            toks[0],
+            TokenKind::Directive("#define M(a)   (a + 1)".into())
+        );
         assert_eq!(toks[1], TokenKind::Ident("x".into()));
     }
 

@@ -83,7 +83,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -331,7 +333,10 @@ impl Parser {
             TokenKind::Punct(Punct::LBrace) => {
                 self.bump();
                 let stmts = self.block_body()?;
-                Ok(Stmt::new(StmtKind::Block(stmts), start.join(self.prev_span())))
+                Ok(Stmt::new(
+                    StmtKind::Block(stmts),
+                    start.join(self.prev_span()),
+                ))
             }
             TokenKind::Punct(Punct::Semi) => {
                 self.bump();
@@ -350,7 +355,10 @@ impl Parser {
                     self.expect_punct(Punct::Semi)?;
                     Some(e)
                 };
-                Ok(Stmt::new(StmtKind::Return(value), start.join(self.prev_span())))
+                Ok(Stmt::new(
+                    StmtKind::Return(value),
+                    start.join(self.prev_span()),
+                ))
             }
             TokenKind::Keyword(Keyword::Break) => {
                 self.bump();
@@ -365,7 +373,9 @@ impl Parser {
             TokenKind::Keyword(Keyword::Shared) | TokenKind::Keyword(Keyword::Const) => {
                 self.decl_stmt(start)
             }
-            TokenKind::Keyword(Keyword::Dim3) if self.peek_at(1) == &TokenKind::Punct(Punct::LParen) => {
+            TokenKind::Keyword(Keyword::Dim3)
+                if self.peek_at(1) == &TokenKind::Punct(Punct::LParen) =>
+            {
                 // `dim3(...)` used as an expression statement (rare).
                 self.expr_stmt(start)
             }
@@ -380,13 +390,19 @@ impl Parser {
     fn expr_stmt(&mut self, start: Span) -> Result<Stmt> {
         let expr = self.expr()?;
         self.expect_punct(Punct::Semi)?;
-        Ok(Stmt::new(StmtKind::Expr(expr), start.join(self.prev_span())))
+        Ok(Stmt::new(
+            StmtKind::Expr(expr),
+            start.join(self.prev_span()),
+        ))
     }
 
     fn decl_stmt(&mut self, start: Span) -> Result<Stmt> {
         let decl = self.var_decl()?;
         self.expect_punct(Punct::Semi)?;
-        Ok(Stmt::new(StmtKind::Decl(decl), start.join(self.prev_span())))
+        Ok(Stmt::new(
+            StmtKind::Decl(decl),
+            start.join(self.prev_span()),
+        ))
     }
 
     /// Parses a declaration without the trailing `;` (shared with for-init).
@@ -1128,8 +1144,8 @@ mod tests {
 
     #[test]
     fn unsigned_long_long_type() {
-        let p = parse("__device__ unsigned long long f(unsigned long long x) { return x; }")
-            .unwrap();
+        let p =
+            parse("__device__ unsigned long long f(unsigned long long x) { return x; }").unwrap();
         let f = p.function("f").unwrap();
         assert_eq!(f.ret, Type::ULong);
         assert_eq!(f.params[0].ty, Type::ULong);
@@ -1137,8 +1153,8 @@ mod tests {
 
     #[test]
     fn defines_and_directives() {
-        let p = parse("#include <cuda.h>\n#define _THRESHOLD 128\n__global__ void k() { }")
-            .unwrap();
+        let p =
+            parse("#include <cuda.h>\n#define _THRESHOLD 128\n__global__ void k() { }").unwrap();
         assert_eq!(p.define("_THRESHOLD"), Some(128));
         assert!(matches!(p.items[0], Item::Directive(_)));
     }
@@ -1177,7 +1193,14 @@ mod tests {
     fn inc_dec_forms() {
         let post = parse_expr("i++").unwrap();
         assert!(
-            matches!(post.kind, ExprKind::IncDec { inc: true, prefix: false, .. }),
+            matches!(
+                post.kind,
+                ExprKind::IncDec {
+                    inc: true,
+                    prefix: false,
+                    ..
+                }
+            ),
             "got {post:?}"
         );
         let pre = parse_expr("--i").unwrap();

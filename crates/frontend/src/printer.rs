@@ -453,7 +453,8 @@ __global__ void parent(int* data, int* offsets, int n) {
 ";
         let mut p1 = parse(src).unwrap();
         let printed = print_program(&p1);
-        let mut p2 = parse(&printed).unwrap_or_else(|e| panic!("{}\n{}", e.render(&printed), printed));
+        let mut p2 =
+            parse(&printed).unwrap_or_else(|e| panic!("{}\n{}", e.render(&printed), printed));
         strip_meta(&mut p1);
         strip_meta(&mut p2);
         assert_eq!(p1, p2, "program round trip failed:\n{printed}");

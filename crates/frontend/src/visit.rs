@@ -15,10 +15,8 @@ use crate::span::Span;
 /// rewriting `blockIdx.x` to `_bx`) never re-visits its own replacement.
 pub fn walk_expr_mut(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
     match &mut expr.kind {
-        ExprKind::IntLit(_)
-        | ExprKind::FloatLit(_)
-        | ExprKind::BoolLit(_)
-        | ExprKind::Ident(_) => {}
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_) | ExprKind::Ident(_) => {
+        }
         ExprKind::Binary(_, lhs, rhs) => {
             walk_expr_mut(lhs, f);
             walk_expr_mut(rhs, f);
@@ -158,10 +156,8 @@ pub fn walk_stmt_mut(stmt: &mut Stmt, f: &mut impl FnMut(&mut Stmt)) {
 /// Immutable expression walk (post-order).
 pub fn for_each_expr(expr: &Expr, f: &mut impl FnMut(&Expr)) {
     match &expr.kind {
-        ExprKind::IntLit(_)
-        | ExprKind::FloatLit(_)
-        | ExprKind::BoolLit(_)
-        | ExprKind::Ident(_) => {}
+        ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_) | ExprKind::Ident(_) => {
+        }
         ExprKind::Binary(_, lhs, rhs) => {
             for_each_expr(lhs, f);
             for_each_expr(rhs, f);

@@ -20,8 +20,8 @@
 use crate::params::TimingParams;
 use dp_frontend::ast::CodeOrigin;
 use dp_vm::trace::{ExecutionTrace, LaunchOrigin};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Host-side actions in program order, recorded by the executor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,7 +66,10 @@ pub struct Breakdown {
 impl Breakdown {
     /// Sum of all categories.
     pub fn total(&self) -> f64 {
-        self.parent_us + self.child_us + self.launch_us + self.aggregation_us
+        self.parent_us
+            + self.child_us
+            + self.launch_us
+            + self.aggregation_us
             + self.disaggregation_us
     }
 }
@@ -120,11 +123,11 @@ pub fn simulate(
     let mut pending_device: Vec<usize> = Vec::new();
 
     let schedule_grid = |gid: usize,
-                             ready: f64,
-                             timings: &mut Vec<GridTiming>,
-                             slots: &mut BinaryHeap<Reverse<OrderedF64>>,
-                             dispatcher_free: &mut f64,
-                             dispatch_us: &mut f64| {
+                         ready: f64,
+                         timings: &mut Vec<GridTiming>,
+                         slots: &mut BinaryHeap<Reverse<OrderedF64>>,
+                         dispatcher_free: &mut f64,
+                         dispatch_us: &mut f64| {
         let g = &trace.grids[gid];
         let threads = g.threads_per_block();
         let need = params.slots_for_block(threads).min(total_slots as u64) as usize;
@@ -168,13 +171,13 @@ pub fn simulate(
     // device-launched grids whose parents are scheduled (ids ascend, so a
     // single forward scan suffices).
     let flush = |pending: &mut Vec<usize>,
-                     timings: &mut Vec<GridTiming>,
-                     scheduled: &mut Vec<bool>,
-                     slots: &mut BinaryHeap<Reverse<OrderedF64>>,
-                     dispatcher_free: &mut f64,
-                     pipe_free: &mut f64,
-                     pipe_busy: &mut f64,
-                     dispatch_us: &mut f64| {
+                 timings: &mut Vec<GridTiming>,
+                 scheduled: &mut Vec<bool>,
+                 slots: &mut BinaryHeap<Reverse<OrderedF64>>,
+                 dispatcher_free: &mut f64,
+                 pipe_free: &mut f64,
+                 pipe_busy: &mut f64,
+                 dispatch_us: &mut f64| {
         loop {
             let mut progressed = false;
             let mut i = 0;

@@ -153,7 +153,15 @@ fn transform_parent(
     let mut sites: Vec<SiteInfo> = Vec::new();
     let mut body = std::mem::take(&mut parent.body);
     for stmt in &mut body {
-        replace_launches(stmt, 0, &snapshot, parent_name, site_counter, &mut sites, manifest);
+        replace_launches(
+            stmt,
+            0,
+            &snapshot,
+            parent_name,
+            site_counter,
+            &mut sites,
+            manifest,
+        );
     }
 
     if sites.is_empty() {
@@ -305,7 +313,15 @@ fn replace_launches(
     match &mut stmt.kind {
         StmtKind::Block(stmts) => {
             for s in stmts {
-                replace_launches(s, loop_depth, snapshot, parent_name, site_counter, sites, manifest);
+                replace_launches(
+                    s,
+                    loop_depth,
+                    snapshot,
+                    parent_name,
+                    site_counter,
+                    sites,
+                    manifest,
+                );
             }
             return;
         }
@@ -314,14 +330,40 @@ fn replace_launches(
             else_branch,
             ..
         } => {
-            replace_launches(then_branch, loop_depth, snapshot, parent_name, site_counter, sites, manifest);
+            replace_launches(
+                then_branch,
+                loop_depth,
+                snapshot,
+                parent_name,
+                site_counter,
+                sites,
+                manifest,
+            );
             if let Some(e) = else_branch {
-                replace_launches(e, loop_depth, snapshot, parent_name, site_counter, sites, manifest);
+                replace_launches(
+                    e,
+                    loop_depth,
+                    snapshot,
+                    parent_name,
+                    site_counter,
+                    sites,
+                    manifest,
+                );
             }
             return;
         }
-        StmtKind::For { body, .. } | StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
-            replace_launches(body, loop_depth + 1, snapshot, parent_name, site_counter, sites, manifest);
+        StmtKind::For { body, .. }
+        | StmtKind::While { body, .. }
+        | StmtKind::DoWhile { body, .. } => {
+            replace_launches(
+                body,
+                loop_depth + 1,
+                snapshot,
+                parent_name,
+                site_counter,
+                sites,
+                manifest,
+            );
             return;
         }
         StmtKind::Launch(_) => {}
@@ -387,9 +429,11 @@ fn replace_launches(
 
 fn validate_site(program: &Program, launch: &LaunchStmt, loop_depth: usize) -> Result<(), String> {
     if loop_depth > 0 {
-        return Err("launch inside a loop cannot be aggregated (a parent thread would \
+        return Err(
+            "launch inside a loop cannot be aggregated (a parent thread would \
                     participate multiple times)"
-            .to_string());
+                .to_string(),
+        );
     }
     let Some(child) = program.function(&launch.kernel) else {
         return Err(format!("child kernel `{}` is not defined", launch.kernel));
@@ -677,7 +721,10 @@ __global__ void parent(int* data, int* offsets, int numV) {
         assert!(printed.contains("if (threadIdx.x < _da_bd)"), "{printed}");
         assert!(printed.contains("int n = _da_arr1[_da_pi];"), "{printed}");
         // Body rebinds blockIdx.x.
-        assert!(printed.contains("_da_bx * _da_bd + threadIdx.x"), "{printed}");
+        assert!(
+            printed.contains("_da_bx * _da_bd + threadIdx.x"),
+            "{printed}"
+        );
     }
 
     #[test]
@@ -687,8 +734,14 @@ __global__ void parent(int* data, int* offsets, int numV) {
         let site = &m.agg_sites[0];
         // original 3 + 2 arg arrays + scan + bArr + ctr + maxB + fin + slots
         assert_eq!(parent.params.len(), 3 + site.buffer_params.len());
-        assert!(matches!(site.buffer_params[0], BufferParam::ArgArray { index: 0, .. }));
-        assert!(matches!(site.buffer_params.last(), Some(BufferParam::SlotsPerGroup)));
+        assert!(matches!(
+            site.buffer_params[0],
+            BufferParam::ArgArray { index: 0, .. }
+        ));
+        assert!(matches!(
+            site.buffer_params.last(),
+            Some(BufferParam::SlotsPerGroup)
+        ));
         assert!(site
             .buffer_params
             .iter()
@@ -709,7 +762,10 @@ __global__ void parent(int* data, int* offsets, int numV) {
         let (p, m) = apply_gran(BASIC, AggGranularity::Warp);
         let out = print_program(&p);
         assert!(out.contains("threadIdx.x / 32"), "{out}");
-        assert!(out.contains("min(32, blockDim.x - threadIdx.x / 32 * 32)"), "{out}");
+        assert!(
+            out.contains("min(32, blockDim.x - threadIdx.x / 32 * 32)"),
+            "{out}"
+        );
         assert!(m.agg_sites[0]
             .buffer_params
             .iter()
@@ -741,7 +797,10 @@ __global__ void parent(int* data, int* offsets, int numV) {
         assert!(out.contains("_a_part0"), "{out}");
         assert!(out.contains(">= _AGG_THRESHOLD"), "{out}");
         // Direct (non-aggregated) fallback launch of the original child.
-        assert!(out.contains("child<<<_a_g0, _a_b0>>>(_a_arg0_0, _a_arg0_1);"), "{out}");
+        assert!(
+            out.contains("child<<<_a_g0, _a_b0>>>(_a_arg0_0, _a_arg0_1);"),
+            "{out}"
+        );
         assert!(m.agg_sites[0]
             .buffer_params
             .iter()
@@ -758,7 +817,10 @@ __global__ void parent(int* data, int* offsets, int numV) {
                 agg_threshold: Some(16),
             },
         );
-        assert!(m.diagnostics.iter().any(|d| d.message.contains("requires block")));
+        assert!(m
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("requires block")));
         assert_eq!(p.define("_AGG_THRESHOLD"), None);
     }
 
@@ -774,7 +836,10 @@ __global__ void parent(int* d, int n) {
 ";
         let (p, m) = apply_gran(src, AggGranularity::Block);
         assert!(m.agg_sites.is_empty());
-        assert!(m.diagnostics.iter().any(|d| d.message.contains("early return")));
+        assert!(m
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("early return")));
         assert!(p.function("child_agg").is_none());
     }
 
@@ -790,7 +855,10 @@ __global__ void parent(int* d, int n) {
 ";
         let (_, m) = apply_gran(src, AggGranularity::Block);
         assert!(m.agg_sites.is_empty());
-        assert!(m.diagnostics.iter().any(|d| d.message.contains("inside a loop")));
+        assert!(m
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("inside a loop")));
     }
 
     #[test]
@@ -803,7 +871,10 @@ __global__ void parent(int* d, int n) {
 ";
         let (_, m) = apply_gran(src, AggGranularity::Block);
         assert!(m.agg_sites.is_empty());
-        assert!(m.diagnostics.iter().any(|d| d.message.contains("threadIdx.y")));
+        assert!(m
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("threadIdx.y")));
     }
 
     #[test]

@@ -137,8 +137,9 @@ fn coarsen_child(
             .unwrap_or(0);
         program.items.insert(pos, Item::Function(body_fn));
     } else {
-        let loop_src =
-            format!("for (int {bx} = blockIdx.x; {bx} < {g}; {bx} += gridDim.x) {{ {BODY_MARKER}(); }}");
+        let loop_src = format!(
+            "for (int {bx} = blockIdx.x; {bx} < {g}; {bx} += gridDim.x) {{ {BODY_MARKER}(); }}"
+        );
         let mut loop_stmts = parse_template_stmts(&loop_src);
         tag_origin(&mut loop_stmts, CodeOrigin::CoarsenLoop);
         assert!(splice_body(&mut loop_stmts, body));
@@ -274,10 +275,18 @@ __global__ void parent(int* data, int* offsets, int numV) {
         assert_eq!(child.params.last().unwrap().ty, Type::Int);
 
         let out = print_program(&p);
-        assert!(out.contains("for (int _c_bx = blockIdx.x; _c_bx < _c_gDim; _c_bx += gridDim.x)"),
-            "stride loop missing:\n{out}");
-        assert!(out.contains("(_c_gDim0 + _CFACTOR - 1) / _CFACTOR"), "{out}");
-        assert!(out.contains("child<<<_c_cgDim0, 32>>>(data, count, _c_gDim0);"), "{out}");
+        assert!(
+            out.contains("for (int _c_bx = blockIdx.x; _c_bx < _c_gDim; _c_bx += gridDim.x)"),
+            "stride loop missing:\n{out}"
+        );
+        assert!(
+            out.contains("(_c_gDim0 + _CFACTOR - 1) / _CFACTOR"),
+            "{out}"
+        );
+        assert!(
+            out.contains("child<<<_c_cgDim0, 32>>>(data, count, _c_gDim0);"),
+            "{out}"
+        );
         dp_frontend::parse(&out).unwrap();
     }
 
@@ -318,7 +327,10 @@ __global__ void parent(int* d, int n) {
         assert_eq!(manifest.coarsen_sites.len(), 1);
         assert!(p.function("_child_coarsen_body").is_some());
         let out = print_program(&p);
-        assert!(out.contains("_child_coarsen_body(d, n, _c_gDim, _c_bx);"), "{out}");
+        assert!(
+            out.contains("_child_coarsen_body(d, n, _c_gDim, _c_bx);"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -351,7 +363,9 @@ __global__ void parent(int* d, int n) {
         let manifest = apply(&mut p, 8);
         assert!(manifest.coarsen_sites.is_empty());
         assert_eq!(manifest.diagnostics.len(), 1);
-        assert!(manifest.diagnostics[0].message.contains("multi-dimensional"));
+        assert!(manifest.diagnostics[0]
+            .message
+            .contains("multi-dimensional"));
     }
 
     #[test]
@@ -381,7 +395,11 @@ void host_main(int* d, int n) {
         let manifest = apply(&mut p, 8);
         assert!(manifest.coarsen_sites.is_empty());
         let k = p.function("k").unwrap();
-        assert_eq!(k.params.len(), 2, "host-only kernel must keep its signature");
+        assert_eq!(
+            k.params.len(),
+            2,
+            "host-only kernel must keep its signature"
+        );
     }
 
     #[test]

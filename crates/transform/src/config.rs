@@ -148,7 +148,10 @@ mod tests {
     #[test]
     fn granularity_display() {
         assert_eq!(AggGranularity::Warp.to_string(), "warp");
-        assert_eq!(AggGranularity::MultiBlock(16).to_string(), "multi-block(16)");
+        assert_eq!(
+            AggGranularity::MultiBlock(16).to_string(),
+            "multi-block(16)"
+        );
     }
 
     #[test]

@@ -203,7 +203,12 @@ fn process_block(
         let serial_name = ensure_serial_fn(snapshot, &child_name, serial_fns);
 
         // Insert `int _threads = N;` before the statement where N lived.
-        let mut threads_decl = Stmt::decl(Type::Int, threads_name.clone(), Some(tc.n), CodeOrigin::ThresholdCheck);
+        let mut threads_decl = Stmt::decl(
+            Type::Int,
+            threads_name.clone(),
+            Some(tc.n),
+            CodeOrigin::ThresholdCheck,
+        );
         threads_decl.origin = CodeOrigin::ThresholdCheck;
         stmts.insert(tc.insert_before, threads_decl);
         let launch_index = if tc.insert_before <= i { i + 1 } else { i };
@@ -217,7 +222,11 @@ fn process_block(
         serial_args.push(launch.grid.clone());
         serial_args.push(launch.block.clone());
         let serial_call = Stmt::expr(
-            Expr::call(serial_name.clone(), serial_args, CodeOrigin::ThresholdSerial),
+            Expr::call(
+                serial_name.clone(),
+                serial_args,
+                CodeOrigin::ThresholdSerial,
+            ),
             CodeOrigin::ThresholdSerial,
         );
         let cond = Expr::bin(
@@ -306,10 +315,7 @@ fn ensure_serial_fn(program: &Program, child: &str, serial_fns: &mut Vec<Functio
 
         let fwd = args_source(&child_fn.params);
         let fwd_comma = if child_fn.params.is_empty() { "" } else { ", " };
-        let call = format!(
-            "{body_name}({fwd}{fwd_comma}{g}, {b}, {});",
-            idx.join(", ")
-        );
+        let call = format!("{body_name}({fwd}{fwd_comma}{g}, {b}, {});", idx.join(", "));
         let loops = serial_loops(&g, &b, &idx, &call);
         let mut stmts = parse_template_stmts(&loops);
         tag_origin(&mut stmts, CodeOrigin::ThresholdSerial);
@@ -324,7 +330,10 @@ fn ensure_serial_fn(program: &Program, child: &str, serial_fns: &mut Vec<Functio
         let loops = serial_loops(&g, &b, &idx, &format!("{BODY_MARKER}();"));
         let mut stmts = parse_template_stmts(&loops);
         tag_origin(&mut stmts, CodeOrigin::ThresholdSerial);
-        assert!(splice_body(&mut stmts, body), "serial template has a body marker");
+        assert!(
+            splice_body(&mut stmts, body),
+            "serial template has a body marker"
+        );
         let mut serial_fn = make_device_fn(
             &serial_name,
             &format!("{params}{comma}dim3 {g}, dim3 {b}"),
@@ -411,10 +420,19 @@ __global__ void parent(int* data, int* offsets, int numV) {
 
         let out = print_program(&p);
         assert!(out.contains("child_serial"), "serial fn missing:\n{out}");
-        assert!(out.contains("_threads0 >= _THRESHOLD"), "guard missing:\n{out}");
-        assert!(out.contains("int _threads0 = count;"), "hoist missing:\n{out}");
+        assert!(
+            out.contains("_threads0 >= _THRESHOLD"),
+            "guard missing:\n{out}"
+        );
+        assert!(
+            out.contains("int _threads0 = count;"),
+            "hoist missing:\n{out}"
+        );
         // The grid expression now refers to the hoisted count.
-        assert!(out.contains("(_threads0 + 31) / 32"), "rewrite missing:\n{out}");
+        assert!(
+            out.contains("(_threads0 + 31) / 32"),
+            "rewrite missing:\n{out}"
+        );
         // Output must re-parse (source-to-source invariant).
         dp_frontend::parse(&out).unwrap();
     }

@@ -19,8 +19,12 @@ use std::collections::HashSet;
 /// so a parse failure is a bug in the pass, not user error.
 pub fn parse_template_stmts(template: &str) -> Vec<Stmt> {
     let wrapped = format!("__device__ void __template__() {{\n{template}\n}}");
-    let program = parse(&wrapped)
-        .unwrap_or_else(|e| panic!("internal template failed to parse: {}\n{template}", e.render(&wrapped)));
+    let program = parse(&wrapped).unwrap_or_else(|e| {
+        panic!(
+            "internal template failed to parse: {}\n{template}",
+            e.render(&wrapped)
+        )
+    });
     let Item::Function(mut f) = program.items.into_iter().next().unwrap() else {
         unreachable!("template wraps a single function")
     };
@@ -192,12 +196,10 @@ pub fn uses_builtin_whole(body: &[Stmt], base: &str) -> bool {
     let mut whole = 0usize;
     let mut member = 0usize;
     for stmt in body {
-        for_each_stmt_expr(stmt, &mut |e| {
-            match &e.kind {
-                ExprKind::Ident(name) if name == base => whole += 1,
-                ExprKind::Member(b, _) if b.kind.as_ident() == Some(base) => member += 1,
-                _ => {}
-            }
+        for_each_stmt_expr(stmt, &mut |e| match &e.kind {
+            ExprKind::Ident(name) if name == base => whole += 1,
+            ExprKind::Member(b, _) if b.kind.as_ident() == Some(base) => member += 1,
+            _ => {}
         });
     }
     // Each member access contains one ident occurrence; any excess means a

@@ -179,10 +179,81 @@ pub enum Instr {
     Dup,
     /// Swap the two top stack entries.
     Swap,
+
+    // ------------------------------------------------------------------
+    // Fused superinstructions. These are emitted only by the peephole
+    // fusion pass ([`crate::lower::fuse_function`]); the lowerer itself
+    // never produces them. Each one is *accounting-transparent*: it is
+    // charged the summed cycles of its expansion ([`Instr::cost`]) and
+    // counted as [`Instr::width`] dynamic instructions, so traces, stats,
+    // and per-origin cycle attribution are identical with fusion on or off.
+    // ------------------------------------------------------------------
+    /// Fused `LoadLocal(a); LoadLocal(b); Bin(op)` — push `locals[a] op locals[b]`.
+    BinLocals(BinKind, u16, u16),
+    /// Fused `PushInt(v); Bin(op)` — replace top of stack `a` with `a op v`.
+    BinImm(BinKind, i64),
+    /// Fused local increment: `locals[slot] += v` with no net stack effect.
+    /// Canonical expansion is the prefix form
+    /// `LoadLocal; PushInt; Bin(Add); Dup; StoreLocal; Pop`; the fuser also
+    /// recognizes the postfix ordering and `Bin(Sub)` (with `v` negated),
+    /// whose costs and widths are identical.
+    IncLocal(u16, i64),
+    /// Fused `LoadLocal(slot); LoadMem` — push `mem[locals[slot]]`.
+    LoadLocalMem(u16),
 }
 
 impl Instr {
+    /// The original instruction sequence a fused superinstruction replaces
+    /// (`None` for primitive instructions).
+    ///
+    /// The expansion is the *canonical* form: [`Instr::IncLocal`] expands to
+    /// the prefix/`Add` sequence even when it was fused from the postfix or
+    /// `Sub` variant (all variants have identical cost classes, so the
+    /// accounting is unaffected). [`Instr::cost`] and [`Instr::width`] are
+    /// derived from this expansion, which is what keeps fused execution
+    /// trace-identical to unfused execution.
+    pub fn expansion(&self) -> Option<Vec<Instr>> {
+        match *self {
+            Instr::BinLocals(op, a, b) => Some(vec![
+                Instr::LoadLocal(a),
+                Instr::LoadLocal(b),
+                Instr::Bin(op),
+            ]),
+            Instr::BinImm(op, v) => Some(vec![Instr::PushInt(v), Instr::Bin(op)]),
+            Instr::IncLocal(slot, v) => Some(vec![
+                Instr::LoadLocal(slot),
+                Instr::PushInt(v),
+                Instr::Bin(BinKind::Add),
+                Instr::Dup,
+                Instr::StoreLocal(slot),
+                Instr::Pop,
+            ]),
+            Instr::LoadLocalMem(slot) => Some(vec![Instr::LoadLocal(slot), Instr::LoadMem]),
+            _ => None,
+        }
+    }
+
+    /// How many original (pre-fusion) instructions this instruction counts
+    /// as: 1 for primitives, the expansion length for superinstructions.
+    pub fn width(&self) -> u32 {
+        self.expansion().map_or(1, |e| e.len() as u32)
+    }
+
+    /// Cycles charged for one execution of this instruction under `model` —
+    /// for fused instructions, the sum over the expansion.
+    pub fn cost(&self, model: &CostModel) -> u64 {
+        match self.expansion() {
+            Some(parts) => parts.iter().map(|p| model.cycles(p.cost_class())).sum(),
+            None => model.cycles(self.cost_class()),
+        }
+    }
+
     /// The cost class used by the timing model.
+    ///
+    /// Fused superinstructions report their *dominant* component's class
+    /// (the operation, not the operand moves); the execution machine does
+    /// not use this for them — it charges [`Instr::cost`], the sum over the
+    /// expansion.
     pub fn cost_class(&self) -> CostClass {
         match self {
             Instr::PushInt(_)
@@ -210,6 +281,9 @@ impl Instr {
             Instr::Fence => CostClass::Fence,
             Instr::Atomic(_) => CostClass::Atomic,
             Instr::Intrinsic(_) => CostClass::Intrinsic,
+            Instr::BinLocals(op, ..) | Instr::BinImm(op, _) => Instr::Bin(*op).cost_class(),
+            Instr::IncLocal(..) => CostClass::Alu,
+            Instr::LoadLocalMem(_) => CostClass::Mem,
         }
     }
 }
@@ -389,6 +463,29 @@ mod tests {
         assert_eq!(Instr::LoadMem.cost_class(), CostClass::Mem);
         assert_eq!(Instr::Launch(0, 2).cost_class(), CostClass::Launch);
         assert_eq!(Instr::Atomic(AtomicOp::Add).cost_class(), CostClass::Atomic);
+    }
+
+    #[test]
+    fn fused_instructions_cost_their_expansion() {
+        let m = CostModel::default();
+        for (fused, width) in [
+            (Instr::BinLocals(BinKind::Mul, 0, 1), 3),
+            (Instr::BinImm(BinKind::Div, 7), 2),
+            (Instr::IncLocal(2, 1), 6),
+            (Instr::LoadLocalMem(0), 2),
+        ] {
+            let parts = fused.expansion().expect("fused ops expand");
+            assert_eq!(fused.width(), width);
+            assert_eq!(parts.len() as u32, width);
+            let expanded_cost: u64 = parts.iter().map(|p| m.cycles(p.cost_class())).sum();
+            assert_eq!(fused.cost(&m), expanded_cost);
+            assert!(
+                parts.iter().all(|p| p.expansion().is_none()),
+                "expansion is primitive"
+            );
+        }
+        assert_eq!(Instr::Bin(BinKind::Add).width(), 1);
+        assert_eq!(Instr::LoadMem.cost(&m), m.mem);
     }
 
     #[test]

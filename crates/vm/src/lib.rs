@@ -11,6 +11,34 @@
 //! events) feeds the `dp-sim` timing model that reproduces the paper's
 //! evaluation.
 //!
+//! ## The execution hot path
+//!
+//! Interpreter throughput bounds how many configurations the benchmark
+//! harness and autotuner can sweep, so the dispatch loop is engineered
+//! around three ideas (measured by `dp-bench`'s `vmbench` binary, tracked
+//! in `BENCH_vm.json` at the repo root):
+//!
+//! 1. **Superinstruction fusion** ([`lower::fuse_function`]): a peephole
+//!    pass collapses hot stack-shuffle sequences (`LoadLocal;LoadLocal;Bin`,
+//!    `PushInt;Bin`, the six-instruction `i += k` statement pattern,
+//!    `LoadLocal;LoadMem`) into single fused opcodes. Fusion is
+//!    *accounting-transparent*: every superinstruction is charged its
+//!    expansion's summed cycles and counted as
+//!    [`Instr::width`](bytecode::Instr::width) original instructions, so
+//!    traces, statistics, and per-origin attribution are byte-identical
+//!    with fusion on or off.
+//! 2. **Precomputed cost tables**: per-instruction cycles/width are
+//!    resolved once at machine construction, so dispatch does a table load
+//!    instead of a cost-model match.
+//! 3. **Arena-reused thread state**: per-block `Thread` structs (frames,
+//!    locals, operand stacks) and the shared-memory buffer are pooled
+//!    across the blocks of a grid, and call-frame locals are recycled
+//!    through a per-thread free list, so steady-state execution allocates
+//!    nothing. Kernel arguments are coerced once per grid, not per block.
+//!
+//! To add a new superinstruction, see the checklist on
+//! [`lower::fuse_function`].
+//!
 //! ## Example
 //!
 //! ```
@@ -36,7 +64,7 @@ pub mod value;
 
 pub use bytecode::{CostClass, CostModel, Module};
 pub use error::{CompileError, ExecError};
-pub use lower::compile_program;
+pub use lower::{compile_program, compile_program_unfused, fuse_module, LowerOptions};
 pub use machine::{ExecLimits, Machine, MachineStats, Memory};
 pub use trace::{BlockTrace, ExecutionTrace, GridTrace, LaunchOrigin, LaunchRecord, OriginCycles};
 pub use value::Value;

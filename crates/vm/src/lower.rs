@@ -1,10 +1,20 @@
-//! Lowering from the CUDA-subset AST to VM bytecode.
+//! Lowering from the CUDA-subset AST to VM bytecode, plus the peephole
+//! superinstruction-fusion pass.
 //!
 //! The lowering is deliberately simple (no optimization): the VM's purpose
 //! is *faithful instruction accounting*, so every source-level operation
 //! should cost what comparable SASS would cost, not what an optimizing
 //! compiler could reduce it to. Origin tags flow from statements and
 //! expressions onto the emitted instructions.
+//!
+//! Fusion ([`fuse_function`]) does not change that accounting: it collapses
+//! hot stack-shuffle sequences into single superinstructions that are
+//! *costed and counted as their expansions* (see
+//! [`Instr::expansion`](crate::bytecode::Instr::expansion)), so it speeds up
+//! the interpreter without perturbing traces, statistics, or per-origin
+//! cycle attribution. [`compile_program`] fuses by default; use
+//! [`compile_program_unfused`] (or [`LowerOptions`]) for the
+//! reference-semantics baseline.
 
 use crate::bytecode::*;
 use crate::error::CompileError;
@@ -28,13 +38,51 @@ use std::collections::HashMap;
 /// assert!(module.by_name("k").is_some());
 /// ```
 pub fn compile_program(program: &Program) -> Result<Module, CompileError> {
+    compile_program_with(program, LowerOptions::default())
+}
+
+/// Compiles a program without the superinstruction-fusion pass.
+///
+/// The unfused module executes identically (same results, same
+/// [`ExecutionTrace`](crate::trace::ExecutionTrace), same statistics) but
+/// dispatches every original instruction individually — it is the baseline
+/// the `vmbench` binary measures fusion against.
+pub fn compile_program_unfused(program: &Program) -> Result<Module, CompileError> {
+    compile_program_with(program, LowerOptions { fuse: false })
+}
+
+/// Knobs for [`compile_program_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerOptions {
+    /// Run the peephole superinstruction-fusion pass (default `true`).
+    pub fuse: bool,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions { fuse: true }
+    }
+}
+
+/// Compiles a program with explicit [`LowerOptions`].
+///
+/// # Errors
+///
+/// Same as [`compile_program`].
+pub fn compile_program_with(
+    program: &Program,
+    options: LowerOptions,
+) -> Result<Module, CompileError> {
     let mut module = Module::new();
     let mut ids: HashMap<String, FuncId> = HashMap::new();
     let functions: Vec<&ast::Function> = program.functions().collect();
     // Pre-assign ids so forward references and recursion work.
     for (i, f) in functions.iter().enumerate() {
         if ids.insert(f.name.clone(), i as FuncId).is_some() {
-            return Err(CompileError::new(format!("duplicate function `{}`", f.name)));
+            return Err(CompileError::new(format!(
+                "duplicate function `{}`",
+                f.name
+            )));
         }
     }
     let defines: HashMap<String, i64> = program
@@ -47,12 +95,150 @@ pub fn compile_program(program: &Program) -> Result<Module, CompileError> {
         .collect();
 
     for f in &functions {
-        let compiled = Lowerer::new(f, &ids, &defines, &functions)
+        let mut compiled = Lowerer::new(f, &ids, &defines, &functions)
             .lower()
             .map_err(|e| e.in_function(&f.name))?;
+        if options.fuse {
+            fuse_function(&mut compiled);
+        }
         module.add(compiled);
     }
     Ok(module)
+}
+
+// ----------------------------------------------------------------------
+// Superinstruction fusion
+// ----------------------------------------------------------------------
+
+/// Runs the peephole fusion pass over every function of a module in place.
+pub fn fuse_module(module: &mut Module) {
+    for f in &mut module.functions {
+        fuse_function(f);
+    }
+}
+
+/// Fuses hot instruction sequences into superinstructions, in place.
+///
+/// A window of instructions is fused only when (a) it matches one of the
+/// patterns below, (b) every instruction in it carries the same
+/// [`CodeOrigin`] tag (so per-origin cycle attribution is exact, not
+/// approximated), and (c) no jump lands *inside* the window (jumps to the
+/// window's first instruction are fine and are remapped). Jump targets are
+/// rewritten through an old-index → new-index map afterwards.
+///
+/// Patterns, longest first:
+///
+/// | window | superinstruction |
+/// |---|---|
+/// | `LoadLocal s; PushInt k; Bin ±; Dup; StoreLocal s; Pop` | `IncLocal(s, ±k)` |
+/// | `LoadLocal s; Dup; PushInt k; Bin ±; StoreLocal s; Pop` | `IncLocal(s, ±k)` |
+/// | `LoadLocal a; LoadLocal b; Bin op` | `BinLocals(op, a, b)` |
+/// | `LoadLocal s; LoadMem` | `LoadLocalMem(s)` |
+/// | `PushInt v; Bin op` | `BinImm(op, v)` |
+///
+/// To add a new superinstruction: add the opcode + its [`Instr::expansion`]
+/// in `bytecode.rs`, a match arm in `try_fuse_at` here, and a dispatch arm
+/// in `machine.rs` that replicates the expansion's observable semantics
+/// (including error cases). The accounting (cycles, instruction counts,
+/// origin attribution) follows from the expansion automatically.
+pub fn fuse_function(f: &mut CompiledFunction) {
+    let n = f.code.len();
+    // Instruction indices some jump lands on (code.len() is a valid target
+    // for loops that end the function).
+    let mut is_target = vec![false; n + 1];
+    for instr in &f.code {
+        if let Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) = instr {
+            is_target[*t as usize] = true;
+        }
+    }
+
+    let mut code = Vec::with_capacity(n);
+    let mut origins = Vec::with_capacity(n);
+    // map[old index] = new index; interior indices of fused windows keep
+    // the window's new index but are never jump targets (checked above).
+    let mut map = vec![0u32; n + 1];
+    let mut i = 0;
+    while i < n {
+        map[i] = code.len() as u32;
+        let width = match try_fuse_at(&f.code[i..], &f.origins[i..], &is_target[i + 1..]) {
+            Some((fused, width)) => {
+                map[i..i + width].fill(code.len() as u32);
+                code.push(fused);
+                width
+            }
+            None => {
+                code.push(f.code[i]);
+                1
+            }
+        };
+        origins.push(f.origins[i]);
+        i += width;
+    }
+    map[n] = code.len() as u32;
+
+    for instr in &mut code {
+        if let Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) = instr {
+            *t = map[*t as usize];
+        }
+    }
+    f.code = code;
+    f.origins = origins;
+}
+
+/// Tries to fuse a window starting at `code[0]`; returns the
+/// superinstruction and the window width. `targets_after` holds the
+/// jump-target flags for the instructions *after* the window start.
+fn try_fuse_at(
+    code: &[Instr],
+    origins: &[CodeOrigin],
+    targets_after: &[bool],
+) -> Option<(Instr, usize)> {
+    use Instr::*;
+    let fusible = |width: usize| {
+        code.len() >= width
+            && origins[1..width].iter().all(|o| *o == origins[0])
+            && targets_after[..width - 1].iter().all(|t| !t)
+    };
+    let inc_delta = |op: BinKind, k: i64| match op {
+        BinKind::Add => Some(k),
+        // `x - k` and `x + (-k)` are exact-identical for both integer
+        // (wrapping) and IEEE float semantics; i64::MIN has no negation.
+        BinKind::Sub if k != i64::MIN => Some(-k),
+        _ => None,
+    };
+
+    if fusible(6) {
+        // Prefix `±±x` / compound `x ±= k` statement...
+        if let [LoadLocal(s), PushInt(k), Bin(op), Dup, StoreLocal(s2), Pop, ..] = *code {
+            if s == s2 {
+                if let Some(delta) = inc_delta(op, k) {
+                    return Some((IncLocal(s, delta), 6));
+                }
+            }
+        }
+        // ...and the postfix `x±±` ordering (same cost classes).
+        if let [LoadLocal(s), Dup, PushInt(k), Bin(op), StoreLocal(s2), Pop, ..] = *code {
+            if s == s2 {
+                if let Some(delta) = inc_delta(op, k) {
+                    return Some((IncLocal(s, delta), 6));
+                }
+            }
+        }
+    }
+    if fusible(3) {
+        if let [LoadLocal(a), LoadLocal(b), Bin(op), ..] = *code {
+            return Some((BinLocals(op, a, b), 3));
+        }
+    }
+    if fusible(2) {
+        if let [LoadLocal(s), LoadMem, ..] = *code {
+            return Some((LoadLocalMem(s), 2));
+        }
+        if let [PushInt(v), Bin(op), ..] = *code {
+            return Some((BinImm(op, v), 2));
+        }
+    }
+    None
 }
 
 struct LoopCtx {
@@ -370,10 +556,7 @@ impl<'a> Lowerer<'a> {
                 self.emit_conversion(&decl.ty, og);
                 self.emit(Instr::StoreLocal(slot), og);
             }
-            self.scopes
-                .last_mut()
-                .unwrap()
-                .insert(d.name.clone(), slot);
+            self.scopes.last_mut().unwrap().insert(d.name.clone(), slot);
         }
         Ok(())
     }
@@ -795,7 +978,9 @@ impl<'a> Lowerer<'a> {
         }
         // User function.
         let Some(&id) = self.ids.get(name) else {
-            return Err(CompileError::new(format!("call to unknown function `{name}`")));
+            return Err(CompileError::new(format!(
+                "call to unknown function `{name}`"
+            )));
         };
         let target = self.functions[id as usize];
         if target.qual == ast::FnQual::Global {
@@ -985,7 +1170,8 @@ mod tests {
 
     #[test]
     fn shared_array_allocates_space() {
-        let m = compile("__global__ void k(int* d) { __shared__ int t[32]; t[0] = 1; d[0] = t[0]; }");
+        let m =
+            compile("__global__ void k(int* d) { __shared__ int t[32]; t[0] = 1; d[0] = t[0]; }");
         let f = m.by_name("k").unwrap();
         assert_eq!(f.shared_words, 32);
     }
@@ -1008,7 +1194,11 @@ mod tests {
     #[test]
     fn atomic_on_pointer_value() {
         let m = compile("__global__ void k(int* d) { atomicMax(d, 5); }");
-        assert!(m.by_name("k").unwrap().code.contains(&Instr::Atomic(AtomicOp::Max)));
+        assert!(m
+            .by_name("k")
+            .unwrap()
+            .code
+            .contains(&Instr::Atomic(AtomicOp::Max)));
     }
 
     #[test]
@@ -1041,6 +1231,144 @@ mod tests {
             .filter(|o| **o == CodeOrigin::AggLogic)
             .count();
         assert_eq!(tagged, f.origins.len() - 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Superinstruction fusion
+    // ------------------------------------------------------------------
+
+    fn compile_unfused(src: &str) -> Module {
+        compile_program_with(
+            &dp_frontend::parse(src).unwrap(),
+            LowerOptions { fuse: false },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fusion_emits_superinstructions() {
+        let src = "__global__ void k(int* d, int n) { \
+                       int s = 0; \
+                       for (int i = 0; i < n; ++i) { s = s + d[i] * 3; } \
+                       d[0] = s; }";
+        let fused = compile(src);
+        let unfused = compile_unfused(src);
+        let f = fused.by_name("k").unwrap();
+        let u = unfused.by_name("k").unwrap();
+        assert!(f.code.len() < u.code.len(), "fusion must shrink the stream");
+        assert!(
+            f.code.iter().any(|i| matches!(i, Instr::IncLocal(..))),
+            "loop step fuses"
+        );
+        assert!(
+            f.code
+                .iter()
+                .any(|i| matches!(i, Instr::BinLocals(BinKind::Lt, ..))),
+            "loop condition fuses"
+        );
+        assert!(
+            f.code
+                .iter()
+                .any(|i| matches!(i, Instr::BinImm(BinKind::Mul, 3))),
+            "immediate multiply fuses"
+        );
+        assert!(
+            u.code.iter().all(|i| i.expansion().is_none()),
+            "unfused stream is primitive"
+        );
+        // Widths conserve the original instruction count.
+        let total: u32 = f.code.iter().map(|i| i.width()).sum();
+        assert_eq!(total as usize, u.code.len());
+    }
+
+    #[test]
+    fn fusion_respects_origin_and_jump_boundaries() {
+        use dp_frontend::ast::FnQual;
+        let mk = |origins: Vec<CodeOrigin>, code: Vec<Instr>| CompiledFunction {
+            name: "k".into(),
+            qual: FnQual::Global,
+            param_types: vec![],
+            n_locals: 2,
+            code,
+            origins,
+            contains_launch: false,
+            shared_words: 0,
+        };
+        let window = vec![
+            Instr::LoadLocal(0),
+            Instr::LoadLocal(1),
+            Instr::Bin(BinKind::Add),
+            Instr::RetVoid,
+        ];
+
+        // Same origin everywhere: the window fuses.
+        let mut f = mk(vec![CodeOrigin::Original; 4], window.clone());
+        fuse_function(&mut f);
+        assert_eq!(f.code[0], Instr::BinLocals(BinKind::Add, 0, 1));
+
+        // Mixed origins inside the window: attribution would be wrong, so
+        // the window must not fuse.
+        let mut f = mk(
+            vec![
+                CodeOrigin::Original,
+                CodeOrigin::AggLogic,
+                CodeOrigin::AggLogic,
+                CodeOrigin::Original,
+            ],
+            window.clone(),
+        );
+        fuse_function(&mut f);
+        assert_eq!(f.code, window);
+
+        // A jump landing inside the window also blocks fusion (and gets
+        // remapped consistently).
+        let mut f = mk(
+            vec![CodeOrigin::Original; 5],
+            vec![
+                Instr::Jump(2),
+                Instr::LoadLocal(0),
+                Instr::LoadLocal(1),
+                Instr::Bin(BinKind::Add),
+                Instr::RetVoid,
+            ],
+        );
+        fuse_function(&mut f);
+        assert!(
+            f.code.contains(&Instr::Jump(2)),
+            "jump into the would-be window must survive: {:?}",
+            f.code
+        );
+        assert!(
+            !f.code.iter().any(|i| matches!(i, Instr::BinLocals(..))),
+            "window with an interior jump target must not fuse: {:?}",
+            f.code
+        );
+    }
+
+    #[test]
+    fn fusion_remaps_jump_targets() {
+        let src = "__global__ void k(int* d, int n) { \
+                       int s = 0; \
+                       while (s < n) { s = s + 1; } \
+                       d[0] = s; }";
+        let m = compile(src);
+        let f = m.by_name("k").unwrap();
+        for instr in &f.code {
+            if let Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) = instr {
+                assert!((*t as usize) <= f.code.len(), "target {t} out of range");
+            }
+        }
+        assert_eq!(f.code.len(), f.origins.len());
+    }
+
+    #[test]
+    fn fuse_module_is_idempotent() {
+        let src = "__global__ void k(int* d, int n) { \
+                       for (int i = 0; i < n; ++i) { d[i] = d[i] + 1; } }";
+        let mut m = compile(src);
+        let before: Vec<Instr> = m.by_name("k").unwrap().code.clone();
+        fuse_module(&mut m);
+        assert_eq!(m.by_name("k").unwrap().code, before);
     }
 
     #[test]

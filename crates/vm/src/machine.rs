@@ -74,6 +74,20 @@ impl Memory {
         Ok(a)
     }
 
+    /// Bounds-checks `words` words starting at `addr` in one comparison,
+    /// returning the base index. `words` must be non-zero.
+    fn check_range(&self, addr: i64, words: usize) -> Result<usize, ExecError> {
+        let a = addr as usize;
+        if addr <= 0 || words > self.bump || a > self.bump - words {
+            return Err(ExecError::new(format!(
+                "memory access out of bounds: range {addr}..{} (allocated up to {})",
+                addr.saturating_add(words as i64),
+                self.bump
+            )));
+        }
+        Ok(a)
+    }
+
     /// Reads one word.
     pub fn read(&self, addr: i64) -> Result<Value, ExecError> {
         Ok(self.data[self.check(addr)?])
@@ -86,11 +100,39 @@ impl Memory {
         Ok(())
     }
 
-    /// Fills a range with a value (buffer zeroing).
-    pub fn fill(&mut self, addr: i64, words: usize, value: Value) -> Result<(), ExecError> {
-        for i in 0..words {
-            self.write(addr + i as i64, value)?;
+    /// Reads `words` consecutive words as a slice (single bounds check).
+    pub fn read_range(&self, addr: i64, words: usize) -> Result<&[Value], ExecError> {
+        if words == 0 {
+            return Ok(&[]);
         }
+        let a = self.check_range(addr, words)?;
+        Ok(&self.data[a..a + words])
+    }
+
+    /// Writes `values` consecutively starting at `addr` (single bounds
+    /// check + `copy_from_slice`).
+    pub fn write_range(&mut self, addr: i64, values: &[Value]) -> Result<(), ExecError> {
+        if values.is_empty() {
+            return Ok(());
+        }
+        let a = self.check_range(addr, values.len())?;
+        self.data[a..a + values.len()].copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Mutable view of `words` consecutive words (single bounds check).
+    pub fn slice_mut(&mut self, addr: i64, words: usize) -> Result<&mut [Value], ExecError> {
+        if words == 0 {
+            return Ok(&mut []);
+        }
+        let a = self.check_range(addr, words)?;
+        Ok(&mut self.data[a..a + words])
+    }
+
+    /// Fills a range with a value (buffer zeroing): one bounds check plus a
+    /// `slice::fill`, not a checked store per word.
+    pub fn fill(&mut self, addr: i64, words: usize, value: Value) -> Result<(), ExecError> {
+        self.slice_mut(addr, words)?.fill(value);
         Ok(())
     }
 
@@ -120,6 +162,92 @@ struct Thread {
     instructions: u64,
     origin_cycles: OriginCycles,
     tidx: [i64; 3],
+    /// Locals vectors of popped frames, reused by later calls so steady-state
+    /// call/return traffic allocates nothing.
+    spare_locals: Vec<Vec<Value>>,
+}
+
+impl Thread {
+    fn new() -> Self {
+        Thread {
+            frames: Vec::new(),
+            stack: Vec::with_capacity(16),
+            status: ThreadStatus::Running,
+            cycles: 0,
+            instructions: 0,
+            origin_cycles: OriginCycles::default(),
+            tidx: [0; 3],
+            spare_locals: Vec::new(),
+        }
+    }
+
+    /// Re-arms a (possibly previously used) thread for a new block,
+    /// reusing its frame/locals/stack allocations.
+    fn reset(&mut self, kernel: FuncId, n_locals: u16, args: &[Value], tidx: [i64; 3]) {
+        while self.frames.len() > 1 {
+            let f = self.frames.pop().expect("len checked");
+            self.spare_locals.push(f.locals);
+        }
+        let frame = match self.frames.last_mut() {
+            Some(f) => f,
+            None => {
+                let locals = self.spare_locals.pop().unwrap_or_default();
+                self.frames.push(Frame {
+                    func: kernel,
+                    pc: 0,
+                    locals,
+                });
+                self.frames.last_mut().expect("just pushed")
+            }
+        };
+        frame.func = kernel;
+        frame.pc = 0;
+        frame.locals.clear();
+        frame.locals.resize(n_locals as usize, Value::Int(0));
+        frame.locals[..args.len()].copy_from_slice(args);
+        self.stack.clear();
+        self.status = ThreadStatus::Running;
+        self.cycles = 0;
+        self.instructions = 0;
+        self.origin_cycles = OriginCycles::default();
+        self.tidx = tidx;
+    }
+}
+
+/// Per-block execution state pooled across the blocks of a grid (and across
+/// grids): thread structs with their frame/locals/stack vectors, and the
+/// shared-memory buffer. Reuse turns per-block setup from O(threads)
+/// allocations into O(threads) resets of already-sized buffers.
+#[derive(Default)]
+struct BlockArena {
+    threads: Vec<Thread>,
+    shared: Vec<Value>,
+}
+
+/// Precomputed per-instruction accounting: total cycles and original
+/// (pre-fusion) instruction count. Built once per function at machine
+/// construction so the dispatch loop does a table load instead of a cost
+/// match per instruction.
+#[derive(Clone, Copy)]
+struct CostEntry {
+    cycles: u64,
+    width: u32,
+}
+
+fn build_cost_table(module: &Module, cost: &CostModel) -> Vec<Box<[CostEntry]>> {
+    module
+        .functions
+        .iter()
+        .map(|f| {
+            f.code
+                .iter()
+                .map(|i| CostEntry {
+                    cycles: i.cost(cost),
+                    width: i.width(),
+                })
+                .collect()
+        })
+        .collect()
 }
 
 struct PendingGrid {
@@ -150,12 +278,15 @@ pub struct Machine {
     /// Global device memory.
     pub mem: Memory,
     cost: CostModel,
+    cost_table: Vec<Box<[CostEntry]>>,
     limits: ExecLimits,
     pending: VecDeque<PendingGrid>,
     next_grid_id: usize,
     trace: ExecutionTrace,
     stats: MachineStats,
     instr_budget: u64,
+    arena: BlockArena,
+    reuse_state: bool,
 }
 
 impl Machine {
@@ -167,17 +298,29 @@ impl Machine {
 
     /// Creates a machine with an explicit cost model and limits.
     pub fn with_config(module: Module, cost: CostModel, limits: ExecLimits) -> Self {
+        let cost_table = build_cost_table(&module, &cost);
         Machine {
             module,
             mem: Memory::new(),
             cost,
+            cost_table,
             limits,
             pending: VecDeque::new(),
             next_grid_id: 0,
             trace: ExecutionTrace::default(),
             stats: MachineStats::default(),
             instr_budget: limits.max_instructions,
+            arena: BlockArena::default(),
+            reuse_state: true,
         }
+    }
+
+    /// Enables or disables pooling of per-block execution state (on by
+    /// default). Disabling forces every block to allocate fresh thread
+    /// state, reproducing the pre-arena executor — a benchmarking knob for
+    /// `vmbench`'s baseline, not something callers should normally touch.
+    pub fn set_state_reuse(&mut self, on: bool) {
+        self.reuse_state = on;
     }
 
     /// The compiled module.
@@ -195,40 +338,50 @@ impl Machine {
         self.mem.alloc(words)
     }
 
-    /// Allocates and writes a slice of integers.
+    /// Allocates and writes a slice of integers (one bounds check).
     pub fn alloc_i64s(&mut self, values: &[i64]) -> i64 {
         let base = self.mem.alloc(values.len().max(1));
-        for (i, v) in values.iter().enumerate() {
-            self.mem
-                .write(base + i as i64, Value::Int(*v))
-                .expect("freshly allocated");
+        let dst = self
+            .mem
+            .slice_mut(base, values.len())
+            .expect("freshly allocated");
+        for (d, v) in dst.iter_mut().zip(values) {
+            *d = Value::Int(*v);
         }
         base
     }
 
-    /// Allocates and writes a slice of floats.
+    /// Allocates and writes a slice of floats (one bounds check).
     pub fn alloc_f64s(&mut self, values: &[f64]) -> i64 {
         let base = self.mem.alloc(values.len().max(1));
-        for (i, v) in values.iter().enumerate() {
-            self.mem
-                .write(base + i as i64, Value::Float(*v))
-                .expect("freshly allocated");
+        let dst = self
+            .mem
+            .slice_mut(base, values.len())
+            .expect("freshly allocated");
+        for (d, v) in dst.iter_mut().zip(values) {
+            *d = Value::Float(*v);
         }
         base
     }
 
-    /// Reads `len` integers starting at `ptr`.
+    /// Reads `len` integers starting at `ptr` (one bounds check).
     pub fn read_i64s(&self, ptr: i64, len: usize) -> Result<Vec<i64>, ExecError> {
-        (0..len)
-            .map(|i| self.mem.read(ptr + i as i64).map(|v| v.as_int()))
-            .collect()
+        Ok(self
+            .mem
+            .read_range(ptr, len)?
+            .iter()
+            .map(|v| v.as_int())
+            .collect())
     }
 
-    /// Reads `len` floats starting at `ptr`.
+    /// Reads `len` floats starting at `ptr` (one bounds check).
     pub fn read_f64s(&self, ptr: i64, len: usize) -> Result<Vec<f64>, ExecError> {
-        (0..len)
-            .map(|i| self.mem.read(ptr + i as i64).map(|v| v.as_float()))
-            .collect()
+        Ok(self
+            .mem
+            .read_range(ptr, len)?
+            .iter()
+            .map(|v| v.as_float())
+            .collect())
     }
 
     /// Enqueues a host-side kernel launch. Returns the grid id.
@@ -248,7 +401,13 @@ impl Machine {
             .module
             .id_of(kernel)
             .ok_or_else(|| ExecError::new(format!("unknown kernel `{kernel}`")))?;
-        self.enqueue(id, grid.into().as_dim3(), block.into().as_dim3(), args.to_vec(), LaunchOrigin::Host)
+        self.enqueue(
+            id,
+            grid.into().as_dim3(),
+            block.into().as_dim3(),
+            args.to_vec(),
+            LaunchOrigin::Host,
+        )
     }
 
     fn enqueue(
@@ -259,50 +418,17 @@ impl Machine {
         args: Vec<Value>,
         origin: LaunchOrigin,
     ) -> Result<usize, ExecError> {
-        let func = self.module.function(kernel);
-        if func.qual != FnQual::Global {
-            return Err(ExecError::new(format!(
-                "`{}` is not a __global__ kernel",
-                func.name
-            )));
-        }
-        if args.len() != func.param_types.len() {
-            return Err(ExecError::new(format!(
-                "kernel `{}` takes {} arguments, got {}",
-                func.name,
-                func.param_types.len(),
-                args.len()
-            )));
-        }
-        let threads = block[0] * block[1] * block[2];
-        if threads <= 0 || threads > self.limits.max_threads_per_block as i64 {
-            return Err(ExecError::new(format!(
-                "invalid block size {threads} for kernel `{}`",
-                func.name
-            )));
-        }
-        if grid.iter().any(|&d| d < 0) {
-            return Err(ExecError::new(format!(
-                "negative grid dimension for kernel `{}`",
-                func.name
-            )));
-        }
-        if self.pending.len() >= self.limits.max_pending {
-            return Err(ExecError::new(
-                "pending launch buffer overflow (raise ExecLimits::max_pending)",
-            ));
-        }
-        let id = self.next_grid_id;
-        self.next_grid_id += 1;
-        self.pending.push_back(PendingGrid {
+        enqueue_grid(
+            &self.module,
+            &self.limits,
+            &mut self.pending,
+            &mut self.next_grid_id,
             kernel,
             grid,
             block,
             args,
             origin,
-            id,
-        });
-        Ok(id)
+        )
     }
 
     /// Runs every pending grid (and everything they launch) to completion —
@@ -326,9 +452,18 @@ impl Machine {
 
     fn execute_grid(&mut self, grid: PendingGrid) -> Result<(), ExecError> {
         let num_blocks = grid.grid[0] * grid.grid[1] * grid.grid[2];
+        let func = self.module.function(grid.kernel);
+        // Coerce kernel arguments to their declared parameter types once per
+        // grid — every block (and thread) starts from the same locals image.
+        let coerced_args: Vec<Value> = grid
+            .args
+            .iter()
+            .zip(&func.param_types)
+            .map(|(arg, ty)| coerce(*arg, ty))
+            .collect();
         let mut gtrace = GridTrace {
             id: grid.id,
-            kernel: self.module.function(grid.kernel).name.clone(),
+            kernel: func.name.clone(),
             grid_dim: grid.grid,
             block_dim: grid.block,
             origin: grid.origin,
@@ -338,7 +473,7 @@ impl Machine {
             let bx = linear % grid.grid[0];
             let by = (linear / grid.grid[0]) % grid.grid[1];
             let bz = linear / (grid.grid[0] * grid.grid[1]);
-            let btrace = self.execute_block(&grid, [bx, by, bz], linear as u64)?;
+            let btrace = self.execute_block(&grid, &coerced_args, [bx, by, bz], linear as u64)?;
             gtrace.blocks.push(btrace);
         }
         self.stats.grids_executed += 1;
@@ -352,42 +487,54 @@ impl Machine {
     fn execute_block(
         &mut self,
         grid: &PendingGrid,
+        coerced_args: &[Value],
         block_idx: [i64; 3],
         linear_block: u64,
     ) -> Result<BlockTrace, ExecError> {
-        let func = self.module.function(grid.kernel);
+        // Split the machine into disjoint borrows: the run loop reads the
+        // module/cost tables while mutating memory, the launch queue, and
+        // thread state.
+        let Machine {
+            module,
+            mem,
+            cost,
+            cost_table,
+            limits,
+            pending,
+            next_grid_id,
+            stats,
+            instr_budget,
+            arena,
+            reuse_state,
+            ..
+        } = self;
+        let func = module.function(grid.kernel);
         let contains_launch = func.contains_launch;
         let n_locals = func.n_locals;
-        let param_types = func.param_types.clone();
         let n_threads = (grid.block[0] * grid.block[1] * grid.block[2]) as usize;
         let shared_words = func.shared_words as usize;
-        let mut shared: Vec<Value> = vec![Value::Int(0); shared_words];
 
-        let mut threads: Vec<Thread> = (0..n_threads)
-            .map(|t| {
-                let t = t as i64;
-                let tx = t % grid.block[0];
-                let ty = (t / grid.block[0]) % grid.block[1];
-                let tz = t / (grid.block[0] * grid.block[1]);
-                let mut locals = vec![Value::Int(0); n_locals as usize];
-                for (i, (arg, ty_)) in grid.args.iter().zip(&param_types).enumerate() {
-                    locals[i] = coerce(*arg, ty_);
-                }
-                Thread {
-                    frames: vec![Frame {
-                        func: grid.kernel,
-                        pc: 0,
-                        locals,
-                    }],
-                    stack: Vec::with_capacity(16),
-                    status: ThreadStatus::Running,
-                    cycles: 0,
-                    instructions: 0,
-                    origin_cycles: OriginCycles::default(),
-                    tidx: [tx, ty, tz],
-                }
-            })
-            .collect();
+        if !*reuse_state {
+            // Benchmarking baseline: behave like the pre-arena executor and
+            // allocate everything fresh for this block.
+            arena.threads.clear();
+            arena.shared = Vec::new();
+        }
+        arena.shared.clear();
+        arena.shared.resize(shared_words, Value::Int(0));
+        arena.threads.truncate(n_threads);
+        while arena.threads.len() < n_threads {
+            arena.threads.push(Thread::new());
+        }
+        for (t, thread) in arena.threads.iter_mut().enumerate() {
+            let t = t as i64;
+            let tx = t % grid.block[0];
+            let ty = (t / grid.block[0]) % grid.block[1];
+            let tz = t / (grid.block[0] * grid.block[1]);
+            thread.reset(grid.kernel, n_locals, coerced_args, [tx, ty, tz]);
+        }
+        let threads = &mut arena.threads;
+        let shared = &mut arena.shared;
 
         let mut btrace = BlockTrace::default();
         let ctx = BlockCtx {
@@ -397,12 +544,22 @@ impl Machine {
             grid_id: grid.id,
             linear_block,
         };
+        let mut env = ExecEnv {
+            module,
+            cost_table,
+            limits,
+            mem,
+            pending,
+            next_grid_id,
+            stats,
+            instr_budget,
+        };
 
         loop {
             let mut all_done = true;
             for thread in threads.iter_mut() {
                 if matches!(thread.status, ThreadStatus::Running) {
-                    self.run_thread(thread, &ctx, &mut shared, &mut btrace)?;
+                    run_thread(&mut env, thread, &ctx, shared, &mut btrace)?;
                 }
                 if !matches!(thread.status, ThreadStatus::Done) {
                     all_done = false;
@@ -421,7 +578,7 @@ impl Machine {
 
         // Per-warp cost: max thread cycles within each 32-thread group.
         let presence = if contains_launch {
-            self.cost.launch_presence_overhead
+            cost.launch_presence_overhead
         } else {
             0
         };
@@ -429,7 +586,7 @@ impl Machine {
             let max = chunk.iter().map(|t| t.cycles + presence).max().unwrap_or(0);
             btrace.warp_cycles.push(max);
         }
-        for thread in &threads {
+        for thread in threads.iter() {
             btrace.origin_cycles.merge(&thread.origin_cycles);
             btrace.instructions += thread.instructions;
         }
@@ -438,67 +595,129 @@ impl Machine {
                 .origin_cycles
                 .add(CodeOrigin::Original, presence * n_threads as u64);
         }
+        stats.instructions += btrace.instructions;
         Ok(btrace)
     }
+}
 
-    fn run_thread(
-        &mut self,
-        thread: &mut Thread,
-        ctx: &BlockCtx,
-        shared: &mut [Value],
-        btrace: &mut BlockTrace,
-    ) -> Result<(), ExecError> {
+/// The disjoint machine borrows the execution loop needs: read-only code
+/// and cost tables, mutable memory / launch queue / statistics.
+struct ExecEnv<'m> {
+    module: &'m Module,
+    cost_table: &'m [Box<[CostEntry]>],
+    limits: &'m ExecLimits,
+    mem: &'m mut Memory,
+    pending: &'m mut VecDeque<PendingGrid>,
+    next_grid_id: &'m mut usize,
+    stats: &'m mut MachineStats,
+    instr_budget: &'m mut u64,
+}
+
+impl ExecEnv<'_> {
+    fn load(&self, addr: i64, shared: &[Value]) -> Result<Value, ExecError> {
+        if addr >= SHARED_SPACE_BASE {
+            let off = (addr - SHARED_SPACE_BASE) as usize;
+            shared.get(off).copied().ok_or_else(|| {
+                ExecError::new(format!("shared memory access out of bounds: offset {off}"))
+            })
+        } else {
+            self.mem.read(addr)
+        }
+    }
+
+    fn store(&mut self, addr: i64, value: Value, shared: &mut [Value]) -> Result<(), ExecError> {
+        if addr >= SHARED_SPACE_BASE {
+            let off = (addr - SHARED_SPACE_BASE) as usize;
+            match shared.get_mut(off) {
+                Some(slot) => {
+                    *slot = value;
+                    Ok(())
+                }
+                None => Err(ExecError::new(format!(
+                    "shared memory access out of bounds: offset {off}"
+                ))),
+            }
+        } else {
+            self.mem.write(addr, value)
+        }
+    }
+}
+
+/// Runs one thread until it returns, reaches a barrier, or errors.
+///
+/// The outer loop re-derives the current function's code/origin/cost slices
+/// only when the frame stack changes (call, return, launch of execution);
+/// the inner loop dispatches straight-line instructions against cached
+/// slices. Fused superinstructions are charged their expansion's summed
+/// cycles and original instruction count from the precomputed cost table,
+/// keeping accounting identical to unfused execution.
+fn run_thread(
+    env: &mut ExecEnv<'_>,
+    thread: &mut Thread,
+    ctx: &BlockCtx,
+    shared: &mut [Value],
+    btrace: &mut BlockTrace,
+) -> Result<(), ExecError> {
+    'frames: loop {
+        let Some(frame) = thread.frames.last_mut() else {
+            thread.status = ThreadStatus::Done;
+            return Ok(());
+        };
+        let func = &env.module.functions[frame.func as usize];
+        let code: &[Instr] = &func.code;
+        let origins: &[CodeOrigin] = &func.origins;
+        let costs: &[CostEntry] = &env.cost_table[frame.func as usize];
+
         loop {
-            let Some(frame) = thread.frames.last_mut() else {
-                thread.status = ThreadStatus::Done;
-                return Ok(());
-            };
-            let func = &self.module.functions[frame.func as usize];
-            if frame.pc >= func.code.len() {
+            let pc = frame.pc;
+            if pc >= code.len() {
                 // Fell off the end of a void function.
-                thread.frames.pop();
+                let done = thread.frames.pop().expect("frame exists");
+                thread.spare_locals.push(done.locals);
                 if thread.frames.is_empty() {
                     thread.status = ThreadStatus::Done;
                     return Ok(());
                 }
                 thread.stack.push(Value::Int(0));
-                continue;
+                continue 'frames;
             }
-            let instr = func.code[frame.pc];
-            let origin = func.origins[frame.pc];
-            frame.pc += 1;
+            let instr = code[pc];
+            let origin = origins[pc];
+            let entry = costs[pc];
+            frame.pc = pc + 1;
 
-            let cycles = self.cost.cycles(instr.cost_class());
+            let cycles = entry.cycles;
+            let width = entry.width as u64;
             thread.cycles += cycles;
-            thread.instructions += 1;
+            thread.instructions += width;
             thread.origin_cycles.add(origin, cycles);
-            if self.instr_budget == 0 {
+            if *env.instr_budget < width {
                 return Err(ExecError::new(
                     "instruction budget exhausted (possible infinite loop; raise ExecLimits::max_instructions)",
                 ));
             }
-            self.instr_budget -= 1;
+            *env.instr_budget -= width;
 
             match instr {
                 Instr::PushInt(v) => thread.stack.push(Value::Int(v)),
                 Instr::PushFloat(v) => thread.stack.push(Value::Float(v)),
                 Instr::LoadLocal(slot) => {
-                    let v = thread.frames.last().unwrap().locals[slot as usize];
+                    let v = frame.locals[slot as usize];
                     thread.stack.push(v);
                 }
                 Instr::StoreLocal(slot) => {
                     let v = pop(&mut thread.stack)?;
-                    thread.frames.last_mut().unwrap().locals[slot as usize] = v;
+                    frame.locals[slot as usize] = v;
                 }
                 Instr::LoadMem => {
                     let addr = pop(&mut thread.stack)?.as_int();
-                    let v = self.load(addr, shared)?;
+                    let v = env.load(addr, shared)?;
                     thread.stack.push(v);
                 }
                 Instr::StoreMem => {
                     let v = pop(&mut thread.stack)?;
                     let addr = pop(&mut thread.stack)?.as_int();
-                    self.store(addr, v, shared)?;
+                    env.store(addr, v, shared)?;
                 }
                 Instr::Bin(kind) => {
                     let b = pop(&mut thread.stack)?;
@@ -517,20 +736,22 @@ impl Machine {
                     let a = pop(&mut thread.stack)?;
                     thread.stack.push(Value::Float(a.as_float()));
                 }
-                Instr::Jump(t) => thread.frames.last_mut().unwrap().pc = t as usize,
+                Instr::Jump(t) => frame.pc = t as usize,
                 Instr::JumpIfZero(t) => {
                     if !pop(&mut thread.stack)?.is_truthy() {
-                        thread.frames.last_mut().unwrap().pc = t as usize;
+                        frame.pc = t as usize;
                     }
                 }
                 Instr::JumpIfNonZero(t) => {
                     if pop(&mut thread.stack)?.is_truthy() {
-                        thread.frames.last_mut().unwrap().pc = t as usize;
+                        frame.pc = t as usize;
                     }
                 }
                 Instr::Call(id, nargs) => {
-                    let callee = &self.module.functions[id as usize];
-                    let mut locals = vec![Value::Int(0); callee.n_locals as usize];
+                    let callee = &env.module.functions[id as usize];
+                    let mut locals = thread.spare_locals.pop().unwrap_or_default();
+                    locals.clear();
+                    locals.resize(callee.n_locals as usize, Value::Int(0));
                     for i in (0..nargs as usize).rev() {
                         let v = pop(&mut thread.stack)?;
                         locals[i] = coerce(v, &callee.param_types[i]);
@@ -543,23 +764,28 @@ impl Machine {
                         pc: 0,
                         locals,
                     });
+                    continue 'frames;
                 }
                 Instr::Ret => {
                     let v = pop(&mut thread.stack)?;
-                    thread.frames.pop();
+                    let done = thread.frames.pop().expect("frame exists");
+                    thread.spare_locals.push(done.locals);
                     if thread.frames.is_empty() {
                         thread.status = ThreadStatus::Done;
                         return Ok(());
                     }
                     thread.stack.push(v);
+                    continue 'frames;
                 }
                 Instr::RetVoid => {
-                    thread.frames.pop();
+                    let done = thread.frames.pop().expect("frame exists");
+                    thread.spare_locals.push(done.locals);
                     if thread.frames.is_empty() {
                         thread.status = ThreadStatus::Done;
                         return Ok(());
                     }
                     thread.stack.push(Value::Int(0));
+                    continue 'frames;
                 }
                 Instr::Launch(id, nargs) => {
                     let mut args = vec![Value::Int(0); nargs as usize];
@@ -570,9 +796,13 @@ impl Machine {
                     let grid = pop(&mut thread.stack)?.as_dim3();
                     let total_blocks = grid[0] * grid[1] * grid[2];
                     if total_blocks <= 0 {
-                        self.stats.empty_launches += 1;
+                        env.stats.empty_launches += 1;
                     } else {
-                        let child = self.enqueue(
+                        let child = enqueue_grid(
+                            env.module,
+                            env.limits,
+                            env.pending,
+                            env.next_grid_id,
                             id,
                             grid,
                             block,
@@ -587,7 +817,7 @@ impl Machine {
                             child_grid: child,
                             issue_cycles: thread.cycles,
                         });
-                        self.stats.device_launches += 1;
+                        env.stats.device_launches += 1;
                     }
                 }
                 Instr::Sync => {
@@ -599,27 +829,25 @@ impl Machine {
                     // no-ops; the cycle cost was already charged.
                 }
                 Instr::Atomic(op) => {
-                    let (old, new) = match op {
+                    let old = match op {
                         AtomicOp::Cas => {
                             let val = pop(&mut thread.stack)?;
                             let cmp = pop(&mut thread.stack)?;
                             let addr = pop(&mut thread.stack)?.as_int();
-                            let old = self.load(addr, shared)?;
+                            let old = env.load(addr, shared)?;
                             let new = if old == cmp { val } else { old };
-                            self.store(addr, new, shared)?;
-                            thread.stack.push(old);
-                            continue;
+                            env.store(addr, new, shared)?;
+                            old
                         }
                         _ => {
                             let operand = pop(&mut thread.stack)?;
                             let addr = pop(&mut thread.stack)?.as_int();
-                            let old = self.load(addr, shared)?;
+                            let old = env.load(addr, shared)?;
                             let new = atomic_apply(op, old, operand)?;
-                            self.store(addr, new, shared)?;
-                            (old, (addr, new))
+                            env.store(addr, new, shared)?;
+                            old
                         }
                     };
-                    let _ = new;
                     thread.stack.push(old);
                 }
                 Instr::Intrinsic(i) => {
@@ -687,37 +915,90 @@ impl Machine {
                     }
                     thread.stack.swap(n - 1, n - 2);
                 }
-            }
-        }
-    }
 
-    fn load(&self, addr: i64, shared: &[Value]) -> Result<Value, ExecError> {
-        if addr >= SHARED_SPACE_BASE {
-            let off = (addr - SHARED_SPACE_BASE) as usize;
-            shared.get(off).copied().ok_or_else(|| {
-                ExecError::new(format!("shared memory access out of bounds: offset {off}"))
-            })
-        } else {
-            self.mem.read(addr)
-        }
-    }
-
-    fn store(&mut self, addr: i64, value: Value, shared: &mut [Value]) -> Result<(), ExecError> {
-        if addr >= SHARED_SPACE_BASE {
-            let off = (addr - SHARED_SPACE_BASE) as usize;
-            match shared.get_mut(off) {
-                Some(slot) => {
-                    *slot = value;
-                    Ok(())
+                // Fused superinstructions: each arm replicates the exact
+                // observable semantics (including error cases) of its
+                // expansion — see `Instr::expansion`. Accounting was already
+                // charged from the cost table above.
+                Instr::BinLocals(kind, a, b) => {
+                    let a = frame.locals[a as usize];
+                    let b = frame.locals[b as usize];
+                    thread.stack.push(bin_op(kind, a, b)?);
                 }
-                None => Err(ExecError::new(format!(
-                    "shared memory access out of bounds: offset {off}"
-                ))),
+                Instr::BinImm(kind, v) => {
+                    let a = pop(&mut thread.stack)?;
+                    thread.stack.push(bin_op(kind, a, Value::Int(v))?);
+                }
+                Instr::IncLocal(slot, delta) => {
+                    let old = frame.locals[slot as usize];
+                    frame.locals[slot as usize] = bin_op(BinKind::Add, old, Value::Int(delta))?;
+                }
+                Instr::LoadLocalMem(slot) => {
+                    let addr = frame.locals[slot as usize].as_int();
+                    let v = env.load(addr, shared)?;
+                    thread.stack.push(v);
+                }
             }
-        } else {
-            self.mem.write(addr, value)
         }
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enqueue_grid(
+    module: &Module,
+    limits: &ExecLimits,
+    pending: &mut VecDeque<PendingGrid>,
+    next_grid_id: &mut usize,
+    kernel: FuncId,
+    grid: [i64; 3],
+    block: [i64; 3],
+    args: Vec<Value>,
+    origin: LaunchOrigin,
+) -> Result<usize, ExecError> {
+    let func = module.function(kernel);
+    if func.qual != FnQual::Global {
+        return Err(ExecError::new(format!(
+            "`{}` is not a __global__ kernel",
+            func.name
+        )));
+    }
+    if args.len() != func.param_types.len() {
+        return Err(ExecError::new(format!(
+            "kernel `{}` takes {} arguments, got {}",
+            func.name,
+            func.param_types.len(),
+            args.len()
+        )));
+    }
+    let threads = block[0] * block[1] * block[2];
+    if threads <= 0 || threads > limits.max_threads_per_block as i64 {
+        return Err(ExecError::new(format!(
+            "invalid block size {threads} for kernel `{}`",
+            func.name
+        )));
+    }
+    if grid.iter().any(|&d| d < 0) {
+        return Err(ExecError::new(format!(
+            "negative grid dimension for kernel `{}`",
+            func.name
+        )));
+    }
+    if pending.len() >= limits.max_pending {
+        return Err(ExecError::new(
+            "pending launch buffer overflow (raise ExecLimits::max_pending)",
+        ));
+    }
+    let id = *next_grid_id;
+    *next_grid_id += 1;
+    pending.push_back(PendingGrid {
+        kernel,
+        grid,
+        block,
+        args,
+        origin,
+        id,
+    });
+    Ok(id)
 }
 
 struct BlockCtx {
@@ -886,7 +1167,10 @@ mod tests {
         let buf = m.alloc(8);
         m.launch_host("k", 1, 8, &[Value::Int(buf)]).unwrap();
         m.run_to_quiescence().unwrap();
-        assert_eq!(m.read_i64s(buf, 8).unwrap(), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(
+            m.read_i64s(buf, 8).unwrap(),
+            vec![0, 2, 4, 6, 8, 10, 12, 14]
+        );
     }
 
     #[test]
@@ -945,9 +1229,7 @@ mod tests {
 
     #[test]
     fn atomics_are_deterministic() {
-        let mut m = machine(
-            "__global__ void k(int* counter) { atomicAdd(&counter[0], 1); }",
-        );
+        let mut m = machine("__global__ void k(int* counter) { atomicAdd(&counter[0], 1); }");
         let buf = m.alloc(1);
         m.launch_host("k", 4, 64, &[Value::Int(buf)]).unwrap();
         m.run_to_quiescence().unwrap();
@@ -1072,8 +1354,8 @@ mod tests {
 
     #[test]
     fn infinite_loop_hits_budget() {
-        let p = dp_frontend::parse("__global__ void k(int* d) { while (true) { d[0] = 1; } }")
-            .unwrap();
+        let p =
+            dp_frontend::parse("__global__ void k(int* d) { while (true) { d[0] = 1; } }").unwrap();
         let module = compile_program(&p).unwrap();
         let limits = ExecLimits {
             max_instructions: 10_000,
@@ -1137,6 +1419,113 @@ mod tests {
             with > without + CostModel::default().launch_presence_overhead / 2,
             "kernel containing a (never-executed) launch must be slower: {with} vs {without}"
         );
+    }
+
+    #[test]
+    fn fusion_is_trace_transparent() {
+        // Fused and unfused execution of the same program must agree on
+        // results, statistics, and the entire execution trace (warp cycles,
+        // per-origin attribution, launch records).
+        let src = "__global__ void child(int* d, int n) { \
+                       int i = blockIdx.x * blockDim.x + threadIdx.x; \
+                       if (i < n) { atomicAdd(&d[i], i * 3 + 1); } }\n\
+                   __global__ void parent(int* d, int* deg, int numV) { \
+                       int v = blockIdx.x * blockDim.x + threadIdx.x; \
+                       if (v < numV) { \
+                           int count = deg[v]; \
+                           float acc = 0.0; \
+                           for (int j = 0; j < count; ++j) { acc += (float)j * 0.5; } \
+                           d[numV + v] = (int)acc; \
+                           if (count > 0) { child<<<(count + 3) / 4, 4>>>(d, count); } } }";
+        let run = |fuse: bool| {
+            let p = dp_frontend::parse(src).unwrap();
+            let module =
+                crate::lower::compile_program_with(&p, crate::lower::LowerOptions { fuse })
+                    .unwrap();
+            let mut m = Machine::new(module);
+            let d = m.alloc(32);
+            let deg = m.alloc_i64s(&[3, 0, 7, 1, 5, 2]);
+            m.launch_host(
+                "parent",
+                2,
+                4,
+                &[Value::Int(d), Value::Int(deg), Value::Int(6)],
+            )
+            .unwrap();
+            m.run_to_quiescence().unwrap();
+            let out = m.read_i64s(d, 32).unwrap();
+            let stats = m.stats();
+            (out, stats, m.take_trace())
+        };
+        let (out_f, stats_f, trace_f) = run(true);
+        let (out_u, stats_u, trace_u) = run(false);
+        assert_eq!(out_f, out_u);
+        assert_eq!(stats_f, stats_u, "stats count original instruction units");
+        assert_eq!(trace_f, trace_u, "traces must be byte-identical");
+        assert!(stats_f.instructions > 0, "stats.instructions is populated");
+        assert_eq!(stats_f.instructions, trace_f.instructions());
+    }
+
+    #[test]
+    fn huge_custom_cost_models_are_supported() {
+        // CostModel fields are public u64s; per-instruction costs beyond
+        // u32 must accumulate, not panic at machine construction.
+        let p = dp_frontend::parse("__global__ void k(int* d) { d[0] = d[0] + 1; }").unwrap();
+        let cost = CostModel {
+            mem: 5_000_000_000,
+            ..CostModel::default()
+        };
+        let mut m = Machine::with_config(compile_program(&p).unwrap(), cost, ExecLimits::default());
+        let buf = m.alloc(1);
+        m.launch_host("k", 1, 1, &[Value::Int(buf)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        let trace = m.take_trace();
+        assert!(trace.grids[0].blocks[0].critical_warp_cycles() > 10_000_000_000);
+    }
+
+    #[test]
+    fn state_reuse_knob_does_not_change_results() {
+        let src = "__global__ void k(int* d) { \
+                       __shared__ int tile[8]; \
+                       tile[threadIdx.x] = threadIdx.x + blockIdx.x; \
+                       __syncthreads(); \
+                       d[blockIdx.x * 8 + threadIdx.x] = tile[7 - threadIdx.x]; }";
+        let run = |reuse: bool| {
+            let mut m = machine(src);
+            m.set_state_reuse(reuse);
+            let d = m.alloc(64);
+            m.launch_host("k", 8, 8, &[Value::Int(d)]).unwrap();
+            m.run_to_quiescence().unwrap();
+            (m.read_i64s(d, 64).unwrap(), m.take_trace())
+        };
+        let (out_pool, trace_pool) = run(true);
+        let (out_fresh, trace_fresh) = run(false);
+        assert_eq!(out_pool, out_fresh);
+        assert_eq!(trace_pool, trace_fresh);
+    }
+
+    #[test]
+    fn bulk_memory_ops_match_scalar_semantics() {
+        let mut mem = Memory::new();
+        let base = mem.alloc(8);
+        mem.fill(base, 8, Value::Int(7)).unwrap();
+        assert_eq!(mem.read(base + 3).unwrap(), Value::Int(7));
+        mem.write_range(base + 1, &[Value::Int(1), Value::Int(2)])
+            .unwrap();
+        assert_eq!(
+            mem.read_range(base, 4).unwrap(),
+            &[Value::Int(7), Value::Int(1), Value::Int(2), Value::Int(7)]
+        );
+        // Empty operations succeed anywhere, as the scalar loop did.
+        mem.fill(base + 8, 0, Value::Int(0)).unwrap();
+        assert_eq!(mem.read_range(base, 0).unwrap(), &[]);
+        // One-past-the-end and null ranges fail with a single check.
+        assert!(mem.fill(base, 9, Value::Int(0)).is_err());
+        assert!(mem.read_range(0, 1).is_err());
+        assert!(mem
+            .write_range(base + 7, &[Value::Int(0), Value::Int(0)])
+            .is_err());
+        assert!(mem.fill(-4, 2, Value::Int(0)).is_err());
     }
 
     #[test]

@@ -86,7 +86,7 @@ pub struct LaunchRecord {
 }
 
 /// Per-block execution record.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BlockTrace {
     /// Max thread cycles per warp (warp-synchronous execution time).
     pub warp_cycles: Vec<u64>,
@@ -111,7 +111,7 @@ impl BlockTrace {
 }
 
 /// Per-grid execution record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridTrace {
     /// Grid id (position in launch order).
     pub id: usize,
@@ -149,7 +149,7 @@ impl GridTrace {
 }
 
 /// Trace of one complete run (host launch to quiescence).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecutionTrace {
     /// Executed grids in launch order (grid id = index).
     pub grids: Vec<GridTrace>,

@@ -219,7 +219,10 @@ mod tests {
     #[test]
     fn all_sources_parse_and_compile() {
         for bench in all_benchmarks() {
-            for (label, src) in [("cdp", bench.cdp_source()), ("no-cdp", bench.no_cdp_source())] {
+            for (label, src) in [
+                ("cdp", bench.cdp_source()),
+                ("no-cdp", bench.no_cdp_source()),
+            ] {
                 let program = dp_frontend::parse(src)
                     .unwrap_or_else(|e| panic!("{} {label}: {}", bench.name(), e.render(src)));
                 dp_vm::lower::compile_program(&program)

@@ -186,8 +186,7 @@ mod tests {
         assert!(mst_edges > 0, "some components must merge");
         assert!(mst_weight > 0);
         // After rounds, number of distinct components decreased.
-        let comps: std::collections::HashSet<i64> =
-            run.output.ints[..n].iter().copied().collect();
+        let comps: std::collections::HashSet<i64> = run.output.ints[..n].iter().copied().collect();
         assert!(comps.len() < n);
     }
 }

@@ -198,10 +198,6 @@ mod tests {
         let f = random_ksat(40, 80, 3, 52);
         let input = BenchInput::Sat(f);
         let run = run_variant(&Sp, Variant::Cdp(OptConfig::none()), &input).unwrap();
-        assert!(run
-            .output
-            .floats
-            .iter()
-            .all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(run.output.floats.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
 }

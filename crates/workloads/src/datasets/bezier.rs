@@ -51,7 +51,12 @@ impl BezierLines {
 /// Control points are drawn in the unit square with the middle point
 /// displaced to spread curvature over a wide range, so tessellation counts
 /// (child grid sizes) are irregular like the benchmark expects.
-pub fn bezier_lines(num_lines: usize, max_tess: u32, curvature_scale: f64, seed: u64) -> BezierLines {
+pub fn bezier_lines(
+    num_lines: usize,
+    max_tess: u32,
+    curvature_scale: f64,
+    seed: u64,
+) -> BezierLines {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut control_points = Vec::with_capacity(num_lines * 6);
     for _ in 0..num_lines {

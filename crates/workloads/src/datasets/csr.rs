@@ -64,7 +64,10 @@ impl CsrGraph {
 
     /// Maximum out-degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average out-degree.
@@ -104,7 +107,8 @@ impl CsrGraph {
 
 /// Deterministic pseudo-random weight in `[1, 64)`.
 fn edge_weight(u: u32, v: u32) -> i64 {
-    let mut h = (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (v as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut h = (u as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (v as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h ^= h >> 31;
     (h % 63 + 1) as i64
 }

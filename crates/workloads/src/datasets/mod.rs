@@ -46,10 +46,18 @@ impl DatasetId {
     /// What the generator substitutes for (for Table I).
     pub fn description(&self) -> &'static str {
         match self {
-            DatasetId::Kron => "R-MAT substitute for kron_g500-simple-logn16 (heavy-tailed degrees)",
-            DatasetId::Cnr => "preferential-attachment substitute for cnr-2000 (power-law web graph)",
-            DatasetId::RoadNy => "perturbed-lattice substitute for USA-road-d.NY (avg degree ~3, max <= 8)",
-            DatasetId::Rand3 => "uniform random 3-SAT (42,000 clauses over 10,000 variables at full scale)",
+            DatasetId::Kron => {
+                "R-MAT substitute for kron_g500-simple-logn16 (heavy-tailed degrees)"
+            }
+            DatasetId::Cnr => {
+                "preferential-attachment substitute for cnr-2000 (power-law web graph)"
+            }
+            DatasetId::RoadNy => {
+                "perturbed-lattice substitute for USA-road-d.NY (avg degree ~3, max <= 8)"
+            }
+            DatasetId::Rand3 => {
+                "uniform random 3-SAT (42,000 clauses over 10,000 variables at full scale)"
+            }
             DatasetId::Sat5 => "uniform random 5-SAT (~117,296 literals at full scale)",
             DatasetId::T0032C16 => "random Bezier lines, max tessellation 32, curvature scale 16",
             DatasetId::T2048C64 => "random Bezier lines, max tessellation 2048, curvature scale 64",

@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut reference = None;
     let mut cdp_time = None;
-    println!("\n{:>10}  {:>12}  {:>10}  {:>8}", "variant", "time (us)", "launches", "speedup");
+    println!(
+        "\n{:>10}  {:>12}  {:>10}  {:>8}",
+        "variant", "time (us)", "launches", "speedup"
+    );
     for (label, variant) in variants {
         let run = run_variant(&Bfs, variant, &input)?;
         match &reference {
@@ -57,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{label:>10}  {:>12.1}  {:>10}  {:>8}",
             sim.total_us,
             run.report.stats.device_launches,
-            if speedup.is_nan() { "-".to_string() } else { format!("{speedup:.2}x") },
+            if speedup.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{speedup:.2}x")
+            },
         );
     }
     println!("\nall variants produced identical BFS levels");

@@ -19,7 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cdp = run_variant(&Bfs, Variant::Cdp(OptConfig::none()), &input)?;
     let base = cdp.report.simulate(&timing).total_us;
 
-    let thresholds = [None, Some(1), Some(8), Some(64), Some(512), Some(4096), Some(32768)];
+    let thresholds = [
+        None,
+        Some(1),
+        Some(8),
+        Some(64),
+        Some(512),
+        Some(4096),
+        Some(32768),
+    ];
     let granularities: Vec<(&str, Option<AggGranularity>)> = vec![
         ("none", None),
         ("block", Some(AggGranularity::Block)),

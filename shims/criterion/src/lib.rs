@@ -1,0 +1,166 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal harness with criterion's surface API: [`Criterion`],
+//! [`criterion_group!`] / [`criterion_main!`], benchmark groups with
+//! [`Throughput`], and `Bencher::iter`. It runs each benchmark for a short
+//! warm-up plus a fixed number of timed iterations and prints mean wall
+//! time (and element throughput when declared) — enough to compare runs by
+//! hand. For tracked interpreter numbers use `cargo run --release -p
+//! dp-bench --bin vmbench`, which writes `BENCH_vm.json`.
+
+use std::time::{Duration, Instant};
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Drives one benchmark's timed closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (untimed).
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters: sample_size,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(", {:.3e} elem/s", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => format!(", {:.3e} B/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!("bench {name:<48} {:>12.3} µs/iter{rate}", per_iter * 1e6);
+}
+
+/// The benchmark harness (shim: wall-clock mean, no statistics).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), 10, None, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(3);
+        group.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+}

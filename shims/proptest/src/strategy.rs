@@ -1,0 +1,311 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for random values of one type.
+///
+/// Unlike real proptest, a strategy here is just a cloneable generator
+/// function; `generate` draws one value.
+pub trait Strategy: Clone + 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive values: `self` is the leaf strategy, `extend` builds one
+    /// level from a strategy for the level below. `depth` bounds recursion;
+    /// the other two parameters (desired size, expected branch size) are
+    /// accepted for API compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired: u32,
+        _branch: u32,
+        extend: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            extend: Rc::new(move |inner| extend(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value> {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone + 'static,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    extend: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            extend: Rc::clone(&self.extend),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // 1-in-3 chance of bottoming out early keeps tree sizes diverse.
+        if self.depth == 0 || rng.below(3) == 0 {
+            return self.base.generate(rng);
+        }
+        let inner = Recursive {
+            base: self.base.clone(),
+            extend: Rc::clone(&self.extend),
+            depth: self.depth - 1,
+        }
+        .boxed();
+        (self.extend)(inner).generate(rng)
+    }
+}
+
+/// `prop_oneof!`: uniform choice among same-valued strategies.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range_i64(self.start as i64, self.end as i64) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+/// Single-character classes (`"[a-e]"`) and literal strings.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let bytes = self.as_bytes();
+        // Pattern "[x-y]": one random character in x..=y.
+        if bytes.len() == 5 && bytes[0] == b'[' && bytes[2] == b'-' && bytes[4] == b']' {
+            let (lo, hi) = (bytes[1], bytes[3]);
+            assert!(lo <= hi, "bad char class {self}");
+            let c = rng.in_range_i64(lo as i64, hi as i64 + 1) as u8;
+            return (c as char).to_string();
+        }
+        (*self).to_string()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// `prop::collection::vec`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.in_range_i64(self.size.start as i64, self.size.end as i64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_arrays_and_vecs() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..200 {
+            let v = (1i64..7).generate(&mut rng);
+            assert!((1..7).contains(&v));
+            let (a, b) = ((0i32..3), (10usize..12)).generate(&mut rng);
+            assert!((0..3).contains(&a) && (10..12).contains(&b));
+            let arr = [(0i64..5), (5i64..9)].generate(&mut rng);
+            assert!(arr[0] < 5 && arr[1] >= 5);
+            let xs = crate::collection::vec(0i64..4, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&xs.len()));
+        }
+    }
+
+    #[test]
+    fn char_class_and_literal_strings() {
+        let mut rng = TestRng::for_test("strings");
+        for _ in 0..50 {
+            let s = "[a-e]".generate(&mut rng);
+            assert!(("a"..="e").contains(&s.as_str()), "got {s}");
+            assert_eq!("threadIdx.x".generate(&mut rng), "threadIdx.x");
+        }
+    }
+
+    #[test]
+    fn recursion_terminates_and_varies() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum T {
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::for_test("recursion");
+        let mut max_depth = 0;
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            let d = depth(&t);
+            assert!(d <= 4);
+            max_depth = max_depth.max(d);
+        }
+        assert!(max_depth >= 2, "no deep trees generated");
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let u = crate::prop_oneof![Just(1i64), Just(2i64), Just(3i64)];
+        let mut rng = TestRng::for_test("union");
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(u.generate(&mut rng) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,59 @@
+//! Deterministic RNG and failure type for the shim runner.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+
+/// A failed property case (carried by `prop_assert*` / `return Err(..)`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The generator driving a property test.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// A deterministic generator for the named test. `PROPTEST_SEED`
+    /// perturbs every test's stream at once (for soak runs).
+    pub fn for_test(name: &str) -> Self {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED);
+        // FNV-1a over the test name keeps per-test streams independent.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(base ^ h))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// A uniform value in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n.max(1))
+    }
+
+    /// A uniform `i64` in `lo..hi`.
+    pub fn in_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        self.0.gen_range(lo..hi)
+    }
+}

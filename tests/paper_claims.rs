@@ -38,8 +38,14 @@ fn thresholding_reduces_launches_and_time() {
     let input = kron_input();
     let (cdp, cdp_launches) = time_of(Variant::Cdp(OptConfig::none()), &input);
     let (t, t_launches) = time_of(Variant::Cdp(OptConfig::none().threshold(64)), &input);
-    assert!(t_launches < cdp_launches / 4, "{t_launches} vs {cdp_launches}");
-    assert!(t < cdp / 2.0, "thresholding should speed up CDP: {t} vs {cdp}");
+    assert!(
+        t_launches < cdp_launches / 4,
+        "{t_launches} vs {cdp_launches}"
+    );
+    assert!(
+        t < cdp / 2.0,
+        "thresholding should speed up CDP: {t} vs {cdp}"
+    );
 }
 
 #[test]
@@ -48,8 +54,7 @@ fn excessive_threshold_degrades_performance_again() {
     // performance to degrade again" (over-serialization → divergence).
     let input = kron_input();
     let (moderate, _) = time_of(Variant::Cdp(OptConfig::none().threshold(128)), &input);
-    let (excessive, launches) =
-        time_of(Variant::Cdp(OptConfig::none().threshold(1 << 20)), &input);
+    let (excessive, launches) = time_of(Variant::Cdp(OptConfig::none().threshold(1 << 20)), &input);
     assert_eq!(launches, 0, "a huge threshold serializes everything");
     assert!(
         excessive > moderate,
@@ -134,7 +139,10 @@ fn road_graphs_punish_dynamic_parallelism() {
     let (thresholded, launches) =
         time_of(Variant::Cdp(OptConfig::none().threshold(1 << 20)), &input);
     assert_eq!(launches, 0);
-    assert!(cdp > no_cdp, "CDP should lose on road graphs: {cdp} vs {no_cdp}");
+    assert!(
+        cdp > no_cdp,
+        "CDP should lose on road graphs: {cdp} vs {no_cdp}"
+    );
     assert!(
         thresholded > no_cdp,
         "launch presence overhead must keep CDP+T above No CDP: {thresholded} vs {no_cdp}"

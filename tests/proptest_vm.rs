@@ -3,7 +3,10 @@
 //! holds on random degree distributions.
 
 use dpopt::core::{AggConfig, AggGranularity, Compiler, OptConfig};
-use dpopt::vm::{lower::compile_program, machine::Machine, Value};
+use dpopt::vm::bytecode::Instr;
+use dpopt::vm::lower::{compile_program, compile_program_unfused};
+use dpopt::vm::machine::Machine;
+use dpopt::vm::Value;
 use proptest::prelude::*;
 
 /// A little integer expression AST mirrored on host and device.
@@ -161,5 +164,151 @@ __global__ void parent(int* d, int* deg, int numV) {
         // Functional check: total increments = sum of degrees.
         let total: i64 = degrees.iter().sum();
         prop_assert_eq!(exec.read_i64s(d, 1).unwrap()[0], total);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Superinstruction fusion on random straight-line programs
+// ----------------------------------------------------------------------
+
+/// One random straight-line statement over locals `v0..v3` and the eight
+/// scratch words `d[0..8]`. No control flow, no division (so the only
+/// observable behavior is arithmetic + memory state).
+fn arb_stmt() -> impl Strategy<Value = String> {
+    let var = 0usize..4;
+    let cell = 0usize..8;
+    let lit = -64i64..64;
+    prop_oneof![
+        (var.clone(), var.clone(), lit.clone(), 0usize..3).prop_map(|(a, b, c, op)| {
+            let op = ["+", "-", "*"][op];
+            format!("v{a} = v{b} {op} ({c});")
+        }),
+        (var.clone(), var.clone(), var.clone(), 0usize..4).prop_map(|(a, b, c, op)| {
+            let op = ["+", "-", "*", "<"][op];
+            format!("v{a} = v{b} {op} v{c};")
+        }),
+        (var.clone(), lit.clone()).prop_map(|(a, c)| format!("v{a} += ({c});")),
+        (var.clone(), lit).prop_map(|(a, c)| format!("v{a} -= ({c});")),
+        var.clone().prop_map(|a| format!("++v{a};")),
+        var.clone().prop_map(|a| format!("v{a}++;")),
+        var.clone().prop_map(|a| format!("v{a}--;")),
+        (cell.clone(), var.clone()).prop_map(|(k, a)| format!("d[{k}] = v{a};")),
+        (var.clone(), cell.clone()).prop_map(|(a, k)| format!("v{a} = d[{k}];")),
+        (var.clone(), cell, var.clone()).prop_map(|(a, k, b)| format!("v{a} = d[{k}] + v{b};")),
+        (var.clone(), var.clone(), var).prop_map(|(a, b, c)| format!("v{a} = min(v{b}, v{c});")),
+    ]
+}
+
+fn straight_line_program(stmts: &[String]) -> String {
+    format!(
+        "__global__ void k(int* d) {{ \
+             int v0 = 3; int v1 = -7; int v2 = 11; int v3 = 0; \
+             {} \
+             d[8] = v0; d[9] = v1; d[10] = v2; d[11] = v3; }}",
+        stmts.join(" ")
+    )
+}
+
+/// Net stack effect (pops, pushes) of the primitive instructions that
+/// straight-line programs lower to.
+fn stack_effect(i: &Instr) -> (i64, i64) {
+    match i {
+        Instr::PushInt(_) | Instr::LoadLocal(_) => (0, 1),
+        Instr::StoreLocal(_) | Instr::Pop => (1, 0),
+        Instr::LoadMem | Instr::CastInt | Instr::Un(_) => (1, 1),
+        Instr::Bin(_) | Instr::Intrinsic(_) => (2, 1),
+        Instr::StoreMem => (2, 0),
+        Instr::Dup => (1, 2),
+        Instr::RetVoid => (0, 0),
+        other => panic!("unexpected instruction in straight-line program: {other:?}"),
+    }
+}
+
+/// Depth after each instruction of a primitive (unfused) stream. Panics if
+/// the depth ever goes negative (an underflow the real machine would trap
+/// on).
+fn depth_profile(code: &[Instr]) -> Vec<i64> {
+    let mut depth = 0i64;
+    let mut profile = Vec::new();
+    for instr in code {
+        assert!(instr.expansion().is_none(), "stream must be primitive");
+        let (pops, pushes) = stack_effect(instr);
+        depth -= pops;
+        assert!(depth >= 0, "stack underflow at {instr:?}");
+        depth += pushes;
+        profile.push(depth);
+    }
+    profile
+}
+
+/// Walks a fused stream, checking each superinstruction's expansion never
+/// underflows and that the depth at every instruction *boundary* equals the
+/// unfused stream's depth at the corresponding original-unit index (the
+/// depths the machine actually observes — `IncLocal`'s interior is
+/// canonicalized and never materialized on the stack). Returns the
+/// boundary depths' original-unit indices for the length check.
+fn check_fused_depths(fused: &[Instr], unfused_profile: &[i64]) -> usize {
+    let mut depth = 0i64;
+    let mut original_idx = 0usize;
+    for instr in fused {
+        let parts = instr.expansion().unwrap_or_else(|| vec![*instr]);
+        let mut inner = depth;
+        for p in &parts {
+            let (pops, pushes) = stack_effect(p);
+            inner -= pops;
+            assert!(inner >= 0, "stack underflow inside {instr:?}");
+            inner += pushes;
+        }
+        depth = inner;
+        original_idx += parts.len();
+        assert_eq!(
+            depth,
+            unfused_profile[original_idx - 1],
+            "boundary depth diverged after {instr:?} (original index {original_idx})"
+        );
+    }
+    original_idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The fusion peephole preserves (a) the per-instruction stack-depth
+    /// profile in original units — fused superinstructions expand to
+    /// sequences with exactly the depths the unfused stream had — and
+    /// (b) the final memory state, statistics, and execution trace.
+    #[test]
+    fn fusion_preserves_stack_depth_and_memory(
+        stmts in prop::collection::vec(arb_stmt(), 1..32),
+    ) {
+        let src = straight_line_program(&stmts);
+        let program = dpopt::frontend::parse(&src)
+            .unwrap_or_else(|e| panic!("{}\n{src}", e.render(&src)));
+        let fused = compile_program(&program).unwrap();
+        let unfused = compile_program_unfused(&program).unwrap();
+
+        // Static invariants: widths conserve the original instruction
+        // count, expansions never underflow, and stack depths agree at
+        // every superinstruction boundary.
+        let fused_code = &fused.by_name("k").unwrap().code;
+        let unfused_code = &unfused.by_name("k").unwrap().code;
+        let widths: u32 = fused_code.iter().map(|i| i.width()).sum();
+        prop_assert_eq!(widths as usize, unfused_code.len());
+        let profile = depth_profile(unfused_code);
+        prop_assert_eq!(check_fused_depths(fused_code, &profile), unfused_code.len());
+
+        // Dynamic equivalence: same memory, same stats, same trace.
+        let run = |module| {
+            let mut m = Machine::new(module);
+            let d = m.alloc(12);
+            m.launch_host("k", 1, 1, &[Value::Int(d)]).unwrap();
+            m.run_to_quiescence().unwrap();
+            (m.read_i64s(d, 12).unwrap(), m.stats(), m.take_trace())
+        };
+        let (mem_f, stats_f, trace_f) = run(fused);
+        let (mem_u, stats_u, trace_u) = run(unfused);
+        prop_assert_eq!(mem_f, mem_u, "memory diverged for:\n{}", src);
+        prop_assert_eq!(stats_f, stats_u);
+        prop_assert_eq!(trace_f, trace_u, "trace diverged for:\n{}", src);
     }
 }

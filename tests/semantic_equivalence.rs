@@ -6,8 +6,10 @@
 //! combination and granularity, executed on the simulated GPU, and the
 //! outputs compared against the untransformed No-CDP version.
 
-use dpopt::core::{AggConfig, AggGranularity, OptConfig};
-use dpopt::workloads::benchmarks::{all_benchmarks, run_variant, BenchInput, Benchmark, Variant};
+use dpopt::core::{AggConfig, AggGranularity, Compiler, OptConfig, RunReport};
+use dpopt::workloads::benchmarks::{
+    all_benchmarks, run_variant, BenchInput, BenchOutput, Benchmark, Variant,
+};
 use dpopt::workloads::datasets::bezier::bezier_lines;
 use dpopt::workloads::datasets::graphs::{rmat, road, web};
 use dpopt::workloads::datasets::ksat::random_ksat;
@@ -28,7 +30,10 @@ fn all_configs() -> Vec<(String, OptConfig)> {
         ("CDP".into(), OptConfig::none()),
         ("T".into(), OptConfig::none().threshold(16)),
         ("C".into(), OptConfig::none().coarsen_factor(4)),
-        ("T+C".into(), OptConfig::none().threshold(16).coarsen_factor(4)),
+        (
+            "T+C".into(),
+            OptConfig::none().threshold(16).coarsen_factor(4),
+        ),
     ];
     for granularity in [
         AggGranularity::Warp,
@@ -151,7 +156,10 @@ fn pass_order_does_not_change_results() {
     // Execute the reordered pipeline via the module + a hand-built executor.
     let module = dpopt::vm::lower::compile_program(&program).unwrap();
     let source = dpopt::frontend::print_program(&program);
-    assert!(dpopt::frontend::parse(&source).is_ok(), "output must re-parse");
+    assert!(
+        dpopt::frontend::parse(&source).is_ok(),
+        "output must re-parse"
+    );
     let _ = module;
 
     // And the supported path: the default order on the same config matches.
@@ -167,6 +175,66 @@ fn pass_order_does_not_change_results() {
     )
     .unwrap();
     assert!(run.output.approx_eq(&reference, 1e-9));
+}
+
+/// Runs one benchmark × config with the VM's superinstruction fusion
+/// explicitly on or off.
+fn run_with_fusion(
+    bench: &dyn Benchmark,
+    config: OptConfig,
+    input: &BenchInput,
+    fuse: bool,
+) -> (BenchOutput, RunReport) {
+    let compiled = Compiler::new()
+        .config(config)
+        .fusion(fuse)
+        .compile(bench.cdp_source())
+        .unwrap_or_else(|e| panic!("{} failed to compile: {e}", bench.name()));
+    let mut exec = compiled.executor();
+    let output = bench
+        .run(&mut exec, input)
+        .unwrap_or_else(|e| panic!("{} failed to run: {e}", bench.name()));
+    (output, exec.finish())
+}
+
+/// Fusion is accounting-transparent: for every benchmark and every
+/// optimization configuration, executing the fused module produces exactly
+/// the same output, machine statistics (in original instruction units),
+/// execution trace (warp cycles, per-origin attribution, launch records),
+/// and host-event sequence as the unfused module.
+#[test]
+fn fusion_on_and_off_produce_identical_traces_and_stats() {
+    for bench in all_benchmarks() {
+        let input = small_input(bench.name());
+        for (label, config) in all_configs() {
+            let (out_fused, rep_fused) = run_with_fusion(bench.as_ref(), config, &input, true);
+            let (out_unfused, rep_unfused) = run_with_fusion(bench.as_ref(), config, &input, false);
+            assert_eq!(
+                out_fused,
+                out_unfused,
+                "{} [{label}]: fused output diverged",
+                bench.name()
+            );
+            assert_eq!(
+                rep_fused.stats,
+                rep_unfused.stats,
+                "{} [{label}]: fused stats diverged",
+                bench.name()
+            );
+            assert_eq!(
+                rep_fused.host_events,
+                rep_unfused.host_events,
+                "{} [{label}]: fused host events diverged",
+                bench.name()
+            );
+            assert_eq!(
+                rep_fused.trace,
+                rep_unfused.trace,
+                "{} [{label}]: fused trace diverged",
+                bench.name()
+            );
+        }
+    }
 }
 
 #[test]

@@ -46,7 +46,10 @@ fn thresholding_matches_fig3b_structure() {
     // Serialization loops over blocks and threads (Fig. 3b l.10-11),
     // in all three dimensions.
     for dim in ["_s_bz", "_s_by", "_s_bx", "_s_tz", "_s_ty", "_s_tx"] {
-        assert!(out.contains(&format!("for (int {dim} = 0;")), "missing {dim} loop:\n{out}");
+        assert!(
+            out.contains(&format!("for (int {dim} = 0;")),
+            "missing {dim} loop:\n{out}"
+        );
     }
     // Builtin replacement inside the serial body (Fig. 3b l.12-14).
     assert!(out.contains("int i = _s_bx * _s_bDim.x + _s_tx;"), "{out}");
@@ -54,8 +57,14 @@ fn thresholding_matches_fig3b_structure() {
     assert!(out.contains("int _threads0 = count;"), "{out}");
     // The guard and both branches (Fig. 3b l.22-26).
     assert!(out.contains("if (_threads0 >= _THRESHOLD)"), "{out}");
-    assert!(out.contains("child<<<(_threads0 + 31) / 32, 32>>>(data, count);"), "{out}");
-    assert!(out.contains("child_serial(data, count, (_threads0 + 31) / 32, 32);"), "{out}");
+    assert!(
+        out.contains("child<<<(_threads0 + 31) / 32, 32>>>(data, count);"),
+        "{out}"
+    );
+    assert!(
+        out.contains("child_serial(data, count, (_threads0 + 31) / 32, 32);"),
+        "{out}"
+    );
 }
 
 #[test]
@@ -64,7 +73,10 @@ fn coarsening_matches_fig6_structure() {
     assert!(out.contains("#define _CFACTOR 4"), "{out}");
     // Appended original-grid-dimension parameter (Fig. 6 l.01; scalar int
     // in this implementation — see DESIGN.md).
-    assert!(out.contains("__global__ void child(int* data, int n, int _c_gDim)"), "{out}");
+    assert!(
+        out.contains("__global__ void child(int* data, int n, int _c_gDim)"),
+        "{out}"
+    );
     // The block-stride coarsening loop (Fig. 6 l.02).
     assert!(
         out.contains("for (int _c_bx = blockIdx.x; _c_bx < _c_gDim; _c_bx += gridDim.x)"),
@@ -72,39 +84,65 @@ fn coarsening_matches_fig6_structure() {
     );
     // Launch-site rewrite (Fig. 6 l.08-10).
     assert!(out.contains("int _c_gDim0 = (count + 31) / 32;"), "{out}");
-    assert!(out.contains("int _c_cgDim0 = (_c_gDim0 + _CFACTOR - 1) / _CFACTOR;"), "{out}");
-    assert!(out.contains("child<<<_c_cgDim0, 32>>>(data, count, _c_gDim0);"), "{out}");
+    assert!(
+        out.contains("int _c_cgDim0 = (_c_gDim0 + _CFACTOR - 1) / _CFACTOR;"),
+        "{out}"
+    );
+    assert!(
+        out.contains("child<<<_c_cgDim0, 32>>>(data, count, _c_gDim0);"),
+        "{out}"
+    );
     // The body now indexes via the loop variable.
-    assert!(out.contains("int i = _c_bx * blockDim.x + threadIdx.x;"), "{out}");
+    assert!(
+        out.contains("int i = _c_bx * blockDim.x + threadIdx.x;"),
+        "{out}"
+    );
 }
 
 #[test]
 fn multiblock_aggregation_matches_fig7_structure() {
-    let out = transformed(
-        OptConfig::none().aggregation(AggConfig::new(AggGranularity::MultiBlock(4))),
-    );
+    let out =
+        transformed(OptConfig::none().aggregation(AggConfig::new(AggGranularity::MultiBlock(4))));
     assert!(out.contains("#define _AGG_GRANULARITY 4"), "{out}");
     // Group identification (Fig. 7 l.16).
-    assert!(out.contains("int _a_grp0 = blockIdx.x / _AGG_GRANULARITY;"), "{out}");
+    assert!(
+        out.contains("int _a_grp0 = blockIdx.x / _AGG_GRANULARITY;"),
+        "{out}"
+    );
     // Packed 64-bit simultaneous increment (Fig. 7 l.19-20).
     assert!(
         out.contains("atomicAdd(&_a_ctr0[_a_grp0], ((long long)1 << 32) + (long long)_a_g0)"),
         "{out}"
     );
     // Configuration stores and the max-block-dimension atomic (l.21-24).
-    assert!(out.contains("_a_scan0[_a_base0 + _a_pi0] = _a_sp0 + _a_g0;"), "{out}");
-    assert!(out.contains("_a_bArr0[_a_base0 + _a_pi0] = _a_b0;"), "{out}");
-    assert!(out.contains("atomicMax(&_a_maxB0[_a_grp0], _a_b0);"), "{out}");
+    assert!(
+        out.contains("_a_scan0[_a_base0 + _a_pi0] = _a_sp0 + _a_g0;"),
+        "{out}"
+    );
+    assert!(
+        out.contains("_a_bArr0[_a_base0 + _a_pi0] = _a_b0;"),
+        "{out}"
+    );
+    assert!(
+        out.contains("atomicMax(&_a_maxB0[_a_grp0], _a_b0);"),
+        "{out}"
+    );
     // Fence + barrier (l.26-27).
     assert!(out.contains("__threadfence();"), "{out}");
     assert!(out.contains("__syncthreads();"), "{out}");
     // Group-completion counter and last-block launch (l.28-35).
-    assert!(out.contains("atomicAdd(&_a_fin0[_a_grp0], 1) + 1;"), "{out}");
+    assert!(
+        out.contains("atomicAdd(&_a_fin0[_a_grp0], 1) + 1;"),
+        "{out}"
+    );
     assert!(
         out.contains("min(_AGG_GRANULARITY, gridDim.x - _a_grp0 * _AGG_GRANULARITY)"),
         "{out}"
     );
-    assert!(out.contains("child_agg<<<_a_tot0, _a_maxB0[_a_grp0]>>>"), "{out}");
+    assert!(
+        out.contains("child_agg<<<_a_tot0, _a_maxB0[_a_grp0]>>>"),
+        "{out}"
+    );
     // Disaggregation: binary search and the bounds guard (Fig. 7 l.01-11).
     assert!(out.contains("__global__ void child_agg("), "{out}");
     assert!(out.contains("while (_da_lo < _da_hi)"), "{out}");
@@ -120,7 +158,11 @@ fn full_pipeline_composes_all_three_structures() {
             .aggregation(AggConfig::new(AggGranularity::MultiBlock(8))),
     );
     // All three defines.
-    for define in ["#define _THRESHOLD 64", "#define _CFACTOR 4", "#define _AGG_GRANULARITY 8"] {
+    for define in [
+        "#define _THRESHOLD 64",
+        "#define _CFACTOR 4",
+        "#define _AGG_GRANULARITY 8",
+    ] {
         assert!(out.contains(define), "missing {define}:\n{out}");
     }
     // Threshold guard feeds the aggregation participation assignments
@@ -131,7 +173,10 @@ fn full_pipeline_composes_all_three_structures() {
     assert!(out.contains("child_serial(data, count,"), "{out}");
     // The aggregated child wraps the *coarsened* kernel: its stride loop
     // runs on disaggregated values.
-    assert!(out.contains("for (int _c_bx = _da_bx; _c_bx < _c_gDim; _c_bx += _da_gd)"), "{out}");
+    assert!(
+        out.contains("for (int _c_bx = _da_bx; _c_bx < _c_gDim; _c_bx += _da_gd)"),
+        "{out}"
+    );
     // Idempotence of the textual pipeline: output re-parses and re-lowers.
     let program = dpopt::frontend::parse(&out).expect("transformed source re-parses");
     dpopt::vm::lower::compile_program(&program).expect("transformed source re-lowers");
@@ -152,6 +197,12 @@ fn grid_granularity_emits_no_device_launch() {
 fn block_granularity_launcher_is_thread_zero() {
     let out = transformed(OptConfig::none().aggregation(AggConfig::new(AggGranularity::Block)));
     assert!(out.contains("if (threadIdx.x == 0)"), "{out}");
-    assert!(!out.contains("__threadfence"), "block granularity needs no fence:\n{out}");
-    assert!(!out.contains("_a_fin0"), "block granularity needs no finish counter:\n{out}");
+    assert!(
+        !out.contains("__threadfence"),
+        "block granularity needs no fence:\n{out}"
+    );
+    assert!(
+        !out.contains("_a_fin0"),
+        "block granularity needs no finish counter:\n{out}"
+    );
 }

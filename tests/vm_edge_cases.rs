@@ -5,7 +5,14 @@
 use dpopt::core::{Compiler, Error, OptConfig};
 use dpopt::vm::Value;
 
-fn run_kernel(src: &str, kernel: &str, grid: i64, block: i64, words: usize, args: &[i64]) -> Vec<i64> {
+fn run_kernel(
+    src: &str,
+    kernel: &str,
+    grid: i64,
+    block: i64,
+    words: usize,
+    args: &[i64],
+) -> Vec<i64> {
     let compiled = Compiler::new().compile(src).expect("compiles");
     let mut exec = compiled.executor();
     let buf = exec.alloc(words);
@@ -292,7 +299,9 @@ __global__ void parent(int* d, int n) {
         OptConfig::none().aggregation(dpopt::core::AggConfig::new(
             dpopt::core::AggGranularity::MultiBlock(2),
         )),
-        OptConfig::none().aggregation(dpopt::core::AggConfig::new(dpopt::core::AggGranularity::Grid)),
+        OptConfig::none().aggregation(dpopt::core::AggConfig::new(
+            dpopt::core::AggGranularity::Grid,
+        )),
     ] {
         let compiled = Compiler::new().config(config).compile(src).unwrap();
         let mut exec = compiled.executor();
