@@ -8,10 +8,18 @@
 //! ten runs". This tuner encodes exactly that procedure: a coordinate
 //! search over granularity, then threshold, then coarsening factor, in
 //! decreasing order of measured impact.
+//!
+//! Each coordinate phase's candidates are independent, so the tuner
+//! submits every phase as one batched **sweep generation** through the
+//! `dp-sweep` engine: the candidates of a generation run in parallel
+//! across the worker pool (and can be served from the result cache), then
+//! the best-so-far advances to seed the next generation.
 
 use crate::Tuned;
 use dp_core::{AggConfig, AggGranularity, OptConfig, TimingParams};
-use dp_workloads::benchmarks::{run_variant, BenchInput, Benchmark, Variant};
+use dp_sweep::{run_sweep, DatasetSpec, SeriesSpec, SweepOptions, SweepSpec, VariantSpec};
+use dp_workloads::benchmarks::{BenchInput, Benchmark, Variant};
+use std::sync::Arc;
 
 /// One evaluated configuration.
 #[derive(Debug, Clone, Copy)]
@@ -47,9 +55,15 @@ fn config_of(t: Tuned) -> OptConfig {
         .aggregation(AggConfig::new(t.granularity))
 }
 
+fn same_config(a: &Tuned, b: &Tuned) -> bool {
+    a.threshold == b.threshold && a.cfactor == b.cfactor && a.granularity == b.granularity
+}
+
 /// Tunes `(granularity, threshold, cfactor)` for one benchmark × input
 /// within `budget` evaluations (the paper's "less than ten runs" procedure
-/// needs 8).
+/// needs 8), running each coordinate phase as one parallel sweep
+/// generation. Results are not cached (pass explicit [`SweepOptions`] via
+/// [`autotune_with`] to enable the cache).
 ///
 /// # Panics
 ///
@@ -60,78 +74,121 @@ pub fn autotune(
     timing: &TimingParams,
     budget: usize,
 ) -> AutotuneResult {
+    autotune_with(
+        bench,
+        input,
+        timing,
+        budget,
+        &SweepOptions {
+            cache: false,
+            quiet: true,
+            ..SweepOptions::default()
+        },
+    )
+}
+
+/// [`autotune`] with explicit engine options (worker count, caching).
+///
+/// # Panics
+///
+/// Panics if `budget` is zero or a benchmark run fails.
+pub fn autotune_with(
+    bench: &dyn Benchmark,
+    input: &BenchInput,
+    timing: &TimingParams,
+    budget: usize,
+    opts: &SweepOptions,
+) -> AutotuneResult {
     assert!(budget > 0, "autotune needs at least one evaluation");
+    let dataset = DatasetSpec::provided(
+        Arc::new(input.clone()),
+        format!("{}-autotune-input", bench.name()),
+    );
     let mut history: Vec<Evaluation> = Vec::new();
-    let evaluate = |t: Tuned, history: &mut Vec<Evaluation>| -> f64 {
-        // Reuse previous evaluations of identical configurations.
-        if let Some(e) = history.iter().find(|e| {
-            e.tuned.threshold == t.threshold
-                && e.tuned.cfactor == t.cfactor
-                && e.tuned.granularity == t.granularity
-        }) {
-            return e.time_us;
+
+    // Runs one generation of candidates as a batched sweep, respecting the
+    // remaining budget; previously evaluated configurations are reused
+    // rather than re-submitted.
+    let run_generation = |candidates: &[Tuned], history: &mut Vec<Evaluation>| {
+        let fresh: Vec<Tuned> = candidates
+            .iter()
+            .filter(|t| !history.iter().any(|e| same_config(&e.tuned, t)))
+            .take(budget.saturating_sub(history.len()))
+            .copied()
+            .collect();
+        if fresh.is_empty() {
+            return;
         }
-        let run = run_variant(bench, Variant::Cdp(config_of(t)), input)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
-        let time_us = run.report.simulate(timing).total_us;
-        history.push(Evaluation { tuned: t, time_us });
-        time_us
+        let spec = SweepSpec {
+            series: vec![SeriesSpec::new(
+                bench.name(),
+                dataset.clone(),
+                fresh
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| VariantSpec::new(format!("gen-{i}"), Variant::Cdp(config_of(*t))))
+                    .collect(),
+            )
+            .with_timing(timing.clone())],
+        };
+        let result = run_sweep(&spec, opts);
+        for (tuned, cell) in fresh.iter().zip(&result.series[0].cells) {
+            history.push(Evaluation {
+                tuned: *tuned,
+                time_us: cell.total_us,
+            });
+        }
     };
 
-    // Seed: the paper's guidance values (threshold 128, cfactor 16,
-    // multi-block granularity).
-    let mut best = Tuned {
+    // First minimum wins on ties, matching the sequential tuner's strict
+    // `<` improvement rule.
+    let best_of = |history: &[Evaluation]| -> Evaluation {
+        let mut best = history.first().expect("at least the seed was evaluated");
+        for e in &history[1..] {
+            if e.time_us < best.time_us {
+                best = e;
+            }
+        }
+        *best
+    };
+
+    // Generation 0 — the paper's guidance values (threshold 128, cfactor
+    // 16, multi-block granularity).
+    let seed = Tuned {
         threshold: 128,
         cfactor: 16,
         granularity: AggGranularity::MultiBlock(8),
     };
-    let mut best_time = evaluate(best, &mut history);
+    run_generation(&[seed], &mut history);
 
-    // Phase 1: granularity (warp is skipped — "never favorable").
-    for granularity in [AggGranularity::Block, AggGranularity::Grid] {
-        if history.len() >= budget {
-            break;
-        }
-        let candidate = Tuned {
+    // Generation 1: granularity (warp is skipped — "never favorable").
+    let base = best_of(&history).tuned;
+    run_generation(
+        &[AggGranularity::Block, AggGranularity::Grid].map(|granularity| Tuned {
             granularity,
-            ..best
-        };
-        let t = evaluate(candidate, &mut history);
-        if t < best_time {
-            best = candidate;
-            best_time = t;
-        }
-    }
+            ..base
+        }),
+        &mut history,
+    );
 
-    // Phase 2: threshold, geometric steps around the seed.
-    for threshold in [16, 512, 2048] {
-        if history.len() >= budget {
-            break;
-        }
-        let candidate = Tuned { threshold, ..best };
-        let t = evaluate(candidate, &mut history);
-        if t < best_time {
-            best = candidate;
-            best_time = t;
-        }
-    }
+    // Generation 2: threshold, geometric steps around the seed.
+    let base = best_of(&history).tuned;
+    run_generation(
+        &[16, 512, 2048].map(|threshold| Tuned { threshold, ..base }),
+        &mut history,
+    );
 
-    // Phase 3: coarsening factor (coarse steps; insensitive above 8).
-    for cfactor in [2, 32] {
-        if history.len() >= budget {
-            break;
-        }
-        let candidate = Tuned { cfactor, ..best };
-        let t = evaluate(candidate, &mut history);
-        if t < best_time {
-            best = candidate;
-            best_time = t;
-        }
-    }
+    // Generation 3: coarsening factor (coarse steps; insensitive above 8).
+    let base = best_of(&history).tuned;
+    run_generation(
+        &[2, 32].map(|cfactor| Tuned { cfactor, ..base }),
+        &mut history,
+    );
 
+    let best = best_of(&history);
     AutotuneResult {
-        best,
-        best_time_us: best_time,
+        best: best.tuned,
+        best_time_us: best.time_us,
         history,
     }
 }
@@ -140,6 +197,7 @@ pub fn autotune(
 mod tests {
     use super::*;
     use dp_workloads::benchmarks::bfs::Bfs;
+    use dp_workloads::benchmarks::run_variant;
     use dp_workloads::datasets::graphs::rmat;
 
     #[test]
@@ -161,6 +219,20 @@ mod tests {
             .map(|e| e.time_us)
             .fold(f64::INFINITY, f64::min);
         assert_eq!(result.best_time_us, min);
+    }
+
+    #[test]
+    fn tight_budgets_are_respected() {
+        let input = BenchInput::Graph(rmat(6, 4, 9));
+        let timing = TimingParams::default();
+        for budget in [1, 2, 4] {
+            let result = autotune(&Bfs, &input, &timing, budget);
+            assert!(
+                result.evaluations() <= budget,
+                "budget {budget} exceeded: {}",
+                result.evaluations()
+            );
+        }
     }
 
     #[test]

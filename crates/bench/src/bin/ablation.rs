@@ -15,143 +15,21 @@
 //!    *average* instead removes the over-thresholding degradation of
 //!    Fig. 11.
 //!
-//! Usage: `cargo run --release -p dp-bench --bin ablation`
+//! Runs on the `dp-sweep` engine: the ablated timing/cost models are part
+//! of each cell's cache key, so ablation cells never collide with the
+//! figure cells.
+//!
+//! Usage: `cargo run --release -p dp-bench --bin ablation [-- --no-cache]`
 
+use dp_bench::figures::ablation_report;
 use dp_bench::Harness;
-use dp_core::{Compiler, OptConfig, TimingParams};
-use dp_vm::bytecode::CostModel;
-use dp_workloads::benchmarks::bfs::Bfs;
-use dp_workloads::benchmarks::{BenchInput, Benchmark};
-use dp_workloads::datasets::DatasetId;
+use dp_sweep::SweepOptions;
 
 fn main() {
     let harness = Harness::default();
-    let scale = harness.scale * 0.5;
-    let kron = DatasetId::Kron.instantiate(scale, harness.seed);
-    let road = DatasetId::RoadNy.instantiate(scale, harness.seed);
-
-    println!("# Ablation study (scale={scale})\n");
-
-    // ------------------------------------------------------------------
-    // 1. Launch-pipe congestion.
-    // ------------------------------------------------------------------
-    let normal = TimingParams::default();
-    let no_pipe = TimingParams {
-        device_launch_pipe_us: 0.0,
-        ..normal.clone()
-    };
-    let cdp = run(&Bfs, OptConfig::none(), &kron, &CostModel::default());
-    let no_cdp = run_no_cdp(&Bfs, &kron, &CostModel::default());
-    let ratio = |r: &dp_core::RunReport, params: &TimingParams, base: &dp_core::RunReport| {
-        base.simulate(params).total_us / r.simulate(params).total_us
-    };
-    println!("## 1. launch-pipe congestion (BFS/KRON, No CDP speedup over CDP)");
-    println!(
-        "   with congestion model : {:.2}x",
-        ratio(&cdp, &normal, &no_cdp).recip()
-    );
-    println!(
-        "   pipe service zeroed   : {:.2}x",
-        ratio(&cdp, &no_pipe, &no_cdp).recip()
-    );
-    println!("   -> congestion is what makes plain CDP pathological\n");
-
-    // ------------------------------------------------------------------
-    // 2. Launch-presence overhead (Fig. 12 residual).
-    // ------------------------------------------------------------------
-    let cost_no_presence = CostModel {
-        launch_presence_overhead: 0,
-        ..CostModel::default()
-    };
-    let huge_threshold = OptConfig::none().threshold(1 << 20);
-    let road_no_cdp = run_no_cdp(&Bfs, &road, &CostModel::default());
-    let road_t = run(&Bfs, huge_threshold, &road, &CostModel::default());
-    let road_t_nop = run(&Bfs, huge_threshold, &road, &cost_no_presence);
-    let road_no_cdp_nop = run_no_cdp(&Bfs, &road, &cost_no_presence);
-    // Compare pure device work (the host launch/sync timeline is identical
-    // for both versions, so total time dilutes the per-thread effect).
-    let work = |r: &dp_core::RunReport| r.trace.origin_cycles().total() as f64;
-    let t_gap = work(&road_t) / work(&road_no_cdp);
-    let t_gap_nop = work(&road_t_nop) / work(&road_no_cdp_nop);
-    println!("## 2. launch-presence overhead (BFS/road, fully-thresholded CDP vs No CDP)");
-    println!(
-        "   with presence overhead: CDP+T executes {:.3}x the device cycles of No CDP",
-        t_gap
-    );
-    println!(
-        "   overhead zeroed       : CDP+T executes {:.3}x the device cycles of No CDP",
-        t_gap_nop
-    );
-    println!(
-        "   -> the overhead (plus the threshold checks) is the Fig. 12 gap that never closes\n"
-    );
-
-    // ------------------------------------------------------------------
-    // 3. Divergence (warp-max) accounting.
-    // ------------------------------------------------------------------
-    let moderate = run(
-        &Bfs,
-        OptConfig::none().threshold(128),
-        &kron,
-        &CostModel::default(),
-    );
-    let excessive = run(&Bfs, huge_threshold, &kron, &CostModel::default());
-    let max_deg = degrade(&moderate, &excessive, &normal, false);
-    let avg_deg = degrade(&moderate, &excessive, &normal, true);
-    println!("## 3. warp-max divergence accounting (BFS/KRON, threshold 128 -> 2^20)");
-    println!("   warp-max cost         : over-thresholding costs {max_deg:.2}x");
-    println!("   warp-average cost     : over-thresholding costs {avg_deg:.2}x");
-    println!("   -> divergence accounting contributes to the Fig. 11 fall-off");
-}
-
-/// Runs BFS under `config` with a custom VM cost model, returning the report.
-fn run(bench: &Bfs, config: OptConfig, input: &BenchInput, cost: &CostModel) -> dp_core::RunReport {
-    let compiled = Compiler::new()
-        .config(config)
-        .cost_model(cost.clone())
-        .compile(bench.cdp_source())
-        .expect("benchmark compiles");
-    let mut exec = compiled.executor();
-    bench.run(&mut exec, input).expect("benchmark runs");
-    exec.finish()
-}
-
-fn run_no_cdp(bench: &Bfs, input: &BenchInput, cost: &CostModel) -> dp_core::RunReport {
-    let compiled = Compiler::new()
-        .cost_model(cost.clone())
-        .compile(bench.no_cdp_source())
-        .expect("benchmark compiles");
-    let mut exec = compiled.executor();
-    bench.run(&mut exec, input).expect("benchmark runs");
-    exec.finish()
-}
-
-/// Slowdown of `excessive` relative to `moderate`, optionally replacing
-/// each block's warp-max cycles with the warp-average (ablating the
-/// divergence model).
-fn degrade(
-    moderate: &dp_core::RunReport,
-    excessive: &dp_core::RunReport,
-    params: &TimingParams,
-    average: bool,
-) -> f64 {
-    let time = |r: &dp_core::RunReport| {
-        if !average {
-            return r.simulate(params).total_us;
-        }
-        let mut trace = r.trace.clone();
-        for grid in &mut trace.grids {
-            for block in &mut grid.blocks {
-                // Average accounting: the block's total thread cycles are
-                // spread evenly across its warps (no divergence penalty).
-                let warps = block.warp_cycles.len().max(1) as u64;
-                let avg_per_warp = block.origin_cycles.total() / warps;
-                for w in &mut block.warp_cycles {
-                    *w = avg_per_warp;
-                }
-            }
-        }
-        dp_sim::simulate(&trace, &r.host_events, params).total_us
-    };
-    time(excessive) / time(moderate)
+    let mut opts = SweepOptions::default();
+    if std::env::args().any(|a| a == "--no-cache") {
+        opts.cache = false;
+    }
+    print!("{}", ablation_report(&harness, &opts));
 }

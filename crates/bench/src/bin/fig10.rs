@@ -2,93 +2,20 @@
 //! work, launch, aggregation, disaggregation) for KLAP (CDP+A), CDP+T+A,
 //! and CDP+T+C+A, normalized to KLAP's total per benchmark × dataset.
 //!
-//! Usage: `cargo run --release -p dp-bench --bin fig10 [-- --csv]`
+//! Runs on the `dp-sweep` engine (parallel + cached; see `fig9`).
+//!
+//! Usage: `cargo run --release -p dp-bench --bin fig10 [-- --csv] [-- --no-cache]`
 
-use dp_bench::{row, run_series, tuned_for, Harness};
-use dp_core::{AggConfig, OptConfig};
-use dp_workloads::benchmarks::Variant;
-use dp_workloads::{all_benchmarks, datasets_for};
+use dp_bench::figures::{bench_names, fig10_report};
+use dp_bench::Harness;
+use dp_sweep::SweepOptions;
 
 fn main() {
     let harness = Harness::default();
     let csv = std::env::args().any(|a| a == "--csv");
-    if csv {
-        println!("benchmark,dataset,variant,parent,child,launch,aggregation,disaggregation,total");
-    } else {
-        println!("# Fig. 10 — execution-time breakdown, normalized to KLAP (CDP+A) total");
-        println!("# scale={} seed={}", harness.scale, harness.seed);
-        let header = [
-            "benchmark",
-            "dataset",
-            "variant",
-            "parent",
-            "child",
-            "launch",
-            "agg",
-            "disagg",
-            "total",
-        ]
-        .map(String::from);
-        println!("{}", row(&header, &WIDTHS));
+    let mut opts = SweepOptions::default();
+    if std::env::args().any(|a| a == "--no-cache") {
+        opts.cache = false;
     }
-
-    for bench in all_benchmarks() {
-        let t = tuned_for(bench.name());
-        let agg = AggConfig::new(t.granularity);
-        let variants: Vec<(&'static str, Variant)> = vec![
-            (
-                "KLAP (CDP+A)",
-                Variant::Cdp(OptConfig::none().aggregation(agg)),
-            ),
-            (
-                "CDP+T+A",
-                Variant::Cdp(OptConfig::none().threshold(t.threshold).aggregation(agg)),
-            ),
-            (
-                "CDP+T+C+A",
-                Variant::Cdp(
-                    OptConfig::none()
-                        .threshold(t.threshold)
-                        .coarsen_factor(t.cfactor)
-                        .aggregation(agg),
-                ),
-            ),
-        ];
-        for dataset in datasets_for(bench.name()) {
-            let input = dataset.instantiate(
-                dp_bench::scale_for(bench.name(), harness.scale),
-                harness.seed,
-            );
-            eprintln!("[fig10] {} / {}", bench.name(), dataset.name());
-            let cells = run_series(bench.as_ref(), &input, &variants, &harness.timing);
-            let base_total = cells[0]
-                .run
-                .report
-                .simulate(&harness.timing)
-                .breakdown
-                .total();
-            for c in &cells {
-                let b = c.run.report.simulate(&harness.timing).breakdown;
-                let norm = |x: f64| x / base_total.max(1e-12);
-                let cols = vec![
-                    bench.name().to_string(),
-                    dataset.name().to_string(),
-                    c.label.clone(),
-                    format!("{:.3}", norm(b.parent_us)),
-                    format!("{:.3}", norm(b.child_us)),
-                    format!("{:.3}", norm(b.launch_us)),
-                    format!("{:.3}", norm(b.aggregation_us)),
-                    format!("{:.3}", norm(b.disaggregation_us)),
-                    format!("{:.3}", norm(b.total())),
-                ];
-                if csv {
-                    println!("{}", cols.join(","));
-                } else {
-                    println!("{}", row(&cols, &WIDTHS));
-                }
-            }
-        }
-    }
+    print!("{}", fig10_report(&harness, &bench_names(), csv, &opts));
 }
-
-const WIDTHS: [usize; 9] = [9, 9, 13, 7, 7, 7, 7, 7, 7];

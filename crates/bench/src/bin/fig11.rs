@@ -7,190 +7,26 @@
 //! warp granularity is never the best, and a fixed threshold of 128 still
 //! yields a sizable fraction of the tuned speedup.
 //!
+//! Runs on the `dp-sweep` engine (parallel + cached; see `fig9`) — the
+//! ~41-variant-per-benchmark grid is exactly the workload the cache and
+//! the worker pool exist for.
+//!
 //! Usage: `cargo run --release -p dp-bench --bin fig11 [-- --csv] [-- --claims]`
 
-use dp_bench::{geomean, row, run_series, tuned_for, Harness};
-use dp_core::{AggConfig, AggGranularity, OptConfig};
-use dp_workloads::benchmarks::Variant;
-use dp_workloads::{all_benchmarks, DatasetId};
-use std::collections::HashMap;
-
-/// Thresholds swept (paper: none, 1..32768; subsampled for runtime).
-const THRESHOLDS: [Option<i64>; 8] = [
-    None,
-    Some(1),
-    Some(8),
-    Some(32),
-    Some(128),
-    Some(512),
-    Some(2048),
-    Some(8192),
-];
-
-fn granularities() -> Vec<(&'static str, Option<AggGranularity>)> {
-    vec![
-        ("none", None),
-        ("warp", Some(AggGranularity::Warp)),
-        ("block", Some(AggGranularity::Block)),
-        ("multi-block", Some(AggGranularity::MultiBlock(8))),
-        ("grid", Some(AggGranularity::Grid)),
-    ]
-}
-
-/// The dataset shown per benchmark in the paper's Fig. 11.
-fn fig11_dataset(bench: &str) -> DatasetId {
-    match bench {
-        "BFS" | "MSTF" | "MSTV" | "SSSP" | "TC" => DatasetId::Kron,
-        "BT" => DatasetId::T2048C64,
-        "SP" => DatasetId::Sat5,
-        other => panic!("unknown benchmark `{other}`"),
-    }
-}
+use dp_bench::figures::{bench_names, fig11_report};
+use dp_bench::Harness;
+use dp_sweep::SweepOptions;
 
 fn main() {
     let harness = Harness::default();
     let csv = std::env::args().any(|a| a == "--csv");
     let claims = std::env::args().any(|a| a == "--claims");
-
-    if csv {
-        println!("benchmark,granularity,threshold,speedup");
+    let mut opts = SweepOptions::default();
+    if std::env::args().any(|a| a == "--no-cache") {
+        opts.cache = false;
     }
-
-    // (benchmark, granularity-label) -> best speedup; plus global tables
-    // for the claims check.
-    let mut best_by_gran: HashMap<(String, String), f64> = HashMap::new();
-    let mut fixed128: Vec<f64> = Vec::new();
-    let mut best_overall: Vec<f64> = Vec::new();
-
-    for bench in all_benchmarks() {
-        let tuned = tuned_for(bench.name());
-        let dataset = fig11_dataset(bench.name());
-        // The sweep runs ~41 variants per benchmark, so it uses a reduced
-        // scale (the paper notes smaller datasets show the same trends).
-        let sweep_scale = dp_bench::scale_for(bench.name(), harness.scale * 0.4);
-        let input = dataset.instantiate(sweep_scale, harness.seed);
-        eprintln!(
-            "[fig11] {} / {} (cfactor {})",
-            bench.name(),
-            dataset.name(),
-            tuned.cfactor
-        );
-
-        // Build the sweep as one series (verifies all outputs too).
-        let mut labels: Vec<String> = Vec::new();
-        let mut variants: Vec<(&'static str, Variant)> =
-            vec![("CDP", Variant::Cdp(OptConfig::none()))];
-        labels.push("CDP".to_string());
-        let mut keys: Vec<(String, Option<i64>)> = vec![("baseline".into(), None)];
-        for (gname, gran) in granularities() {
-            for threshold in THRESHOLDS {
-                let mut config = OptConfig::none().coarsen_factor(tuned.cfactor);
-                if let Some(t) = threshold {
-                    config = config.threshold(t);
-                }
-                if let Some(g) = gran {
-                    config = config.aggregation(AggConfig::new(g));
-                }
-                // Leak the label: static str needed by the series API; the
-                // handful of labels per run is bounded.
-                let label: &'static str =
-                    Box::leak(format!("{gname}/{}", fmt_threshold(threshold)).into_boxed_str());
-                variants.push((label, Variant::Cdp(config)));
-                labels.push(label.to_string());
-                keys.push((gname.to_string(), threshold));
-            }
-        }
-        let cells = run_series(bench.as_ref(), &input, &variants, &harness.timing);
-        let base = cells[0].time_us;
-        assert!(
-            cells.iter().all(|c| c.verified),
-            "{}: outputs diverged",
-            bench.name()
-        );
-
-        if !csv {
-            println!(
-                "\n## {} ({}) — speedup over CDP, coarsening factor {}",
-                bench.name(),
-                dataset.name(),
-                tuned.cfactor
-            );
-            let mut header = vec!["granularity".to_string()];
-            header.extend(THRESHOLDS.iter().map(|t| fmt_threshold(*t)));
-            println!("{}", row(&header, &W));
-        }
-        for (gname, _) in granularities() {
-            let mut cols = vec![gname.to_string()];
-            for threshold in THRESHOLDS {
-                let idx = keys
-                    .iter()
-                    .position(|(g, t)| g == gname && *t == threshold)
-                    .unwrap();
-                let speedup = base / cells[idx].time_us;
-                let entry = best_by_gran
-                    .entry((bench.name().to_string(), gname.to_string()))
-                    .or_insert(0.0);
-                *entry = entry.max(speedup);
-                if threshold == Some(128) && gname == "multi-block" {
-                    fixed128.push(speedup);
-                }
-                if csv {
-                    println!(
-                        "{},{},{},{:.3}",
-                        bench.name(),
-                        gname,
-                        fmt_threshold(threshold),
-                        speedup
-                    );
-                } else {
-                    cols.push(format!("{speedup:.2}"));
-                }
-            }
-            if !csv {
-                println!("{}", row(&cols, &W));
-            }
-        }
-        let best = granularities()
-            .iter()
-            .map(|(g, _)| best_by_gran[&(bench.name().to_string(), g.to_string())])
-            .fold(0.0f64, f64::max);
-        best_overall.push(best);
-    }
-
-    if claims {
-        println!("\n# Section VIII-C observations");
-        // 1. Warp granularity is never the best.
-        let mut warp_never_best = true;
-        for bench in all_benchmarks() {
-            let name = bench.name().to_string();
-            let warp = best_by_gran[&(name.clone(), "warp".to_string())];
-            let others = ["none", "block", "multi-block", "grid"]
-                .iter()
-                .map(|g| best_by_gran[&(name.clone(), g.to_string())])
-                .fold(0.0f64, f64::max);
-            if warp > others {
-                warp_never_best = false;
-                println!("  warp granularity best for {name} (unexpected)");
-            }
-        }
-        println!(
-            "warp granularity never favorable: {}  (paper: true)",
-            warp_never_best
-        );
-        // 2. Fixed threshold 128 retains much of the tuned speedup.
-        println!(
-            "geomean speedup at fixed threshold 128 (multi-block): {:.1}x; best tuned: {:.1}x",
-            geomean(&fixed128),
-            geomean(&best_overall)
-        );
-    }
+    print!(
+        "{}",
+        fig11_report(&harness, &bench_names(), csv, claims, &opts)
+    );
 }
-
-fn fmt_threshold(t: Option<i64>) -> String {
-    match t {
-        None => "none".to_string(),
-        Some(v) => v.to_string(),
-    }
-}
-
-const W: [usize; 9] = [12, 7, 7, 7, 7, 7, 7, 7, 7];

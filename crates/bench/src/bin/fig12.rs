@@ -7,83 +7,20 @@
 //! when the launch never executes (modelled as the VM's launch-presence
 //! overhead).
 //!
-//! Usage: `cargo run --release -p dp-bench --bin fig12 [-- --csv]`
+//! Runs on the `dp-sweep` engine (parallel + cached; see `fig9`).
+//!
+//! Usage: `cargo run --release -p dp-bench --bin fig12 [-- --csv] [-- --no-cache]`
 
-use dp_bench::{fig9_variants, geomean, row, run_series, speedups_over, tuned_for, Harness};
-use dp_workloads::{all_benchmarks, describe, DatasetId};
+use dp_bench::figures::{bench_names, fig12_report};
+use dp_bench::Harness;
+use dp_sweep::SweepOptions;
 
 fn main() {
     let harness = Harness::default();
     let csv = std::env::args().any(|a| a == "--csv");
-    let labels: Vec<&str> = fig9_variants(tuned_for("BFS"))
-        .iter()
-        .map(|(l, _)| *l)
-        .collect();
-
-    if csv {
-        println!("benchmark,{}", labels.join(","));
-    } else {
-        println!("# Fig. 12 — road graph (low nested parallelism), speedup over CDP");
-        println!("# scale={} seed={}", harness.scale, harness.seed);
-        let mut header = vec!["benchmark".to_string()];
-        header.extend(labels.iter().map(|s| s.to_string()));
-        println!("{}", row(&header, &WIDTHS));
+    let mut opts = SweepOptions::default();
+    if std::env::args().any(|a| a == "--no-cache") {
+        opts.cache = false;
     }
-
-    let input = DatasetId::RoadNy.instantiate(harness.scale, harness.seed);
-    eprintln!("[fig12] road graph: {}", describe(&input));
-
-    let mut per_label: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
-    for bench in all_benchmarks() {
-        // Only the graph benchmarks run on the road graph (paper Fig. 12).
-        if !matches!(bench.name(), "BFS" | "MSTF" | "MSTV" | "SSSP" | "TC") {
-            continue;
-        }
-        let variants = fig9_variants(tuned_for(bench.name()));
-        let cells = run_series(bench.as_ref(), &input, &variants, &harness.timing);
-        assert!(
-            cells.iter().all(|c| c.verified),
-            "{}: outputs diverged",
-            bench.name()
-        );
-        let speedups = speedups_over(&cells, "CDP");
-        for (i, (_, s)) in speedups.iter().enumerate() {
-            per_label[i].push(*s);
-        }
-        let mut cols = vec![bench.name().to_string()];
-        cols.extend(speedups.iter().map(|(_, s)| format!("{s:.2}")));
-        if csv {
-            println!("{}", cols.join(","));
-        } else {
-            println!("{}", row(&cols, &WIDTHS));
-        }
-    }
-
-    let mut cols = vec!["Geomean".to_string()];
-    cols.extend(per_label.iter().map(|v| format!("{:.2}", geomean(v))));
-    if csv {
-        println!("{}", cols.join(","));
-    } else {
-        println!("{}", row(&cols, &WIDTHS));
-    }
-
-    // The Section VIII-D observation: even the best CDP variant does not
-    // fully recover to No CDP on low-nested-parallelism inputs.
-    let idx = |l: &str| labels.iter().position(|x| *x == l).unwrap();
-    let no_cdp = geomean(&per_label[idx("No CDP")]);
-    let best_cdp = per_label
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| labels[*i] != "No CDP")
-        .map(|(_, v)| geomean(v))
-        .fold(0.0f64, f64::max);
-    println!();
-    println!("No CDP geomean        : {no_cdp:.2}x over CDP");
-    println!("best CDP variant      : {best_cdp:.2}x over CDP");
-    println!(
-        "CDP recovers fully?    {} (paper: no — launch presence overhead remains)",
-        if best_cdp >= no_cdp { "yes" } else { "no" }
-    );
+    print!("{}", fig12_report(&harness, &bench_names(), csv, &opts));
 }
-
-const WIDTHS: [usize; 10] = [9, 8, 8, 12, 8, 8, 8, 8, 8, 10];

@@ -2,105 +2,23 @@
 //! combination, on every benchmark × dataset pair of Table I, plus the
 //! headline geomeans (CDP+T+C+A vs CDP / No-CDP / KLAP).
 //!
-//! Usage: `cargo run --release -p dp-bench --bin fig9 [-- --csv]`
-//! Env: `DPOPT_SCALE` (default 0.03), `DPOPT_SEED`.
+//! Runs on the `dp-sweep` engine: cells execute across `DPOPT_JOBS`
+//! workers and are served from `.dpopt-cache/` when unchanged. Output is
+//! byte-identical to sequential execution regardless of worker count.
+//!
+//! Usage: `cargo run --release -p dp-bench --bin fig9 [-- --csv] [-- --no-cache]`
+//! Env: `DPOPT_SCALE`, `DPOPT_SEED`, `DPOPT_JOBS`, `DPOPT_NO_CACHE`.
 
-use dp_bench::{fig9_variants, geomean, row, run_series, speedups_over, tuned_for, Harness};
-use dp_workloads::{all_benchmarks, datasets_for, describe};
+use dp_bench::figures::{bench_names, fig9_report};
+use dp_bench::Harness;
+use dp_sweep::SweepOptions;
 
 fn main() {
     let harness = Harness::default();
     let csv = std::env::args().any(|a| a == "--csv");
-    let labels: Vec<&str> = fig9_variants(tuned_for("BFS"))
-        .iter()
-        .map(|(l, _)| *l)
-        .collect();
-
-    if csv {
-        println!("benchmark,dataset,{}", labels.join(","));
-    } else {
-        println!("# Fig. 9 — speedup over CDP (higher is better)");
-        println!("# scale={} seed={}", harness.scale, harness.seed);
-        let mut header = vec!["benchmark".to_string(), "dataset".to_string()];
-        header.extend(labels.iter().map(|s| s.to_string()));
-        println!("{}", row(&header, &WIDTHS));
+    let mut opts = SweepOptions::default();
+    if std::env::args().any(|a| a == "--no-cache") {
+        opts.cache = false;
     }
-
-    // speedups[label] -> per-cell values for geomeans.
-    let mut per_label: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
-    let mut all_verified = true;
-
-    for bench in all_benchmarks() {
-        let tuned = tuned_for(bench.name());
-        let variants = fig9_variants(tuned);
-        for dataset in datasets_for(bench.name()) {
-            let input = dataset.instantiate(
-                dp_bench::scale_for(bench.name(), harness.scale),
-                harness.seed,
-            );
-            eprintln!(
-                "[fig9] {} / {} ({})",
-                bench.name(),
-                dataset.name(),
-                describe(&input)
-            );
-            let cells = run_series(bench.as_ref(), &input, &variants, &harness.timing);
-            all_verified &= cells.iter().all(|c| c.verified);
-            for c in &cells {
-                if !c.verified {
-                    eprintln!(
-                        "  !! output mismatch for {} on {}/{}",
-                        c.label,
-                        bench.name(),
-                        dataset.name()
-                    );
-                }
-            }
-            let speedups = speedups_over(&cells, "CDP");
-            for (i, (_, s)) in speedups.iter().enumerate() {
-                per_label[i].push(*s);
-            }
-            let mut cols = vec![bench.name().to_string(), dataset.name().to_string()];
-            cols.extend(speedups.iter().map(|(_, s)| format!("{s:.2}")));
-            if csv {
-                println!("{}", cols.join(","));
-            } else {
-                println!("{}", row(&cols, &WIDTHS));
-            }
-        }
-    }
-
-    let mut cols = vec!["Geomean".to_string(), "".to_string()];
-    cols.extend(per_label.iter().map(|v| format!("{:.2}", geomean(v))));
-    if csv {
-        println!("{}", cols.join(","));
-    } else {
-        println!("{}", row(&cols, &WIDTHS));
-    }
-
-    // Headline numbers (paper: 43.0x over CDP, 8.7x over No CDP, 3.6x over KLAP).
-    let idx = |l: &str| labels.iter().position(|x| *x == l).unwrap();
-    let full = geomean(&per_label[idx("CDP+T+C+A")]);
-    let no_cdp = geomean(&per_label[idx("No CDP")]);
-    let klap = geomean(&per_label[idx("KLAP (CDP+A)")]);
-    println!();
-    println!("CDP+T+C+A over CDP     : {full:.1}x   (paper: 43.0x)");
-    println!(
-        "CDP+T+C+A over No CDP  : {:.1}x   (paper: 8.7x)",
-        full / no_cdp
-    );
-    println!(
-        "CDP+T+C+A over KLAP    : {:.1}x   (paper: 3.6x)",
-        full / klap
-    );
-    println!(
-        "output verification     : {}",
-        if all_verified {
-            "all variants match"
-        } else {
-            "MISMATCH (see stderr)"
-        }
-    );
+    print!("{}", fig9_report(&harness, &bench_names(), csv, &opts));
 }
-
-const WIDTHS: [usize; 11] = [9, 9, 8, 8, 12, 8, 8, 8, 8, 8, 10];

@@ -1,41 +1,19 @@
 //! Reproduces paper Table I: the benchmark/dataset inventory, with the
 //! statistics of the synthetic substitute datasets at the current scale.
 //!
+//! Declared as a (zero-variant) sweep spec: the `dp-sweep` engine
+//! materializes every distinct dataset once, in parallel.
+//!
 //! Usage: `cargo run --release -p dp-bench --bin table1`
 
+use dp_bench::figures::{bench_names, table1_report};
 use dp_bench::Harness;
-use dp_workloads::{all_benchmarks, datasets_for, describe, DatasetId};
+use dp_sweep::SweepOptions;
 
 fn main() {
     let harness = Harness::default();
-    println!(
-        "# Table I — benchmarks and datasets (scale={})",
-        harness.scale
+    print!(
+        "{}",
+        table1_report(&harness, &bench_names(), &SweepOptions::default())
     );
-    println!();
-    println!("{:<10} {:<12} generated instance", "benchmark", "dataset");
-    for bench in all_benchmarks() {
-        for dataset in datasets_for(bench.name()) {
-            let input = dataset.instantiate(harness.scale, harness.seed);
-            println!(
-                "{:<10} {:<12} {}",
-                bench.name(),
-                dataset.name(),
-                describe(&input)
-            );
-        }
-    }
-    println!();
-    println!("# dataset substitutions (see DESIGN.md)");
-    for id in [
-        DatasetId::Kron,
-        DatasetId::Cnr,
-        DatasetId::RoadNy,
-        DatasetId::Rand3,
-        DatasetId::Sat5,
-        DatasetId::T0032C16,
-        DatasetId::T2048C64,
-    ] {
-        println!("{:<12} {}", id.name(), id.description());
-    }
 }

@@ -21,6 +21,7 @@
 
 use dp_core::{Compiler, OptConfig};
 use dp_frontend::parse;
+use dp_sweep::env_parsed;
 use dp_vm::lower::{compile_program_with, LowerOptions};
 use dp_vm::{Machine, Value};
 use dp_workloads::benchmarks::{bfs::Bfs, bt::Bt, BenchInput, Benchmark};
@@ -49,13 +50,6 @@ impl WorkloadResult {
     fn speedup(&self) -> f64 {
         self.baseline.wall_s / self.optimized.wall_s
     }
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 fn best_of<F: FnMut() -> u64>(reps: usize, mut run: F) -> Measurement {
@@ -154,8 +148,9 @@ fn write_json(path: &std::path::Path, results: &[WorkloadResult]) -> std::io::Re
 }
 
 fn main() {
-    let reps = env_f64("DPOPT_VMBENCH_REPS", 5.0) as usize;
-    let scale = env_f64("DPOPT_VMBENCH_SCALE", 1.0);
+    // `env_parsed` warns on stderr for set-but-unparsable values.
+    let reps = env_parsed::<f64>("DPOPT_VMBENCH_REPS", 5.0) as usize;
+    let scale: f64 = env_parsed("DPOPT_VMBENCH_SCALE", 1.0);
 
     // BFS over a heavy-tailed R-MAT graph: branchy, memory- and
     // atomic-heavy, lots of device-side launches.

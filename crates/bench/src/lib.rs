@@ -1,23 +1,43 @@
 //! # dp-bench
 //!
 //! Harness that regenerates every table and figure of the paper's
-//! evaluation (Section VIII):
+//! evaluation (Section VIII). Each artifact is a declarative sweep spec
+//! plus a formatter ([`figures`]) executed by the `dp-sweep` engine:
 //!
-//! | binary | reproduces |
-//! |---|---|
-//! | `table1` | Table I (benchmarks and dataset statistics) |
-//! | `fig9`   | Fig. 9 (speedup over CDP, all optimization combinations) |
-//! | `fig10`  | Fig. 10 (execution-time breakdown) |
-//! | `fig11`  | Fig. 11 (threshold × aggregation-granularity sweeps) |
-//! | `fig12`  | Fig. 12 (road graph, low nested parallelism) |
+//! | binary | reproduces | spec/formatter |
+//! |---|---|---|
+//! | `table1`   | Table I (benchmarks and dataset statistics) | [`figures::table1_spec`] |
+//! | `fig9`     | Fig. 9 (speedup over CDP, all optimization combinations) | [`figures::fig9_spec`] |
+//! | `fig10`    | Fig. 10 (execution-time breakdown) | [`figures::fig10_spec`] |
+//! | `fig11`    | Fig. 11 (threshold × aggregation-granularity sweeps) | [`figures::fig11_spec`] |
+//! | `fig12`    | Fig. 12 (road graph, low nested parallelism) | [`figures::fig12_spec`] |
+//! | `ablation` | timing-model ablation study | [`figures::ablation_spec`] |
 //!
-//! Run them with `cargo run --release -p dp-bench --bin fig9`. Dataset
-//! sizes are scaled for simulator throughput; set `DPOPT_SCALE` (fraction
-//! of the paper's sizes, default 0.05) and `DPOPT_SEED` to override.
+//! Run them with `cargo run --release -p dp-bench --bin fig9`. Every
+//! binary is parallel and incrementally re-runnable:
+//!
+//! - **Workers.** Cells (benchmark × dataset × variant) execute across a
+//!   worker pool — `DPOPT_JOBS` threads, default = available parallelism.
+//!   Results are merged in spec order, so stdout is byte-identical to
+//!   sequential execution regardless of worker count (enforced by
+//!   `tests/golden_figures.rs`).
+//! - **Cache.** Each cell's summary is persisted under `.dpopt-cache/`
+//!   (override with `DPOPT_CACHE_DIR`), keyed by a stable content hash of
+//!   (source text, variant config, dataset id + scale + seed, timing
+//!   params, cost model, cache-format version). Re-running after touching
+//!   one variant recomputes only that column; a repeated identical run is
+//!   100% cache hits. Opt out per-run with `--no-cache` or globally with
+//!   `DPOPT_NO_CACHE=1`.
+//!
+//! Dataset sizes are scaled for simulator throughput; set `DPOPT_SCALE`
+//! (fraction of the paper's sizes, default 0.05) and `DPOPT_SEED` to
+//! override (unparsable values fall back with a stderr warning).
 
 pub mod autotune;
+pub mod figures;
 
 use dp_core::{AggConfig, AggGranularity, OptConfig, TimingParams};
+use dp_sweep::env_parsed;
 use dp_workloads::benchmarks::{run_variant, BenchInput, Benchmark, Variant, VariantRun};
 
 /// Harness-wide configuration (scale, seed, timing model).
@@ -33,26 +53,14 @@ pub struct Harness {
 
 impl Default for Harness {
     fn default() -> Self {
+        // `env_parsed` warns on stderr when a variable is set but
+        // unparsable instead of silently using the fallback.
         Harness {
-            scale: env_f64("DPOPT_SCALE", 0.05),
-            seed: env_u64("DPOPT_SEED", 42),
+            scale: env_parsed("DPOPT_SCALE", 0.05),
+            seed: env_parsed("DPOPT_SEED", 42),
             timing: TimingParams::default(),
         }
     }
-}
-
-fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
 }
 
 /// Tuned optimization parameters for one benchmark × dataset cell.

@@ -1,0 +1,57 @@
+//! Autotune-on-sweep regression: the coordinate search, now batched
+//! through the sweep engine, must keep finding the same configuration for
+//! a pinned benchmark/input/seed. A change here means either the timing
+//! model moved (update the pin deliberately) or the batched generations no
+//! longer reproduce the sequential search order (a bug).
+
+use dp_bench::autotune::{autotune, autotune_with};
+use dp_core::{AggGranularity, TimingParams};
+use dp_sweep::SweepOptions;
+use dp_workloads::benchmarks::bfs::Bfs;
+use dp_workloads::benchmarks::BenchInput;
+use dp_workloads::datasets::graphs::rmat;
+
+#[test]
+fn bfs_tuned_config_is_pinned_at_fixed_seed() {
+    let input = BenchInput::Graph(rmat(7, 8, 3));
+    let result = autotune(&Bfs, &input, &TimingParams::default(), 8);
+    assert_eq!(result.evaluations(), 8, "the full procedure needs 8 runs");
+    assert_eq!(result.best.threshold, 128);
+    assert_eq!(result.best.cfactor, 16);
+    assert_eq!(result.best.granularity, AggGranularity::Grid);
+    // History replays deterministically: generation 0 is the paper seed.
+    assert_eq!(result.history[0].tuned.threshold, 128);
+    assert_eq!(result.history[0].tuned.cfactor, 16);
+    assert_eq!(
+        result.history[0].tuned.granularity,
+        AggGranularity::MultiBlock(8)
+    );
+}
+
+#[test]
+fn batched_generations_match_across_worker_counts_and_cache() {
+    let input = BenchInput::Graph(rmat(7, 8, 3));
+    let timing = TimingParams::default();
+    let baseline = autotune(&Bfs, &input, &timing, 8);
+
+    let dir = std::env::temp_dir().join(format!("dp-autotune-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for jobs in [1, 4] {
+        let opts = SweepOptions {
+            jobs,
+            cache: true,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+        };
+        let tuned = autotune_with(&Bfs, &input, &timing, 8, &opts);
+        assert_eq!(tuned.best.threshold, baseline.best.threshold);
+        assert_eq!(tuned.best.cfactor, baseline.best.cfactor);
+        assert_eq!(tuned.best.granularity, baseline.best.granularity);
+        assert_eq!(
+            tuned.best_time_us.to_bits(),
+            baseline.best_time_us.to_bits()
+        );
+        assert_eq!(tuned.evaluations(), baseline.evaluations());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,45 @@
+//! Unparsable harness environment variables must produce a stderr warning
+//! naming the variable and the fallback, instead of being silently
+//! swallowed.
+
+use std::process::Command;
+
+fn table1() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_table1"))
+}
+
+#[test]
+fn unparsable_env_values_warn_on_stderr() {
+    let out = table1()
+        .env("DPOPT_SCALE", "not-a-number")
+        .env("DPOPT_SEED", "4x2")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("warning: ignoring unparsable DPOPT_SCALE=`not-a-number`"),
+        "{err}"
+    );
+    assert!(err.contains("falling back to 0.05"), "{err}");
+    assert!(
+        err.contains("warning: ignoring unparsable DPOPT_SEED=`4x2`"),
+        "{err}"
+    );
+    assert!(err.contains("falling back to 42"), "{err}");
+    // The run proceeds with the fallbacks.
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("scale=0.05"), "{text}");
+}
+
+#[test]
+fn parsable_env_values_do_not_warn() {
+    let out = table1()
+        .env("DPOPT_SCALE", "0.002")
+        .env("DPOPT_SEED", "7")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(!err.contains("warning"), "{err}");
+}

@@ -1,0 +1,170 @@
+//! Golden-output tests: every figure rendered through the parallel,
+//! cached sweep engine must be **byte-identical** to the same figure
+//! computed by direct sequential execution (the pre-engine driver path:
+//! one `Compiler`/`Executor` per cell, in spec order, no cache, no
+//! worker pool).
+//!
+//! The sequential reference here deliberately re-implements execution with
+//! the plain `dp-core` API rather than calling into the engine, so a
+//! regression in the engine's scheduling, merging, caching, or compile
+//! sharing shows up as a text diff.
+
+use dp_bench::figures::{
+    ablation_format, ablation_spec, fig10_format, fig10_spec, fig11_format, fig11_spec,
+    fig12_format, fig12_spec, fig9_format, fig9_spec, table1_format, table1_spec,
+};
+use dp_bench::Harness;
+use dp_sweep::{
+    run_sweep, summarize_run, DatasetSpec, SeriesResult, SweepOptions, SweepResult, SweepSpec,
+};
+use dp_workloads::benchmarks::{all_benchmarks, Benchmark, Variant};
+use dp_workloads::describe;
+use std::path::PathBuf;
+
+/// Executes a spec sequentially with the plain compiler/executor API.
+fn sequential_result(spec: &SweepSpec) -> SweepResult {
+    let registry = all_benchmarks();
+    let bench_of = |name: &str| -> &dyn Benchmark {
+        registry
+            .iter()
+            .find(|b| b.name() == name)
+            .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))
+            .as_ref()
+    };
+    let series = spec
+        .series
+        .iter()
+        .map(|s| {
+            let bench = bench_of(&s.benchmark);
+            let input = match &s.dataset {
+                DatasetSpec::Table { id, scale, seed } => id.instantiate(*scale, *seed),
+                DatasetSpec::Provided { input, .. } => (**input).clone(),
+            };
+            let mut cells = Vec::new();
+            for vspec in &s.variants {
+                let (source, config) = match vspec.variant {
+                    Variant::NoCdp => (bench.no_cdp_source(), dp_core::OptConfig::none()),
+                    Variant::Cdp(config) => (bench.cdp_source(), config),
+                };
+                let compiled = dp_core::Compiler::new()
+                    .config(config)
+                    .cost_model(s.cost.clone())
+                    .compile(source)
+                    .unwrap();
+                let mut exec = compiled.executor();
+                let output = bench.run(&mut exec, &input).unwrap();
+                let report = exec.finish();
+                cells.push(summarize_run(&vspec.label, output, &report, &s.timing));
+            }
+            if let Some(reference) = cells.first().map(|c| c.output()) {
+                for cell in &mut cells {
+                    cell.verified = cell.output().approx_eq(&reference, 1e-6);
+                }
+            }
+            SeriesResult {
+                benchmark: s.benchmark.clone(),
+                dataset_name: s.dataset.name(),
+                dataset_description: Some(describe(&input)),
+                cells,
+            }
+        })
+        .collect();
+    SweepResult {
+        series,
+        cache: dp_sweep::CacheStats::default(),
+        jobs: 1,
+    }
+}
+
+fn test_harness() -> Harness {
+    Harness {
+        scale: 0.002,
+        seed: 42,
+        timing: dp_core::TimingParams::default(),
+    }
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dp-bench-golden-{tag}-{}", std::process::id()))
+}
+
+/// Renders `spec` three ways — sequentially, through a cold engine run,
+/// and through a warm (fully cached) engine run — and asserts all three
+/// texts are identical.
+fn assert_golden(tag: &str, spec: &SweepSpec, format: impl Fn(&SweepResult) -> String) {
+    let dir = temp_cache(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = SweepOptions {
+        jobs: 4,
+        cache: true,
+        cache_dir: Some(dir.clone()),
+        quiet: true,
+    };
+    let sequential = format(&sequential_result(spec));
+    let cold = format(&run_sweep(spec, &opts));
+    assert_eq!(
+        sequential, cold,
+        "{tag}: cold engine output must be byte-identical to sequential output"
+    );
+    let warm_result = run_sweep(spec, &opts);
+    assert_eq!(
+        warm_result.cache.misses, 0,
+        "{tag}: warm run must fully hit"
+    );
+    let warm = format(&warm_result);
+    assert_eq!(
+        sequential, warm,
+        "{tag}: cached engine output must be byte-identical to sequential output"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// One benchmark per input family (graph / Bézier / SAT) keeps the debug
+// test-suite runtime in check while exercising every driver shape.
+const SCOPE: [&str; 3] = ["BFS", "BT", "SP"];
+
+#[test]
+fn table1_is_byte_identical_to_sequential() {
+    let h = test_harness();
+    let spec = table1_spec(&h, &SCOPE);
+    assert_golden("table1", &spec, |r| table1_format(r, &h));
+}
+
+#[test]
+fn fig9_is_byte_identical_to_sequential() {
+    let h = test_harness();
+    let spec = fig9_spec(&h, &SCOPE);
+    assert_golden("fig9", &spec, |r| fig9_format(r, &h, false));
+    // The CSV renderer shares the data path; check its shape cheaply on the
+    // sequential result only.
+    let csv = fig9_format(&sequential_result(&spec), &h, true);
+    assert!(csv.starts_with("benchmark,dataset,No CDP,CDP,"), "{csv}");
+}
+
+#[test]
+fn fig10_is_byte_identical_to_sequential() {
+    let h = test_harness();
+    let spec = fig10_spec(&h, &SCOPE);
+    assert_golden("fig10", &spec, |r| fig10_format(r, &h, false));
+}
+
+#[test]
+fn fig11_is_byte_identical_to_sequential() {
+    let h = test_harness();
+    let spec = fig11_spec(&h, &["BFS"]);
+    assert_golden("fig11", &spec, |r| fig11_format(r, false, true));
+}
+
+#[test]
+fn fig12_is_byte_identical_to_sequential() {
+    let h = test_harness();
+    let spec = fig12_spec(&h, &["BFS", "SSSP"]);
+    assert_golden("fig12", &spec, |r| fig12_format(r, &h, false));
+}
+
+#[test]
+fn ablation_is_byte_identical_to_sequential() {
+    let h = test_harness();
+    let spec = ablation_spec(&h);
+    assert_golden("ablation", &spec, |r| ablation_format(r, &h));
+}

@@ -1,14 +1,18 @@
 //! `dpopt` — command-line source-to-source optimizer for CUDA-subset
 //! dynamic-parallelism code (the analogue of the paper artifact's Clang
-//! tool: `.cu` in, transformed `.cu` out).
+//! tool: `.cu` in, transformed `.cu` out), plus a front door to the
+//! `dp-sweep` experiment-orchestration engine.
 //!
 //! ```text
 //! dpopt transform input.cu [--threshold N] [--coarsen F]
 //!       [--agg warp|block|multiblock:K|grid] [--agg-threshold N] [-o out.cu]
 //! dpopt info input.cu
+//! dpopt sweep spec.json [--jobs N] [--no-cache] [--cache-stats] [-o out.json]
 //! ```
 
 use dp_core::{AggConfig, AggGranularity, Compiler, OptConfig};
+use dp_sweep::json::{self, Json};
+use dp_sweep::{run_sweep, spec_from_json, SweepOptions, SweepResult};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -16,6 +20,11 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("transform") => transform(&args[1..]),
         Some("info") => info(&args[1..]),
+        Some("sweep") => sweep(&args[1..]),
+        Some("--version") | Some("-V") => {
+            println!("dpopt {}", env!("CARGO_PKG_VERSION"));
+            ExitCode::SUCCESS
+        }
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -33,6 +42,8 @@ dpopt — optimize GPU dynamic parallelism (thresholding, coarsening, aggregatio
 USAGE:
     dpopt transform <input.cu> [OPTIONS]
     dpopt info <input.cu>
+    dpopt sweep <spec.json> [OPTIONS]
+    dpopt --version
 
 TRANSFORM OPTIONS:
     --threshold <N>        serialize child grids below N threads (pass T)
@@ -43,7 +54,18 @@ TRANSFORM OPTIONS:
 
 INFO:
     prints kernels, launch sites, and serializability diagnostics
+
+SWEEP OPTIONS:
+    --jobs <N>             worker threads (default: DPOPT_JOBS or all cores)
+    --no-cache             ignore and do not populate .dpopt-cache/
+    --cache-stats          print cache hit/miss counters after the table
+    -o <file>              also write the merged results as JSON
 ";
+
+/// Reads an input file, failing with a message that names the path.
+fn read_input(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| fail(&format!("cannot read `{path}`: {e}")))
+}
 
 fn transform(args: &[String]) -> ExitCode {
     let mut input = None;
@@ -96,11 +118,11 @@ fn transform(args: &[String]) -> ExitCode {
         agg.agg_threshold = Some(t);
     }
     let Some(input) = input else {
-        return fail("missing input file");
+        return fail("missing input file (usage: dpopt transform <input.cu>)");
     };
-    let source = match std::fs::read_to_string(&input) {
+    let source = match read_input(&input) {
         Ok(s) => s,
-        Err(e) => return fail(&format!("cannot read `{input}`: {e}")),
+        Err(code) => return code,
     };
     let compiled = match Compiler::new().config(config).compile(&source) {
         Ok(c) => c,
@@ -127,11 +149,11 @@ fn transform(args: &[String]) -> ExitCode {
 
 fn info(args: &[String]) -> ExitCode {
     let Some(input) = args.first() else {
-        return fail("missing input file");
+        return fail("missing input file (usage: dpopt info <input.cu>)");
     };
-    let source = match std::fs::read_to_string(input) {
+    let source = match read_input(input) {
         Ok(s) => s,
-        Err(e) => return fail(&format!("cannot read `{input}`: {e}")),
+        Err(code) => return code,
     };
     let program = match dp_frontend::parse(&source) {
         Ok(p) => p,
@@ -162,6 +184,141 @@ fn info(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn sweep(args: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut output = None;
+    let mut opts = SweepOptions::default();
+    let mut cache_stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => match parse_arg(args, &mut i) {
+                Some(v) if v > 0 => opts.jobs = v as usize,
+                _ => return fail("--jobs needs a positive integer"),
+            },
+            "--no-cache" => {
+                opts.cache = false;
+                i += 1;
+            }
+            "--cache-stats" => {
+                cache_stats = true;
+                i += 1;
+            }
+            "-o" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return fail("-o needs a path");
+                };
+                output = Some(path.clone());
+                i += 1;
+            }
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+                i += 1;
+            }
+            other => return fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(input) = input else {
+        return fail("missing input file (usage: dpopt sweep <spec.json>)");
+    };
+    let text = match read_input(&input) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let spec = match spec_from_json(&text) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bad sweep spec `{input}`: {e}")),
+    };
+
+    let result = run_sweep(&spec, &opts);
+
+    println!(
+        "# dp-sweep — {} cells across {} series ({} workers)",
+        spec.cell_count(),
+        result.series.len(),
+        result.jobs
+    );
+    println!(
+        "{:<10} {:<10} {:<14} {:>14} {:>10} {:>9} {:>7}",
+        "benchmark", "dataset", "variant", "time_us", "launches", "verified", "cached"
+    );
+    for series in &result.series {
+        for cell in &series.cells {
+            println!(
+                "{:<10} {:<10} {:<14} {:>14.3} {:>10} {:>9} {:>7}",
+                series.benchmark,
+                series.dataset_name,
+                cell.label,
+                cell.total_us,
+                cell.device_launches,
+                if cell.verified { "yes" } else { "NO" },
+                if cell.from_cache { "hit" } else { "miss" }
+            );
+        }
+    }
+    if cache_stats {
+        let c = result.cache;
+        if c.enabled {
+            println!(
+                "cache: {} hits, {} misses ({:.1}% hit rate)",
+                c.hits,
+                c.misses,
+                c.hit_rate() * 100.0
+            );
+        } else {
+            println!("cache: disabled");
+        }
+    }
+    if let Some(path) = output {
+        if let Err(e) = std::fs::write(&path, result_json(&result)) {
+            return fail(&format!("cannot write `{path}`: {e}"));
+        }
+        eprintln!("wrote {path}");
+    }
+    if result
+        .series
+        .iter()
+        .any(|s| s.cells.iter().any(|c| !c.verified))
+    {
+        return fail("output verification failed for at least one cell");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Serializes a merged sweep result as JSON (cells in spec order).
+fn result_json(result: &SweepResult) -> String {
+    let cells: Vec<Json> = result
+        .series
+        .iter()
+        .flat_map(|series| {
+            series.cells.iter().map(|cell| {
+                json::object([
+                    ("benchmark", Json::Str(series.benchmark.clone())),
+                    ("dataset", Json::Str(series.dataset_name.clone())),
+                    ("variant", Json::Str(cell.label.clone())),
+                    ("total_us", Json::Float(cell.total_us)),
+                    ("device_launches", json::uint(cell.device_launches)),
+                    ("host_launches", json::uint(cell.host_launches)),
+                    ("instructions", json::uint(cell.instructions)),
+                    ("verified", Json::Bool(cell.verified)),
+                    ("cached", Json::Bool(cell.from_cache)),
+                ])
+            })
+        })
+        .collect();
+    let doc = json::object([
+        ("tool", Json::Str("dpopt sweep".to_string())),
+        ("jobs", json::uint(result.jobs as u64)),
+        ("cache_hits", json::uint(result.cache.hits as u64)),
+        ("cache_misses", json::uint(result.cache.misses as u64)),
+        ("cells", Json::Array(cells)),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
 }
 
 fn parse_arg(args: &[String], i: &mut usize) -> Option<i64> {

@@ -114,6 +114,133 @@ fn parse_errors_render_with_location() {
 }
 
 #[test]
+fn version_prints_and_succeeds() {
+    let out = dpopt().arg("--version").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("dpopt "), "{text}");
+    assert!(text.trim().len() > "dpopt ".len());
+}
+
+#[test]
+fn missing_input_is_consistent_across_subcommands() {
+    // No path given: every subcommand fails with a usage-style error.
+    for sub in ["transform", "info", "sweep"] {
+        let out = dpopt().arg(sub).output().unwrap();
+        assert!(!out.status.success(), "{sub} must fail without input");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("missing input file"), "{sub}: {err}");
+    }
+    // Nonexistent path: the error names the path and exits nonzero.
+    for sub in ["transform", "info", "sweep"] {
+        let out = dpopt().args([sub, "/nonexistent/x.inp"]).output().unwrap();
+        assert!(!out.status.success(), "{sub} must fail on missing file");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("cannot read `/nonexistent/x.inp`"),
+            "{sub}: {err}"
+        );
+    }
+}
+
+const SWEEP_SPEC: &str = r#"{
+    "scale": 0.002, "seed": 42,
+    "benchmarks": ["BFS"], "datasets": ["KRON"],
+    "variants": [
+        {"no_cdp": true},
+        {"label": "CDP"},
+        {"threshold": 128, "coarsen": 16, "agg": "multiblock:8"}
+    ]
+}"#;
+
+#[test]
+fn sweep_runs_caches_and_writes_json() {
+    let spec = std::env::temp_dir().join(format!("dpopt-sweep-spec-{}.json", std::process::id()));
+    std::fs::write(&spec, SWEEP_SPEC).unwrap();
+    let cache = std::env::temp_dir().join(format!("dpopt-sweep-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let json_out =
+        std::env::temp_dir().join(format!("dpopt-sweep-out-{}.json", std::process::id()));
+
+    let run = |args: &[&str]| {
+        let mut cmd = dpopt();
+        cmd.env("DPOPT_CACHE_DIR", &cache);
+        cmd.arg("sweep").arg(spec.to_str().unwrap()).args(args);
+        cmd.output().unwrap()
+    };
+
+    // Cold run: everything misses.
+    let cold = run(&["--cache-stats", "--jobs", "2"]);
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_text = String::from_utf8(cold.stdout).unwrap();
+    assert!(cold_text.contains("0 hits, 3 misses"), "{cold_text}");
+    assert!(cold_text.contains("CDP+T+C+A"), "{cold_text}");
+
+    // Warm run: everything hits, table is identical.
+    let warm = run(&[
+        "--cache-stats",
+        "--jobs",
+        "2",
+        "-o",
+        json_out.to_str().unwrap(),
+    ]);
+    assert!(warm.status.success());
+    let warm_text = String::from_utf8(warm.stdout).unwrap();
+    assert!(
+        warm_text.contains("3 hits, 0 misses (100.0% hit rate)"),
+        "{warm_text}"
+    );
+    // The table must be identical cold vs warm, modulo the cache column
+    // and the stats line.
+    let stable = |text: &str| {
+        text.lines()
+            .filter(|l| !l.starts_with("cache:"))
+            .map(|l| {
+                l.trim_end()
+                    .trim_end_matches("hit")
+                    .trim_end_matches("miss")
+                    .trim_end()
+                    .to_string()
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(stable(&cold_text), stable(&warm_text));
+
+    let written = std::fs::read_to_string(&json_out).unwrap();
+    assert!(written.contains("\"cache_hits\":3"), "{written}");
+    assert!(written.contains("\"verified\":true"), "{written}");
+
+    // --no-cache bypasses the cache entirely.
+    let bypass = run(&["--no-cache", "--cache-stats"]);
+    assert!(bypass.status.success());
+    let bypass_text = String::from_utf8(bypass.stdout).unwrap();
+    assert!(bypass_text.contains("cache: disabled"), "{bypass_text}");
+
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_file(&json_out).ok();
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
+fn sweep_rejects_bad_specs() {
+    let spec = std::env::temp_dir().join(format!("dpopt-bad-spec-{}.json", std::process::id()));
+    std::fs::write(&spec, r#"{"benchmarks": ["XXX"], "variants": [{}]}"#).unwrap();
+    let out = dpopt()
+        .args(["sweep", spec.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown benchmark"), "{err}");
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
 fn bad_granularity_is_rejected() {
     let input = write_temp("gran", EXAMPLE);
     let out = dpopt()

@@ -100,6 +100,24 @@ impl Compiler {
     }
 }
 
+/// A [`Compiled`] shared across threads.
+///
+/// A compiled program is immutable once built — pure data (AST, bytecode,
+/// manifest, cost tables) with no interior mutability — so one compilation
+/// can fan out to any number of worker threads, each creating its own
+/// [`Executor`] via [`Compiled::executor`]. The sweep engine compiles each
+/// distinct (source, configuration) pair once and shares the handle across
+/// its worker pool.
+pub type SharedCompiled = std::sync::Arc<Compiled>;
+
+// `Compiled` must stay shareable across threads (the sweep engine's worker
+// pool depends on it); adding an `Rc`/`RefCell` anywhere in its tree breaks
+// this assertion at compile time rather than at a distant use site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Compiled>();
+};
+
 /// A compiled program: transformed AST/source, manifest, and bytecode.
 #[derive(Debug, Clone)]
 pub struct Compiled {
@@ -147,6 +165,11 @@ impl Compiled {
             self.cost.clone(),
             self.limits,
         )
+    }
+
+    /// Wraps this compilation in a thread-shareable handle.
+    pub fn into_shared(self) -> SharedCompiled {
+        std::sync::Arc::new(self)
     }
 }
 

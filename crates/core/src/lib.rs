@@ -39,7 +39,7 @@ pub mod compiler;
 pub mod error;
 pub mod executor;
 
-pub use compiler::{Compiled, Compiler};
+pub use compiler::{Compiled, Compiler, SharedCompiled};
 pub use dp_sim::{HostEvent, SimResult, TimingParams};
 pub use dp_transform::{AggConfig, AggGranularity, OptConfig};
 pub use error::{Error, Result};

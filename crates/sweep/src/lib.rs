@@ -1,0 +1,754 @@
+//! # dp-sweep
+//!
+//! A parallel, content-addressed experiment-orchestration engine. Every
+//! evaluation artifact of this repository (the `fig9`…`table1`/`ablation`
+//! binaries, the autotuner, the `dpopt sweep` subcommand) is a *sweep*: an
+//! embarrassingly parallel grid of independent simulation cells
+//! (benchmark × dataset × optimization variant × timing/cost model). This
+//! crate runs that grid once, well:
+//!
+//! - **Declarative specs.** A [`SweepSpec`] is a list of [`SeriesSpec`]s;
+//!   each series is one benchmark on one dataset across an ordered variant
+//!   list. Expansion to cells is deterministic.
+//! - **Parallel execution.** Cells run across a `std::thread` worker pool
+//!   (`DPOPT_JOBS`, default: available parallelism). Every worker owns its
+//!   own `Executor`/VM state — nothing mutable is shared — and results are
+//!   **merged in spec order**, so output is byte-identical to sequential
+//!   execution regardless of worker count.
+//! - **Content-addressed caching.** Each cell is keyed by a stable hash of
+//!   everything that determines its result (source text, variant config,
+//!   dataset spec + scale + seed, timing params, cost model, cache format
+//!   version) and its [`CellSummary`] is persisted as JSON under
+//!   `.dpopt-cache/`. Re-running a sweep after touching one variant
+//!   recomputes only that column; a repeated identical sweep is 100% cache
+//!   hits.
+//!
+//! ```no_run
+//! use dp_sweep::{DatasetSpec, SeriesSpec, SweepOptions, SweepSpec, VariantSpec};
+//! use dp_core::OptConfig;
+//! use dp_workloads::benchmarks::Variant;
+//! use dp_workloads::DatasetId;
+//!
+//! let spec = SweepSpec {
+//!     series: vec![SeriesSpec::new(
+//!         "BFS",
+//!         DatasetSpec::table(DatasetId::Kron, 0.01, 42),
+//!         vec![
+//!             VariantSpec::new("CDP", Variant::Cdp(OptConfig::none())),
+//!             VariantSpec::new("CDP+T+C+A", Variant::Cdp(OptConfig::all())),
+//!         ],
+//!     )],
+//! };
+//! let result = dp_sweep::run_sweep(&spec, &SweepOptions::default());
+//! let cells = &result.series[0].cells;
+//! println!("speedup: {:.2}x", cells[0].total_us / cells[1].total_us);
+//! ```
+
+pub mod cache;
+pub mod json;
+pub mod spec;
+
+pub use cache::{digest_input, CacheStats, CACHE_FORMAT_VERSION};
+pub use spec::spec_from_json;
+
+use dp_core::{Compiler, Error, TimingParams};
+use dp_vm::bytecode::CostModel;
+use dp_workloads::benchmarks::{all_benchmarks, Benchmark, Variant};
+use dp_workloads::{datasets::DatasetId, describe, BenchInput, BenchOutput};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ----------------------------------------------------------------------
+// Spec types
+// ----------------------------------------------------------------------
+
+/// The dataset a series runs on.
+#[derive(Debug, Clone)]
+pub enum DatasetSpec {
+    /// A Table-I dataset generated at a scale/seed (cache-keyed by name).
+    Table {
+        /// Which registry dataset.
+        id: DatasetId,
+        /// Fraction of the paper's size, in `(0, 1]`.
+        scale: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A caller-provided in-memory input (cache-keyed by content digest).
+    Provided {
+        /// The input itself.
+        input: Arc<BenchInput>,
+        /// Stable content digest ([`digest_input`]).
+        digest: u64,
+        /// Display name.
+        name: String,
+    },
+}
+
+impl DatasetSpec {
+    /// A Table-I dataset at the given scale and seed.
+    pub fn table(id: DatasetId, scale: f64, seed: u64) -> Self {
+        DatasetSpec::Table { id, scale, seed }
+    }
+
+    /// Wraps an in-memory input, digesting its content for the cache key.
+    pub fn provided(input: Arc<BenchInput>, name: impl Into<String>) -> Self {
+        let digest = digest_input(&input);
+        DatasetSpec::Provided {
+            input,
+            digest,
+            name: name.into(),
+        }
+    }
+
+    /// Display name ("KRON", or the caller-provided name).
+    pub fn name(&self) -> String {
+        match self {
+            DatasetSpec::Table { id, .. } => id.name().to_string(),
+            DatasetSpec::Provided { name, .. } => name.clone(),
+        }
+    }
+}
+
+/// One variant (column) of a series.
+#[derive(Debug, Clone)]
+pub struct VariantSpec {
+    /// Display label (paper legend style).
+    pub label: String,
+    /// What to run.
+    pub variant: Variant,
+}
+
+impl VariantSpec {
+    /// A labelled variant.
+    pub fn new(label: impl Into<String>, variant: Variant) -> Self {
+        VariantSpec {
+            label: label.into(),
+            variant,
+        }
+    }
+}
+
+/// One benchmark × dataset across an ordered variant list.
+///
+/// Cell 0 of a non-empty series is the *verification reference*: every
+/// other cell's functional output is compared against it (mirroring the
+/// sequential `run_series` contract). A series with an empty variant list
+/// is legal and contributes only its dataset description (used by
+/// `table1`).
+#[derive(Debug, Clone)]
+pub struct SeriesSpec {
+    /// Benchmark name as in the paper ("BFS", "BT", …).
+    pub benchmark: String,
+    /// The dataset to instantiate.
+    pub dataset: DatasetSpec,
+    /// Ordered variants.
+    pub variants: Vec<VariantSpec>,
+    /// Hardware timing model for `simulate`.
+    pub timing: TimingParams,
+    /// VM instruction cost model.
+    pub cost: CostModel,
+}
+
+impl SeriesSpec {
+    /// A series with default timing and cost models.
+    pub fn new(
+        benchmark: impl Into<String>,
+        dataset: DatasetSpec,
+        variants: Vec<VariantSpec>,
+    ) -> Self {
+        SeriesSpec {
+            benchmark: benchmark.into(),
+            dataset,
+            variants,
+            timing: TimingParams::default(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Overrides the timing model.
+    pub fn with_timing(mut self, timing: TimingParams) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+/// A whole sweep: an ordered list of series.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    /// The series, in output order.
+    pub series: Vec<SeriesSpec>,
+}
+
+impl SweepSpec {
+    /// Total number of cells the spec expands to.
+    pub fn cell_count(&self) -> usize {
+        self.series.iter().map(|s| s.variants.len()).sum()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Results
+// ----------------------------------------------------------------------
+
+/// Everything the formatters need from one cell, in a form that survives a
+/// JSON round-trip byte-exactly (floats are written with shortest-exact
+/// formatting).
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Variant label (from the spec, not the cache).
+    pub label: String,
+    /// Simulated end-to-end time (µs).
+    pub total_us: f64,
+    /// Device busy span (µs).
+    pub device_span_us: f64,
+    /// Breakdown: parent work (µs).
+    pub parent_us: f64,
+    /// Breakdown: child work (µs).
+    pub child_us: f64,
+    /// Breakdown: launch path (µs).
+    pub launch_us: f64,
+    /// Breakdown: aggregation logic (µs).
+    pub aggregation_us: f64,
+    /// Breakdown: disaggregation logic (µs).
+    pub disaggregation_us: f64,
+    /// End-to-end time with divergence (warp-max) accounting ablated to the
+    /// warp average — used by the ablation study.
+    pub warp_avg_total_us: f64,
+    /// Device-side launches performed.
+    pub device_launches: u64,
+    /// Host-side launches performed.
+    pub host_launches: u64,
+    /// Total per-origin device cycles (pure device work).
+    pub origin_cycles_total: u64,
+    /// Dynamic instruction count (original units).
+    pub instructions: u64,
+    /// Functional output, integer part.
+    pub output_ints: Vec<i64>,
+    /// Functional output, float part.
+    pub output_floats: Vec<f64>,
+    /// Whether the output matched the series reference (cell 0).
+    pub verified: bool,
+    /// Whether this summary came from the cache.
+    pub from_cache: bool,
+}
+
+impl CellSummary {
+    /// The functional output as a comparable [`BenchOutput`].
+    pub fn output(&self) -> BenchOutput {
+        BenchOutput {
+            ints: self.output_ints.clone(),
+            floats: self.output_floats.clone(),
+        }
+    }
+
+    /// Breakdown sum, matching `dp_sim::Breakdown::total()`.
+    pub fn breakdown_total(&self) -> f64 {
+        self.parent_us
+            + self.child_us
+            + self.launch_us
+            + self.aggregation_us
+            + self.disaggregation_us
+    }
+}
+
+/// Merged results of one series, cells in spec order.
+#[derive(Debug, Clone)]
+pub struct SeriesResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Dataset display name.
+    pub dataset_name: String,
+    /// `describe(..)` of the instantiated dataset. `None` when every cell
+    /// was served from the cache (the dataset was never materialized).
+    pub dataset_description: Option<String>,
+    /// Cell summaries, one per variant, in spec order.
+    pub cells: Vec<CellSummary>,
+}
+
+/// The merged sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Per-series results, in spec order.
+    pub series: Vec<SeriesResult>,
+    /// Cache behavior counters.
+    pub cache: CacheStats,
+    /// Worker count actually used.
+    pub jobs: usize,
+}
+
+// ----------------------------------------------------------------------
+// Options
+// ----------------------------------------------------------------------
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means `DPOPT_JOBS` or available parallelism.
+    pub jobs: usize,
+    /// Consult/populate the result cache.
+    pub cache: bool,
+    /// Cache directory; `None` means `DPOPT_CACHE_DIR` or `.dpopt-cache`.
+    pub cache_dir: Option<PathBuf>,
+    /// Suppress per-cell progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 0,
+            cache: std::env::var_os("DPOPT_NO_CACHE").is_none(),
+            cache_dir: None,
+            quiet: false,
+        }
+    }
+}
+
+/// Parses an environment variable, warning on stderr (once per call) when
+/// the value is present but unparsable instead of silently falling back.
+pub fn env_parsed<T>(name: &str, default: T) -> T
+where
+    T: std::str::FromStr + std::fmt::Display,
+{
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("warning: ignoring unparsable {name}=`{raw}`; falling back to {default}");
+                default
+            }
+        },
+    }
+}
+
+/// Resolves a requested worker count: explicit > `DPOPT_JOBS` > available
+/// parallelism (min 1).
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("DPOPT_JOBS") {
+        Err(_) => auto(),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) if v > 0 => v,
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid DPOPT_JOBS=`{raw}`; falling back to available parallelism"
+                );
+                auto()
+            }
+        },
+    }
+}
+
+// ----------------------------------------------------------------------
+// Engine
+// ----------------------------------------------------------------------
+
+/// A cell still to execute.
+struct PendingCell {
+    series_idx: usize,
+    cell_idx: usize,
+    key: u64,
+}
+
+type CompileCache = Mutex<HashMap<String, dp_core::SharedCompiled>>;
+
+/// Runs a sweep: cache probe, parallel execution of the misses, spec-order
+/// merge with cross-variant verification.
+///
+/// # Panics
+///
+/// Panics when a benchmark name is unknown or a cell's compilation/run
+/// fails — exactly like the sequential `run_series` path it replaces.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
+    let registry: HashMap<String, Box<dyn Benchmark>> = all_benchmarks()
+        .into_iter()
+        .map(|b| (b.name().to_string(), b))
+        .collect();
+    let benches: Vec<&dyn Benchmark> = spec
+        .series
+        .iter()
+        .map(|s| {
+            registry
+                .get(&s.benchmark)
+                .unwrap_or_else(|| panic!("unknown benchmark `{}`", s.benchmark))
+                .as_ref()
+        })
+        .collect();
+
+    let cache_dir = cache::resolve_cache_dir(opts.cache_dir.as_deref());
+    let mut stats = CacheStats {
+        enabled: opts.cache,
+        ..CacheStats::default()
+    };
+
+    // Keyed cache probe; anything not served becomes a pending cell.
+    let mut summaries: Vec<Vec<Option<CellSummary>>> = spec
+        .series
+        .iter()
+        .map(|s| vec![None; s.variants.len()])
+        .collect();
+    let mut pending: Vec<PendingCell> = Vec::new();
+    for (series_idx, series) in spec.series.iter().enumerate() {
+        for (cell_idx, vspec) in series.variants.iter().enumerate() {
+            let source = match vspec.variant {
+                Variant::NoCdp => benches[series_idx].no_cdp_source(),
+                Variant::Cdp(_) => benches[series_idx].cdp_source(),
+            };
+            let key = cache::cell_key(
+                &series.benchmark,
+                source,
+                &vspec.variant,
+                &series.dataset,
+                &series.timing,
+                &series.cost,
+            );
+            if opts.cache {
+                if let Some(mut cached) = cache::load(&cache_dir, key) {
+                    cached.label = vspec.label.clone();
+                    summaries[series_idx][cell_idx] = Some(cached);
+                    stats.hits += 1;
+                    continue;
+                }
+                stats.misses += 1;
+            }
+            pending.push(PendingCell {
+                series_idx,
+                cell_idx,
+                key,
+            });
+        }
+    }
+
+    let jobs = effective_jobs(opts.jobs);
+
+    // Materialize each distinct dataset once: those needed by a pending
+    // cell, plus empty-variant series (their description *is* the result).
+    let mut needed: Vec<usize> = Vec::new();
+    let mut seen_datasets: HashMap<String, usize> = HashMap::new();
+    let mut dataset_of_series: Vec<Option<usize>> = vec![None; spec.series.len()];
+    let wants_dataset: Vec<bool> = {
+        let mut wants: Vec<bool> = spec.series.iter().map(|s| s.variants.is_empty()).collect();
+        for cell in &pending {
+            wants[cell.series_idx] = true;
+        }
+        wants
+    };
+    for (series_idx, series) in spec.series.iter().enumerate() {
+        if !wants_dataset[series_idx] {
+            continue;
+        }
+        let canon = cache::canonical_dataset(&series.dataset);
+        let slot = *seen_datasets.entry(canon).or_insert_with(|| {
+            needed.push(series_idx);
+            needed.len() - 1
+        });
+        dataset_of_series[series_idx] = Some(slot);
+    }
+    let inputs: Vec<Arc<BenchInput>> = {
+        let slots: Vec<Mutex<Option<Arc<BenchInput>>>> =
+            needed.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(needed.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&series_idx) = needed.get(i) else {
+                        return;
+                    };
+                    let input = match &spec.series[series_idx].dataset {
+                        DatasetSpec::Table { id, scale, seed } => {
+                            Arc::new(id.instantiate(*scale, *seed))
+                        }
+                        DatasetSpec::Provided { input, .. } => Arc::clone(input),
+                    };
+                    *slots[i].lock().unwrap() = Some(input);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("dataset instantiated"))
+            .collect()
+    };
+
+    // Execute the pending cells across the pool. Workers share a compile
+    // cache (compiled programs are immutable and Send) but each owns its
+    // executor and VM state.
+    let compile_cache: CompileCache = Mutex::new(HashMap::new());
+    if !pending.is_empty() {
+        let results: Vec<Mutex<Option<CellSummary>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(pending.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = pending.get(i) else {
+                        return;
+                    };
+                    let series = &spec.series[cell.series_idx];
+                    let vspec = &series.variants[cell.cell_idx];
+                    let input =
+                        &inputs[dataset_of_series[cell.series_idx].expect("dataset resolved")];
+                    if !opts.quiet {
+                        eprintln!(
+                            "[dp-sweep] run {}/{} [{}]",
+                            series.benchmark,
+                            series.dataset.name(),
+                            vspec.label
+                        );
+                    }
+                    let summary = run_cell(
+                        benches[cell.series_idx],
+                        vspec,
+                        input,
+                        &series.timing,
+                        &series.cost,
+                        &compile_cache,
+                    );
+                    if opts.cache {
+                        cache::store(&cache_dir, cell.key, &summary);
+                    }
+                    *results[i].lock().unwrap() = Some(summary);
+                });
+            }
+        });
+        for (cell, result) in pending.iter().zip(results) {
+            summaries[cell.series_idx][cell.cell_idx] =
+                Some(result.into_inner().unwrap().expect("cell executed"));
+        }
+    }
+
+    // Merge in spec order; verify every cell against its series reference.
+    let series_results: Vec<SeriesResult> = spec
+        .series
+        .iter()
+        .enumerate()
+        .map(|(series_idx, series)| {
+            let mut cells: Vec<CellSummary> = summaries[series_idx]
+                .iter_mut()
+                .map(|slot| slot.take().expect("cell resolved"))
+                .collect();
+            if let Some(reference) = cells.first().map(|c| c.output()) {
+                for cell in &mut cells {
+                    cell.verified = cell.output().approx_eq(&reference, 1e-6);
+                }
+            }
+            SeriesResult {
+                benchmark: series.benchmark.clone(),
+                dataset_name: series.dataset.name(),
+                dataset_description: dataset_of_series[series_idx]
+                    .map(|slot| describe(&inputs[slot])),
+                cells,
+            }
+        })
+        .collect();
+
+    SweepResult {
+        series: series_results,
+        cache: stats,
+        jobs,
+    }
+}
+
+/// Compiles (or fetches) the variant's program and runs it on one input,
+/// producing the persistent summary.
+fn run_cell(
+    bench: &dyn Benchmark,
+    vspec: &VariantSpec,
+    input: &BenchInput,
+    timing: &TimingParams,
+    cost: &CostModel,
+    compile_cache: &CompileCache,
+) -> CellSummary {
+    let (source, config) = match vspec.variant {
+        Variant::NoCdp => (bench.no_cdp_source(), dp_core::OptConfig::none()),
+        Variant::Cdp(config) => (bench.cdp_source(), config),
+    };
+    let compile_key = format!(
+        "{}|{:?}|{}|{:?}",
+        bench.name(),
+        vspec.variant,
+        cache::canonical_config(&config),
+        cost
+    );
+    let compiled: dp_core::SharedCompiled = {
+        let mut cache = compile_cache.lock().unwrap();
+        match cache.get(&compile_key) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let shared = Compiler::new()
+                    .config(config)
+                    .cost_model(cost.clone())
+                    .compile(source)
+                    .unwrap_or_else(|e: Error| panic!("{} [{}]: {e}", bench.name(), vspec.label))
+                    .into_shared();
+                cache.insert(compile_key, Arc::clone(&shared));
+                shared
+            }
+        }
+    };
+    let mut exec = compiled.executor();
+    let output = bench
+        .run(&mut exec, input)
+        .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), vspec.label));
+    let report = exec.finish();
+    summarize_run(&vspec.label, output, &report, timing)
+}
+
+/// Builds a [`CellSummary`] from one completed run — the single
+/// summarization path for both the engine and any sequential reference
+/// (the golden-output tests run `run_variant` directly and summarize with
+/// this to prove engine output is byte-identical to sequential output).
+pub fn summarize_run(
+    label: &str,
+    output: BenchOutput,
+    report: &dp_core::RunReport,
+    timing: &TimingParams,
+) -> CellSummary {
+    let sim = report.simulate(timing);
+    CellSummary {
+        label: label.to_string(),
+        total_us: sim.total_us,
+        device_span_us: sim.device_span_us,
+        parent_us: sim.breakdown.parent_us,
+        child_us: sim.breakdown.child_us,
+        launch_us: sim.breakdown.launch_us,
+        aggregation_us: sim.breakdown.aggregation_us,
+        disaggregation_us: sim.breakdown.disaggregation_us,
+        warp_avg_total_us: warp_average_total_us(report, timing),
+        device_launches: report.stats.device_launches,
+        host_launches: sim.host_launches as u64,
+        origin_cycles_total: report.trace.origin_cycles().total(),
+        instructions: report.stats.instructions,
+        output_ints: output.ints,
+        output_floats: output.floats,
+        verified: true,
+        from_cache: false,
+    }
+}
+
+/// Re-simulates a run with each block's warp-max cycles replaced by the
+/// warp average — the divergence-model ablation of the `ablation` binary.
+fn warp_average_total_us(report: &dp_core::RunReport, timing: &TimingParams) -> f64 {
+    let mut trace = report.trace.clone();
+    for grid in &mut trace.grids {
+        for block in &mut grid.blocks {
+            let warps = block.warp_cycles.len().max(1) as u64;
+            let avg_per_warp = block.origin_cycles.total() / warps;
+            for w in &mut block.warp_cycles {
+                *w = avg_per_warp;
+            }
+        }
+    }
+    dp_sim::simulate(&trace, &report.host_events, timing).total_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::OptConfig;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            series: vec![SeriesSpec::new(
+                "BFS",
+                DatasetSpec::table(DatasetId::Kron, 0.002, 42),
+                vec![
+                    VariantSpec::new("No CDP", Variant::NoCdp),
+                    VariantSpec::new("CDP", Variant::Cdp(OptConfig::none())),
+                    VariantSpec::new("CDP+T+C+A", Variant::Cdp(OptConfig::all())),
+                ],
+            )],
+        }
+    }
+
+    fn no_cache_opts(jobs: usize) -> SweepOptions {
+        SweepOptions {
+            jobs,
+            cache: false,
+            cache_dir: None,
+            quiet: true,
+        }
+    }
+
+    #[test]
+    fn runs_and_verifies_a_tiny_sweep() {
+        let result = run_sweep(&tiny_spec(), &no_cache_opts(2));
+        assert_eq!(result.series.len(), 1);
+        let cells = &result.series[0].cells;
+        assert_eq!(cells.len(), 3);
+        assert!(cells.iter().all(|c| c.verified), "variants must agree");
+        assert!(cells.iter().all(|c| c.total_us > 0.0));
+        assert!(cells[1].total_us > cells[2].total_us, "CDP+T+C+A beats CDP");
+        assert!(result.series[0].dataset_description.is_some());
+        assert!(!result.cache.enabled);
+    }
+
+    #[test]
+    fn empty_variant_series_reports_dataset_description() {
+        let spec = SweepSpec {
+            series: vec![SeriesSpec::new(
+                "BFS",
+                DatasetSpec::table(DatasetId::RoadNy, 0.002, 7),
+                vec![],
+            )],
+        };
+        let result = run_sweep(&spec, &no_cache_opts(1));
+        assert!(result.series[0].cells.is_empty());
+        let desc = result.series[0].dataset_description.as_ref().unwrap();
+        assert!(desc.contains("vertices"), "{desc}");
+    }
+
+    #[test]
+    fn provided_inputs_run_and_digest() {
+        use dp_workloads::datasets::graphs::rmat;
+        let input = Arc::new(BenchInput::Graph(rmat(6, 4, 5)));
+        let spec = SweepSpec {
+            series: vec![SeriesSpec::new(
+                "BFS",
+                DatasetSpec::provided(Arc::clone(&input), "inline"),
+                vec![
+                    VariantSpec::new("CDP", Variant::Cdp(OptConfig::none())),
+                    VariantSpec::new("CDP+T", Variant::Cdp(OptConfig::none().threshold(32))),
+                ],
+            )],
+        };
+        let result = run_sweep(&spec, &no_cache_opts(2));
+        assert!(result.series[0].cells.iter().all(|c| c.verified));
+        let DatasetSpec::Provided { digest, .. } = DatasetSpec::provided(input, "inline") else {
+            unreachable!()
+        };
+        assert_ne!(digest, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let spec = SweepSpec {
+            series: vec![SeriesSpec::new(
+                "NOPE",
+                DatasetSpec::table(DatasetId::Kron, 0.002, 1),
+                vec![],
+            )],
+        };
+        run_sweep(&spec, &no_cache_opts(1));
+    }
+}

@@ -1,0 +1,246 @@
+//! Declarative sweep-spec files for the `dpopt sweep` CLI subcommand.
+//!
+//! ```json
+//! {
+//!   "scale": 0.01,
+//!   "seed": 42,
+//!   "benchmarks": ["BFS", "SSSP"],
+//!   "datasets": ["KRON"],
+//!   "variants": [
+//!     { "label": "No CDP", "no_cdp": true },
+//!     { "label": "CDP" },
+//!     { "label": "CDP+T+C+A", "threshold": 128, "coarsen": 16, "agg": "multiblock:8" }
+//!   ]
+//! }
+//! ```
+//!
+//! - `benchmarks` — required; paper names (`BFS`, `BT`, `MSTF`, `MSTV`,
+//!   `SP`, `SSSP`, `TC`).
+//! - `datasets` — optional; defaults to each benchmark's Table-I datasets.
+//! - `variants` — required; each entry is either `"no_cdp": true` or a CDP
+//!   configuration built from optional `threshold` (int), `coarsen` (int),
+//!   `agg` (`warp`|`block`|`multiblock:<K>`|`grid`), and `agg_threshold`
+//!   (int). `label` is optional (defaults to the paper-style config label).
+//! - `scale`/`seed` — optional (defaults 0.05 / 42).
+
+use crate::json::{self, Json};
+use crate::{DatasetSpec, SeriesSpec, SweepSpec, VariantSpec};
+use dp_core::{AggConfig, AggGranularity, OptConfig};
+use dp_workloads::benchmarks::Variant;
+use dp_workloads::{datasets_for, DatasetId};
+
+/// All Table-I dataset ids, name → id.
+fn dataset_by_name(name: &str) -> Option<DatasetId> {
+    [
+        DatasetId::Kron,
+        DatasetId::Cnr,
+        DatasetId::RoadNy,
+        DatasetId::Rand3,
+        DatasetId::Sat5,
+        DatasetId::T0032C16,
+        DatasetId::T2048C64,
+    ]
+    .into_iter()
+    .find(|id| id.name() == name)
+}
+
+const KNOWN_BENCHMARKS: [&str; 7] = ["BFS", "BT", "MSTF", "MSTV", "SP", "SSSP", "TC"];
+
+/// Parses an aggregation granularity spec (`warp`, `block`,
+/// `multiblock:<K>`, `grid`).
+pub fn parse_granularity(spec: &str) -> Option<AggGranularity> {
+    match spec {
+        "warp" => Some(AggGranularity::Warp),
+        "block" => Some(AggGranularity::Block),
+        "grid" => Some(AggGranularity::Grid),
+        other => {
+            let rest = other.strip_prefix("multiblock:")?;
+            rest.parse().ok().map(AggGranularity::MultiBlock)
+        }
+    }
+}
+
+fn parse_variant(v: &Json) -> Result<VariantSpec, String> {
+    if v.get("no_cdp")
+        .map(|b| b == &Json::Bool(true))
+        .unwrap_or(false)
+    {
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("No CDP")
+            .to_string();
+        return Ok(VariantSpec::new(label, Variant::NoCdp));
+    }
+    let mut config = OptConfig::none();
+    if let Some(t) = v.get("threshold") {
+        config = config.threshold(t.as_i64().ok_or("`threshold` must be an integer")?);
+    }
+    if let Some(c) = v.get("coarsen") {
+        config = config.coarsen_factor(c.as_i64().ok_or("`coarsen` must be an integer")?);
+    }
+    if let Some(a) = v.get("agg") {
+        let spec = a.as_str().ok_or("`agg` must be a string")?;
+        let granularity = parse_granularity(spec)
+            .ok_or_else(|| format!("bad granularity `{spec}` (warp|block|multiblock:<K>|grid)"))?;
+        let mut agg = AggConfig::new(granularity);
+        if let Some(t) = v.get("agg_threshold") {
+            agg.agg_threshold = Some(t.as_i64().ok_or("`agg_threshold` must be an integer")?);
+        }
+        config = config.aggregation(agg);
+    }
+    let label = v
+        .get("label")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| config.label());
+    Ok(VariantSpec::new(label, Variant::Cdp(config)))
+}
+
+/// Parses a sweep-spec JSON document into a [`SweepSpec`].
+///
+/// # Errors
+///
+/// Returns a human-readable message for syntax errors, unknown
+/// benchmark/dataset names, or malformed variant entries.
+pub fn spec_from_json(text: &str) -> Result<SweepSpec, String> {
+    let doc = json::parse(text)?;
+    let scale = doc
+        .get("scale")
+        .map(|v| v.as_f64().ok_or("`scale` must be a number"))
+        .transpose()?
+        .unwrap_or(0.05);
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(format!("`scale` must be in (0, 1], got {scale}"));
+    }
+    let seed = doc
+        .get("seed")
+        .map(|v| v.as_u64().ok_or("`seed` must be a non-negative integer"))
+        .transpose()?
+        .unwrap_or(42);
+
+    let benchmarks: Vec<String> = doc
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .ok_or("spec needs a `benchmarks` array")?
+        .iter()
+        .map(|b| {
+            let name = b.as_str().ok_or("benchmark names must be strings")?;
+            if !KNOWN_BENCHMARKS.contains(&name) {
+                return Err(format!(
+                    "unknown benchmark `{name}` (expected one of {})",
+                    KNOWN_BENCHMARKS.join(", ")
+                ));
+            }
+            Ok(name.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    if benchmarks.is_empty() {
+        return Err("`benchmarks` must not be empty".to_string());
+    }
+
+    let explicit_datasets: Option<Vec<DatasetId>> = doc
+        .get("datasets")
+        .and_then(Json::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .map(|d| {
+                    let name = d.as_str().ok_or("dataset names must be strings")?;
+                    dataset_by_name(name).ok_or_else(|| format!("unknown dataset `{name}`"))
+                })
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .transpose()?;
+
+    let variants: Vec<VariantSpec> = doc
+        .get("variants")
+        .and_then(Json::as_array)
+        .ok_or("spec needs a `variants` array")?
+        .iter()
+        .map(parse_variant)
+        .collect::<Result<_, String>>()?;
+    if variants.is_empty() {
+        return Err("`variants` must not be empty".to_string());
+    }
+
+    let mut series = Vec::new();
+    for bench in &benchmarks {
+        let datasets = match &explicit_datasets {
+            Some(ids) => ids.clone(),
+            None => datasets_for(bench),
+        };
+        for id in datasets {
+            series.push(SeriesSpec::new(
+                bench.clone(),
+                DatasetSpec::table(id, scale, seed),
+                variants.clone(),
+            ));
+        }
+    }
+    Ok(SweepSpec { series })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_spec() {
+        let spec = spec_from_json(
+            r#"{
+                "scale": 0.01, "seed": 7,
+                "benchmarks": ["BFS", "SP"],
+                "datasets": ["KRON"],
+                "variants": [
+                    {"no_cdp": true},
+                    {"label": "CDP"},
+                    {"threshold": 128, "coarsen": 16, "agg": "multiblock:8"}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.series.len(), 2);
+        assert_eq!(spec.series[0].benchmark, "BFS");
+        assert_eq!(spec.series[0].dataset.name(), "KRON");
+        assert_eq!(spec.series[0].variants.len(), 3);
+        assert_eq!(spec.series[0].variants[0].label, "No CDP");
+        assert_eq!(spec.series[0].variants[2].label, "CDP+T+C+A");
+        assert!(matches!(
+            spec.series[0].variants[2].variant,
+            Variant::Cdp(c) if c.threshold == Some(128)
+        ));
+    }
+
+    #[test]
+    fn default_datasets_follow_table1() {
+        let spec =
+            spec_from_json(r#"{"benchmarks": ["BT"], "variants": [{"label": "CDP"}]}"#).unwrap();
+        let names: Vec<String> = spec.series.iter().map(|s| s.dataset.name()).collect();
+        assert_eq!(names, vec!["T0032-C16", "T2048-C64"]);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(spec_from_json("{").is_err());
+        assert!(spec_from_json(r#"{"variants": []}"#).is_err());
+        assert!(
+            spec_from_json(r#"{"benchmarks": ["XXX"], "variants": [{}]}"#)
+                .unwrap_err()
+                .contains("unknown benchmark")
+        );
+        assert!(
+            spec_from_json(r#"{"benchmarks": ["BFS"], "datasets": ["Y"], "variants": [{}]}"#)
+                .unwrap_err()
+                .contains("unknown dataset")
+        );
+        assert!(
+            spec_from_json(r#"{"benchmarks": ["BFS"], "scale": 2.0, "variants": [{}]}"#).is_err()
+        );
+        assert!(
+            spec_from_json(r#"{"benchmarks": ["BFS"], "variants": [{"agg": "galaxy"}]}"#)
+                .unwrap_err()
+                .contains("granularity")
+        );
+    }
+}

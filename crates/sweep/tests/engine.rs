@@ -1,0 +1,203 @@
+//! Engine-level guarantees: worker-count determinism and cache behavior.
+
+use dp_core::OptConfig;
+use dp_sweep::{
+    run_sweep, CellSummary, DatasetSpec, SeriesSpec, SweepOptions, SweepResult, SweepSpec,
+    VariantSpec,
+};
+use dp_workloads::benchmarks::Variant;
+use dp_workloads::DatasetId;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// A spec with heterogeneous series (graph + Bézier inputs) and enough
+/// work per cell that a cache hit is orders of magnitude cheaper.
+fn spec() -> SweepSpec {
+    let fig9ish = |threshold: i64| {
+        vec![
+            VariantSpec::new("No CDP", Variant::NoCdp),
+            VariantSpec::new("CDP", Variant::Cdp(OptConfig::none())),
+            VariantSpec::new(
+                "CDP+T",
+                Variant::Cdp(OptConfig::none().threshold(threshold)),
+            ),
+            VariantSpec::new("CDP+T+C+A", Variant::Cdp(OptConfig::all())),
+        ]
+    };
+    SweepSpec {
+        series: vec![
+            SeriesSpec::new(
+                "BFS",
+                DatasetSpec::table(DatasetId::Kron, 0.004, 42),
+                fig9ish(128),
+            ),
+            SeriesSpec::new(
+                "BT",
+                DatasetSpec::table(DatasetId::T0032C16, 0.002, 42),
+                fig9ish(32),
+            ),
+        ],
+    }
+}
+
+/// Exact (bit-level) canonical form of a merged result.
+fn canonical(result: &SweepResult) -> String {
+    let cell = |c: &CellSummary| {
+        format!(
+            "{}|{:016x}|{:016x}|{:016x}|{}|{}|{}|{}|{:?}|{:?}|{}",
+            c.label,
+            c.total_us.to_bits(),
+            c.device_span_us.to_bits(),
+            c.warp_avg_total_us.to_bits(),
+            c.device_launches,
+            c.host_launches,
+            c.origin_cycles_total,
+            c.instructions,
+            c.output_ints,
+            c.output_floats
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>(),
+            c.verified,
+        )
+    };
+    result
+        .series
+        .iter()
+        .map(|s| {
+            format!(
+                "{}/{}:{}",
+                s.benchmark,
+                s.dataset_name,
+                s.cells.iter().map(cell).collect::<Vec<_>>().join(";")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dp-sweep-test-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn one_worker_and_many_workers_merge_identically() {
+    let spec = spec();
+    let opts = |jobs| SweepOptions {
+        jobs,
+        cache: false,
+        cache_dir: None,
+        quiet: true,
+    };
+    let sequential = run_sweep(&spec, &opts(1));
+    let parallel = run_sweep(&spec, &opts(8));
+    assert_eq!(sequential.jobs, 1);
+    assert_eq!(parallel.jobs, 8);
+    assert_eq!(
+        canonical(&sequential),
+        canonical(&parallel),
+        "merged output must not depend on worker count"
+    );
+}
+
+#[test]
+fn repeated_sweep_is_all_cache_hits_and_at_least_10x_faster() {
+    let spec = spec();
+    let dir = temp_cache("warm");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = SweepOptions {
+        jobs: 2,
+        cache: true,
+        cache_dir: Some(dir.clone()),
+        quiet: true,
+    };
+
+    let cold_start = Instant::now();
+    let cold = run_sweep(&spec, &opts);
+    let cold_wall = cold_start.elapsed();
+    assert_eq!(cold.cache.hits, 0);
+    assert_eq!(cold.cache.misses, spec.cell_count());
+
+    let warm_start = Instant::now();
+    let warm = run_sweep(&spec, &opts);
+    let warm_wall = warm_start.elapsed();
+    assert_eq!(
+        warm.cache.hits,
+        spec.cell_count(),
+        "second identical run must be 100% cache hits"
+    );
+    assert_eq!(warm.cache.misses, 0);
+    assert!((warm.cache.hit_rate() - 1.0).abs() < 1e-12);
+    assert!(
+        warm.series
+            .iter()
+            .all(|s| s.cells.iter().all(|c| c.from_cache)),
+        "every warm cell is served from the cache"
+    );
+    assert_eq!(
+        canonical(&cold),
+        canonical(&warm),
+        "cached results must reproduce cold results bit-exactly"
+    );
+    assert!(
+        cold_wall >= warm_wall * 10,
+        "warm run must be at least 10x faster: cold {cold_wall:?} vs warm {warm_wall:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn touching_one_variant_recomputes_only_that_column() {
+    let dir = temp_cache("invalidate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = SweepOptions {
+        jobs: 2,
+        cache: true,
+        cache_dir: Some(dir.clone()),
+        quiet: true,
+    };
+    let mut spec = SweepSpec {
+        series: vec![SeriesSpec::new(
+            "BFS",
+            DatasetSpec::table(DatasetId::Kron, 0.002, 42),
+            vec![
+                VariantSpec::new("CDP", Variant::Cdp(OptConfig::none())),
+                VariantSpec::new("CDP+T", Variant::Cdp(OptConfig::none().threshold(64))),
+            ],
+        )],
+    };
+    run_sweep(&spec, &opts);
+    // "Touch" one variant: change its threshold parameter.
+    spec.series[0].variants[1] =
+        VariantSpec::new("CDP+T", Variant::Cdp(OptConfig::none().threshold(128)));
+    let second = run_sweep(&spec, &opts);
+    assert_eq!(second.cache.hits, 1, "untouched column stays cached");
+    assert_eq!(second.cache.misses, 1, "touched column recomputes");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_cache_mode_never_touches_the_cache_dir() {
+    let dir = temp_cache("nocache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = SweepSpec {
+        series: vec![SeriesSpec::new(
+            "BFS",
+            DatasetSpec::table(DatasetId::Kron, 0.002, 42),
+            vec![VariantSpec::new("CDP", Variant::Cdp(OptConfig::none()))],
+        )],
+    };
+    let result = run_sweep(
+        &spec,
+        &SweepOptions {
+            jobs: 1,
+            cache: false,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+        },
+    );
+    assert!(!result.cache.enabled);
+    assert_eq!(result.cache.hits + result.cache.misses, 0);
+    assert!(!dir.exists(), "no cache directory may be created");
+}

@@ -200,6 +200,12 @@ pub enum Instr {
     IncLocal(u16, i64),
     /// Fused `LoadLocal(slot); LoadMem` — push `mem[locals[slot]]`.
     LoadLocalMem(u16),
+    /// Fused compare-and-branch:
+    /// `LoadLocal(a); LoadLocal(b); Bin(cmp); JumpIfZero(target)` — jump to
+    /// `target` when `locals[a] cmp locals[b]` is false, with no net stack
+    /// effect. Only comparison [`BinKind`]s are fused (the loop-condition
+    /// shape `while (i < n)` / `for (...; i < n; ...)`).
+    CmpBranchLocals(BinKind, u16, u16, u32),
 }
 
 impl Instr {
@@ -229,6 +235,12 @@ impl Instr {
                 Instr::Pop,
             ]),
             Instr::LoadLocalMem(slot) => Some(vec![Instr::LoadLocal(slot), Instr::LoadMem]),
+            Instr::CmpBranchLocals(op, a, b, target) => Some(vec![
+                Instr::LoadLocal(a),
+                Instr::LoadLocal(b),
+                Instr::Bin(op),
+                Instr::JumpIfZero(target),
+            ]),
             _ => None,
         }
     }
@@ -284,6 +296,7 @@ impl Instr {
             Instr::BinLocals(op, ..) | Instr::BinImm(op, _) => Instr::Bin(*op).cost_class(),
             Instr::IncLocal(..) => CostClass::Alu,
             Instr::LoadLocalMem(_) => CostClass::Mem,
+            Instr::CmpBranchLocals(..) => CostClass::Branch,
         }
     }
 }
@@ -473,6 +486,7 @@ mod tests {
             (Instr::BinImm(BinKind::Div, 7), 2),
             (Instr::IncLocal(2, 1), 6),
             (Instr::LoadLocalMem(0), 2),
+            (Instr::CmpBranchLocals(BinKind::Lt, 0, 1, 9), 4),
         ] {
             let parts = fused.expansion().expect("fused ops expand");
             assert_eq!(fused.width(), width);

@@ -132,6 +132,7 @@ pub fn fuse_module(module: &mut Module) {
 /// |---|---|
 /// | `LoadLocal s; PushInt k; Bin ±; Dup; StoreLocal s; Pop` | `IncLocal(s, ±k)` |
 /// | `LoadLocal s; Dup; PushInt k; Bin ±; StoreLocal s; Pop` | `IncLocal(s, ±k)` |
+/// | `LoadLocal a; LoadLocal b; Bin cmp; JumpIfZero t` | `CmpBranchLocals(cmp, a, b, t)` |
 /// | `LoadLocal a; LoadLocal b; Bin op` | `BinLocals(op, a, b)` |
 /// | `LoadLocal s; LoadMem` | `LoadLocalMem(s)` |
 /// | `PushInt v; Bin op` | `BinImm(op, v)` |
@@ -147,7 +148,11 @@ pub fn fuse_function(f: &mut CompiledFunction) {
     // for loops that end the function).
     let mut is_target = vec![false; n + 1];
     for instr in &f.code {
-        if let Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) = instr {
+        if let Instr::Jump(t)
+        | Instr::JumpIfZero(t)
+        | Instr::JumpIfNonZero(t)
+        | Instr::CmpBranchLocals(.., t) = instr
+        {
             is_target[*t as usize] = true;
         }
     }
@@ -177,7 +182,11 @@ pub fn fuse_function(f: &mut CompiledFunction) {
     map[n] = code.len() as u32;
 
     for instr in &mut code {
-        if let Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) = instr {
+        if let Instr::Jump(t)
+        | Instr::JumpIfZero(t)
+        | Instr::JumpIfNonZero(t)
+        | Instr::CmpBranchLocals(.., t) = instr
+        {
             *t = map[*t as usize];
         }
     }
@@ -222,6 +231,17 @@ fn try_fuse_at(
                 if let Some(delta) = inc_delta(op, k) {
                     return Some((IncLocal(s, delta), 6));
                 }
+            }
+        }
+    }
+    if fusible(4) {
+        // Loop-condition shape: compare two locals, branch when false.
+        if let [LoadLocal(a), LoadLocal(b), Bin(op), JumpIfZero(t), ..] = *code {
+            if matches!(
+                op,
+                BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge | BinKind::Eq | BinKind::Ne
+            ) {
+                return Some((CmpBranchLocals(op, a, b, t), 4));
             }
         }
     }
@@ -1263,8 +1283,8 @@ mod tests {
         assert!(
             f.code
                 .iter()
-                .any(|i| matches!(i, Instr::BinLocals(BinKind::Lt, ..))),
-            "loop condition fuses"
+                .any(|i| matches!(i, Instr::CmpBranchLocals(BinKind::Lt, ..))),
+            "loop condition fuses into compare-and-branch"
         );
         assert!(
             f.code
@@ -1342,6 +1362,44 @@ mod tests {
             !f.code.iter().any(|i| matches!(i, Instr::BinLocals(..))),
             "window with an interior jump target must not fuse: {:?}",
             f.code
+        );
+    }
+
+    #[test]
+    fn compare_branch_fuses_loop_conditions() {
+        let src = "__global__ void k(int* d, int n) { \
+                       int s = 0; \
+                       while (s < n) { s = s + d[s]; } \
+                       d[0] = s; }";
+        let fused = compile(src);
+        let unfused = compile_unfused(src);
+        let f = fused.by_name("k").unwrap();
+        let u = unfused.by_name("k").unwrap();
+        let cmp_branch = f
+            .code
+            .iter()
+            .find_map(|i| match i {
+                Instr::CmpBranchLocals(op, a, b, t) => Some((*op, *a, *b, *t)),
+                _ => None,
+            })
+            .expect("while condition fuses");
+        let (op, _, _, t) = cmp_branch;
+        assert_eq!(op, BinKind::Lt);
+        assert!((t as usize) <= f.code.len(), "branch target in range");
+        // Width accounting conserves the original instruction count.
+        let total: u32 = f.code.iter().map(|i| i.width()).sum();
+        assert_eq!(total as usize, u.code.len());
+        // Non-comparison ops must not fuse with a following branch.
+        let src_add = "__global__ void k(int* d, int a, int b) { \
+                           if (a + b) { d[0] = 1; } }";
+        let m = compile(src_add);
+        assert!(
+            !m.by_name("k")
+                .unwrap()
+                .code
+                .iter()
+                .any(|i| matches!(i, Instr::CmpBranchLocals(..))),
+            "arithmetic condition stays BinLocals + JumpIfZero"
         );
     }
 

@@ -938,6 +938,13 @@ fn run_thread(
                     let v = env.load(addr, shared)?;
                     thread.stack.push(v);
                 }
+                Instr::CmpBranchLocals(kind, a, b, t) => {
+                    let a = frame.locals[a as usize];
+                    let b = frame.locals[b as usize];
+                    if !bin_op(kind, a, b)?.is_truthy() {
+                        frame.pc = t as usize;
+                    }
+                }
             }
         }
     }

@@ -11,6 +11,7 @@
 //! - [`sim`] — trace-driven GPU timing model
 //! - [`core`] — compiler + executor high-level API
 //! - [`workloads`] — datasets and the seven paper benchmarks
+//! - [`sweep`] — parallel, content-addressed experiment orchestration
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@ pub use dp_analysis as analysis;
 pub use dp_core as core;
 pub use dp_frontend as frontend;
 pub use dp_sim as sim;
+pub use dp_sweep as sweep;
 pub use dp_transform as transform;
 pub use dp_vm as vm;
 pub use dp_workloads as workloads;
