@@ -1,25 +1,32 @@
 //! `vmbench` — tracked interpreter-throughput benchmark for the GPU VM.
 //!
-//! Runs BFS- and Bézier-style workloads (plus a synthetic ALU loop) through
-//! the execution machine twice per workload:
+//! Runs BFS- and Bézier-style workloads, a synthetic ALU loop, and a
+//! launch-heavy many-block frontier-expansion kernel through the execution
+//! machine under three configurations per workload:
 //!
-//! - **baseline**: superinstruction fusion off, per-block state pooling off
-//!   — the dispatch behavior of the pre-overhaul interpreter;
-//! - **optimized**: fusion + arena reuse on — the default configuration.
+//! - **baseline**: `match` dispatch, superinstruction fusion off, per-block
+//!   state pooling off — the pre-overhaul interpreter;
+//! - **fused**: direct-threaded dispatch + fusion + arena reuse, blocks
+//!   sequential — the default single-thread configuration;
+//! - **fused+parallel**: the same plus speculative parallel block
+//!   execution at `DPOPT_JOBS` workers (default 4 for this benchmark).
 //!
-//! Both runs execute the *same original instruction stream* (fusion is
-//! accounting-transparent), so instructions/second are directly comparable
-//! and the speedup is pure interpreter overhead removed. Each configuration
-//! runs `reps` times and the best (minimum) wall time is reported, which is
-//! the standard way to suppress scheduler noise for single-threaded
-//! CPU-bound loops.
+//! All three execute the *same original instruction stream* (fusion and
+//! parallel execution are accounting-transparent — asserted at runtime),
+//! so instructions/second are directly comparable: `speedup_fused` is pure
+//! interpreter overhead removed, `speedup_parallel_extra` is the
+//! *additional* wall-clock factor from parallel blocks and is bounded by
+//! the host's core count (1.0 on a single-core container). Each
+//! configuration runs `reps` times and the best (minimum) wall time is
+//! kept, the standard way to suppress scheduler noise.
 //!
 //! Results are printed as a table and written to `BENCH_vm.json` at the
-//! repo root so future changes can track the interpreter's perf trajectory.
-//! Environment knobs: `DPOPT_VMBENCH_REPS` (default 5),
-//! `DPOPT_VMBENCH_SCALE` (workload size multiplier, default 1.0).
+//! repo root so future changes can track the interpreter's perf
+//! trajectory. Environment knobs: `DPOPT_VMBENCH_REPS` (default 5),
+//! `DPOPT_VMBENCH_SCALE` (workload size multiplier, default 1.0),
+//! `DPOPT_JOBS` (parallel-row worker count, default 4).
 
-use dp_core::{Compiler, OptConfig};
+use dp_core::{Compiler, DispatchMode, OptConfig};
 use dp_frontend::parse;
 use dp_sweep::env_parsed;
 use dp_vm::lower::{compile_program_with, LowerOptions};
@@ -28,6 +35,42 @@ use dp_workloads::benchmarks::{bfs::Bfs, bt::Bt, BenchInput, Benchmark};
 use dp_workloads::datasets::bezier::bezier_lines;
 use dp_workloads::datasets::graphs::rmat;
 use std::time::Instant;
+
+/// One interpreter configuration.
+#[derive(Clone, Copy)]
+struct Config {
+    name: &'static str,
+    fuse: bool,
+    reuse: bool,
+    dispatch: DispatchMode,
+    jobs: usize,
+}
+
+fn configs(parallel_jobs: usize) -> [Config; 3] {
+    [
+        Config {
+            name: "baseline",
+            fuse: false,
+            reuse: false,
+            dispatch: DispatchMode::Match,
+            jobs: 1,
+        },
+        Config {
+            name: "fused",
+            fuse: true,
+            reuse: true,
+            dispatch: DispatchMode::Threaded,
+            jobs: 1,
+        },
+        Config {
+            name: "fused_parallel",
+            fuse: true,
+            reuse: true,
+            dispatch: DispatchMode::Threaded,
+            jobs: parallel_jobs,
+        },
+    ]
+}
 
 struct Measurement {
     wall_s: f64,
@@ -42,13 +85,19 @@ impl Measurement {
 
 struct WorkloadResult {
     name: &'static str,
-    baseline: Measurement,
-    optimized: Measurement,
+    /// Indexed like `configs()`: baseline, fused, fused_parallel.
+    rows: Vec<Measurement>,
 }
 
 impl WorkloadResult {
-    fn speedup(&self) -> f64 {
-        self.baseline.wall_s / self.optimized.wall_s
+    fn speedup_fused(&self) -> f64 {
+        self.rows[0].wall_s / self.rows[1].wall_s
+    }
+
+    /// The *additional* factor from parallel block execution on top of the
+    /// fused single-thread configuration.
+    fn speedup_parallel_extra(&self) -> f64 {
+        self.rows[1].wall_s / self.rows[2].wall_s
     }
 }
 
@@ -76,37 +125,114 @@ fn best_of<F: FnMut() -> u64>(reps: usize, mut run: F) -> Measurement {
 fn run_benchmark(
     bench: &dyn Benchmark,
     input: &BenchInput,
-    optimized: bool,
+    config: Config,
     reps: usize,
 ) -> Measurement {
     let compiled = Compiler::new()
         .config(OptConfig::none())
-        .fusion(optimized)
+        .fusion(config.fuse)
+        .dispatch(config.dispatch)
+        .block_parallelism(config.jobs)
         .compile(bench.cdp_source())
         .expect("benchmark source compiles");
     best_of(reps, || {
         let mut exec = compiled.executor();
-        exec.machine_mut().set_state_reuse(optimized);
+        exec.machine_mut().set_state_reuse(config.reuse);
         bench.run(&mut exec, input).expect("benchmark runs");
         exec.stats().instructions
     })
 }
 
+fn configure(mut machine: Machine, config: Config) -> Machine {
+    machine.set_state_reuse(config.reuse);
+    machine.set_dispatch(config.dispatch);
+    machine.set_block_parallelism(config.jobs);
+    machine
+}
+
 /// The synthetic ALU/loop kernel measured under one VM configuration.
-fn run_alu_loop(optimized: bool, iters: i64, reps: usize) -> Measurement {
+fn run_alu_loop(config: Config, iters: i64, reps: usize) -> Measurement {
     let src = "__global__ void k(int* out, int n) { \
                    int s = 0; \
                    for (int i = 0; i < n; ++i) { s = s + i * 3 - (s >> 1); } \
                    out[threadIdx.x] = s; }";
     let program = parse(src).expect("kernel parses");
-    let module =
-        compile_program_with(&program, LowerOptions { fuse: optimized }).expect("kernel compiles");
+    let module = compile_program_with(&program, LowerOptions { fuse: config.fuse })
+        .expect("kernel compiles");
     best_of(reps, || {
-        let mut m = Machine::new(module.clone());
-        m.set_state_reuse(optimized);
+        let mut m = configure(Machine::new(module.clone()), config);
         let buf = m.alloc(64);
         m.launch_host("k", 4, 64, &[Value::Int(buf), Value::Int(iters)])
             .expect("launch");
+        m.run_to_quiescence().expect("run");
+        m.stats().instructions
+    })
+}
+
+/// Launch-heavy, many-block BFS-style frontier expansion — the shape the
+/// parallel block executor exists for. Every parent thread serially
+/// expands its vertex's adjacency into a **disjoint** slice of `out`
+/// (blocks share nothing, so speculation always validates), and each
+/// parent block launches one multi-block child grid that re-processes its
+/// chunk's contiguous CSR edge span. Both the parent and the child grids
+/// have many independent blocks.
+fn run_frontier_expand(
+    config: Config,
+    graph: &dp_workloads::datasets::csr::CsrGraph,
+    reps: usize,
+) -> Measurement {
+    let src = "\
+__global__ void scale_pass(int* out, int begin, int count) {
+    int e = blockIdx.x * blockDim.x + threadIdx.x;
+    if (e < count) {
+        int acc = out[begin + e];
+        for (int k = 0; k < 4; ++k) { acc = acc + (acc >> 3) + k; }
+        out[begin + e] = acc;
+    }
+}
+__global__ void frontier(int* offsets, int* edges, int* out, int numV) {
+    int v = blockIdx.x * blockDim.x + threadIdx.x;
+    if (v < numV) {
+        int begin = offsets[v];
+        int count = offsets[v + 1] - begin;
+        for (int e = 0; e < count; ++e) {
+            int w = edges[begin + e];
+            out[begin + e] = w * 2 + (w >> 2);
+        }
+    }
+    if (threadIdx.x == 0) {
+        int first = blockIdx.x * blockDim.x;
+        int last = min(first + blockDim.x, numV);
+        int eb = offsets[first];
+        int ec = offsets[last] - eb;
+        if (ec > 0) {
+            scale_pass<<<(ec + 63) / 64, 64>>>(out, eb, ec);
+        }
+    }
+}
+";
+    let program = parse(src).expect("kernel parses");
+    let module = compile_program_with(&program, LowerOptions { fuse: config.fuse })
+        .expect("kernel compiles");
+    let num_v = graph.num_vertices as i64;
+    let num_e = graph.edges.len();
+    best_of(reps, || {
+        let mut m = configure(Machine::new(module.clone()), config);
+        let offsets = m.alloc_i64s(&graph.offsets);
+        let edges = m.alloc_i64s(&graph.edges);
+        let out = m.alloc(num_e.max(1));
+        m.launch_host(
+            "frontier",
+            (num_v + 63) / 64,
+            64,
+            &[
+                Value::Int(offsets),
+                Value::Int(edges),
+                Value::Int(out),
+                Value::Int(num_v),
+            ],
+        )
+        .expect("launch");
         m.run_to_quiescence().expect("run");
         m.stats().instructions
     })
@@ -120,26 +246,34 @@ fn json_escape_free(name: &str) -> &str {
     name
 }
 
-fn write_json(path: &std::path::Path, results: &[WorkloadResult]) -> std::io::Result<()> {
-    let mut out = String::from("{\n  \"benchmark\": \"vmbench\",\n  \"unit\": \"instructions_per_second\",\n  \"workloads\": [\n");
+fn write_json(
+    path: &std::path::Path,
+    results: &[WorkloadResult],
+    cfgs: &[Config],
+    parallel_jobs: usize,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"vmbench\",\n  \"unit\": \"instructions_per_second\",\n  \"parallel_jobs\": {parallel_jobs},\n  \"workloads\": [\n"
+    );
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
-            concat!(
-                "    {{\n",
-                "      \"name\": \"{}\",\n",
-                "      \"instructions\": {},\n",
-                "      \"baseline\": {{ \"wall_s\": {:.6}, \"instr_per_sec\": {:.1} }},\n",
-                "      \"optimized\": {{ \"wall_s\": {:.6}, \"instr_per_sec\": {:.1} }},\n",
-                "      \"speedup\": {:.3}\n",
-                "    }}{}\n"
-            ),
+            "    {{\n      \"name\": \"{}\",\n      \"instructions\": {},\n      \"configs\": {{\n",
             json_escape_free(r.name),
-            r.baseline.instructions,
-            r.baseline.wall_s,
-            r.baseline.instr_per_sec(),
-            r.optimized.wall_s,
-            r.optimized.instr_per_sec(),
-            r.speedup(),
+            r.rows[0].instructions,
+        ));
+        for (j, (cfg, m)) in cfgs.iter().zip(&r.rows).enumerate() {
+            out.push_str(&format!(
+                "        \"{}\": {{ \"wall_s\": {:.6}, \"instr_per_sec\": {:.1} }}{}\n",
+                cfg.name,
+                m.wall_s,
+                m.instr_per_sec(),
+                if j + 1 < r.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "      }},\n      \"speedup_fused\": {:.3},\n      \"speedup_parallel_extra\": {:.3}\n    }}{}\n",
+            r.speedup_fused(),
+            r.speedup_parallel_extra(),
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
@@ -151,6 +285,14 @@ fn main() {
     // `env_parsed` warns on stderr for set-but-unparsable values.
     let reps = env_parsed::<f64>("DPOPT_VMBENCH_REPS", 5.0) as usize;
     let scale: f64 = env_parsed("DPOPT_VMBENCH_SCALE", 1.0);
+    let parallel_jobs = match env_parsed::<usize>("DPOPT_JOBS", 4) {
+        0 => {
+            eprintln!("warning: ignoring DPOPT_JOBS=0; the parallel row uses 4 workers");
+            4
+        }
+        v => v,
+    };
+    let cfgs = configs(parallel_jobs);
 
     // BFS over a heavy-tailed R-MAT graph: branchy, memory- and
     // atomic-heavy, lots of device-side launches.
@@ -158,55 +300,54 @@ fn main() {
     // Bézier tessellation: float-dominated with per-line child kernels.
     let bt_input = BenchInput::Bezier(bezier_lines((600.0 * scale) as usize, 32, 16.0, 42));
     let alu_iters = (20_000.0 * scale) as i64;
+    // Frontier expansion: many-block grids with disjoint writes + one
+    // multi-block child launch per parent block.
+    let frontier_graph = rmat((11.0 + scale.log2()).round().max(7.0) as u32, 16, 42);
 
     let mut results = Vec::new();
-    for (name, baseline, optimized) in [
-        (
-            "bfs-rmat",
-            run_benchmark(&Bfs, &bfs_input, false, reps),
-            run_benchmark(&Bfs, &bfs_input, true, reps),
-        ),
-        (
-            "bezier-tess",
-            run_benchmark(&Bt, &bt_input, false, reps),
-            run_benchmark(&Bt, &bt_input, true, reps),
-        ),
-        (
-            "alu-loop",
-            run_alu_loop(false, alu_iters, reps),
-            run_alu_loop(true, alu_iters, reps),
-        ),
-    ] {
-        assert_eq!(
-            baseline.instructions, optimized.instructions,
-            "{name}: fusion must not change the original instruction count"
-        );
-        results.push(WorkloadResult {
-            name,
-            baseline,
-            optimized,
-        });
-    }
+    let mut measure = |name: &'static str, mut f: Box<dyn FnMut(Config) -> Measurement + '_>| {
+        let rows: Vec<Measurement> = cfgs.iter().map(|&c| f(c)).collect();
+        for row in &rows[1..] {
+            assert_eq!(
+                rows[0].instructions, row.instructions,
+                "{name}: fusion/parallelism must not change the original instruction count"
+            );
+        }
+        results.push(WorkloadResult { name, rows });
+    };
+    measure(
+        "bfs-rmat",
+        Box::new(|c| run_benchmark(&Bfs, &bfs_input, c, reps)),
+    );
+    measure(
+        "bezier-tess",
+        Box::new(|c| run_benchmark(&Bt, &bt_input, c, reps)),
+    );
+    measure("alu-loop", Box::new(|c| run_alu_loop(c, alu_iters, reps)));
+    measure(
+        "frontier-expand",
+        Box::new(|c| run_frontier_expand(c, &frontier_graph, reps)),
+    );
 
     println!(
-        "{:<14} {:>14} {:>12} {:>12} {:>16} {:>16} {:>9}",
-        "workload", "instructions", "base ms", "opt ms", "base instr/s", "opt instr/s", "speedup"
+        "{:<16} {:>14} {:>11} {:>11} {:>11} {:>8} {:>9}",
+        "workload", "instructions", "base ms", "fused ms", "par ms", "fusedX", "par extraX"
     );
     for r in &results {
         println!(
-            "{:<14} {:>14} {:>12.2} {:>12.2} {:>16.3e} {:>16.3e} {:>8.2}x",
+            "{:<16} {:>14} {:>11.2} {:>11.2} {:>11.2} {:>7.2}x {:>8.2}x",
             r.name,
-            r.baseline.instructions,
-            r.baseline.wall_s * 1e3,
-            r.optimized.wall_s * 1e3,
-            r.baseline.instr_per_sec(),
-            r.optimized.instr_per_sec(),
-            r.speedup()
+            r.rows[0].instructions,
+            r.rows[0].wall_s * 1e3,
+            r.rows[1].wall_s * 1e3,
+            r.rows[2].wall_s * 1e3,
+            r.speedup_fused(),
+            r.speedup_parallel_extra(),
         );
     }
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_vm.json");
-    write_json(&path, &results).expect("write BENCH_vm.json");
+    write_json(&path, &results, &cfgs, parallel_jobs).expect("write BENCH_vm.json");
     let shown = path.canonicalize().unwrap_or(path);
     println!("\nwrote {}", shown.display());
 }

@@ -8,6 +8,7 @@
 //!       [--agg warp|block|multiblock:K|grid] [--agg-threshold N] [-o out.cu]
 //! dpopt info input.cu
 //! dpopt sweep spec.json [--jobs N] [--no-cache] [--cache-stats] [-o out.json]
+//! dpopt sweep --gc [--max-cache-mb N]
 //! ```
 
 use dp_core::{AggConfig, AggGranularity, Compiler, OptConfig};
@@ -60,6 +61,9 @@ SWEEP OPTIONS:
     --no-cache             ignore and do not populate .dpopt-cache/
     --cache-stats          print cache hit/miss counters after the table
     -o <file>              also write the merged results as JSON
+    --gc                   evict least-recently-used cache entries instead
+                           of sweeping (no spec file needed)
+    --max-cache-mb <N>     cache size budget for --gc (default: 512)
 ";
 
 /// Reads an input file, failing with a message that names the path.
@@ -191,6 +195,8 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut output = None;
     let mut opts = SweepOptions::default();
     let mut cache_stats = false;
+    let mut gc = false;
+    let mut max_cache_mb: i64 = 512;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -206,6 +212,14 @@ fn sweep(args: &[String]) -> ExitCode {
                 cache_stats = true;
                 i += 1;
             }
+            "--gc" => {
+                gc = true;
+                i += 1;
+            }
+            "--max-cache-mb" => match parse_arg(args, &mut i) {
+                Some(v) if v >= 0 => max_cache_mb = v,
+                _ => return fail("--max-cache-mb needs a non-negative integer"),
+            },
             "-o" => {
                 i += 1;
                 let Some(path) = args.get(i) else {
@@ -220,6 +234,28 @@ fn sweep(args: &[String]) -> ExitCode {
             }
             other => return fail(&format!("unexpected argument `{other}`")),
         }
+    }
+    if gc {
+        if input.is_some() {
+            return fail("--gc takes no spec file (it prunes the cache and exits)");
+        }
+        let dir = dp_sweep::cache::resolve_cache_dir(opts.cache_dir.as_deref());
+        let budget = (max_cache_mb as u64).saturating_mul(1024 * 1024);
+        return match dp_sweep::cache::gc(&dir, budget) {
+            Ok(report) => {
+                println!(
+                    "cache gc: {} — {} entries, evicted {} (LRU first), {} -> {} bytes (budget {} MB)",
+                    dir.display(),
+                    report.entries,
+                    report.evicted,
+                    report.bytes_before,
+                    report.bytes_after,
+                    max_cache_mb
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("cache gc failed in `{}`: {e}", dir.display())),
+        };
     }
     let Some(input) = input else {
         return fail("missing input file (usage: dpopt sweep <spec.json>)");

@@ -227,6 +227,48 @@ fn sweep_runs_caches_and_writes_json() {
 }
 
 #[test]
+fn sweep_gc_prunes_lru_entries() {
+    let cache = std::env::temp_dir().join(format!("dpopt-gc-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    std::fs::create_dir_all(&cache).unwrap();
+    // Three fake cell summaries with distinct ages (oldest = key 1).
+    for (key, age_secs) in [(1u64, 300u64), (2, 200), (3, 10)] {
+        let path = cache.join(format!("{key:016x}.json"));
+        std::fs::write(&path, format!("{{\"version\":1,\"key\":\"{key}\"}}")).unwrap();
+        let f = std::fs::File::options().write(true).open(&path).unwrap();
+        f.set_modified(std::time::SystemTime::now() - std::time::Duration::from_secs(age_secs))
+            .unwrap();
+    }
+    std::fs::write(cache.join("dead.tmp.1"), "torn").unwrap();
+
+    // Budget 0 MB: everything goes, LRU first; tmp leftovers always go.
+    let out = dpopt()
+        .env("DPOPT_CACHE_DIR", &cache)
+        .args(["sweep", "--gc", "--max-cache-mb", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("3 entries"), "{text}");
+    assert!(text.contains("evicted 3"), "{text}");
+    assert!(!cache.join("dead.tmp.1").exists());
+    assert_eq!(std::fs::read_dir(&cache).unwrap().count(), 0);
+
+    // A spec argument alongside --gc is a usage error.
+    let bad = dpopt()
+        .args(["sweep", "--gc", "spec.json"])
+        .output()
+        .unwrap();
+    assert!(!bad.status.success());
+
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
 fn sweep_rejects_bad_specs() {
     let spec = std::env::temp_dir().join(format!("dpopt-bad-spec-{}.json", std::process::id()));
     std::fs::write(&spec, r#"{"benchmarks": ["XXX"], "variants": [{}]}"#).unwrap();

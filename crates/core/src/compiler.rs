@@ -8,7 +8,7 @@ use dp_frontend::printer::print_program;
 use dp_transform::{apply_pipeline, OptConfig, TransformManifest};
 use dp_vm::bytecode::{CostModel, Module};
 use dp_vm::lower::{compile_program_with, LowerOptions};
-use dp_vm::machine::ExecLimits;
+use dp_vm::machine::{DispatchMode, ExecLimits};
 
 /// Compiles CUDA-subset source with a chosen optimization configuration.
 ///
@@ -31,6 +31,8 @@ pub struct Compiler {
     cost: CostModel,
     limits: ExecLimits,
     lower: LowerOptions,
+    dispatch: DispatchMode,
+    block_parallelism: usize,
 }
 
 impl Default for Compiler {
@@ -47,6 +49,8 @@ impl Compiler {
             cost: CostModel::default(),
             limits: ExecLimits::default(),
             lower: LowerOptions::default(),
+            dispatch: DispatchMode::default(),
+            block_parallelism: 0,
         }
     }
 
@@ -77,6 +81,23 @@ impl Compiler {
         self
     }
 
+    /// Selects the VM dispatch loop (threaded by default). Both modes are
+    /// bit-identical in results and accounting; `Match` exists for
+    /// differential testing and as the interpreter benchmark baseline.
+    pub fn dispatch(mut self, mode: DispatchMode) -> Self {
+        self.dispatch = mode;
+        self
+    }
+
+    /// Sets parallel block execution for executors of this compilation:
+    /// `0` (the default) draws workers from the process-wide `DPOPT_JOBS`
+    /// budget shared with the sweep engine; a non-zero value forces
+    /// exactly that many workers. Results are bit-identical either way.
+    pub fn block_parallelism(mut self, jobs: usize) -> Self {
+        self.block_parallelism = jobs;
+        self
+    }
+
     /// Parses, transforms, pretty-prints, and lowers `source`.
     ///
     /// # Errors
@@ -96,6 +117,8 @@ impl Compiler {
             config: self.config,
             cost: self.cost.clone(),
             limits: self.limits,
+            dispatch: self.dispatch,
+            block_parallelism: self.block_parallelism,
         })
     }
 }
@@ -128,6 +151,8 @@ pub struct Compiled {
     config: OptConfig,
     cost: CostModel,
     limits: ExecLimits,
+    dispatch: DispatchMode,
+    block_parallelism: usize,
 }
 
 impl Compiled {
@@ -157,14 +182,19 @@ impl Compiled {
         &self.config
     }
 
-    /// Creates a fresh executor (simulated GPU) for this program.
+    /// Creates a fresh executor (simulated GPU) for this program,
+    /// inheriting the compiler's dispatch and block-parallelism settings.
     pub fn executor(&self) -> Executor {
-        Executor::new(
+        let mut exec = Executor::new(
             self.module.clone(),
             self.manifest.clone(),
             self.cost.clone(),
             self.limits,
-        )
+        );
+        exec.machine_mut().set_dispatch(self.dispatch);
+        exec.machine_mut()
+            .set_block_parallelism(self.block_parallelism);
+        exec
     }
 
     /// Wraps this compilation in a thread-shareable handle.

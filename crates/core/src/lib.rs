@@ -42,5 +42,6 @@ pub mod executor;
 pub use compiler::{Compiled, Compiler, SharedCompiled};
 pub use dp_sim::{HostEvent, SimResult, TimingParams};
 pub use dp_transform::{AggConfig, AggGranularity, OptConfig};
+pub use dp_vm::machine::DispatchMode;
 pub use error::{Error, Result};
 pub use executor::{Executor, RunReport};

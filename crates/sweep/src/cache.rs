@@ -225,45 +225,61 @@ fn cell_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("{key:016x}.json"))
 }
 
+/// Best-effort LRU touch: bumps a cache file's modification time so
+/// [`gc`] treats recently *used* entries as recently *valuable*. Failure
+/// is harmless (the entry just ages by its write time).
+fn touch(path: &Path) {
+    if let Ok(f) = std::fs::File::options().write(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
+    }
+}
+
 /// Loads a cached summary, if present and readable. Corrupt or
-/// schema-mismatched entries are treated as misses.
+/// schema-mismatched entries are treated as misses. A *hit* (and only a
+/// hit — stale-format or torn entries must keep aging toward eviction)
+/// refreshes the entry's modification time, the LRU clock used by [`gc`].
 pub fn load(dir: &Path, key: u64) -> Option<CellSummary> {
-    let text = std::fs::read_to_string(cell_path(dir, key)).ok()?;
+    let path = cell_path(dir, key);
+    let text = std::fs::read_to_string(&path).ok()?;
     let v = json::parse(&text).ok()?;
     if v.get("version")?.as_u64()? != CACHE_FORMAT_VERSION as u64 {
         return None;
     }
     let f = |name: &str| v.get(name)?.as_f64();
     let u = |name: &str| v.get(name)?.as_u64();
-    Some(CellSummary {
-        label: String::new(),
-        total_us: f("total_us")?,
-        device_span_us: f("device_span_us")?,
-        parent_us: f("parent_us")?,
-        child_us: f("child_us")?,
-        launch_us: f("launch_us")?,
-        aggregation_us: f("aggregation_us")?,
-        disaggregation_us: f("disaggregation_us")?,
-        warp_avg_total_us: f("warp_avg_total_us")?,
-        device_launches: u("device_launches")?,
-        host_launches: u("host_launches")?,
-        origin_cycles_total: u("origin_cycles_total")?,
-        instructions: u("instructions")?,
-        output_ints: v
-            .get("output_ints")?
-            .as_array()?
-            .iter()
-            .map(|x| x.as_i64())
-            .collect::<Option<Vec<i64>>>()?,
-        output_floats: v
-            .get("output_floats")?
-            .as_array()?
-            .iter()
-            .map(|x| x.as_f64())
-            .collect::<Option<Vec<f64>>>()?,
-        verified: true,
-        from_cache: true,
-    })
+    let summary = (|| {
+        Some(CellSummary {
+            label: String::new(),
+            total_us: f("total_us")?,
+            device_span_us: f("device_span_us")?,
+            parent_us: f("parent_us")?,
+            child_us: f("child_us")?,
+            launch_us: f("launch_us")?,
+            aggregation_us: f("aggregation_us")?,
+            disaggregation_us: f("disaggregation_us")?,
+            warp_avg_total_us: f("warp_avg_total_us")?,
+            device_launches: u("device_launches")?,
+            host_launches: u("host_launches")?,
+            origin_cycles_total: u("origin_cycles_total")?,
+            instructions: u("instructions")?,
+            output_ints: v
+                .get("output_ints")?
+                .as_array()?
+                .iter()
+                .map(|x| x.as_i64())
+                .collect::<Option<Vec<i64>>>()?,
+            output_floats: v
+                .get("output_floats")?
+                .as_array()?
+                .iter()
+                .map(|x| x.as_f64())
+                .collect::<Option<Vec<f64>>>()?,
+            verified: true,
+            from_cache: true,
+        })
+    })()?;
+    touch(&path);
+    Some(summary)
 }
 
 /// Persists a summary. Write errors are reported to stderr but do not fail
@@ -309,6 +325,76 @@ pub fn store(dir: &Path, key: u64, summary: &CellSummary) {
         eprintln!("[dp-sweep] cannot publish {}: {e}", path.display());
         let _ = std::fs::remove_file(&tmp);
     }
+}
+
+// ----------------------------------------------------------------------
+// Cache eviction (GC)
+// ----------------------------------------------------------------------
+
+/// What [`gc`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Cell summaries found.
+    pub entries: usize,
+    /// Entries evicted (least recently used first).
+    pub evicted: usize,
+    /// Total bytes before eviction.
+    pub bytes_before: u64,
+    /// Total bytes after eviction.
+    pub bytes_after: u64,
+}
+
+/// Prunes the cache directory down to `max_bytes`, evicting
+/// **least-recently-used** cell summaries first (modification time is the
+/// LRU clock: [`store`] stamps it and [`load`] refreshes it on every hit).
+/// Ties break on file name so eviction order is deterministic. Stale
+/// `*.tmp.*` files from interrupted writes are always removed. A missing
+/// cache directory is an empty cache, not an error.
+pub fn gc(dir: &Path, max_bytes: u64) -> std::io::Result<GcReport> {
+    let mut report = GcReport::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+    let mut cells: Vec<(std::time::SystemTime, String, u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        if name.contains(".tmp.") {
+            // Torn write leftovers are garbage regardless of budget.
+            let _ = std::fs::remove_file(&path);
+            continue;
+        }
+        if !name.ends_with(".json") {
+            continue;
+        }
+        let meta = entry.metadata()?;
+        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+        cells.push((mtime, name, meta.len(), path));
+    }
+    report.entries = cells.len();
+    report.bytes_before = cells.iter().map(|c| c.2).sum();
+    report.bytes_after = report.bytes_before;
+    if report.bytes_before <= max_bytes {
+        return Ok(report);
+    }
+    // Oldest first; name tiebreak keeps eviction deterministic when a
+    // filesystem's timestamps are coarse.
+    cells.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    for (_, _, len, path) in cells {
+        if report.bytes_after <= max_bytes {
+            break;
+        }
+        std::fs::remove_file(&path)?;
+        report.bytes_after -= len;
+        report.evicted += 1;
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -434,6 +520,98 @@ mod tests {
         assert_eq!(loaded.output_ints, summary.output_ints);
         assert_eq!(loaded.output_floats, summary.output_floats);
         assert!(loaded.from_cache);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn sample_summary(label: &str) -> CellSummary {
+        CellSummary {
+            label: label.to_string(),
+            total_us: 1.0,
+            device_span_us: 1.0,
+            parent_us: 0.0,
+            child_us: 0.0,
+            launch_us: 0.0,
+            aggregation_us: 0.0,
+            disaggregation_us: 0.0,
+            warp_avg_total_us: 1.0,
+            device_launches: 0,
+            host_launches: 1,
+            origin_cycles_total: 1,
+            instructions: 1,
+            output_ints: vec![1, 2, 3],
+            output_floats: vec![],
+            verified: true,
+            from_cache: false,
+        }
+    }
+
+    fn set_age(dir: &Path, key: u64, seconds_ago: u64) {
+        let f = std::fs::File::options()
+            .write(true)
+            .open(cell_path(dir, key))
+            .unwrap();
+        f.set_modified(std::time::SystemTime::now() - std::time::Duration::from_secs(seconds_ago))
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-gc-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for key in [1u64, 2, 3] {
+            store(&dir, key, &sample_summary("x"));
+        }
+        // Ages: key 2 oldest, then 1, then 3 (freshest).
+        set_age(&dir, 1, 200);
+        set_age(&dir, 2, 400);
+        set_age(&dir, 3, 10);
+        let entry_len = std::fs::metadata(cell_path(&dir, 1)).unwrap().len();
+
+        // Budget for exactly one entry: the two stalest go, freshest stays.
+        let report = gc(&dir, entry_len).unwrap();
+        assert_eq!(report.entries, 3);
+        assert_eq!(report.evicted, 2);
+        assert_eq!(report.bytes_before, 3 * entry_len);
+        assert_eq!(report.bytes_after, entry_len);
+        assert!(load(&dir, 2).is_none(), "oldest entry evicted");
+        assert!(load(&dir, 1).is_none(), "second-oldest evicted");
+        assert!(load(&dir, 3).is_some(), "freshest entry survives");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_hits_refresh_the_lru_clock() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-touch-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store(&dir, 10, &sample_summary("a"));
+        store(&dir, 11, &sample_summary("b"));
+        set_age(&dir, 10, 500);
+        set_age(&dir, 11, 100);
+        // A hit on the stale entry makes it the freshest.
+        assert!(load(&dir, 10).is_some());
+        let entry_len = std::fs::metadata(cell_path(&dir, 10)).unwrap().len();
+        let report = gc(&dir, entry_len).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert!(load(&dir, 10).is_some(), "touched entry survives GC");
+        assert!(load(&dir, 11).is_none(), "untouched entry was the LRU");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_handles_missing_dir_under_budget_and_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-gc-edge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Missing directory is an empty cache.
+        let report = gc(&dir, 0).unwrap();
+        assert_eq!(report, GcReport::default());
+        // Under budget: nothing evicted, torn tmp files still removed.
+        store(&dir, 1, &sample_summary("x"));
+        std::fs::write(dir.join("deadbeef.tmp.999"), "torn").unwrap();
+        let report = gc(&dir, u64::MAX).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.evicted, 0);
+        assert!(!dir.join("deadbeef.tmp.999").exists());
+        assert!(load(&dir, 1).is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -332,28 +332,14 @@ where
 }
 
 /// Resolves a requested worker count: explicit > `DPOPT_JOBS` > available
-/// parallelism (min 1).
+/// parallelism (min 1). The env lookup is shared with the VM's parallel
+/// block executor ([`dp_vm::jobs::configured_jobs`]) so both layers agree
+/// on the convention.
 pub fn effective_jobs(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    let auto = || {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    };
-    match std::env::var("DPOPT_JOBS") {
-        Err(_) => auto(),
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(v) if v > 0 => v,
-            _ => {
-                eprintln!(
-                    "warning: ignoring invalid DPOPT_JOBS=`{raw}`; falling back to available parallelism"
-                );
-                auto()
-            }
-        },
-    }
+    dp_vm::jobs::configured_jobs()
 }
 
 // ----------------------------------------------------------------------
@@ -437,6 +423,11 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
     }
 
     let jobs = effective_jobs(opts.jobs);
+    // Register this sweep's workers with the process-wide thread budget
+    // shared with the VM's parallel block executor: while the pool is
+    // live, grids running *inside* cells see an exhausted budget and stay
+    // sequential instead of oversubscribing the host. Released on drop.
+    let _thread_reservation = dp_vm::jobs::reserve_up_to(jobs.saturating_sub(1));
 
     // Materialize each distinct dataset once: those needed by a pending
     // cell, plus empty-variant series (their description *is* the result).

@@ -206,6 +206,11 @@ pub enum Instr {
     /// effect. Only comparison [`BinKind`]s are fused (the loop-condition
     /// shape `while (i < n)` / `for (...; i < n; ...)`).
     CmpBranchLocals(BinKind, u16, u16, u32),
+    /// Fused `StoreLocal(slot); LoadLocal(slot)` — store the top of stack
+    /// into the local and leave the value on the stack (store-then-reload,
+    /// the `int x = e; use(x);` shape common in lowered accumulator
+    /// updates).
+    StoreLoadLocal(u16),
 }
 
 impl Instr {
@@ -241,6 +246,9 @@ impl Instr {
                 Instr::Bin(op),
                 Instr::JumpIfZero(target),
             ]),
+            Instr::StoreLoadLocal(slot) => {
+                Some(vec![Instr::StoreLocal(slot), Instr::LoadLocal(slot)])
+            }
             _ => None,
         }
     }
@@ -297,6 +305,7 @@ impl Instr {
             Instr::IncLocal(..) => CostClass::Alu,
             Instr::LoadLocalMem(_) => CostClass::Mem,
             Instr::CmpBranchLocals(..) => CostClass::Branch,
+            Instr::StoreLoadLocal(_) => CostClass::Alu,
         }
     }
 }
@@ -487,6 +496,7 @@ mod tests {
             (Instr::IncLocal(2, 1), 6),
             (Instr::LoadLocalMem(0), 2),
             (Instr::CmpBranchLocals(BinKind::Lt, 0, 1, 9), 4),
+            (Instr::StoreLoadLocal(3), 2),
         ] {
             let parts = fused.expansion().expect("fused ops expand");
             assert_eq!(fused.width(), width);

@@ -1,0 +1,119 @@
+//! The `DPOPT_JOBS` convention and a process-wide worker-thread budget.
+//!
+//! Several subsystems can spawn worker threads: the sweep engine
+//! parallelizes across experiment cells, and the execution machine
+//! parallelizes across the blocks of a grid. Both draw from **one shared
+//! budget** sized by `DPOPT_JOBS` (default: available parallelism), so
+//! nesting them — a sweep whose cells each run large grids — never
+//! oversubscribes the host: whoever reserves first gets the threads, and
+//! inner layers degrade gracefully to sequential execution.
+//!
+//! The budget counts *extra* threads beyond the caller's own (a
+//! single-threaded process with `DPOPT_JOBS=1` has zero tokens).
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::OnceLock;
+
+fn auto_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The configured job count: `DPOPT_JOBS` if set and valid, else available
+/// parallelism (min 1). Parsed once per process; an invalid value warns on
+/// stderr instead of silently falling back.
+pub fn configured_jobs() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| match std::env::var("DPOPT_JOBS") {
+        Err(_) => auto_jobs(),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) if v > 0 => v,
+            _ => {
+                eprintln!(
+                    "warning: ignoring invalid DPOPT_JOBS=`{raw}`; falling back to available parallelism"
+                );
+                auto_jobs()
+            }
+        },
+    })
+}
+
+/// Tokens for worker threads beyond the main one.
+fn extra_tokens() -> &'static AtomicIsize {
+    static TOKENS: OnceLock<AtomicIsize> = OnceLock::new();
+    TOKENS.get_or_init(|| AtomicIsize::new(configured_jobs() as isize - 1))
+}
+
+/// A granted share of the worker-thread budget, released on drop.
+#[derive(Debug)]
+#[must_use = "dropping the reservation releases the threads immediately"]
+pub struct Reservation {
+    granted: usize,
+}
+
+impl Reservation {
+    /// How many extra worker threads were actually granted (possibly 0).
+    pub fn count(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            extra_tokens().fetch_add(self.granted as isize, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Reserves up to `want` extra worker threads from the shared budget,
+/// granting whatever is available (possibly 0 — callers then run
+/// sequentially on their own thread).
+pub fn reserve_up_to(want: usize) -> Reservation {
+    if want == 0 {
+        return Reservation { granted: 0 };
+    }
+    let tokens = extra_tokens();
+    let mut current = tokens.load(Ordering::SeqCst);
+    loop {
+        let grant = current.max(0).min(want as isize);
+        if grant == 0 {
+            return Reservation { granted: 0 };
+        }
+        match tokens.compare_exchange(current, current - grant, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                return Reservation {
+                    granted: grant as usize,
+                }
+            }
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configured_jobs_is_positive_and_stable() {
+        let a = configured_jobs();
+        assert!(a >= 1);
+        assert_eq!(a, configured_jobs());
+    }
+
+    #[test]
+    fn reservations_never_exceed_request_and_release_on_drop() {
+        // The budget is process-global and other tests may hold pieces of
+        // it, so assert only relative invariants.
+        let r = reserve_up_to(2);
+        assert!(r.count() <= 2);
+        let before = extra_tokens().load(Ordering::SeqCst);
+        drop(r);
+        let after = extra_tokens().load(Ordering::SeqCst);
+        assert!(after >= before, "drop must return tokens");
+        assert_eq!(reserve_up_to(0).count(), 0);
+    }
+}

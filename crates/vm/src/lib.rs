@@ -14,30 +14,45 @@
 //! ## The execution hot path
 //!
 //! Interpreter throughput bounds how many configurations the benchmark
-//! harness and autotuner can sweep, so the dispatch loop is engineered
-//! around three ideas (measured by `dp-bench`'s `vmbench` binary, tracked
+//! harness and autotuner can sweep, so the execution core is engineered
+//! around four ideas (measured by `dp-bench`'s `vmbench` binary, tracked
 //! in `BENCH_vm.json` at the repo root):
 //!
-//! 1. **Superinstruction fusion** ([`lower::fuse_function`]): a peephole
+//! 1. **Direct-threaded dispatch**: at machine construction every
+//!    function's instruction stream is decoded into a table of op slots —
+//!    a handler function pointer plus pre-resolved operands, cycles,
+//!    width, and origin — so the hot loop is an indirect call per
+//!    instruction instead of a `match` over the opcode space. Hot binary
+//!    families are specialized per [`bytecode::BinKind`]. The classic
+//!    `match` loop survives as
+//!    [`machine::DispatchMode::Match`] for differential testing and as
+//!    the benchmark baseline.
+//! 2. **Superinstruction fusion** ([`lower::fuse_function`]): a peephole
 //!    pass collapses hot stack-shuffle sequences (`LoadLocal;LoadLocal;Bin`,
 //!    `PushInt;Bin`, the six-instruction `i += k` statement pattern,
-//!    `LoadLocal;LoadMem`) into single fused opcodes. Fusion is
-//!    *accounting-transparent*: every superinstruction is charged its
-//!    expansion's summed cycles and counted as
+//!    `LoadLocal;LoadMem`, `StoreLocal s;LoadLocal s`) into single fused
+//!    opcodes. Fusion is *accounting-transparent*: every superinstruction
+//!    is charged its expansion's summed cycles and counted as
 //!    [`Instr::width`](bytecode::Instr::width) original instructions, so
 //!    traces, statistics, and per-origin attribution are byte-identical
 //!    with fusion on or off.
-//! 2. **Precomputed cost tables**: per-instruction cycles/width are
-//!    resolved once at machine construction, so dispatch does a table load
-//!    instead of a cost-model match.
 //! 3. **Arena-reused thread state**: per-block `Thread` structs (frames,
 //!    locals, operand stacks) and the shared-memory buffer are pooled
 //!    across the blocks of a grid, and call-frame locals are recycled
 //!    through a per-thread free list, so steady-state execution allocates
 //!    nothing. Kernel arguments are coerced once per grid, not per block.
+//! 4. **Parallel block execution**: grids with enough blocks run across a
+//!    worker pool drawn from the shared `DPOPT_JOBS` budget
+//!    ([`jobs`]). Blocks execute speculatively against a memory snapshot
+//!    with word-granular read/write tracking; a block-order merge
+//!    validates, applies, or transparently re-executes them, keeping
+//!    memory, traces, statistics, and launch order **bit-identical to
+//!    sequential execution at any worker count** (see
+//!    [`machine`]'s module docs for the contract).
 //!
 //! To add a new superinstruction, see the checklist on
-//! [`lower::fuse_function`].
+//! [`lower::fuse_function`]; for a new opcode under threaded dispatch,
+//! see the "VM hot path" section of `ROADMAP.md`.
 //!
 //! ## Example
 //!
@@ -57,6 +72,7 @@
 
 pub mod bytecode;
 pub mod error;
+pub mod jobs;
 pub mod lower;
 pub mod machine;
 pub mod trace;
@@ -65,6 +81,6 @@ pub mod value;
 pub use bytecode::{CostClass, CostModel, Module};
 pub use error::{CompileError, ExecError};
 pub use lower::{compile_program, compile_program_unfused, fuse_module, LowerOptions};
-pub use machine::{ExecLimits, Machine, MachineStats, Memory};
+pub use machine::{DispatchMode, ExecLimits, Machine, MachineStats, Memory, ParallelStats};
 pub use trace::{BlockTrace, ExecutionTrace, GridTrace, LaunchOrigin, LaunchRecord, OriginCycles};
 pub use value::Value;

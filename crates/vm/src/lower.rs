@@ -136,6 +136,12 @@ pub fn fuse_module(module: &mut Module) {
 /// | `LoadLocal a; LoadLocal b; Bin op` | `BinLocals(op, a, b)` |
 /// | `LoadLocal s; LoadMem` | `LoadLocalMem(s)` |
 /// | `PushInt v; Bin op` | `BinImm(op, v)` |
+/// | `StoreLocal s; LoadLocal s` | `StoreLoadLocal(s)` |
+///
+/// `StoreLoadLocal` additionally looks one window ahead: it is skipped when
+/// the `LoadLocal` it would consume starts a wider (≥ 3 instruction)
+/// pattern, so `int v = e; if (v < n)` keeps its more valuable
+/// `CmpBranchLocals` fusion.
 ///
 /// To add a new superinstruction: add the opcode + its [`Instr::expansion`]
 /// in `bytecode.rs`, a match arm in `try_fuse_at` here, and a dispatch arm
@@ -256,6 +262,17 @@ fn try_fuse_at(
         }
         if let [PushInt(v), Bin(op), ..] = *code {
             return Some((BinImm(op, v), 2));
+        }
+        if let [StoreLocal(s), LoadLocal(s2), ..] = *code {
+            // Store-then-reload. Greedy left-to-right scanning would let
+            // this width-2 window swallow the first instruction of a wider
+            // pattern starting at the reload (e.g. the 4-wide
+            // `CmpBranchLocals`); only fuse when that costs nothing.
+            let steals_wider_window = try_fuse_at(&code[1..], &origins[1..], &targets_after[1..])
+                .is_some_and(|(_, width)| width >= 3);
+            if s == s2 && !steals_wider_window {
+                return Some((StoreLoadLocal(s), 2));
+            }
         }
     }
     None
@@ -1417,6 +1434,74 @@ mod tests {
             }
         }
         assert_eq!(f.code.len(), f.origins.len());
+    }
+
+    #[test]
+    fn store_load_fuses_store_then_reload() {
+        // `int v = e; if (v > 0)` accumulator shape: the store-then-reload
+        // collapses (the following `v > 0` only offers a 2-wide BinImm, so
+        // the lookahead guard allows it), and widths still conserve the
+        // original count.
+        let src = "__global__ void k(int* d) { \
+                       int count = d[0]; \
+                       if (count > 0) { d[1] = count; } }";
+        let fused = compile(src);
+        let unfused = compile_unfused(src);
+        let f = fused.by_name("k").unwrap();
+        let u = unfused.by_name("k").unwrap();
+        assert!(
+            f.code.iter().any(|i| matches!(i, Instr::StoreLoadLocal(_))),
+            "store-then-reload fuses: {:?}",
+            f.code
+        );
+        let total: u32 = f.code.iter().map(|i| i.width()).sum();
+        assert_eq!(total as usize, u.code.len());
+    }
+
+    #[test]
+    fn store_load_yields_to_wider_windows() {
+        // `int v = ...; if (v < n)` — the reload starts a 4-wide
+        // CmpBranchLocals window, which is worth more than StoreLoadLocal;
+        // the lookahead guard must leave it alone.
+        let src = "__global__ void k(int* d, int n) { \
+                       int v = d[0]; \
+                       if (v < n) { d[1] = v; } }";
+        let f = compile(src);
+        let code = &f.by_name("k").unwrap().code;
+        assert!(
+            code.iter()
+                .any(|i| matches!(i, Instr::CmpBranchLocals(BinKind::Lt, ..))),
+            "compare-and-branch must win: {code:?}"
+        );
+        assert!(
+            !code.iter().any(|i| matches!(i, Instr::StoreLoadLocal(_))),
+            "store-load must not steal the compare's first load: {code:?}"
+        );
+    }
+
+    #[test]
+    fn store_load_respects_loop_jump_targets() {
+        // `for (int i = 0; ...)`: the loop back-edge lands on the reload
+        // that begins the condition, so the store-then-reload across the
+        // loop header must not fuse.
+        let src = "__global__ void k(int* d, int n) { \
+                       for (int i = 0; i < n; ++i) { d[i] = i; } }";
+        let f = compile(src);
+        let code = &f.by_name("k").unwrap().code;
+        assert!(
+            code.iter()
+                .any(|i| matches!(i, Instr::CmpBranchLocals(BinKind::Lt, ..))),
+            "loop condition keeps its fusion: {code:?}"
+        );
+        for instr in code {
+            if let Instr::Jump(t)
+            | Instr::JumpIfZero(t)
+            | Instr::JumpIfNonZero(t)
+            | Instr::CmpBranchLocals(.., t) = instr
+            {
+                assert!((*t as usize) <= code.len());
+            }
+        }
     }
 
     #[test]

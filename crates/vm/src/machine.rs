@@ -6,13 +6,67 @@
 //! Timing is not modelled here — the machine produces an
 //! [`ExecutionTrace`](crate::trace::ExecutionTrace) that `dp-sim` replays
 //! against a hardware model.
+//!
+//! ## Dispatch
+//!
+//! The interpreter is **direct-threaded**: at machine construction every
+//! function's instruction stream is decoded into a table of
+//! [`ThreadedOp`]s — a function pointer per opcode plus pre-resolved
+//! operands, cycles, width, and origin — so the hot loop is an indirect
+//! call per instruction instead of a `match` over the whole opcode space.
+//! The original `match` dispatcher is kept behind
+//! [`DispatchMode::Match`] as the reference semantics for differential
+//! tests and as `vmbench`'s baseline.
+//!
+//! ## Parallel block execution
+//!
+//! Blocks of a grid are independent by construction (the premise the
+//! paper's aggregation/coarsening passes exploit), so grids with enough
+//! blocks execute across a worker pool drawn from the shared
+//! [`jobs`](crate::jobs) budget (`DPOPT_JOBS`). Workers run blocks
+//! *speculatively* against a snapshot of global memory, recording
+//! word-granular read/write sets; the parent then validates blocks **in
+//! linear block order** — a block is valid iff it read nothing an
+//! earlier block wrote — applies valid blocks' writes, and transparently
+//! re-executes conflicting blocks sequentially against live memory.
+//! Device launches are collected per block and enqueued in block order
+//! with ids assigned at merge time. The result: traces, statistics,
+//! memory, and launch order are **bit-identical to sequential execution
+//! at any worker count**, the same determinism contract the sweep engine
+//! enforces across cells. Kernels whose grids keep conflicting (e.g.
+//! cross-block atomic reductions) are adaptively marked serial so
+//! speculation overhead is not paid twice.
 
 use crate::bytecode::*;
 use crate::error::ExecError;
+use crate::jobs;
 use crate::trace::*;
 use crate::value::{Value, SHARED_SPACE_BASE};
 use dp_frontend::ast::{CodeOrigin, FnQual, Type};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Grids below this many blocks always run sequentially (thread spawn and
+/// merge bookkeeping would dominate).
+const MIN_PARALLEL_BLOCKS: u64 = 4;
+
+/// Per-block instruction budget during *speculative* execution. A block
+/// that reads stale pre-grid state can loop where sequential execution
+/// would not; exceeding this budget aborts the speculation and falls back
+/// to (unbounded) sequential re-execution, so parallel runs can never hang
+/// on programs that terminate sequentially.
+const SPEC_BLOCK_BUDGET: u64 = 1 << 26;
+
+/// `DPOPT_PAR_DEBUG=1` logs every speculation conflict (kernel, block,
+/// reason) — the debug-mode overlap detector for workloads that are
+/// expected to obey the disjoint-region discipline.
+fn par_debug() -> bool {
+    static DEBUG: OnceLock<bool> = OnceLock::new();
+    *DEBUG.get_or_init(|| {
+        std::env::var_os("DPOPT_PAR_DEBUG").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
 
 /// Execution limits (to keep tests and runaway kernels bounded).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,8 +208,13 @@ enum ThreadStatus {
     Done,
 }
 
+/// One simulated GPU thread. The *current* frame is a direct field (not
+/// the top of a `Vec`), so the dispatch loops and op handlers reach
+/// `pc`/`locals` without an indirection or `last_mut` check; suspended
+/// caller frames live in `callers`.
 struct Thread {
-    frames: Vec<Frame>,
+    frame: Frame,
+    callers: Vec<Frame>,
     stack: Vec<Value>,
     status: ThreadStatus,
     cycles: u64,
@@ -170,7 +229,12 @@ struct Thread {
 impl Thread {
     fn new() -> Self {
         Thread {
-            frames: Vec::new(),
+            frame: Frame {
+                func: 0,
+                pc: 0,
+                locals: Vec::new(),
+            },
+            callers: Vec::new(),
             stack: Vec::with_capacity(16),
             status: ThreadStatus::Running,
             cycles: 0,
@@ -184,33 +248,47 @@ impl Thread {
     /// Re-arms a (possibly previously used) thread for a new block,
     /// reusing its frame/locals/stack allocations.
     fn reset(&mut self, kernel: FuncId, n_locals: u16, args: &[Value], tidx: [i64; 3]) {
-        while self.frames.len() > 1 {
-            let f = self.frames.pop().expect("len checked");
+        while let Some(f) = self.callers.pop() {
             self.spare_locals.push(f.locals);
         }
-        let frame = match self.frames.last_mut() {
-            Some(f) => f,
-            None => {
-                let locals = self.spare_locals.pop().unwrap_or_default();
-                self.frames.push(Frame {
-                    func: kernel,
-                    pc: 0,
-                    locals,
-                });
-                self.frames.last_mut().expect("just pushed")
-            }
-        };
-        frame.func = kernel;
-        frame.pc = 0;
-        frame.locals.clear();
-        frame.locals.resize(n_locals as usize, Value::Int(0));
-        frame.locals[..args.len()].copy_from_slice(args);
+        self.frame.func = kernel;
+        self.frame.pc = 0;
+        self.frame.locals.clear();
+        self.frame.locals.resize(n_locals as usize, Value::Int(0));
+        self.frame.locals[..args.len()].copy_from_slice(args);
         self.stack.clear();
         self.status = ThreadStatus::Running;
         self.cycles = 0;
         self.instructions = 0;
         self.origin_cycles = OriginCycles::default();
         self.tidx = tidx;
+    }
+
+    /// Pops the current frame, resuming the caller. Returns `false` when
+    /// the kernel frame itself returned (the thread is done; the frame and
+    /// its locals are kept for reuse by the next `reset`).
+    fn pop_frame(&mut self) -> bool {
+        match self.callers.pop() {
+            Some(caller) => {
+                let done = std::mem::replace(&mut self.frame, caller);
+                self.spare_locals.push(done.locals);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Shared per-instruction return helper: pops the current frame after a
+/// (value-less) function end. `true` → resume the caller (`continue
+/// 'frames`), `false` → the thread is done.
+fn fall_off_end(thread: &mut Thread) -> bool {
+    if thread.pop_frame() {
+        thread.stack.push(Value::Int(0));
+        true
+    } else {
+        thread.status = ThreadStatus::Done;
+        false
     }
 }
 
@@ -223,31 +301,670 @@ struct BlockArena {
     threads: Vec<Thread>,
     shared: Vec<Value>,
 }
+// ----------------------------------------------------------------------
+// Direct-threaded dispatch
+// ----------------------------------------------------------------------
 
-/// Precomputed per-instruction accounting: total cycles and original
-/// (pre-fusion) instruction count. Built once per function at machine
-/// construction so the dispatch loop does a table load instead of a cost
-/// match per instruction.
-#[derive(Clone, Copy)]
-struct CostEntry {
-    cycles: u64,
-    width: u32,
+/// How the interpreter dispatches instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Precomputed function-pointer table per instruction (the default).
+    #[default]
+    Threaded,
+    /// The classic `match (opcode)` loop — reference semantics for
+    /// differential tests and the `vmbench` baseline.
+    Match,
 }
 
-fn build_cost_table(module: &Module, cost: &CostModel) -> Vec<Box<[CostEntry]>> {
+/// Outcome of one op handler.
+enum Flow {
+    /// Fall through to the next instruction.
+    Next,
+    /// The frame stack changed (call/return) — re-enter the frame loop.
+    Frame,
+    /// The thread yielded (barrier) or finished.
+    Yield,
+}
+
+type OpResult = Result<Flow, ExecError>;
+type OpFn = fn(&ThreadedOp, &mut StepCtx<'_, '_>) -> OpResult;
+
+/// One decoded instruction slot: handler pointer, pre-resolved operands,
+/// and the accounting (cycles in the machine's cost model, original
+/// instruction width, origin tag) that dispatch charges before calling the
+/// handler. Built once per function at machine construction.
+#[derive(Clone, Copy)]
+struct ThreadedOp {
+    exec: OpFn,
+    /// The original instruction — used by the `Match` dispatcher and by
+    /// handlers with cold or many-variant payloads (atomics, intrinsics).
+    instr: Instr,
+    cycles: u64,
+    /// Integer immediate / float bits / branch target (CmpBranchLocals).
+    imm: i64,
+    /// First operand: local slot, jump target, FuncId, special index, lane.
+    a: u32,
+    /// Second operand: local slot, argument count, lane.
+    b: u32,
+    width: u32,
+    origin: CodeOrigin,
+}
+
+/// Borrow bundle passed to op handlers — the whole mutable per-step state,
+/// split so handlers can touch disjoint fields without re-borrowing.
+struct StepCtx<'a, 'm> {
+    env: &'a mut ExecEnv<'m>,
+    thread: &'a mut Thread,
+    block: &'a BlockCtx,
+    shared: &'a mut [Value],
+    btrace: &'a mut BlockTrace,
+}
+
+fn pop(stack: &mut Vec<Value>) -> Result<Value, ExecError> {
+    stack
+        .pop()
+        .ok_or_else(|| ExecError::new("operand stack underflow"))
+}
+
+/// Maps a const-generic discriminant back to its [`BinKind`] — handlers
+/// specialized per kind constant-fold `bin_op` into a single operation.
+const fn bk(k: u8) -> BinKind {
+    match k {
+        0 => BinKind::Add,
+        1 => BinKind::Sub,
+        2 => BinKind::Mul,
+        3 => BinKind::Div,
+        4 => BinKind::Rem,
+        5 => BinKind::Lt,
+        6 => BinKind::Le,
+        7 => BinKind::Gt,
+        8 => BinKind::Ge,
+        9 => BinKind::Eq,
+        10 => BinKind::Ne,
+        11 => BinKind::BitAnd,
+        12 => BinKind::BitOr,
+        13 => BinKind::BitXor,
+        14 => BinKind::Shl,
+        _ => BinKind::Shr,
+    }
+}
+
+/// Selects the per-kind specialization of a const-generic handler.
+macro_rules! select_bin {
+    ($kind:expr, $f:ident) => {
+        match $kind {
+            BinKind::Add => $f::<0>,
+            BinKind::Sub => $f::<1>,
+            BinKind::Mul => $f::<2>,
+            BinKind::Div => $f::<3>,
+            BinKind::Rem => $f::<4>,
+            BinKind::Lt => $f::<5>,
+            BinKind::Le => $f::<6>,
+            BinKind::Gt => $f::<7>,
+            BinKind::Ge => $f::<8>,
+            BinKind::Eq => $f::<9>,
+            BinKind::Ne => $f::<10>,
+            BinKind::BitAnd => $f::<11>,
+            BinKind::BitOr => $f::<12>,
+            BinKind::BitXor => $f::<13>,
+            BinKind::Shl => $f::<14>,
+            BinKind::Shr => $f::<15>,
+        }
+    };
+}
+
+fn op_push_int(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    s.thread.stack.push(Value::Int(op.imm));
+    Ok(Flow::Next)
+}
+
+fn op_push_float(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    s.thread
+        .stack
+        .push(Value::Float(f64::from_bits(op.imm as u64)));
+    Ok(Flow::Next)
+}
+
+fn op_load_local(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let v = s.thread.frame.locals[op.a as usize];
+    s.thread.stack.push(v);
+    Ok(Flow::Next)
+}
+
+fn op_store_local(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let v = pop(&mut s.thread.stack)?;
+    s.thread.frame.locals[op.a as usize] = v;
+    Ok(Flow::Next)
+}
+
+fn op_load_mem(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let addr = pop(&mut s.thread.stack)?.as_int();
+    let v = s.env.load(addr, s.shared)?;
+    s.thread.stack.push(v);
+    Ok(Flow::Next)
+}
+
+fn op_store_mem(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let v = pop(&mut s.thread.stack)?;
+    let addr = pop(&mut s.thread.stack)?.as_int();
+    s.env.store(addr, v, s.shared)?;
+    Ok(Flow::Next)
+}
+
+fn op_bin<const K: u8>(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let b = pop(&mut s.thread.stack)?;
+    let a = pop(&mut s.thread.stack)?;
+    s.thread.stack.push(bin_op(bk(K), a, b)?);
+    Ok(Flow::Next)
+}
+
+fn op_un(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let Instr::Un(kind) = op.instr else {
+        unreachable!("op_un bound to non-Un instruction")
+    };
+    let a = pop(&mut s.thread.stack)?;
+    s.thread.stack.push(un_op(kind, a));
+    Ok(Flow::Next)
+}
+
+fn op_cast_int(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let a = pop(&mut s.thread.stack)?;
+    s.thread.stack.push(Value::Int(a.as_int()));
+    Ok(Flow::Next)
+}
+
+fn op_cast_float(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let a = pop(&mut s.thread.stack)?;
+    s.thread.stack.push(Value::Float(a.as_float()));
+    Ok(Flow::Next)
+}
+
+fn op_jump(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    s.thread.frame.pc = op.a as usize;
+    Ok(Flow::Next)
+}
+
+fn op_jump_if_zero(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    if !pop(&mut s.thread.stack)?.is_truthy() {
+        s.thread.frame.pc = op.a as usize;
+    }
+    Ok(Flow::Next)
+}
+
+fn op_jump_if_non_zero(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    if pop(&mut s.thread.stack)?.is_truthy() {
+        s.thread.frame.pc = op.a as usize;
+    }
+    Ok(Flow::Next)
+}
+
+fn op_call(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let id = op.a as FuncId;
+    let nargs = op.b as usize;
+    let callee = &s.env.module.functions[id as usize];
+    let mut locals = s.thread.spare_locals.pop().unwrap_or_default();
+    locals.clear();
+    locals.resize(callee.n_locals as usize, Value::Int(0));
+    for i in (0..nargs).rev() {
+        let v = pop(&mut s.thread.stack)?;
+        locals[i] = coerce(v, &callee.param_types[i]);
+    }
+    if s.thread.callers.len() + 1 > 512 {
+        return Err(ExecError::new("device call stack overflow"));
+    }
+    let new_frame = Frame {
+        func: id,
+        pc: 0,
+        locals,
+    };
+    let caller = std::mem::replace(&mut s.thread.frame, new_frame);
+    s.thread.callers.push(caller);
+    Ok(Flow::Frame)
+}
+
+fn op_ret(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let v = pop(&mut s.thread.stack)?;
+    if s.thread.pop_frame() {
+        s.thread.stack.push(v);
+        Ok(Flow::Frame)
+    } else {
+        s.thread.status = ThreadStatus::Done;
+        Ok(Flow::Yield)
+    }
+}
+
+fn op_ret_void(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    if fall_off_end(s.thread) {
+        Ok(Flow::Frame)
+    } else {
+        Ok(Flow::Yield)
+    }
+}
+
+fn op_launch(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let id = op.a as FuncId;
+    let nargs = op.b as usize;
+    let mut args = vec![Value::Int(0); nargs];
+    for i in (0..nargs).rev() {
+        args[i] = pop(&mut s.thread.stack)?;
+    }
+    let block = pop(&mut s.thread.stack)?.as_dim3();
+    let grid = pop(&mut s.thread.stack)?.as_dim3();
+    let total_blocks = grid[0] * grid[1] * grid[2];
+    if total_blocks <= 0 {
+        s.env.stats.empty_launches += 1;
+    } else {
+        let origin = LaunchOrigin::Device {
+            parent_grid: s.block.grid_id,
+            parent_block: s.block.linear_block,
+            issue_cycles: s.thread.cycles,
+        };
+        let env = &mut *s.env;
+        let child = env
+            .launches
+            .enqueue(env.module, env.limits, id, grid, block, args, origin)?;
+        s.btrace.launches.push(LaunchRecord {
+            child_grid: child,
+            issue_cycles: s.thread.cycles,
+        });
+        s.env.stats.device_launches += 1;
+    }
+    Ok(Flow::Next)
+}
+
+fn op_sync(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    s.thread.status = ThreadStatus::AtBarrier;
+    Ok(Flow::Yield)
+}
+
+fn op_fence(_op: &ThreadedOp, _s: &mut StepCtx) -> OpResult {
+    // Blocks execute atomically relative to each other (sequentially or
+    // via validated speculation), so fences are functional no-ops; the
+    // cycle cost was already charged.
+    Ok(Flow::Next)
+}
+
+fn op_atomic(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let Instr::Atomic(kind) = op.instr else {
+        unreachable!("op_atomic bound to non-Atomic instruction")
+    };
+    let old = match kind {
+        AtomicOp::Cas => {
+            let val = pop(&mut s.thread.stack)?;
+            let cmp = pop(&mut s.thread.stack)?;
+            let addr = pop(&mut s.thread.stack)?.as_int();
+            let old = s.env.load(addr, s.shared)?;
+            let new = if old == cmp { val } else { old };
+            s.env.store(addr, new, s.shared)?;
+            old
+        }
+        _ => {
+            let operand = pop(&mut s.thread.stack)?;
+            let addr = pop(&mut s.thread.stack)?.as_int();
+            let old = s.env.load(addr, s.shared)?;
+            let new = atomic_apply(kind, old, operand)?;
+            s.env.store(addr, new, s.shared)?;
+            old
+        }
+    };
+    s.thread.stack.push(old);
+    Ok(Flow::Next)
+}
+
+fn op_intrinsic1(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let Instr::Intrinsic(i) = op.instr else {
+        unreachable!("op_intrinsic1 bound to non-Intrinsic instruction")
+    };
+    let a = pop(&mut s.thread.stack)?;
+    s.thread.stack.push(intrinsic1(i, a));
+    Ok(Flow::Next)
+}
+
+fn op_intrinsic2(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let Instr::Intrinsic(i) = op.instr else {
+        unreachable!("op_intrinsic2 bound to non-Intrinsic instruction")
+    };
+    let b = pop(&mut s.thread.stack)?;
+    let a = pop(&mut s.thread.stack)?;
+    s.thread.stack.push(intrinsic2(i, a, b));
+    Ok(Flow::Next)
+}
+
+fn special_dims(which: u32, s: &StepCtx) -> [i64; 3] {
+    match which {
+        0 => s.thread.tidx,
+        1 => s.block.block_idx,
+        2 => s.block.block_dim,
+        _ => s.block.grid_dim,
+    }
+}
+
+const fn special_index(sp: Special) -> u32 {
+    match sp {
+        Special::ThreadIdx => 0,
+        Special::BlockIdx => 1,
+        Special::BlockDim => 2,
+        Special::GridDim => 3,
+    }
+}
+
+fn op_read_special(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let d = special_dims(op.a, s);
+    s.thread.stack.push(Value::Dim3(d));
+    Ok(Flow::Next)
+}
+
+fn op_read_special_comp(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let d = special_dims(op.a, s);
+    s.thread.stack.push(Value::Int(d[op.b as usize]));
+    Ok(Flow::Next)
+}
+
+fn op_make_dim3(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let z = pop(&mut s.thread.stack)?.as_int();
+    let y = pop(&mut s.thread.stack)?.as_int();
+    let x = pop(&mut s.thread.stack)?.as_int();
+    s.thread.stack.push(Value::Dim3([x, y, z]));
+    Ok(Flow::Next)
+}
+
+fn op_dim3_member(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let d = pop(&mut s.thread.stack)?.as_dim3();
+    s.thread.stack.push(Value::Int(d[op.a as usize]));
+    Ok(Flow::Next)
+}
+
+fn op_dim3_set_member(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let v = pop(&mut s.thread.stack)?.as_int();
+    let mut d = pop(&mut s.thread.stack)?.as_dim3();
+    d[op.a as usize] = v;
+    s.thread.stack.push(Value::Dim3(d));
+    Ok(Flow::Next)
+}
+
+fn op_pop(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    pop(&mut s.thread.stack)?;
+    Ok(Flow::Next)
+}
+
+fn op_dup(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let v = *s
+        .thread
+        .stack
+        .last()
+        .ok_or_else(|| ExecError::new("stack underflow on dup"))?;
+    s.thread.stack.push(v);
+    Ok(Flow::Next)
+}
+
+fn op_swap(_op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let n = s.thread.stack.len();
+    if n < 2 {
+        return Err(ExecError::new("stack underflow on swap"));
+    }
+    s.thread.stack.swap(n - 1, n - 2);
+    Ok(Flow::Next)
+}
+
+// Fused superinstructions: each handler replicates the exact observable
+// semantics (including error cases) of its expansion — see
+// `Instr::expansion`. Accounting was already charged from the table.
+
+fn op_bin_locals<const K: u8>(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let a = s.thread.frame.locals[op.a as usize];
+    let b = s.thread.frame.locals[op.b as usize];
+    s.thread.stack.push(bin_op(bk(K), a, b)?);
+    Ok(Flow::Next)
+}
+
+fn op_bin_imm<const K: u8>(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let a = pop(&mut s.thread.stack)?;
+    s.thread.stack.push(bin_op(bk(K), a, Value::Int(op.imm))?);
+    Ok(Flow::Next)
+}
+
+fn op_inc_local(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let slot = op.a as usize;
+    let old = s.thread.frame.locals[slot];
+    s.thread.frame.locals[slot] = bin_op(BinKind::Add, old, Value::Int(op.imm))?;
+    Ok(Flow::Next)
+}
+
+fn op_load_local_mem(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let addr = s.thread.frame.locals[op.a as usize].as_int();
+    let v = s.env.load(addr, s.shared)?;
+    s.thread.stack.push(v);
+    Ok(Flow::Next)
+}
+
+fn op_cmp_branch_locals<const K: u8>(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let a = s.thread.frame.locals[op.a as usize];
+    let b = s.thread.frame.locals[op.b as usize];
+    if !bin_op(bk(K), a, b)?.is_truthy() {
+        s.thread.frame.pc = op.imm as usize;
+    }
+    Ok(Flow::Next)
+}
+
+fn op_store_load_local(op: &ThreadedOp, s: &mut StepCtx) -> OpResult {
+    let v = *s
+        .thread
+        .stack
+        .last()
+        .ok_or_else(|| ExecError::new("operand stack underflow"))?;
+    s.thread.frame.locals[op.a as usize] = v;
+    Ok(Flow::Next)
+}
+
+/// Decodes one instruction into its table slot.
+fn threaded_op(instr: Instr, origin: CodeOrigin, cost: &CostModel) -> ThreadedOp {
+    let mut op = ThreadedOp {
+        exec: op_fence, // placeholder, overwritten below
+        instr,
+        cycles: instr.cost(cost),
+        imm: 0,
+        a: 0,
+        b: 0,
+        width: instr.width(),
+        origin,
+    };
+    op.exec = match instr {
+        Instr::PushInt(v) => {
+            op.imm = v;
+            op_push_int
+        }
+        Instr::PushFloat(v) => {
+            op.imm = v.to_bits() as i64;
+            op_push_float
+        }
+        Instr::LoadLocal(s) => {
+            op.a = s as u32;
+            op_load_local
+        }
+        Instr::StoreLocal(s) => {
+            op.a = s as u32;
+            op_store_local
+        }
+        Instr::LoadMem => op_load_mem,
+        Instr::StoreMem => op_store_mem,
+        Instr::Bin(k) => select_bin!(k, op_bin),
+        Instr::Un(_) => op_un,
+        Instr::CastInt => op_cast_int,
+        Instr::CastFloat => op_cast_float,
+        Instr::Jump(t) => {
+            op.a = t;
+            op_jump
+        }
+        Instr::JumpIfZero(t) => {
+            op.a = t;
+            op_jump_if_zero
+        }
+        Instr::JumpIfNonZero(t) => {
+            op.a = t;
+            op_jump_if_non_zero
+        }
+        Instr::Call(id, n) => {
+            op.a = id;
+            op.b = n as u32;
+            op_call
+        }
+        Instr::Ret => op_ret,
+        Instr::RetVoid => op_ret_void,
+        Instr::Launch(id, n) => {
+            op.a = id;
+            op.b = n as u32;
+            op_launch
+        }
+        Instr::Sync => op_sync,
+        Instr::Fence => op_fence,
+        Instr::Atomic(_) => op_atomic,
+        Instr::Intrinsic(i) => match i {
+            Intrinsic::Min | Intrinsic::Max | Intrinsic::Pow => op_intrinsic2,
+            _ => op_intrinsic1,
+        },
+        Instr::ReadSpecial(sp) => {
+            op.a = special_index(sp);
+            op_read_special
+        }
+        Instr::ReadSpecialComp(sp, lane) => {
+            op.a = special_index(sp);
+            op.b = lane as u32;
+            op_read_special_comp
+        }
+        Instr::MakeDim3 => op_make_dim3,
+        Instr::Dim3Member(lane) => {
+            op.a = lane as u32;
+            op_dim3_member
+        }
+        Instr::Dim3SetMember(lane) => {
+            op.a = lane as u32;
+            op_dim3_set_member
+        }
+        Instr::Pop => op_pop,
+        Instr::Dup => op_dup,
+        Instr::Swap => op_swap,
+        Instr::BinLocals(k, a, b) => {
+            op.a = a as u32;
+            op.b = b as u32;
+            select_bin!(k, op_bin_locals)
+        }
+        Instr::BinImm(k, v) => {
+            op.imm = v;
+            select_bin!(k, op_bin_imm)
+        }
+        Instr::IncLocal(s, d) => {
+            op.a = s as u32;
+            op.imm = d;
+            op_inc_local
+        }
+        Instr::LoadLocalMem(s) => {
+            op.a = s as u32;
+            op_load_local_mem
+        }
+        Instr::CmpBranchLocals(k, a, b, t) => {
+            op.a = a as u32;
+            op.b = b as u32;
+            op.imm = t as i64;
+            select_bin!(k, op_cmp_branch_locals)
+        }
+        Instr::StoreLoadLocal(s) => {
+            op.a = s as u32;
+            op_store_load_local
+        }
+    };
+    op
+}
+
+/// Builds the per-function dispatch tables (one decoded slot per
+/// instruction, carrying the cost model's cycles and the fusion-transparent
+/// width/origin accounting).
+fn build_tables(module: &Module, cost: &CostModel) -> Vec<Box<[ThreadedOp]>> {
     module
         .functions
         .iter()
         .map(|f| {
             f.code
                 .iter()
-                .map(|i| CostEntry {
-                    cycles: i.cost(cost),
-                    width: i.width(),
-                })
+                .zip(&f.origins)
+                .map(|(i, og)| threaded_op(*i, *og, cost))
                 .collect()
         })
         .collect()
+}
+// ----------------------------------------------------------------------
+// Execution environment: memory views, launch sinks
+// ----------------------------------------------------------------------
+
+/// A speculative view of global memory for one block: reads fall through
+/// to the immutable pre-grid snapshot, writes land in a private overlay,
+/// and both are recorded as word-granular bitsets for the merge phase's
+/// conflict validation. Reads of the block's *own* writes are served from
+/// the overlay and deliberately not recorded — they carry no cross-block
+/// dependence.
+struct SpecMem<'m> {
+    base: &'m Memory,
+    /// Full-size scratch; `overlay[a]` is meaningful only where the write
+    /// bit for `a` is set, so it needs no clearing between blocks.
+    overlay: &'m mut Vec<Value>,
+    read_bits: &'m mut Vec<u64>,
+    write_bits: &'m mut Vec<u64>,
+    /// 64-word chunks whose read/write bitmap word became non-zero —
+    /// makes per-block clearing O(touched), not O(memory).
+    read_touched: &'m mut Vec<u32>,
+    write_touched: &'m mut Vec<u32>,
+}
+
+impl SpecMem<'_> {
+    fn load(&mut self, addr: i64) -> Result<Value, ExecError> {
+        let a = self.base.check(addr)?;
+        let chunk = a >> 6;
+        let bit = 1u64 << (a & 63);
+        if self.write_bits[chunk] & bit != 0 {
+            return Ok(self.overlay[a]);
+        }
+        if self.read_bits[chunk] == 0 {
+            self.read_touched.push(chunk as u32);
+        }
+        self.read_bits[chunk] |= bit;
+        Ok(self.base.data[a])
+    }
+
+    fn store(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
+        let a = self.base.check(addr)?;
+        let chunk = a >> 6;
+        if self.write_bits[chunk] == 0 {
+            self.write_touched.push(chunk as u32);
+        }
+        self.write_bits[chunk] |= 1u64 << (a & 63);
+        self.overlay[a] = value;
+        Ok(())
+    }
+}
+
+/// Where global-memory accesses go: straight at the machine's memory
+/// (sequential execution and host-side helpers) or through a tracked
+/// speculative overlay (parallel block execution).
+enum MemView<'m> {
+    Direct(&'m mut Memory),
+    Spec(SpecMem<'m>),
+}
+
+impl MemView<'_> {
+    #[inline]
+    fn load(&mut self, addr: i64) -> Result<Value, ExecError> {
+        match self {
+            MemView::Direct(m) => m.read(addr),
+            MemView::Spec(s) => s.load(addr),
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, addr: i64, value: Value) -> Result<(), ExecError> {
+        match self {
+            MemView::Direct(m) => m.write(addr, value),
+            MemView::Spec(s) => s.store(addr, value),
+        }
+    }
 }
 
 struct PendingGrid {
@@ -257,6 +974,114 @@ struct PendingGrid {
     args: Vec<Value>,
     origin: LaunchOrigin,
     id: usize,
+}
+
+/// Static launch validation shared by every enqueue path (host, direct
+/// device, speculative device). The pending-buffer overflow check is *not*
+/// here: it depends on global queue state and is applied where the grid
+/// actually joins the queue.
+fn validate_launch(
+    module: &Module,
+    limits: &ExecLimits,
+    kernel: FuncId,
+    grid: [i64; 3],
+    block: [i64; 3],
+    nargs: usize,
+) -> Result<(), ExecError> {
+    let func = module.function(kernel);
+    if func.qual != FnQual::Global {
+        return Err(ExecError::new(format!(
+            "`{}` is not a __global__ kernel",
+            func.name
+        )));
+    }
+    if nargs != func.param_types.len() {
+        return Err(ExecError::new(format!(
+            "kernel `{}` takes {} arguments, got {}",
+            func.name,
+            func.param_types.len(),
+            nargs
+        )));
+    }
+    let threads = block[0] * block[1] * block[2];
+    if threads <= 0 || threads > limits.max_threads_per_block as i64 {
+        return Err(ExecError::new(format!(
+            "invalid block size {threads} for kernel `{}`",
+            func.name
+        )));
+    }
+    if grid.iter().any(|&d| d < 0) {
+        return Err(ExecError::new(format!(
+            "negative grid dimension for kernel `{}`",
+            func.name
+        )));
+    }
+    Ok(())
+}
+
+fn pending_overflow() -> ExecError {
+    ExecError::new("pending launch buffer overflow (raise ExecLimits::max_pending)")
+}
+
+/// Where device-side launches go: straight onto the machine's FIFO queue
+/// (ids assigned immediately) or into a per-block list (ids are local
+/// placeholders renumbered at merge time, so the final queue and trace
+/// are identical to sequential execution).
+enum LaunchSink<'m> {
+    Direct {
+        pending: &'m mut VecDeque<PendingGrid>,
+        next_grid_id: &'m mut usize,
+    },
+    Spec(&'m mut Vec<PendingGrid>),
+}
+
+impl LaunchSink<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue(
+        &mut self,
+        module: &Module,
+        limits: &ExecLimits,
+        kernel: FuncId,
+        grid: [i64; 3],
+        block: [i64; 3],
+        args: Vec<Value>,
+        origin: LaunchOrigin,
+    ) -> Result<usize, ExecError> {
+        validate_launch(module, limits, kernel, grid, block, args.len())?;
+        match self {
+            LaunchSink::Direct {
+                pending,
+                next_grid_id,
+            } => {
+                if pending.len() >= limits.max_pending {
+                    return Err(pending_overflow());
+                }
+                let id = **next_grid_id;
+                **next_grid_id += 1;
+                pending.push_back(PendingGrid {
+                    kernel,
+                    grid,
+                    block,
+                    args,
+                    origin,
+                    id,
+                });
+                Ok(id)
+            }
+            LaunchSink::Spec(list) => {
+                let id = list.len();
+                list.push(PendingGrid {
+                    kernel,
+                    grid,
+                    block,
+                    args,
+                    origin,
+                    id,
+                });
+                Ok(id)
+            }
+        }
+    }
 }
 
 /// Runtime statistics for a run.
@@ -272,13 +1097,693 @@ pub struct MachineStats {
     pub empty_launches: u64,
 }
 
+/// Bookkeeping about the parallel block executor. Deliberately **not**
+/// part of [`MachineStats`]: these counters depend on worker count and
+/// scheduling, while `MachineStats` is part of the determinism contract
+/// (bit-identical at any parallelism).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Grids executed through the speculative worker pool.
+    pub parallel_grids: u64,
+    /// Blocks executed speculatively.
+    pub speculated_blocks: u64,
+    /// Speculated blocks that conflicted (or failed) and were re-executed
+    /// sequentially.
+    pub conflict_blocks: u64,
+    /// Kernels adaptively marked serial after conflict-heavy grids.
+    pub serialized_kernels: u64,
+}
+
+/// The disjoint machine borrows the execution loop needs: read-only code
+/// and dispatch tables, a memory view, a launch sink, and statistics.
+struct ExecEnv<'m> {
+    module: &'m Module,
+    tables: &'m [Box<[ThreadedOp]>],
+    limits: &'m ExecLimits,
+    mem: MemView<'m>,
+    launches: LaunchSink<'m>,
+    stats: &'m mut MachineStats,
+    instr_budget: &'m mut u64,
+}
+
+impl ExecEnv<'_> {
+    #[inline]
+    fn load(&mut self, addr: i64, shared: &[Value]) -> Result<Value, ExecError> {
+        if addr >= SHARED_SPACE_BASE {
+            let off = (addr - SHARED_SPACE_BASE) as usize;
+            shared.get(off).copied().ok_or_else(|| {
+                ExecError::new(format!("shared memory access out of bounds: offset {off}"))
+            })
+        } else {
+            self.mem.load(addr)
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, addr: i64, value: Value, shared: &mut [Value]) -> Result<(), ExecError> {
+        if addr >= SHARED_SPACE_BASE {
+            let off = (addr - SHARED_SPACE_BASE) as usize;
+            match shared.get_mut(off) {
+                Some(slot) => {
+                    *slot = value;
+                    Ok(())
+                }
+                None => Err(ExecError::new(format!(
+                    "shared memory access out of bounds: offset {off}"
+                ))),
+            }
+        } else {
+            self.mem.store(addr, value)
+        }
+    }
+}
+
+struct BlockCtx {
+    grid_dim: [i64; 3],
+    block_dim: [i64; 3],
+    block_idx: [i64; 3],
+    grid_id: usize,
+    linear_block: u64,
+}
+
+fn budget_exhausted() -> ExecError {
+    ExecError::new(
+        "instruction budget exhausted (possible infinite loop; raise ExecLimits::max_instructions)",
+    )
+}
+
+// ----------------------------------------------------------------------
+// Thread execution loops
+// ----------------------------------------------------------------------
+
+/// Runs one thread until it returns, reaches a barrier, or errors —
+/// direct-threaded dispatch: per instruction, charge the pre-resolved
+/// accounting and tail into the opcode's handler through its function
+/// pointer. The per-function table is re-derived only when the frame
+/// stack changes.
+fn run_thread_threaded(
+    env: &mut ExecEnv<'_>,
+    thread: &mut Thread,
+    block: &BlockCtx,
+    shared: &mut [Value],
+    btrace: &mut BlockTrace,
+) -> Result<(), ExecError> {
+    let tables = env.tables;
+    let mut s = StepCtx {
+        env,
+        thread,
+        block,
+        shared,
+        btrace,
+    };
+    'frames: loop {
+        let table: &[ThreadedOp] = &tables[s.thread.frame.func as usize];
+        loop {
+            let pc = s.thread.frame.pc;
+            let Some(op) = table.get(pc) else {
+                // Fell off the end of a void function.
+                if fall_off_end(s.thread) {
+                    continue 'frames;
+                }
+                return Ok(());
+            };
+            s.thread.frame.pc = pc + 1;
+            let width = op.width as u64;
+            s.thread.cycles += op.cycles;
+            s.thread.instructions += width;
+            s.thread.origin_cycles.add(op.origin, op.cycles);
+            if *s.env.instr_budget < width {
+                return Err(budget_exhausted());
+            }
+            *s.env.instr_budget -= width;
+            match (op.exec)(op, &mut s)? {
+                Flow::Next => {}
+                Flow::Frame => continue 'frames,
+                Flow::Yield => return Ok(()),
+            }
+        }
+    }
+}
+
+/// The reference `match (opcode)` dispatcher — byte-identical accounting
+/// and semantics to [`run_thread_threaded`], kept for differential testing
+/// and as the benchmark baseline.
+fn run_thread_match(
+    env: &mut ExecEnv<'_>,
+    thread: &mut Thread,
+    block: &BlockCtx,
+    shared: &mut [Value],
+    btrace: &mut BlockTrace,
+) -> Result<(), ExecError> {
+    let tables = env.tables;
+    let t = thread;
+    'frames: loop {
+        let table: &[ThreadedOp] = &tables[t.frame.func as usize];
+        loop {
+            let pc = t.frame.pc;
+            let Some(op) = table.get(pc) else {
+                if fall_off_end(t) {
+                    continue 'frames;
+                }
+                return Ok(());
+            };
+            t.frame.pc = pc + 1;
+            let width = op.width as u64;
+            t.cycles += op.cycles;
+            t.instructions += width;
+            t.origin_cycles.add(op.origin, op.cycles);
+            if *env.instr_budget < width {
+                return Err(budget_exhausted());
+            }
+            *env.instr_budget -= width;
+
+            match op.instr {
+                Instr::PushInt(v) => t.stack.push(Value::Int(v)),
+                Instr::PushFloat(v) => t.stack.push(Value::Float(v)),
+                Instr::LoadLocal(slot) => {
+                    let v = t.frame.locals[slot as usize];
+                    t.stack.push(v);
+                }
+                Instr::StoreLocal(slot) => {
+                    let v = pop(&mut t.stack)?;
+                    t.frame.locals[slot as usize] = v;
+                }
+                Instr::LoadMem => {
+                    let addr = pop(&mut t.stack)?.as_int();
+                    let v = env.load(addr, shared)?;
+                    t.stack.push(v);
+                }
+                Instr::StoreMem => {
+                    let v = pop(&mut t.stack)?;
+                    let addr = pop(&mut t.stack)?.as_int();
+                    env.store(addr, v, shared)?;
+                }
+                Instr::Bin(kind) => {
+                    let b = pop(&mut t.stack)?;
+                    let a = pop(&mut t.stack)?;
+                    t.stack.push(bin_op(kind, a, b)?);
+                }
+                Instr::Un(kind) => {
+                    let a = pop(&mut t.stack)?;
+                    t.stack.push(un_op(kind, a));
+                }
+                Instr::CastInt => {
+                    let a = pop(&mut t.stack)?;
+                    t.stack.push(Value::Int(a.as_int()));
+                }
+                Instr::CastFloat => {
+                    let a = pop(&mut t.stack)?;
+                    t.stack.push(Value::Float(a.as_float()));
+                }
+                Instr::Jump(target) => t.frame.pc = target as usize,
+                Instr::JumpIfZero(target) => {
+                    if !pop(&mut t.stack)?.is_truthy() {
+                        t.frame.pc = target as usize;
+                    }
+                }
+                Instr::JumpIfNonZero(target) => {
+                    if pop(&mut t.stack)?.is_truthy() {
+                        t.frame.pc = target as usize;
+                    }
+                }
+                Instr::Call(id, nargs) => {
+                    let callee = &env.module.functions[id as usize];
+                    let mut locals = t.spare_locals.pop().unwrap_or_default();
+                    locals.clear();
+                    locals.resize(callee.n_locals as usize, Value::Int(0));
+                    for i in (0..nargs as usize).rev() {
+                        let v = pop(&mut t.stack)?;
+                        locals[i] = coerce(v, &callee.param_types[i]);
+                    }
+                    if t.callers.len() + 1 > 512 {
+                        return Err(ExecError::new("device call stack overflow"));
+                    }
+                    let caller = std::mem::replace(
+                        &mut t.frame,
+                        Frame {
+                            func: id,
+                            pc: 0,
+                            locals,
+                        },
+                    );
+                    t.callers.push(caller);
+                    continue 'frames;
+                }
+                Instr::Ret => {
+                    let v = pop(&mut t.stack)?;
+                    if t.pop_frame() {
+                        t.stack.push(v);
+                        continue 'frames;
+                    }
+                    t.status = ThreadStatus::Done;
+                    return Ok(());
+                }
+                Instr::RetVoid => {
+                    if fall_off_end(t) {
+                        continue 'frames;
+                    }
+                    return Ok(());
+                }
+                Instr::Launch(id, nargs) => {
+                    let mut args = vec![Value::Int(0); nargs as usize];
+                    for i in (0..nargs as usize).rev() {
+                        args[i] = pop(&mut t.stack)?;
+                    }
+                    let b = pop(&mut t.stack)?.as_dim3();
+                    let g = pop(&mut t.stack)?.as_dim3();
+                    let total_blocks = g[0] * g[1] * g[2];
+                    if total_blocks <= 0 {
+                        env.stats.empty_launches += 1;
+                    } else {
+                        let origin = LaunchOrigin::Device {
+                            parent_grid: block.grid_id,
+                            parent_block: block.linear_block,
+                            issue_cycles: t.cycles,
+                        };
+                        let child = env
+                            .launches
+                            .enqueue(env.module, env.limits, id, g, b, args, origin)?;
+                        btrace.launches.push(LaunchRecord {
+                            child_grid: child,
+                            issue_cycles: t.cycles,
+                        });
+                        env.stats.device_launches += 1;
+                    }
+                }
+                Instr::Sync => {
+                    t.status = ThreadStatus::AtBarrier;
+                    return Ok(());
+                }
+                Instr::Fence => {
+                    // Functional no-op; the cycle cost was already charged.
+                }
+                Instr::Atomic(kind) => {
+                    let old = match kind {
+                        AtomicOp::Cas => {
+                            let val = pop(&mut t.stack)?;
+                            let cmp = pop(&mut t.stack)?;
+                            let addr = pop(&mut t.stack)?.as_int();
+                            let old = env.load(addr, shared)?;
+                            let new = if old == cmp { val } else { old };
+                            env.store(addr, new, shared)?;
+                            old
+                        }
+                        _ => {
+                            let operand = pop(&mut t.stack)?;
+                            let addr = pop(&mut t.stack)?.as_int();
+                            let old = env.load(addr, shared)?;
+                            let new = atomic_apply(kind, old, operand)?;
+                            env.store(addr, new, shared)?;
+                            old
+                        }
+                    };
+                    t.stack.push(old);
+                }
+                Instr::Intrinsic(i) => {
+                    let v = match i {
+                        Intrinsic::Min | Intrinsic::Max | Intrinsic::Pow => {
+                            let b = pop(&mut t.stack)?;
+                            let a = pop(&mut t.stack)?;
+                            intrinsic2(i, a, b)
+                        }
+                        _ => {
+                            let a = pop(&mut t.stack)?;
+                            intrinsic1(i, a)
+                        }
+                    };
+                    t.stack.push(v);
+                }
+                Instr::ReadSpecial(sp) => {
+                    let d = match sp {
+                        Special::ThreadIdx => t.tidx,
+                        Special::BlockIdx => block.block_idx,
+                        Special::BlockDim => block.block_dim,
+                        Special::GridDim => block.grid_dim,
+                    };
+                    t.stack.push(Value::Dim3(d));
+                }
+                Instr::ReadSpecialComp(sp, lane) => {
+                    let d = match sp {
+                        Special::ThreadIdx => t.tidx,
+                        Special::BlockIdx => block.block_idx,
+                        Special::BlockDim => block.block_dim,
+                        Special::GridDim => block.grid_dim,
+                    };
+                    t.stack.push(Value::Int(d[lane as usize]));
+                }
+                Instr::MakeDim3 => {
+                    let z = pop(&mut t.stack)?.as_int();
+                    let y = pop(&mut t.stack)?.as_int();
+                    let x = pop(&mut t.stack)?.as_int();
+                    t.stack.push(Value::Dim3([x, y, z]));
+                }
+                Instr::Dim3Member(lane) => {
+                    let d = pop(&mut t.stack)?.as_dim3();
+                    t.stack.push(Value::Int(d[lane as usize]));
+                }
+                Instr::Dim3SetMember(lane) => {
+                    let v = pop(&mut t.stack)?.as_int();
+                    let mut d = pop(&mut t.stack)?.as_dim3();
+                    d[lane as usize] = v;
+                    t.stack.push(Value::Dim3(d));
+                }
+                Instr::Pop => {
+                    pop(&mut t.stack)?;
+                }
+                Instr::Dup => {
+                    let v = *t
+                        .stack
+                        .last()
+                        .ok_or_else(|| ExecError::new("stack underflow on dup"))?;
+                    t.stack.push(v);
+                }
+                Instr::Swap => {
+                    let n = t.stack.len();
+                    if n < 2 {
+                        return Err(ExecError::new("stack underflow on swap"));
+                    }
+                    t.stack.swap(n - 1, n - 2);
+                }
+
+                // Fused superinstructions: each arm replicates the exact
+                // observable semantics (including error cases) of its
+                // expansion — see `Instr::expansion`.
+                Instr::BinLocals(kind, a, b) => {
+                    let a = t.frame.locals[a as usize];
+                    let b = t.frame.locals[b as usize];
+                    t.stack.push(bin_op(kind, a, b)?);
+                }
+                Instr::BinImm(kind, v) => {
+                    let a = pop(&mut t.stack)?;
+                    t.stack.push(bin_op(kind, a, Value::Int(v))?);
+                }
+                Instr::IncLocal(slot, delta) => {
+                    let old = t.frame.locals[slot as usize];
+                    t.frame.locals[slot as usize] = bin_op(BinKind::Add, old, Value::Int(delta))?;
+                }
+                Instr::LoadLocalMem(slot) => {
+                    let addr = t.frame.locals[slot as usize].as_int();
+                    let v = env.load(addr, shared)?;
+                    t.stack.push(v);
+                }
+                Instr::CmpBranchLocals(kind, a, b, target) => {
+                    let a = t.frame.locals[a as usize];
+                    let b = t.frame.locals[b as usize];
+                    if !bin_op(kind, a, b)?.is_truthy() {
+                        t.frame.pc = target as usize;
+                    }
+                }
+                Instr::StoreLoadLocal(slot) => {
+                    let v = *t
+                        .stack
+                        .last()
+                        .ok_or_else(|| ExecError::new("operand stack underflow"))?;
+                    t.frame.locals[slot as usize] = v;
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn run_thread(
+    dispatch: DispatchMode,
+    env: &mut ExecEnv<'_>,
+    thread: &mut Thread,
+    block: &BlockCtx,
+    shared: &mut [Value],
+    btrace: &mut BlockTrace,
+) -> Result<(), ExecError> {
+    match dispatch {
+        DispatchMode::Threaded => run_thread_threaded(env, thread, block, shared, btrace),
+        DispatchMode::Match => run_thread_match(env, thread, block, shared, btrace),
+    }
+}
+
+/// Executes one block to completion against the given environment: arms
+/// the arena's threads, round-robins them between barriers, and settles
+/// the per-warp/per-origin accounting. Identical for the sequential and
+/// speculative paths — only the `ExecEnv` views differ.
+#[allow(clippy::too_many_arguments)]
+fn run_block(
+    env: &mut ExecEnv<'_>,
+    arena: &mut BlockArena,
+    reuse_state: bool,
+    dispatch: DispatchMode,
+    cost: &CostModel,
+    grid: &PendingGrid,
+    coerced_args: &[Value],
+    block_idx: [i64; 3],
+    linear_block: u64,
+) -> Result<BlockTrace, ExecError> {
+    let func = env.module.function(grid.kernel);
+    let contains_launch = func.contains_launch;
+    let n_locals = func.n_locals;
+    let n_threads = (grid.block[0] * grid.block[1] * grid.block[2]) as usize;
+    let shared_words = func.shared_words as usize;
+
+    if !reuse_state {
+        // Benchmarking baseline: behave like the pre-arena executor and
+        // allocate everything fresh for this block.
+        arena.threads.clear();
+        arena.shared = Vec::new();
+    }
+    arena.shared.clear();
+    arena.shared.resize(shared_words, Value::Int(0));
+    arena.threads.truncate(n_threads);
+    while arena.threads.len() < n_threads {
+        arena.threads.push(Thread::new());
+    }
+    for (t, thread) in arena.threads.iter_mut().enumerate() {
+        let t = t as i64;
+        let tx = t % grid.block[0];
+        let ty = (t / grid.block[0]) % grid.block[1];
+        let tz = t / (grid.block[0] * grid.block[1]);
+        thread.reset(grid.kernel, n_locals, coerced_args, [tx, ty, tz]);
+    }
+    let threads = &mut arena.threads;
+    let shared = &mut arena.shared;
+
+    let mut btrace = BlockTrace::default();
+    let ctx = BlockCtx {
+        grid_dim: grid.grid,
+        block_dim: grid.block,
+        block_idx,
+        grid_id: grid.id,
+        linear_block,
+    };
+
+    loop {
+        let mut all_done = true;
+        for thread in threads.iter_mut() {
+            if matches!(thread.status, ThreadStatus::Running) {
+                run_thread(dispatch, env, thread, &ctx, shared, &mut btrace)?;
+            }
+            if !matches!(thread.status, ThreadStatus::Done) {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        // Every live thread is at the barrier: release them.
+        for thread in threads.iter_mut() {
+            if matches!(thread.status, ThreadStatus::AtBarrier) {
+                thread.status = ThreadStatus::Running;
+            }
+        }
+    }
+
+    // Per-warp cost: max thread cycles within each 32-thread group.
+    let presence = if contains_launch {
+        cost.launch_presence_overhead
+    } else {
+        0
+    };
+    for chunk in threads.chunks(32) {
+        let max = chunk.iter().map(|t| t.cycles + presence).max().unwrap_or(0);
+        btrace.warp_cycles.push(max);
+    }
+    for thread in threads.iter() {
+        btrace.origin_cycles.merge(&thread.origin_cycles);
+        btrace.instructions += thread.instructions;
+    }
+    if presence > 0 {
+        btrace
+            .origin_cycles
+            .add(CodeOrigin::Original, presence * n_threads as u64);
+    }
+    env.stats.instructions += btrace.instructions;
+    Ok(btrace)
+}
+// ----------------------------------------------------------------------
+// Parallel block execution
+// ----------------------------------------------------------------------
+
+/// Per-worker reusable state: an arena for thread structs plus the
+/// speculative memory overlay and its read/write tracking buffers. Owned
+/// by the machine so repeated parallel grids allocate nothing.
+#[derive(Default)]
+struct ParWorker {
+    arena: BlockArena,
+    overlay: Vec<Value>,
+    read_bits: Vec<u64>,
+    write_bits: Vec<u64>,
+    read_touched: Vec<u32>,
+    write_touched: Vec<u32>,
+}
+
+impl ParWorker {
+    /// Sizes the overlay/bitmaps for a memory snapshot of `words` words.
+    /// Bitmaps are kept clear between blocks via the touched lists.
+    fn prepare(&mut self, words: usize, chunks: usize) {
+        if self.overlay.len() < words {
+            self.overlay.resize(words, Value::Int(0));
+        }
+        if self.read_bits.len() < chunks {
+            self.read_bits.resize(chunks, 0);
+            self.write_bits.resize(chunks, 0);
+        }
+    }
+
+    /// Drains the tracking buffers into compact per-block sets, clearing
+    /// the bitmaps for the worker's next block. Returns `(reads,
+    /// write_set, writes)` with chunks in ascending order (deterministic
+    /// apply order).
+    #[allow(clippy::type_complexity)]
+    fn extract_and_clear(&mut self) -> (Vec<(u32, u64)>, Vec<(u32, u64)>, Vec<(usize, Value)>) {
+        self.read_touched.sort_unstable();
+        self.write_touched.sort_unstable();
+        let reads: Vec<(u32, u64)> = self
+            .read_touched
+            .iter()
+            .map(|&c| (c, self.read_bits[c as usize]))
+            .collect();
+        let write_set: Vec<(u32, u64)> = self
+            .write_touched
+            .iter()
+            .map(|&c| (c, self.write_bits[c as usize]))
+            .collect();
+        let mut writes = Vec::new();
+        for &(chunk, mask) in &write_set {
+            let base = (chunk as usize) << 6;
+            let mut m = mask;
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                let addr = base + bit;
+                writes.push((addr, self.overlay[addr]));
+                m &= m - 1;
+            }
+        }
+        for &c in &self.read_touched {
+            self.read_bits[c as usize] = 0;
+        }
+        for &c in &self.write_touched {
+            self.write_bits[c as usize] = 0;
+        }
+        self.read_touched.clear();
+        self.write_touched.clear();
+        (reads, write_set, writes)
+    }
+}
+
+/// One speculated (or re-executed) block, ready for in-order validation
+/// and merge. An `Err` result from speculation means the block must be
+/// re-executed sequentially (a real error will then reproduce
+/// deterministically; a stale-state artifact will vanish); an `Err` from
+/// re-execution is the run's error, and the partial `writes`/`launches`
+/// issued before the fault are still applied so post-error machine state
+/// matches sequential execution exactly.
+struct SpecBlock {
+    result: Result<BlockTrace, ExecError>,
+    /// Device launches in issue order; `id` and the matching
+    /// `btrace.launches[k].child_grid` are local placeholders.
+    launches: Vec<PendingGrid>,
+    reads: Vec<(u32, u64)>,
+    write_set: Vec<(u32, u64)>,
+    writes: Vec<(usize, Value)>,
+    stats: MachineStats,
+}
+
+/// Runs one block speculatively against the snapshot through a worker's
+/// tracked overlay.
+#[allow(clippy::too_many_arguments)]
+fn spec_run_block(
+    worker: &mut ParWorker,
+    base: &Memory,
+    module: &Module,
+    tables: &[Box<[ThreadedOp]>],
+    limits: &ExecLimits,
+    cost: &CostModel,
+    dispatch: DispatchMode,
+    reuse_state: bool,
+    grid: &PendingGrid,
+    coerced_args: &[Value],
+    linear: u64,
+    spec_budget: u64,
+) -> SpecBlock {
+    let mut stats = MachineStats::default();
+    let mut budget = spec_budget;
+    let mut launches: Vec<PendingGrid> = Vec::new();
+    let block_idx = linear_to_block_idx(linear as i64, grid.grid);
+    let outcome = {
+        let mut env = ExecEnv {
+            module,
+            tables,
+            limits,
+            mem: MemView::Spec(SpecMem {
+                base,
+                overlay: &mut worker.overlay,
+                read_bits: &mut worker.read_bits,
+                write_bits: &mut worker.write_bits,
+                read_touched: &mut worker.read_touched,
+                write_touched: &mut worker.write_touched,
+            }),
+            launches: LaunchSink::Spec(&mut launches),
+            stats: &mut stats,
+            instr_budget: &mut budget,
+        };
+        run_block(
+            &mut env,
+            &mut worker.arena,
+            reuse_state,
+            dispatch,
+            cost,
+            grid,
+            coerced_args,
+            block_idx,
+            linear,
+        )
+    };
+    let (reads, write_set, writes) = worker.extract_and_clear();
+    SpecBlock {
+        result: outcome,
+        launches,
+        reads,
+        write_set,
+        writes,
+        stats,
+    }
+}
+
+fn linear_to_block_idx(linear: i64, grid_dim: [i64; 3]) -> [i64; 3] {
+    let bx = linear % grid_dim[0];
+    let by = (linear / grid_dim[0]) % grid_dim[1];
+    let bz = linear / (grid_dim[0] * grid_dim[1]);
+    [bx, by, bz]
+}
+
+// ----------------------------------------------------------------------
+// The machine
+// ----------------------------------------------------------------------
+
 /// The simulated GPU: compiled module + memory + launch queue.
 pub struct Machine {
     module: Module,
     /// Global device memory.
     pub mem: Memory,
     cost: CostModel,
-    cost_table: Vec<Box<[CostEntry]>>,
+    tables: Vec<Box<[ThreadedOp]>>,
     limits: ExecLimits,
     pending: VecDeque<PendingGrid>,
     next_grid_id: usize,
@@ -287,6 +1792,16 @@ pub struct Machine {
     instr_budget: u64,
     arena: BlockArena,
     reuse_state: bool,
+    dispatch: DispatchMode,
+    /// `None` = auto (shared `DPOPT_JOBS` budget); `Some(n)` = exactly `n`
+    /// workers, bypassing the budget (benchmark/test override).
+    par_jobs: Option<usize>,
+    /// Kernels adaptively marked serial after a conflict-heavy grid.
+    kernel_serial: Vec<bool>,
+    par_workers: Vec<ParWorker>,
+    par_stats: ParallelStats,
+    /// Cumulative write bitmap reused by the merge phase.
+    merge_write_bits: Vec<u64>,
 }
 
 impl Machine {
@@ -298,12 +1813,13 @@ impl Machine {
 
     /// Creates a machine with an explicit cost model and limits.
     pub fn with_config(module: Module, cost: CostModel, limits: ExecLimits) -> Self {
-        let cost_table = build_cost_table(&module, &cost);
+        let tables = build_tables(&module, &cost);
+        let n_functions = module.functions.len();
         Machine {
             module,
             mem: Memory::new(),
             cost,
-            cost_table,
+            tables,
             limits,
             pending: VecDeque::new(),
             next_grid_id: 0,
@@ -312,6 +1828,12 @@ impl Machine {
             instr_budget: limits.max_instructions,
             arena: BlockArena::default(),
             reuse_state: true,
+            dispatch: DispatchMode::default(),
+            par_jobs: None,
+            kernel_serial: vec![false; n_functions],
+            par_workers: Vec::new(),
+            par_stats: ParallelStats::default(),
+            merge_write_bits: Vec::new(),
         }
     }
 
@@ -321,6 +1843,37 @@ impl Machine {
     /// `vmbench`'s baseline, not something callers should normally touch.
     pub fn set_state_reuse(&mut self, on: bool) {
         self.reuse_state = on;
+    }
+
+    /// Selects the dispatch loop (threaded by default). Both modes are
+    /// bit-identical in results and accounting; `Match` exists for
+    /// differential tests and the `vmbench` baseline.
+    pub fn set_dispatch(&mut self, mode: DispatchMode) {
+        self.dispatch = mode;
+    }
+
+    /// The current dispatch mode.
+    pub fn dispatch(&self) -> DispatchMode {
+        self.dispatch
+    }
+
+    /// Sets the worker count for parallel block execution. `0` restores
+    /// the default: draw workers from the process-wide `DPOPT_JOBS` budget
+    /// shared with the sweep engine (so nested parallelism cannot
+    /// oversubscribe). A non-zero value forces exactly that many workers,
+    /// bypassing the budget — results are identical either way; only
+    /// wall-clock changes.
+    pub fn set_block_parallelism(&mut self, jobs: usize) {
+        self.par_jobs = if jobs == 0 { None } else { Some(jobs) };
+        // A fresh explicit setting is a fresh chance for kernels that were
+        // adaptively serialized under the previous regime.
+        self.kernel_serial.fill(false);
+    }
+
+    /// Counters for the parallel block executor (not part of the
+    /// determinism contract — see [`ParallelStats`]).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.par_stats
     }
 
     /// The compiled module.
@@ -401,33 +1954,18 @@ impl Machine {
             .module
             .id_of(kernel)
             .ok_or_else(|| ExecError::new(format!("unknown kernel `{kernel}`")))?;
-        self.enqueue(
+        let mut sink = LaunchSink::Direct {
+            pending: &mut self.pending,
+            next_grid_id: &mut self.next_grid_id,
+        };
+        sink.enqueue(
+            &self.module,
+            &self.limits,
             id,
             grid.into().as_dim3(),
             block.into().as_dim3(),
             args.to_vec(),
             LaunchOrigin::Host,
-        )
-    }
-
-    fn enqueue(
-        &mut self,
-        kernel: FuncId,
-        grid: [i64; 3],
-        block: [i64; 3],
-        args: Vec<Value>,
-        origin: LaunchOrigin,
-    ) -> Result<usize, ExecError> {
-        enqueue_grid(
-            &self.module,
-            &self.limits,
-            &mut self.pending,
-            &mut self.next_grid_id,
-            kernel,
-            grid,
-            block,
-            args,
-            origin,
         )
     }
 
@@ -450,6 +1988,41 @@ impl Machine {
         &self.trace
     }
 
+    /// Decides the worker count for a grid. `1` means sequential; anything
+    /// larger comes with the budget reservation (if auto) to hold for the
+    /// grid's duration.
+    fn plan_workers(&self, kernel: FuncId, num_blocks: u64) -> (usize, Option<jobs::Reservation>) {
+        if num_blocks < MIN_PARALLEL_BLOCKS {
+            return (1, None);
+        }
+        // A finite instruction budget is consumed in execution order;
+        // exhaustion mid-grid must reproduce exactly, so budgeted runs
+        // stay sequential.
+        if self.limits.max_instructions != u64::MAX {
+            return (1, None);
+        }
+        if self.kernel_serial[kernel as usize] {
+            return (1, None);
+        }
+        let cap = self
+            .par_jobs
+            .unwrap_or_else(jobs::configured_jobs)
+            .min(num_blocks as usize);
+        if cap <= 1 {
+            return (1, None);
+        }
+        match self.par_jobs {
+            Some(_) => (cap, None),
+            None => {
+                let reservation = jobs::reserve_up_to(cap - 1);
+                match reservation.count() {
+                    0 => (1, None),
+                    extra => (extra + 1, Some(reservation)),
+                }
+            }
+        }
+    }
+
     fn execute_grid(&mut self, grid: PendingGrid) -> Result<(), ExecError> {
         let num_blocks = grid.grid[0] * grid.grid[1] * grid.grid[2];
         let func = self.module.function(grid.kernel);
@@ -469,13 +2042,20 @@ impl Machine {
             origin: grid.origin,
             blocks: Vec::with_capacity(num_blocks as usize),
         };
-        for linear in 0..num_blocks {
-            let bx = linear % grid.grid[0];
-            let by = (linear / grid.grid[0]) % grid.grid[1];
-            let bz = linear / (grid.grid[0] * grid.grid[1]);
-            let btrace = self.execute_block(&grid, &coerced_args, [bx, by, bz], linear as u64)?;
-            gtrace.blocks.push(btrace);
+
+        let (workers, reservation) = self.plan_workers(grid.kernel, num_blocks as u64);
+        if workers > 1 {
+            self.execute_grid_parallel(&grid, &coerced_args, &mut gtrace, workers)?;
+        } else {
+            for linear in 0..num_blocks {
+                let block_idx = linear_to_block_idx(linear, grid.grid);
+                let btrace =
+                    self.run_block_direct(&grid, &coerced_args, block_idx, linear as u64)?;
+                gtrace.blocks.push(btrace);
+            }
         }
+        drop(reservation);
+
         self.stats.grids_executed += 1;
         // Grid ids are assigned at enqueue time in FIFO order, so the
         // executed order matches id order.
@@ -484,7 +2064,8 @@ impl Machine {
         Ok(())
     }
 
-    fn execute_block(
+    /// Sequential block execution straight against machine state.
+    fn run_block_direct(
         &mut self,
         grid: &PendingGrid,
         coerced_args: &[Value],
@@ -492,13 +2073,13 @@ impl Machine {
         linear_block: u64,
     ) -> Result<BlockTrace, ExecError> {
         // Split the machine into disjoint borrows: the run loop reads the
-        // module/cost tables while mutating memory, the launch queue, and
-        // thread state.
+        // module/dispatch tables while mutating memory, the launch queue,
+        // and thread state.
         let Machine {
             module,
             mem,
             cost,
-            cost_table,
+            tables,
             limits,
             pending,
             next_grid_id,
@@ -506,520 +2087,222 @@ impl Machine {
             instr_budget,
             arena,
             reuse_state,
+            dispatch,
             ..
         } = self;
-        let func = module.function(grid.kernel);
-        let contains_launch = func.contains_launch;
-        let n_locals = func.n_locals;
-        let n_threads = (grid.block[0] * grid.block[1] * grid.block[2]) as usize;
-        let shared_words = func.shared_words as usize;
-
-        if !*reuse_state {
-            // Benchmarking baseline: behave like the pre-arena executor and
-            // allocate everything fresh for this block.
-            arena.threads.clear();
-            arena.shared = Vec::new();
-        }
-        arena.shared.clear();
-        arena.shared.resize(shared_words, Value::Int(0));
-        arena.threads.truncate(n_threads);
-        while arena.threads.len() < n_threads {
-            arena.threads.push(Thread::new());
-        }
-        for (t, thread) in arena.threads.iter_mut().enumerate() {
-            let t = t as i64;
-            let tx = t % grid.block[0];
-            let ty = (t / grid.block[0]) % grid.block[1];
-            let tz = t / (grid.block[0] * grid.block[1]);
-            thread.reset(grid.kernel, n_locals, coerced_args, [tx, ty, tz]);
-        }
-        let threads = &mut arena.threads;
-        let shared = &mut arena.shared;
-
-        let mut btrace = BlockTrace::default();
-        let ctx = BlockCtx {
-            grid_dim: grid.grid,
-            block_dim: grid.block,
-            block_idx,
-            grid_id: grid.id,
-            linear_block,
-        };
         let mut env = ExecEnv {
             module,
-            cost_table,
+            tables,
             limits,
+            mem: MemView::Direct(mem),
+            launches: LaunchSink::Direct {
+                pending,
+                next_grid_id,
+            },
+            stats,
+            instr_budget,
+        };
+        run_block(
+            &mut env,
+            arena,
+            *reuse_state,
+            *dispatch,
+            cost,
+            grid,
+            coerced_args,
+            block_idx,
+            linear_block,
+        )
+    }
+
+    /// Speculative parallel execution of one grid's blocks, followed by an
+    /// in-block-order validate/merge pass that keeps every observable
+    /// output bit-identical to sequential execution.
+    fn execute_grid_parallel(
+        &mut self,
+        grid: &PendingGrid,
+        coerced_args: &[Value],
+        gtrace: &mut GridTrace,
+        workers: usize,
+    ) -> Result<(), ExecError> {
+        let num_blocks = (grid.grid[0] * grid.grid[1] * grid.grid[2]) as usize;
+        let words = self.mem.allocated_words();
+        let chunks = words.div_ceil(64);
+        while self.par_workers.len() < workers {
+            self.par_workers.push(ParWorker::default());
+        }
+        let Machine {
+            module,
             mem,
+            cost,
+            tables,
+            limits,
             pending,
             next_grid_id,
             stats,
             instr_budget,
-        };
+            reuse_state,
+            dispatch,
+            kernel_serial,
+            par_workers,
+            par_stats,
+            merge_write_bits,
+            ..
+        } = self;
+        let (reuse_state, dispatch) = (*reuse_state, *dispatch);
 
-        loop {
-            let mut all_done = true;
-            for thread in threads.iter_mut() {
-                if matches!(thread.status, ThreadStatus::Running) {
-                    run_thread(&mut env, thread, &ctx, shared, &mut btrace)?;
+        // ---- Speculation: workers race through the block list against an
+        // immutable snapshot of memory.
+        let mut results: Vec<Mutex<Option<SpecBlock>>> =
+            (0..num_blocks).map(|_| Mutex::new(None)).collect();
+        {
+            let base: &Memory = mem;
+            let next = AtomicUsize::new(0);
+            let results = &results;
+            let run_worker = |worker: &mut ParWorker| {
+                worker.prepare(words, chunks);
+                loop {
+                    let linear = next.fetch_add(1, Ordering::Relaxed);
+                    if linear >= num_blocks {
+                        return;
+                    }
+                    let r = spec_run_block(
+                        worker,
+                        base,
+                        module,
+                        tables,
+                        limits,
+                        cost,
+                        dispatch,
+                        reuse_state,
+                        grid,
+                        coerced_args,
+                        linear as u64,
+                        SPEC_BLOCK_BUDGET,
+                    );
+                    *results[linear].lock().expect("results lock") = Some(r);
                 }
-                if !matches!(thread.status, ThreadStatus::Done) {
-                    all_done = false;
+            };
+            std::thread::scope(|scope| {
+                let mut iter = par_workers[..workers].iter_mut();
+                let mine = iter.next().expect("at least one worker");
+                for worker in iter {
+                    scope.spawn(|| run_worker(worker));
                 }
-            }
-            if all_done {
-                break;
-            }
-            // Every live thread is at the barrier: release them.
-            for thread in threads.iter_mut() {
-                if matches!(thread.status, ThreadStatus::AtBarrier) {
-                    thread.status = ThreadStatus::Running;
-                }
-            }
+                run_worker(mine);
+            });
         }
 
-        // Per-warp cost: max thread cycles within each 32-thread group.
-        let presence = if contains_launch {
-            cost.launch_presence_overhead
-        } else {
-            0
-        };
-        for chunk in threads.chunks(32) {
-            let max = chunk.iter().map(|t| t.cycles + presence).max().unwrap_or(0);
-            btrace.warp_cycles.push(max);
-        }
-        for thread in threads.iter() {
-            btrace.origin_cycles.merge(&thread.origin_cycles);
-            btrace.instructions += thread.instructions;
-        }
-        if presence > 0 {
-            btrace
-                .origin_cycles
-                .add(CodeOrigin::Original, presence * n_threads as u64);
-        }
-        stats.instructions += btrace.instructions;
-        Ok(btrace)
-    }
-}
-
-/// The disjoint machine borrows the execution loop needs: read-only code
-/// and cost tables, mutable memory / launch queue / statistics.
-struct ExecEnv<'m> {
-    module: &'m Module,
-    cost_table: &'m [Box<[CostEntry]>],
-    limits: &'m ExecLimits,
-    mem: &'m mut Memory,
-    pending: &'m mut VecDeque<PendingGrid>,
-    next_grid_id: &'m mut usize,
-    stats: &'m mut MachineStats,
-    instr_budget: &'m mut u64,
-}
-
-impl ExecEnv<'_> {
-    fn load(&self, addr: i64, shared: &[Value]) -> Result<Value, ExecError> {
-        if addr >= SHARED_SPACE_BASE {
-            let off = (addr - SHARED_SPACE_BASE) as usize;
-            shared.get(off).copied().ok_or_else(|| {
-                ExecError::new(format!("shared memory access out of bounds: offset {off}"))
-            })
-        } else {
-            self.mem.read(addr)
-        }
-    }
-
-    fn store(&mut self, addr: i64, value: Value, shared: &mut [Value]) -> Result<(), ExecError> {
-        if addr >= SHARED_SPACE_BASE {
-            let off = (addr - SHARED_SPACE_BASE) as usize;
-            match shared.get_mut(off) {
-                Some(slot) => {
-                    *slot = value;
-                    Ok(())
-                }
-                None => Err(ExecError::new(format!(
-                    "shared memory access out of bounds: offset {off}"
-                ))),
-            }
-        } else {
-            self.mem.write(addr, value)
-        }
-    }
-}
-
-/// Runs one thread until it returns, reaches a barrier, or errors.
-///
-/// The outer loop re-derives the current function's code/origin/cost slices
-/// only when the frame stack changes (call, return, launch of execution);
-/// the inner loop dispatches straight-line instructions against cached
-/// slices. Fused superinstructions are charged their expansion's summed
-/// cycles and original instruction count from the precomputed cost table,
-/// keeping accounting identical to unfused execution.
-fn run_thread(
-    env: &mut ExecEnv<'_>,
-    thread: &mut Thread,
-    ctx: &BlockCtx,
-    shared: &mut [Value],
-    btrace: &mut BlockTrace,
-) -> Result<(), ExecError> {
-    'frames: loop {
-        let Some(frame) = thread.frames.last_mut() else {
-            thread.status = ThreadStatus::Done;
-            return Ok(());
-        };
-        let func = &env.module.functions[frame.func as usize];
-        let code: &[Instr] = &func.code;
-        let origins: &[CodeOrigin] = &func.origins;
-        let costs: &[CostEntry] = &env.cost_table[frame.func as usize];
-
-        loop {
-            let pc = frame.pc;
-            if pc >= code.len() {
-                // Fell off the end of a void function.
-                let done = thread.frames.pop().expect("frame exists");
-                thread.spare_locals.push(done.locals);
-                if thread.frames.is_empty() {
-                    thread.status = ThreadStatus::Done;
-                    return Ok(());
-                }
-                thread.stack.push(Value::Int(0));
-                continue 'frames;
-            }
-            let instr = code[pc];
-            let origin = origins[pc];
-            let entry = costs[pc];
-            frame.pc = pc + 1;
-
-            let cycles = entry.cycles;
-            let width = entry.width as u64;
-            thread.cycles += cycles;
-            thread.instructions += width;
-            thread.origin_cycles.add(origin, cycles);
-            if *env.instr_budget < width {
-                return Err(ExecError::new(
-                    "instruction budget exhausted (possible infinite loop; raise ExecLimits::max_instructions)",
-                ));
-            }
-            *env.instr_budget -= width;
-
-            match instr {
-                Instr::PushInt(v) => thread.stack.push(Value::Int(v)),
-                Instr::PushFloat(v) => thread.stack.push(Value::Float(v)),
-                Instr::LoadLocal(slot) => {
-                    let v = frame.locals[slot as usize];
-                    thread.stack.push(v);
-                }
-                Instr::StoreLocal(slot) => {
-                    let v = pop(&mut thread.stack)?;
-                    frame.locals[slot as usize] = v;
-                }
-                Instr::LoadMem => {
-                    let addr = pop(&mut thread.stack)?.as_int();
-                    let v = env.load(addr, shared)?;
-                    thread.stack.push(v);
-                }
-                Instr::StoreMem => {
-                    let v = pop(&mut thread.stack)?;
-                    let addr = pop(&mut thread.stack)?.as_int();
-                    env.store(addr, v, shared)?;
-                }
-                Instr::Bin(kind) => {
-                    let b = pop(&mut thread.stack)?;
-                    let a = pop(&mut thread.stack)?;
-                    thread.stack.push(bin_op(kind, a, b)?);
-                }
-                Instr::Un(kind) => {
-                    let a = pop(&mut thread.stack)?;
-                    thread.stack.push(un_op(kind, a));
-                }
-                Instr::CastInt => {
-                    let a = pop(&mut thread.stack)?;
-                    thread.stack.push(Value::Int(a.as_int()));
-                }
-                Instr::CastFloat => {
-                    let a = pop(&mut thread.stack)?;
-                    thread.stack.push(Value::Float(a.as_float()));
-                }
-                Instr::Jump(t) => frame.pc = t as usize,
-                Instr::JumpIfZero(t) => {
-                    if !pop(&mut thread.stack)?.is_truthy() {
-                        frame.pc = t as usize;
-                    }
-                }
-                Instr::JumpIfNonZero(t) => {
-                    if pop(&mut thread.stack)?.is_truthy() {
-                        frame.pc = t as usize;
-                    }
-                }
-                Instr::Call(id, nargs) => {
-                    let callee = &env.module.functions[id as usize];
-                    let mut locals = thread.spare_locals.pop().unwrap_or_default();
-                    locals.clear();
-                    locals.resize(callee.n_locals as usize, Value::Int(0));
-                    for i in (0..nargs as usize).rev() {
-                        let v = pop(&mut thread.stack)?;
-                        locals[i] = coerce(v, &callee.param_types[i]);
-                    }
-                    if thread.frames.len() > 512 {
-                        return Err(ExecError::new("device call stack overflow"));
-                    }
-                    thread.frames.push(Frame {
-                        func: id,
-                        pc: 0,
-                        locals,
-                    });
-                    continue 'frames;
-                }
-                Instr::Ret => {
-                    let v = pop(&mut thread.stack)?;
-                    let done = thread.frames.pop().expect("frame exists");
-                    thread.spare_locals.push(done.locals);
-                    if thread.frames.is_empty() {
-                        thread.status = ThreadStatus::Done;
-                        return Ok(());
-                    }
-                    thread.stack.push(v);
-                    continue 'frames;
-                }
-                Instr::RetVoid => {
-                    let done = thread.frames.pop().expect("frame exists");
-                    thread.spare_locals.push(done.locals);
-                    if thread.frames.is_empty() {
-                        thread.status = ThreadStatus::Done;
-                        return Ok(());
-                    }
-                    thread.stack.push(Value::Int(0));
-                    continue 'frames;
-                }
-                Instr::Launch(id, nargs) => {
-                    let mut args = vec![Value::Int(0); nargs as usize];
-                    for i in (0..nargs as usize).rev() {
-                        args[i] = pop(&mut thread.stack)?;
-                    }
-                    let block = pop(&mut thread.stack)?.as_dim3();
-                    let grid = pop(&mut thread.stack)?.as_dim3();
-                    let total_blocks = grid[0] * grid[1] * grid[2];
-                    if total_blocks <= 0 {
-                        env.stats.empty_launches += 1;
-                    } else {
-                        let child = enqueue_grid(
-                            env.module,
-                            env.limits,
-                            env.pending,
-                            env.next_grid_id,
-                            id,
-                            grid,
-                            block,
-                            args,
-                            LaunchOrigin::Device {
-                                parent_grid: ctx.grid_id,
-                                parent_block: ctx.linear_block,
-                                issue_cycles: thread.cycles,
-                            },
-                        )?;
-                        btrace.launches.push(LaunchRecord {
-                            child_grid: child,
-                            issue_cycles: thread.cycles,
-                        });
-                        env.stats.device_launches += 1;
-                    }
-                }
-                Instr::Sync => {
-                    thread.status = ThreadStatus::AtBarrier;
-                    return Ok(());
-                }
-                Instr::Fence => {
-                    // Sequential block execution makes fences functional
-                    // no-ops; the cycle cost was already charged.
-                }
-                Instr::Atomic(op) => {
-                    let old = match op {
-                        AtomicOp::Cas => {
-                            let val = pop(&mut thread.stack)?;
-                            let cmp = pop(&mut thread.stack)?;
-                            let addr = pop(&mut thread.stack)?.as_int();
-                            let old = env.load(addr, shared)?;
-                            let new = if old == cmp { val } else { old };
-                            env.store(addr, new, shared)?;
-                            old
-                        }
-                        _ => {
-                            let operand = pop(&mut thread.stack)?;
-                            let addr = pop(&mut thread.stack)?.as_int();
-                            let old = env.load(addr, shared)?;
-                            let new = atomic_apply(op, old, operand)?;
-                            env.store(addr, new, shared)?;
-                            old
-                        }
+        // ---- Merge in linear block order: validate against everything
+        // earlier blocks wrote, apply or re-execute, then enqueue the
+        // block's launches with their real grid ids.
+        let cum = merge_write_bits;
+        cum.clear();
+        cum.resize(chunks, 0);
+        let mut invalid_blocks = 0u64;
+        for (linear, slot) in results.iter_mut().enumerate() {
+            let r = slot
+                .get_mut()
+                .expect("results lock")
+                .take()
+                .expect("block speculated");
+            let valid = r.result.is_ok()
+                && !r
+                    .reads
+                    .iter()
+                    .any(|&(chunk, mask)| cum[chunk as usize] & mask != 0);
+            let spec = if valid {
+                r
+            } else {
+                invalid_blocks += 1;
+                if par_debug() {
+                    let reason = match &r.result {
+                        Ok(_) => "read/write overlap with an earlier block".to_string(),
+                        Err(e) => format!("speculation aborted: {e}"),
                     };
-                    thread.stack.push(old);
+                    eprintln!(
+                        "[dp-vm] overlap: kernel `{}` block {linear}: {reason}; re-executing sequentially",
+                        module.function(grid.kernel).name
+                    );
                 }
-                Instr::Intrinsic(i) => {
-                    let v = match i {
-                        Intrinsic::Min | Intrinsic::Max | Intrinsic::Pow => {
-                            let b = pop(&mut thread.stack)?;
-                            let a = pop(&mut thread.stack)?;
-                            intrinsic2(i, a, b)
+                // Deterministic sequential re-execution against live
+                // memory (all earlier blocks applied), still through a
+                // tracked view so later validation sees its writes.
+                let worker = &mut par_workers[0];
+                worker.prepare(words, chunks);
+                spec_run_block(
+                    worker,
+                    mem,
+                    module,
+                    tables,
+                    limits,
+                    cost,
+                    dispatch,
+                    reuse_state,
+                    grid,
+                    coerced_args,
+                    linear as u64,
+                    u64::MAX,
+                )
+            };
+            // Apply writes and enqueue launches *before* propagating any
+            // re-execution error: a sequential run's fault leaves its
+            // partial effects behind, and so must the parallel run.
+            for &(addr, v) in &spec.writes {
+                mem.data[addr] = v;
+            }
+            for &(chunk, mask) in &spec.write_set {
+                cum[chunk as usize] |= mask;
+            }
+            let mut btrace = match spec.result {
+                Ok(btrace) => btrace,
+                Err(e) => {
+                    for mut pg in spec.launches {
+                        if pending.len() >= limits.max_pending {
+                            return Err(pending_overflow());
                         }
-                        _ => {
-                            let a = pop(&mut thread.stack)?;
-                            intrinsic1(i, a)
-                        }
-                    };
-                    thread.stack.push(v);
-                }
-                Instr::ReadSpecial(s) => {
-                    let d = match s {
-                        Special::ThreadIdx => thread.tidx,
-                        Special::BlockIdx => ctx.block_idx,
-                        Special::BlockDim => ctx.block_dim,
-                        Special::GridDim => ctx.grid_dim,
-                    };
-                    thread.stack.push(Value::Dim3(d));
-                }
-                Instr::ReadSpecialComp(s, lane) => {
-                    let d = match s {
-                        Special::ThreadIdx => thread.tidx,
-                        Special::BlockIdx => ctx.block_idx,
-                        Special::BlockDim => ctx.block_dim,
-                        Special::GridDim => ctx.grid_dim,
-                    };
-                    thread.stack.push(Value::Int(d[lane as usize]));
-                }
-                Instr::MakeDim3 => {
-                    let z = pop(&mut thread.stack)?.as_int();
-                    let y = pop(&mut thread.stack)?.as_int();
-                    let x = pop(&mut thread.stack)?.as_int();
-                    thread.stack.push(Value::Dim3([x, y, z]));
-                }
-                Instr::Dim3Member(lane) => {
-                    let d = pop(&mut thread.stack)?.as_dim3();
-                    thread.stack.push(Value::Int(d[lane as usize]));
-                }
-                Instr::Dim3SetMember(lane) => {
-                    let v = pop(&mut thread.stack)?.as_int();
-                    let mut d = pop(&mut thread.stack)?.as_dim3();
-                    d[lane as usize] = v;
-                    thread.stack.push(Value::Dim3(d));
-                }
-                Instr::Pop => {
-                    pop(&mut thread.stack)?;
-                }
-                Instr::Dup => {
-                    let v = *thread
-                        .stack
-                        .last()
-                        .ok_or_else(|| ExecError::new("stack underflow on dup"))?;
-                    thread.stack.push(v);
-                }
-                Instr::Swap => {
-                    let n = thread.stack.len();
-                    if n < 2 {
-                        return Err(ExecError::new("stack underflow on swap"));
+                        pg.id = *next_grid_id;
+                        *next_grid_id += 1;
+                        pending.push_back(pg);
                     }
-                    thread.stack.swap(n - 1, n - 2);
+                    stats.device_launches += spec.stats.device_launches;
+                    stats.empty_launches += spec.stats.empty_launches;
+                    return Err(e);
                 }
+            };
+            for (k, mut pg) in spec.launches.into_iter().enumerate() {
+                if pending.len() >= limits.max_pending {
+                    return Err(pending_overflow());
+                }
+                pg.id = *next_grid_id;
+                *next_grid_id += 1;
+                btrace.launches[k].child_grid = pg.id;
+                pending.push_back(pg);
+            }
+            stats.instructions += btrace.instructions;
+            stats.device_launches += spec.stats.device_launches;
+            stats.empty_launches += spec.stats.empty_launches;
+            *instr_budget = instr_budget.saturating_sub(btrace.instructions);
+            gtrace.blocks.push(btrace);
+        }
 
-                // Fused superinstructions: each arm replicates the exact
-                // observable semantics (including error cases) of its
-                // expansion — see `Instr::expansion`. Accounting was already
-                // charged from the cost table above.
-                Instr::BinLocals(kind, a, b) => {
-                    let a = frame.locals[a as usize];
-                    let b = frame.locals[b as usize];
-                    thread.stack.push(bin_op(kind, a, b)?);
-                }
-                Instr::BinImm(kind, v) => {
-                    let a = pop(&mut thread.stack)?;
-                    thread.stack.push(bin_op(kind, a, Value::Int(v))?);
-                }
-                Instr::IncLocal(slot, delta) => {
-                    let old = frame.locals[slot as usize];
-                    frame.locals[slot as usize] = bin_op(BinKind::Add, old, Value::Int(delta))?;
-                }
-                Instr::LoadLocalMem(slot) => {
-                    let addr = frame.locals[slot as usize].as_int();
-                    let v = env.load(addr, shared)?;
-                    thread.stack.push(v);
-                }
-                Instr::CmpBranchLocals(kind, a, b, t) => {
-                    let a = frame.locals[a as usize];
-                    let b = frame.locals[b as usize];
-                    if !bin_op(kind, a, b)?.is_truthy() {
-                        frame.pc = t as usize;
-                    }
-                }
+        par_stats.parallel_grids += 1;
+        par_stats.speculated_blocks += num_blocks as u64;
+        par_stats.conflict_blocks += invalid_blocks;
+        if invalid_blocks * 2 > num_blocks as u64 && !kernel_serial[grid.kernel as usize] {
+            // This kernel's blocks are coupled (e.g. a cross-block atomic
+            // reduction): stop paying speculation for it.
+            kernel_serial[grid.kernel as usize] = true;
+            par_stats.serialized_kernels += 1;
+            if par_debug() {
+                eprintln!(
+                    "[dp-vm] kernel `{}` marked serial after {invalid_blocks}/{num_blocks} conflicting blocks",
+                    module.function(grid.kernel).name
+                );
             }
         }
+        Ok(())
     }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn enqueue_grid(
-    module: &Module,
-    limits: &ExecLimits,
-    pending: &mut VecDeque<PendingGrid>,
-    next_grid_id: &mut usize,
-    kernel: FuncId,
-    grid: [i64; 3],
-    block: [i64; 3],
-    args: Vec<Value>,
-    origin: LaunchOrigin,
-) -> Result<usize, ExecError> {
-    let func = module.function(kernel);
-    if func.qual != FnQual::Global {
-        return Err(ExecError::new(format!(
-            "`{}` is not a __global__ kernel",
-            func.name
-        )));
-    }
-    if args.len() != func.param_types.len() {
-        return Err(ExecError::new(format!(
-            "kernel `{}` takes {} arguments, got {}",
-            func.name,
-            func.param_types.len(),
-            args.len()
-        )));
-    }
-    let threads = block[0] * block[1] * block[2];
-    if threads <= 0 || threads > limits.max_threads_per_block as i64 {
-        return Err(ExecError::new(format!(
-            "invalid block size {threads} for kernel `{}`",
-            func.name
-        )));
-    }
-    if grid.iter().any(|&d| d < 0) {
-        return Err(ExecError::new(format!(
-            "negative grid dimension for kernel `{}`",
-            func.name
-        )));
-    }
-    if pending.len() >= limits.max_pending {
-        return Err(ExecError::new(
-            "pending launch buffer overflow (raise ExecLimits::max_pending)",
-        ));
-    }
-    let id = *next_grid_id;
-    *next_grid_id += 1;
-    pending.push_back(PendingGrid {
-        kernel,
-        grid,
-        block,
-        args,
-        origin,
-        id,
-    });
-    Ok(id)
-}
-
-struct BlockCtx {
-    grid_dim: [i64; 3],
-    block_dim: [i64; 3],
-    block_idx: [i64; 3],
-    grid_id: usize,
-    linear_block: u64,
-}
-
-fn pop(stack: &mut Vec<Value>) -> Result<Value, ExecError> {
-    stack
-        .pop()
-        .ok_or_else(|| ExecError::new("operand stack underflow"))
 }
 
 fn coerce(v: Value, ty: &Type) -> Value {
@@ -1157,7 +2440,6 @@ fn intrinsic2(i: Intrinsic, a: Value, b: Value) -> Value {
         _ => unreachable!("unary intrinsic"),
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1552,5 +2834,276 @@ mod tests {
             block.origin_cycles.total(),
             "untransformed code is all Original"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel block execution + dispatch-mode determinism
+    // ------------------------------------------------------------------
+
+    /// Runs `src` under one (fusion, dispatch, jobs) configuration and
+    /// returns every observable output.
+    #[allow(clippy::too_many_arguments)]
+    fn run_configured(
+        src: &str,
+        setup: &dyn Fn(&mut Machine) -> Vec<Value>,
+        words: usize,
+        fuse: bool,
+        dispatch: DispatchMode,
+        jobs: usize,
+        kernel: &str,
+        grid: i64,
+        block: i64,
+    ) -> (Vec<i64>, MachineStats, ExecutionTrace) {
+        let p = dp_frontend::parse(src).unwrap();
+        let module =
+            crate::lower::compile_program_with(&p, crate::lower::LowerOptions { fuse }).unwrap();
+        let mut m = Machine::new(module);
+        m.set_dispatch(dispatch);
+        m.set_block_parallelism(jobs);
+        let args = setup(&mut m);
+        m.launch_host(kernel, grid, block, &args).unwrap();
+        m.run_to_quiescence().unwrap();
+        (m.read_i64s(1, words).unwrap(), m.stats(), m.take_trace())
+    }
+
+    /// The full determinism matrix of the acceptance criteria: fusion
+    /// on/off × jobs 1/N × dispatch threaded/match must agree bit-exactly
+    /// on memory, statistics, and the entire execution trace — on a
+    /// disjoint-write kernel, a conflict-heavy cross-block atomic kernel,
+    /// a barrier/shared-memory kernel, and a device-launching kernel.
+    #[test]
+    fn parallel_and_dispatch_matrix_is_bit_identical() {
+        struct Case {
+            name: &'static str,
+            src: &'static str,
+            kernel: &'static str,
+            grid: i64,
+            block: i64,
+            words: usize,
+        }
+        let cases = [
+            Case {
+                name: "disjoint",
+                src: "__global__ void k(int* d) { \
+                          int i = blockIdx.x * blockDim.x + threadIdx.x; \
+                          int acc = 0; \
+                          for (int j = 0; j < 16; ++j) { acc = acc + i * j - (acc >> 1); } \
+                          d[i] = acc; }",
+                kernel: "k",
+                grid: 8,
+                block: 16,
+                words: 128,
+            },
+            Case {
+                name: "conflicting",
+                src: "__global__ void k(int* d) { \
+                          int old = atomicAdd(&d[0], threadIdx.x + 1); \
+                          atomicMax(&d[1], old); \
+                          d[2 + blockIdx.x] = old; }",
+                kernel: "k",
+                grid: 8,
+                block: 8,
+                words: 16,
+            },
+            Case {
+                name: "barrier",
+                src: "__global__ void k(int* d) { \
+                          __shared__ int tile[16]; \
+                          tile[threadIdx.x] = threadIdx.x * 3 + blockIdx.x; \
+                          __syncthreads(); \
+                          d[blockIdx.x * 16 + threadIdx.x] = tile[15 - threadIdx.x]; }",
+                kernel: "k",
+                grid: 8,
+                block: 16,
+                words: 128,
+            },
+            Case {
+                name: "launching",
+                src: "__global__ void child(int* d, int base, int n) { \
+                          int i = blockIdx.x * blockDim.x + threadIdx.x; \
+                          if (i < n) { d[base + i] = d[base + i] + 1; } }\n\
+                      __global__ void k(int* d) { \
+                          if (threadIdx.x == 0) { \
+                              child<<<2, 8>>>(d, blockIdx.x * 16, 16); } }",
+                kernel: "k",
+                grid: 8,
+                block: 4,
+                words: 128,
+            },
+        ];
+        for case in cases {
+            let setup = |m: &mut Machine| {
+                let d = m.alloc(case.words);
+                assert_eq!(d, 1, "single allocation starts at 1");
+                vec![Value::Int(d)]
+            };
+            let reference = run_configured(
+                case.src,
+                &setup,
+                case.words,
+                true,
+                DispatchMode::Threaded,
+                1,
+                case.kernel,
+                case.grid,
+                case.block,
+            );
+            for fuse in [true, false] {
+                for dispatch in [DispatchMode::Threaded, DispatchMode::Match] {
+                    for jobs in [1, 3] {
+                        let got = run_configured(
+                            case.src,
+                            &setup,
+                            case.words,
+                            fuse,
+                            dispatch,
+                            jobs,
+                            case.kernel,
+                            case.grid,
+                            case.block,
+                        );
+                        assert_eq!(
+                            got.0, reference.0,
+                            "{}: memory diverged (fuse={fuse}, {dispatch:?}, jobs={jobs})",
+                            case.name
+                        );
+                        assert_eq!(
+                            got.1, reference.1,
+                            "{}: stats diverged (fuse={fuse}, {dispatch:?}, jobs={jobs})",
+                            case.name
+                        );
+                        assert_eq!(
+                            got.2, reference.2,
+                            "{}: trace diverged (fuse={fuse}, {dispatch:?}, jobs={jobs})",
+                            case.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_execution_speculates_and_detects_conflicts() {
+        // Disjoint writes: everything validates, nothing re-executes.
+        let mut m =
+            machine("__global__ void k(int* d) { d[blockIdx.x * blockDim.x + threadIdx.x] = 7; }");
+        m.set_block_parallelism(3);
+        let d = m.alloc(256);
+        m.launch_host("k", 8, 32, &[Value::Int(d)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        let ps = m.parallel_stats();
+        assert_eq!(ps.parallel_grids, 1);
+        assert_eq!(ps.speculated_blocks, 8);
+        assert_eq!(ps.conflict_blocks, 0);
+        assert_eq!(ps.serialized_kernels, 0);
+
+        // Cross-block atomics on one counter: later blocks read earlier
+        // blocks' writes, so every block after the first conflicts, the
+        // result still matches sequential, and the kernel is adaptively
+        // marked serial for its next grid.
+        let mut m = machine("__global__ void k(int* d) { atomicAdd(&d[0], 1); }");
+        m.set_block_parallelism(3);
+        let d = m.alloc(4);
+        m.launch_host("k", 8, 16, &[Value::Int(d)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_i64s(d, 1).unwrap()[0], 128);
+        let ps = m.parallel_stats();
+        assert_eq!(ps.speculated_blocks, 8);
+        assert!(ps.conflict_blocks >= 7, "{ps:?}");
+        assert_eq!(ps.serialized_kernels, 1);
+        m.launch_host("k", 8, 16, &[Value::Int(d)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(m.read_i64s(d, 1).unwrap()[0], 256);
+        let ps2 = m.parallel_stats();
+        assert_eq!(
+            ps2.speculated_blocks, 8,
+            "serialized kernel must not speculate again"
+        );
+    }
+
+    #[test]
+    fn parallel_launch_ids_match_sequential_fifo_order() {
+        let src = "__global__ void child(int* d, int slot) { atomicAdd(&d[slot], 1); }\n\
+                   __global__ void k(int* d) { \
+                       if (threadIdx.x == 0) { child<<<1, 4>>>(d, blockIdx.x); } }";
+        let run = |jobs: usize| {
+            let p = dp_frontend::parse(src).unwrap();
+            let mut m = Machine::new(compile_program(&p).unwrap());
+            m.set_block_parallelism(jobs);
+            let d = m.alloc(16);
+            m.launch_host("k", 8, 8, &[Value::Int(d)]).unwrap();
+            m.run_to_quiescence().unwrap();
+            (m.read_i64s(d, 8).unwrap(), m.take_trace())
+        };
+        let (seq_mem, seq_trace) = run(1);
+        let (par_mem, par_trace) = run(4);
+        assert_eq!(seq_mem, vec![4; 8]);
+        assert_eq!(par_mem, seq_mem);
+        assert_eq!(par_trace, seq_trace);
+        // Child grid ids follow the parent in linear block order.
+        for (i, g) in par_trace.grids.iter().enumerate() {
+            assert_eq!(g.id, i);
+        }
+        let children: Vec<usize> = par_trace.grids[0]
+            .blocks
+            .iter()
+            .flat_map(|b| b.launches.iter().map(|l| l.child_grid))
+            .collect();
+        assert_eq!(children, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_errors_reproduce_sequential_errors() {
+        // Block 5 faults; speculation must re-execute and surface the same
+        // error sequential execution reports.
+        let src = "__global__ void k(int* d) { \
+                       if (blockIdx.x == 5 && threadIdx.x == 0) { d[1000000] = 1; } \
+                       d[blockIdx.x * blockDim.x + threadIdx.x] = 1; }";
+        let run = |jobs: usize| {
+            let p = dp_frontend::parse(src).unwrap();
+            let mut m = Machine::new(compile_program(&p).unwrap());
+            m.set_block_parallelism(jobs);
+            let d = m.alloc(256);
+            m.launch_host("k", 8, 16, &[Value::Int(d)]).unwrap();
+            let err = m.run_to_quiescence().unwrap_err().to_string();
+            (err, m.read_i64s(d, 256).unwrap())
+        };
+        let (seq_err, seq_mem) = run(1);
+        let (par_err, par_mem) = run(4);
+        assert_eq!(seq_err, par_err);
+        assert!(par_err.contains("out of bounds"));
+        // The faulting block's *partial* writes (and every earlier
+        // block's writes) must survive identically at any worker count.
+        assert_eq!(seq_mem, par_mem, "post-error memory must match");
+        assert_eq!(
+            seq_mem[..5 * 16],
+            [1; 80][..],
+            "blocks before the fault ran"
+        );
+    }
+
+    #[test]
+    fn budgeted_runs_stay_sequential_and_deterministic() {
+        let p = dp_frontend::parse(
+            "__global__ void k(int* d) { d[blockIdx.x * blockDim.x + threadIdx.x] = 1; }",
+        )
+        .unwrap();
+        let limits = ExecLimits {
+            max_instructions: 10_000_000,
+            ..Default::default()
+        };
+        let mut m =
+            Machine::with_config(compile_program(&p).unwrap(), CostModel::default(), limits);
+        m.set_block_parallelism(4);
+        let d = m.alloc(256);
+        m.launch_host("k", 8, 32, &[Value::Int(d)]).unwrap();
+        m.run_to_quiescence().unwrap();
+        assert_eq!(
+            m.parallel_stats().parallel_grids,
+            0,
+            "finite budgets must serialize"
+        );
+        assert_eq!(m.read_i64s(d, 256).unwrap(), vec![1; 256]);
     }
 }
