@@ -1,19 +1,27 @@
 //! `dpopt` — command-line source-to-source optimizer for CUDA-subset
 //! dynamic-parallelism code (the analogue of the paper artifact's Clang
-//! tool: `.cu` in, transformed `.cu` out), plus a front door to the
-//! `dp-sweep` experiment-orchestration engine.
+//! tool: `.cu` in, transformed `.cu` out), plus front doors to the
+//! `dp-sweep` experiment-orchestration engine and the `dp-serve`
+//! persistent compile-and-execute daemon.
 //!
 //! ```text
 //! dpopt transform input.cu [--threshold N] [--coarsen F]
 //!       [--agg warp|block|multiblock:K|grid] [--agg-threshold N] [-o out.cu]
+//!       [--remote ADDR]
 //! dpopt info input.cu
 //! dpopt sweep spec.json [--jobs N] [--no-cache] [--cache-stats] [-o out.json]
+//!       [--remote ADDR]
 //! dpopt sweep --gc [--max-cache-mb N]
+//! dpopt serve [--listen ADDR | --unix PATH] [--jobs N] [--cache-capacity N]
+//! dpopt client (--connect ADDR | --unix PATH) [requests.ndjson|-] [--op OP]
 //! ```
 
 use dp_core::{AggConfig, AggGranularity, Compiler, OptConfig};
+use dp_serve::proto::{bare_request, Endpoint};
+use dp_serve::{ServeOptions, Server};
 use dp_sweep::json::{self, Json};
 use dp_sweep::{run_sweep, spec_from_json, SweepOptions, SweepResult};
+use std::io::BufRead;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -22,6 +30,8 @@ fn main() -> ExitCode {
         Some("transform") => transform(&args[1..]),
         Some("info") => info(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some("--version") | Some("-V") => {
             println!("dpopt {}", env!("CARGO_PKG_VERSION"));
             ExitCode::SUCCESS
@@ -44,14 +54,17 @@ USAGE:
     dpopt transform <input.cu> [OPTIONS]
     dpopt info <input.cu>
     dpopt sweep <spec.json> [OPTIONS]
+    dpopt serve [OPTIONS]
+    dpopt client (--connect <addr> | --unix <path>) [requests.ndjson|-] [--op <op>]
     dpopt --version
 
 TRANSFORM OPTIONS:
     --threshold <N>        serialize child grids below N threads (pass T)
     --coarsen <F>          coarsen child blocks by factor F (pass C)
     --agg <G>              aggregate launches; G = warp | block | multiblock:<K> | grid
-    --agg-threshold <N>    aggregation threshold (block granularity only)
+    --agg-threshold <N>    aggregation threshold (requires --agg)
     -o <file>              write transformed source to file (default: stdout)
+    --remote <addr>        transform on a dp-serve daemon (host:port or unix:/path)
 
 INFO:
     prints kernels, launch sites, and serializability diagnostics
@@ -64,6 +77,20 @@ SWEEP OPTIONS:
     --gc                   evict least-recently-used cache entries instead
                            of sweeping (no spec file needed)
     --max-cache-mb <N>     cache size budget for --gc (default: 512)
+    --remote <addr>        run every cell on a dp-serve daemon instead of
+                           locally (one sweep-cell request per cell)
+
+SERVE OPTIONS:
+    --listen <addr>        TCP listen address (default: 127.0.0.1:7477)
+    --unix <path>          listen on a Unix socket instead
+    --jobs <N>             execution pool workers, drawn from the shared
+                           DPOPT_JOBS budget (default: the configured jobs)
+    --cache-capacity <N>   compiled-program cache entries (default: 64)
+
+CLIENT:
+    forwards newline-delimited JSON requests (a file, or `-`/nothing for
+    stdin) to a dp-serve daemon and prints one response line each;
+    --op stats|shutdown sends that single request instead
 ";
 
 /// Reads an input file, failing with a message that names the path.
@@ -76,6 +103,7 @@ fn transform(args: &[String]) -> ExitCode {
     let mut output = None;
     let mut config = OptConfig::none();
     let mut agg_threshold = None;
+    let mut remote = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -103,6 +131,10 @@ fn transform(args: &[String]) -> ExitCode {
                 Some(v) => agg_threshold = Some(v),
                 None => return fail("--agg-threshold needs an integer"),
             },
+            "--remote" => match parse_endpoint_arg(args, &mut i) {
+                Ok(e) => remote = Some(e),
+                Err(code) => return code,
+            },
             "-o" => {
                 i += 1;
                 let Some(path) = args.get(i) else {
@@ -118,8 +150,14 @@ fn transform(args: &[String]) -> ExitCode {
             other => return fail(&format!("unexpected argument `{other}`")),
         }
     }
-    if let (Some(t), Some(agg)) = (agg_threshold, &mut config.aggregation) {
-        agg.agg_threshold = Some(t);
+    match (agg_threshold, &mut config.aggregation) {
+        (Some(t), Some(agg)) => agg.agg_threshold = Some(t),
+        (Some(_), None) => {
+            // Silently ignoring the flag would report unaggregated numbers
+            // as if the threshold had been applied.
+            return fail("--agg-threshold requires --agg (e.g. --agg block)");
+        }
+        _ => {}
     }
     let Some(input) = input else {
         return fail("missing input file (usage: dpopt transform <input.cu>)");
@@ -128,27 +166,179 @@ fn transform(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
-    let compiled = match Compiler::new().config(config).compile(&source) {
-        Ok(c) => c,
-        Err(dp_core::Error::Parse(e)) => {
-            eprintln!("{}", e.render(&source));
-            return ExitCode::FAILURE;
+    let (transformed, diagnostics) = if let Some(endpoint) = remote {
+        match dp_serve::client::remote_transform(&endpoint, &source, &config) {
+            Ok(pair) => pair,
+            Err(e) => return fail(&e),
         }
-        Err(e) => return fail(&e.to_string()),
+    } else {
+        let compiled = match Compiler::new().config(config).compile(&source) {
+            Ok(c) => c,
+            Err(dp_core::Error::Parse(e)) => {
+                eprintln!("{}", e.render(&source));
+                return ExitCode::FAILURE;
+            }
+            Err(e) => return fail(&e.to_string()),
+        };
+        (
+            compiled.transformed_source().to_string(),
+            compiled
+                .manifest()
+                .diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect(),
+        )
     };
-    for diag in &compiled.manifest().diagnostics {
+    for diag in &diagnostics {
         eprintln!("note: {diag}");
     }
     match output {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, compiled.transformed_source()) {
+            if let Err(e) = std::fs::write(&path, transformed) {
                 return fail(&format!("cannot write `{path}`: {e}"));
             }
             eprintln!("wrote {path}");
         }
-        None => print!("{}", compiled.transformed_source()),
+        None => print!("{transformed}"),
     }
     ExitCode::SUCCESS
+}
+
+/// Parses a `--remote`/`--connect`/`--listen` endpoint argument.
+fn parse_endpoint_arg(args: &[String], i: &mut usize) -> Result<Endpoint, ExitCode> {
+    *i += 1;
+    let Some(spec) = args.get(*i) else {
+        return Err(fail(&format!("{} needs an address", args[*i - 1])));
+    };
+    *i += 1;
+    Endpoint::parse(spec).map_err(|e| fail(&e))
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let mut endpoint = Endpoint::Tcp("127.0.0.1:7477".to_string());
+    let mut options = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => match parse_endpoint_arg(args, &mut i) {
+                Ok(e) => endpoint = e,
+                Err(code) => return code,
+            },
+            "--unix" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return fail("--unix needs a socket path");
+                };
+                #[cfg(unix)]
+                {
+                    endpoint = Endpoint::Unix(std::path::PathBuf::from(path));
+                }
+                #[cfg(not(unix))]
+                {
+                    return fail(&format!("unix sockets unsupported here: {path}"));
+                }
+                i += 1;
+            }
+            "--jobs" => match parse_arg(args, &mut i) {
+                Some(v) if v > 0 => options.jobs = v as usize,
+                _ => return fail("--jobs needs a positive integer"),
+            },
+            "--cache-capacity" => match parse_arg(args, &mut i) {
+                Some(v) if v > 0 => options.cache_capacity = v as usize,
+                _ => return fail("--cache-capacity needs a positive integer"),
+            },
+            other => return fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let server = match Server::bind(&endpoint, &options) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot bind {endpoint}: {e}")),
+    };
+    eprintln!("dp-serve listening on {}", server.endpoint());
+    match server.serve() {
+        Ok(()) => {
+            eprintln!("dp-serve drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("serve: {e}")),
+    }
+}
+
+fn client(args: &[String]) -> ExitCode {
+    let mut endpoint = None;
+    let mut input = None;
+    let mut op = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect" => match parse_endpoint_arg(args, &mut i) {
+                Ok(e) => endpoint = Some(e),
+                Err(code) => return code,
+            },
+            "--unix" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return fail("--unix needs a socket path");
+                };
+                #[cfg(unix)]
+                {
+                    endpoint = Some(Endpoint::Unix(std::path::PathBuf::from(path)));
+                }
+                #[cfg(not(unix))]
+                {
+                    return fail(&format!("unix sockets unsupported here: {path}"));
+                }
+                i += 1;
+            }
+            "--op" => {
+                i += 1;
+                op = match args.get(i).map(String::as_str) {
+                    Some("stats") => Some("stats"),
+                    Some("shutdown") => Some("shutdown"),
+                    _ => return fail("--op must be stats or shutdown"),
+                };
+                i += 1;
+            }
+            other if input.is_none() && (!other.starts_with('-') || other == "-") => {
+                input = Some(other.to_string());
+                i += 1;
+            }
+            other => return fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(endpoint) = endpoint else {
+        return fail("client needs --connect <addr> or --unix <path>");
+    };
+    if let Some(op) = op {
+        let mut client = match dp_serve::Client::connect(&endpoint) {
+            Ok(c) => c,
+            Err(e) => return fail(&format!("connect {endpoint}: {e}")),
+        };
+        return match client.request(&bare_request(op)) {
+            Ok(response) => {
+                println!("{response}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        };
+    }
+    let lines: Box<dyn Iterator<Item = String>> = match input.as_deref() {
+        None | Some("-") => Box::new(std::io::stdin().lock().lines().map_while(Result::ok)),
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Box::new(
+                text.lines()
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            ),
+            Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
+        },
+    };
+    match dp_serve::client::forward_lines(&endpoint, lines, |response| println!("{response}")) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
 }
 
 fn info(args: &[String]) -> ExitCode {
@@ -197,9 +387,14 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut cache_stats = false;
     let mut gc = false;
     let mut max_cache_mb: i64 = 512;
+    let mut remote = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--remote" => match parse_endpoint_arg(args, &mut i) {
+                Ok(e) => remote = Some(e),
+                Err(code) => return code,
+            },
             "--jobs" => match parse_arg(args, &mut i) {
                 Some(v) if v > 0 => opts.jobs = v as usize,
                 _ => return fail("--jobs needs a positive integer"),
@@ -269,7 +464,21 @@ fn sweep(args: &[String]) -> ExitCode {
         Err(e) => return fail(&format!("bad sweep spec `{input}`: {e}")),
     };
 
-    let result = run_sweep(&spec, &opts);
+    let result = match remote {
+        // Remote sweeps run cell by cell on the daemon (which sizes its
+        // own worker pool and compiled-program cache); the local result
+        // cache is bypassed and local --jobs would be silently meaningless.
+        Some(endpoint) => {
+            if opts.jobs != 0 {
+                return fail("--jobs has no effect with --remote (the daemon sizes its pool)");
+            }
+            match dp_serve::client::remote_sweep(&endpoint, &spec) {
+                Ok(r) => r,
+                Err(e) => return fail(&e),
+            }
+        }
+        None => run_sweep(&spec, &opts),
+    };
 
     println!(
         "# dp-sweep — {} cells across {} series ({} workers)",

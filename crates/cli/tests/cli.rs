@@ -294,3 +294,148 @@ fn bad_granularity_is_rejected() {
     assert!(err.contains("granularity"));
     std::fs::remove_file(input).ok();
 }
+
+#[test]
+fn agg_threshold_without_agg_is_an_error() {
+    let input = write_temp("aggthr", EXAMPLE);
+    // The flag used to be silently ignored; it must now fail loudly.
+    let out = dpopt()
+        .args(["transform", input.to_str().unwrap(), "--agg-threshold", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--agg-threshold requires --agg"), "{err}");
+    // With --agg it is accepted as before.
+    let out = dpopt()
+        .args(["transform", input.to_str().unwrap()])
+        .args(["--agg", "block", "--agg-threshold", "4"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(input).ok();
+}
+
+/// Spawns `dpopt serve` on an ephemeral port and returns the child, the
+/// address it reports on stderr, and the stderr reader (which must stay
+/// open for the child's lifetime — closing the pipe would EPIPE the
+/// server's shutdown banner).
+fn spawn_server() -> (
+    std::process::Child,
+    String,
+    std::io::BufReader<std::process::ChildStderr>,
+) {
+    use std::io::BufRead;
+    let mut child = dpopt()
+        .args(["serve", "--listen", "127.0.0.1:0", "--jobs", "2"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut reader = std::io::BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("dp-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line}"))
+        .to_string();
+    (child, addr, reader)
+}
+
+#[test]
+fn serve_client_and_remote_round_trip() {
+    let (mut server, addr, _server_stderr) = spawn_server();
+    let input = write_temp("remote", EXAMPLE);
+
+    // Local and remote transforms must agree byte for byte.
+    let local = dpopt()
+        .args(["transform", input.to_str().unwrap(), "--threshold", "64"])
+        .output()
+        .unwrap();
+    assert!(local.status.success());
+    let remote = dpopt()
+        .args(["transform", input.to_str().unwrap(), "--threshold", "64"])
+        .args(["--remote", &addr])
+        .output()
+        .unwrap();
+    assert!(
+        remote.status.success(),
+        "{}",
+        String::from_utf8_lossy(&remote.stderr)
+    );
+    assert_eq!(local.stdout, remote.stdout, "remote transform must match");
+
+    // A remote sweep produces the same table as a local uncached run.
+    let spec = std::env::temp_dir().join(format!("dpopt-remote-spec-{}.json", std::process::id()));
+    std::fs::write(&spec, SWEEP_SPEC).unwrap();
+    let local = dpopt()
+        .args(["sweep", spec.to_str().unwrap(), "--no-cache", "--jobs", "1"])
+        .output()
+        .unwrap();
+    assert!(local.status.success());
+    let remote = dpopt()
+        .args(["sweep", spec.to_str().unwrap(), "--remote", &addr])
+        .output()
+        .unwrap();
+    assert!(
+        remote.status.success(),
+        "{}",
+        String::from_utf8_lossy(&remote.stderr)
+    );
+    // Identical apart from the engine header (worker count differs).
+    let table = |bytes: &[u8]| {
+        String::from_utf8(bytes.to_vec())
+            .unwrap()
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(table(&local.stdout), table(&remote.stdout));
+
+    // The client forwards NDJSON and prints responses; stats reports the
+    // compiled-cache counters.
+    let stats = dpopt()
+        .args(["client", "--connect", &addr, "--op", "stats"])
+        .output()
+        .unwrap();
+    assert!(stats.status.success());
+    let text = String::from_utf8(stats.stdout).unwrap();
+    assert!(text.contains("\"compiled_cache\""), "{text}");
+    assert!(text.contains("\"misses\""), "{text}");
+
+    // Requests from a file round-trip through `dpopt client`.
+    let reqs = std::env::temp_dir().join(format!("dpopt-reqs-{}.ndjson", std::process::id()));
+    std::fs::write(
+        &reqs,
+        "{\"op\":\"compile\",\"source\":\"__global__ void k(int* d) { d[0] = 1; }\",\"id\":1}\n",
+    )
+    .unwrap();
+    let out = dpopt()
+        .args(["client", "--connect", &addr, reqs.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"kernels\":[\"k\"]"), "{text}");
+    assert!(text.contains("\"id\":1"), "{text}");
+
+    // Shutdown drains and the server process exits cleanly.
+    let down = dpopt()
+        .args(["client", "--connect", &addr, "--op", "shutdown"])
+        .output()
+        .unwrap();
+    assert!(down.status.success());
+    let text = String::from_utf8(down.stdout).unwrap();
+    assert!(text.contains("\"drained\":true"), "{text}");
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server must exit cleanly after shutdown");
+
+    std::fs::remove_file(input).ok();
+    std::fs::remove_file(spec).ok();
+    std::fs::remove_file(reqs).ok();
+}

@@ -1,0 +1,183 @@
+//! The client side: one connection, NDJSON round-trips, and the helpers
+//! behind `dpopt --remote` (remote transform, remote sweep).
+
+use crate::proto::{self, Endpoint, Stream};
+use dp_core::OptConfig;
+use dp_sweep::json::Json;
+use dp_sweep::{
+    cache as sweep_cache, CacheStats, CellSummary, DatasetSpec, SeriesResult, SweepResult,
+    SweepSpec,
+};
+use std::io::BufReader;
+
+/// A connected client. Requests and responses pair up strictly in order
+/// (the server answers a connection's requests sequentially).
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(endpoint: &Endpoint) -> std::io::Result<Client> {
+        let stream = endpoint.connect()?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (trailing newline included). `None` if the server closed first.
+    pub fn roundtrip_line(&mut self, line: &str) -> std::io::Result<Option<String>> {
+        self.writer.write_line_raw(line)?;
+        proto::read_line(&mut self.reader)
+    }
+
+    /// Sends a request value, returning the parsed response. An `ok:false`
+    /// response or a transport failure is an `Err` with the message.
+    pub fn request(&mut self, request: &Json) -> Result<Json, String> {
+        proto::write_line(&mut self.writer, request).map_err(|e| format!("send: {e}"))?;
+        let line = proto::read_line(&mut self.reader)
+            .map_err(|e| format!("receive: {e}"))?
+            .ok_or("server closed the connection")?;
+        let response =
+            dp_sweep::json::parse(line.trim()).map_err(|e| format!("bad response: {e}"))?;
+        if response.get("ok") == Some(&Json::Bool(true)) {
+            Ok(response)
+        } else {
+            Err(response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown server error")
+                .to_string())
+        }
+    }
+}
+
+impl Stream {
+    fn write_line_raw(&mut self, line: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        self.write_all(line.trim_end().as_bytes())?;
+        self.write_all(b"\n")?;
+        self.flush()
+    }
+}
+
+/// Runs a `transform` remotely, returning the transformed source and the
+/// pass diagnostics.
+pub fn remote_transform(
+    endpoint: &Endpoint,
+    source: &str,
+    config: &OptConfig,
+) -> Result<(String, Vec<String>), String> {
+    let mut client = Client::connect(endpoint).map_err(|e| format!("connect {endpoint}: {e}"))?;
+    let response = client.request(&proto::source_request("transform", source, config))?;
+    let transformed = response
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or("response missing `source`")?
+        .to_string();
+    let diagnostics = response
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok((transformed, diagnostics))
+}
+
+/// Runs a whole sweep remotely, one `sweep-cell` request per cell over a
+/// single connection, merging in spec order with the same cross-variant
+/// verification the local engine performs. Timing/cost models must be the
+/// defaults (the protocol has no knobs for them — see `proto`).
+pub fn remote_sweep(endpoint: &Endpoint, spec: &SweepSpec) -> Result<SweepResult, String> {
+    use dp_sweep::key::{canonical_cost, canonical_timing};
+    let mut client = Client::connect(endpoint).map_err(|e| format!("connect {endpoint}: {e}"))?;
+    let mut series_results = Vec::new();
+    for series in &spec.series {
+        let DatasetSpec::Table { id, scale, seed } = &series.dataset else {
+            return Err("remote sweeps support Table datasets only".to_string());
+        };
+        // The protocol carries no timing/cost models; silently running a
+        // recalibrated spec under the defaults would return wrong numbers.
+        if canonical_timing(&series.timing) != canonical_timing(&dp_core::TimingParams::default())
+            || canonical_cost(&series.cost)
+                != canonical_cost(&dp_vm::bytecode::CostModel::default())
+        {
+            return Err(format!(
+                "remote sweeps require default timing/cost models ({}/{} overrides them)",
+                series.benchmark,
+                id.name()
+            ));
+        }
+        let mut cells: Vec<CellSummary> = Vec::new();
+        for vspec in &series.variants {
+            let request = proto::sweep_cell_request(
+                &series.benchmark,
+                id.name(),
+                *scale,
+                *seed,
+                &vspec.label,
+                &vspec.variant,
+            );
+            let response = client.request(&request)?;
+            let mut summary = sweep_cache::summary_from_json(&response).ok_or_else(|| {
+                format!(
+                    "malformed sweep-cell response for {}/{} [{}]",
+                    series.benchmark,
+                    id.name(),
+                    vspec.label
+                )
+            })?;
+            summary.label = vspec.label.clone();
+            // The server executed it (its compiled-program cache is not
+            // this sweep's result cache): report it as computed.
+            summary.from_cache = false;
+            cells.push(summary);
+        }
+        if let Some(reference) = cells.first().map(|c| c.output()) {
+            for cell in &mut cells {
+                cell.verified = cell.output().approx_eq(&reference, 1e-6);
+            }
+        }
+        series_results.push(SeriesResult {
+            benchmark: series.benchmark.clone(),
+            dataset_name: series.dataset.name(),
+            dataset_description: None,
+            cells,
+        });
+    }
+    Ok(SweepResult {
+        series: series_results,
+        cache: CacheStats::default(),
+        jobs: 1,
+    })
+}
+
+/// Forwards raw NDJSON request lines and hands each response line to
+/// `sink` — the one entry point behind `dpopt client FILE` and the CI
+/// smoke scripts.
+pub fn forward_lines(
+    endpoint: &Endpoint,
+    lines: impl Iterator<Item = String>,
+    mut sink: impl FnMut(&str),
+) -> Result<(), String> {
+    let mut client = Client::connect(endpoint).map_err(|e| format!("connect {endpoint}: {e}"))?;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = client
+            .roundtrip_line(&line)
+            .map_err(|e| format!("round-trip: {e}"))?
+            .ok_or("server closed the connection")?;
+        sink(response.trim_end());
+    }
+    Ok(())
+}

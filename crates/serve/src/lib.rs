@@ -1,0 +1,56 @@
+//! # dp-serve
+//!
+//! A persistent compile-and-execute service. Every `dpopt` invocation used
+//! to be a cold process — parse, analyze, transform, lower, execute, then
+//! throw everything away. This crate keeps that state warm across
+//! requests, the same amortization the paper applies to launch overhead
+//! (batching fine-grained work) lifted to the service level:
+//!
+//! - **One protocol module** ([`proto`]): newline-delimited JSON requests
+//!   (`compile`, `transform`, `execute`, `sweep-cell`, `stats`,
+//!   `shutdown`) over TCP or Unix sockets, with the client builders and
+//!   server parsers side by side so they cannot drift.
+//! - **A content-addressed compiled-program cache** ([`cache`]): keyed by
+//!   [`dp_sweep::key::compiled_key`] (source text + `OptConfig` +
+//!   `CACHE_FORMAT_VERSION` — exactly the sweep cache's hashing), LRU
+//!   bounded, with single-flight deduplication so N concurrent identical
+//!   compiles perform one compile and share the
+//!   [`dp_core::SharedCompiled`].
+//! - **A persistent worker pool** ([`pool`]): execution is scheduled onto
+//!   workers drawn from the shared `DPOPT_JOBS` budget
+//!   ([`dp_vm::jobs`]), so server-level concurrency and per-grid block
+//!   speculation never oversubscribe the host.
+//! - **Deterministic responses** ([`server`]): for every op except
+//!   `stats`, response bytes are a pure function of request bytes — cold
+//!   cache, warm cache, or 16 concurrent clients, the bytes are identical.
+//!   `shutdown` drains in-flight requests before the socket closes.
+//!
+//! ```no_run
+//! use dp_serve::proto::{bare_request, Endpoint};
+//! use dp_serve::server::{ServeOptions, Server};
+//!
+//! let server = Server::bind(
+//!     &Endpoint::Tcp("127.0.0.1:0".to_string()),
+//!     &ServeOptions::default(),
+//! )?;
+//! let endpoint = server.endpoint().clone();
+//! std::thread::spawn(move || server.serve());
+//!
+//! let mut client = dp_serve::client::Client::connect(&endpoint)?;
+//! let stats = client.request(&bare_request("stats")).unwrap();
+//! assert_eq!(stats.get("op").unwrap().as_str(), Some("stats"));
+//! client.request(&bare_request("shutdown")).unwrap();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CompiledCache, CompiledCacheStats};
+pub use client::Client;
+pub use pool::Pool;
+pub use proto::Endpoint;
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,180 @@
+//! A persistent worker pool drawing from the process-wide `DPOPT_JOBS`
+//! budget.
+//!
+//! The server schedules every `execute`/`sweep-cell` request onto this pool
+//! instead of running it on the connection thread, so CPU-bound work is
+//! bounded by the shared [`dp_vm::jobs`] budget no matter how many clients
+//! connect: the pool holds its [`dp_vm::jobs::Reservation`] for its whole
+//! lifetime, which means grids running *inside* a request see an exhausted
+//! budget and stay sequential instead of oversubscribing the host — the
+//! same discipline the sweep engine follows.
+//!
+//! The pool is deliberately a standalone library type (no server types in
+//! its signature): the ROADMAP's "persistent worker pool for the block
+//! executor" candidate can adopt it as-is.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{sync_channel, Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads fed by a shared queue.
+pub struct Pool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    // Held (not read) so the budget tokens stay reserved while the pool
+    // lives; released to `dp_vm::jobs` on drop.
+    _reservation: Option<dp_vm::jobs::Reservation>,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (min 1), without touching the
+    /// shared budget. Prefer [`Pool::with_budget`] in servers.
+    pub fn new(threads: usize) -> Self {
+        Pool::build(threads.max(1), None)
+    }
+
+    /// A pool sized from the shared `DPOPT_JOBS` budget: `want` workers
+    /// requested (`0` means the configured job count), granted the caller's
+    /// own thread plus whatever extra tokens [`dp_vm::jobs::reserve_up_to`]
+    /// yields. The reservation is held until the pool drops, so nested
+    /// parallelism (per-grid block speculation, a sweep running inside a
+    /// request) degrades to sequential instead of oversubscribing.
+    pub fn with_budget(want: usize) -> Self {
+        let want = if want == 0 {
+            dp_vm::jobs::configured_jobs()
+        } else {
+            want
+        };
+        let reservation = dp_vm::jobs::reserve_up_to(want.saturating_sub(1));
+        let threads = reservation.count() + 1;
+        Pool::build(threads, Some(reservation))
+    }
+
+    fn build(threads: usize, reservation: Option<dp_vm::jobs::Reservation>) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("dp-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // queue closed: pool dropped
+                        };
+                        // A panicking job must not take the worker down with
+                        // it — the panic is surfaced to the submitter by
+                        // `run`, and this thread lives on for the next job.
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            tx: Some(tx),
+            workers,
+            _reservation: reservation,
+        }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a fire-and-forget job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Runs `f` on a pool worker and blocks for its result. A panicking
+    /// job yields `Err` with the panic payload (the worker survives).
+    pub fn run<T: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> std::thread::Result<T> {
+        let (tx, rx) = sync_channel(1);
+        self.submit(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let _ = tx.send(result);
+        });
+        rx.recv().expect("pool worker delivered a result")
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the queue ends the worker loops; join so the budget
+        // reservation is only released once no worker can still be running.
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_and_returns_results() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let results: Vec<i64> = (0..16).map(|i| pool.run(move || i * 2).unwrap()).collect();
+        assert_eq!(results, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submitted_jobs_all_run() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drop joins the workers, draining the queue
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = Pool::new(1);
+        let r = pool.run(|| panic!("job exploded"));
+        assert!(r.is_err());
+        // The single worker survived and serves the next job.
+        assert_eq!(pool.run(|| 41 + 1).unwrap(), 42);
+    }
+
+    #[test]
+    fn with_budget_reserves_and_releases() {
+        // Drain whatever is available, note the grant, and verify a second
+        // pool sees an exhausted budget while the first is alive.
+        let first = Pool::with_budget(0);
+        assert!(first.threads() >= 1);
+        let second = Pool::with_budget(4);
+        assert_eq!(
+            second.threads(),
+            1,
+            "budget exhausted: only the caller's own thread"
+        );
+        let first_threads = first.threads();
+        drop(first);
+        drop(second);
+        // Tokens returned: a fresh pool can get extras again (when the
+        // machine has any to give).
+        let third = Pool::with_budget(0);
+        assert_eq!(third.threads(), first_threads, "tokens were released");
+    }
+}

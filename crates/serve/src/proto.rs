@@ -1,0 +1,676 @@
+//! The wire protocol: newline-delimited JSON over TCP or Unix sockets.
+//!
+//! One request per line, one response per line, answered in order. The
+//! same parsing and building functions serve both sides — the `dpopt`
+//! client builds requests with the builders here and the server parses
+//! them with [`parse_request`], so the two can never disagree on a field
+//! name.
+//!
+//! ## Requests
+//!
+//! Every request is a JSON object with an `"op"` member and an optional
+//! `"id"` (any JSON value, echoed verbatim in the response):
+//!
+//! | op           | members                                                       |
+//! |--------------|---------------------------------------------------------------|
+//! | `compile`    | `source`, config (`threshold`/`coarsen`/`agg`/`agg_threshold`)|
+//! | `transform`  | same as `compile`                                             |
+//! | `execute`    | `source`, config, `kernel`, `grid`, `block`, `buffers`, `args`, `read` |
+//! | `sweep-cell` | `benchmark`, `dataset` (`id`/`scale`/`seed`), `variant`       |
+//! | `stats`      | —                                                             |
+//! | `shutdown`   | —                                                             |
+//!
+//! `execute` buffers: `[{"name":"d","words":N}]` (zero-filled) or
+//! `{"name":"d","ints":[…]}` / `{"name":"d","floats":[…]}`; args are
+//! numbers or `"@name"` buffer references; `read` entries are
+//! `{"buffer":"d","len":N}` with optional `"offset"` and
+//! `"floats":true`.
+//!
+//! ## Determinism contract
+//!
+//! For every op except `stats`, the response bytes are a pure function of
+//! the request bytes: no timestamps, cache-hit flags, socket addresses, or
+//! scheduling artifacts appear in a response. A request answers
+//! byte-identically whether it was served cold, cache-warm, or concurrently
+//! with any number of other clients. (`stats` reports live counters and is
+//! deliberately outside the contract.)
+
+use dp_core::OptConfig;
+use dp_sweep::json::{self, object, Json};
+use dp_sweep::spec::{config_from_json, dataset_by_name};
+use dp_sweep::DatasetSpec;
+use dp_workloads::benchmarks::Variant;
+use std::io::{BufRead, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+// ----------------------------------------------------------------------
+// Endpoints and streams
+// ----------------------------------------------------------------------
+
+/// Where a server listens / a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7477`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Parses a CLI endpoint: `unix:/path/sock` or a TCP `host:port`.
+    pub fn parse(spec: &str) -> Result<Endpoint, String> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+            #[cfg(not(unix))]
+            return Err(format!("unix sockets unsupported on this platform: {path}"));
+        }
+        if spec.contains(':') {
+            Ok(Endpoint::Tcp(spec.to_string()))
+        } else {
+            Err(format!("bad endpoint `{spec}` (host:port or unix:/path)"))
+        }
+    }
+
+    /// Connects a client stream to this endpoint.
+    pub fn connect(&self) -> std::io::Result<Stream> {
+        match self {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Stream::Tcp),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+        }
+    }
+}
+
+/// A connected socket, TCP or Unix.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// A second handle to the same socket (for split read/write).
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Request types
+// ----------------------------------------------------------------------
+
+/// One argument of an `execute` launch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A reference to a named buffer's device address (`"@name"`).
+    Buffer(String),
+}
+
+/// Initial contents of a named device buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufferData {
+    /// `words` zero-initialized words.
+    Words(usize),
+    /// Initialized integer contents.
+    Ints(Vec<i64>),
+    /// Initialized float contents.
+    Floats(Vec<f64>),
+}
+
+/// A named device allocation for an `execute` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferInit {
+    /// Name referenced by `@name` args and `read` entries.
+    pub name: String,
+    /// Initial contents.
+    pub data: BufferData,
+}
+
+/// A read-back of device memory after the launch completes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadSpec {
+    /// Which buffer.
+    pub buffer: String,
+    /// Word offset into the buffer.
+    pub offset: usize,
+    /// Words to read.
+    pub len: usize,
+    /// Read as floats instead of integers.
+    pub floats: bool,
+}
+
+/// An `execute` request: compile (through the cache), provision buffers,
+/// launch one kernel, synchronize, read back results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecuteRequest {
+    /// CUDA-subset source text.
+    pub source: String,
+    /// Optimization configuration.
+    pub config: OptConfig,
+    /// Kernel to launch.
+    pub kernel: String,
+    /// Grid dimension (blocks).
+    pub grid: i64,
+    /// Block dimension (threads).
+    pub block: i64,
+    /// Named device buffers, allocated in order.
+    pub buffers: Vec<BufferInit>,
+    /// Launch arguments.
+    pub args: Vec<Arg>,
+    /// Read-backs performed after `sync`.
+    pub reads: Vec<ReadSpec>,
+}
+
+/// A `sweep-cell` request: one benchmark × dataset × variant cell, using
+/// default timing and cost models (the protocol deliberately has no
+/// timing/cost knobs so the compiled-program cache key — source + config —
+/// fully determines the compilation).
+#[derive(Debug, Clone)]
+pub struct SweepCellRequest {
+    /// Benchmark name ("BFS", "BT", …).
+    pub benchmark: String,
+    /// Table-I dataset.
+    pub dataset: DatasetSpec,
+    /// Display label for the summary.
+    pub label: String,
+    /// What to run.
+    pub variant: Variant,
+}
+
+/// A parsed request body.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile source, returning its content-addressed key and kernel list.
+    Compile {
+        /// Source text.
+        source: String,
+        /// Optimization configuration.
+        config: OptConfig,
+    },
+    /// Compile source, returning the transformed source text.
+    Transform {
+        /// Source text.
+        source: String,
+        /// Optimization configuration.
+        config: OptConfig,
+    },
+    /// Compile and run one kernel launch.
+    Execute(Box<ExecuteRequest>),
+    /// Run one sweep cell.
+    SweepCell(Box<SweepCellRequest>),
+    /// Report live server counters (outside the determinism contract).
+    Stats,
+    /// Drain in-flight requests, then stop the server.
+    Shutdown,
+}
+
+/// A request line, parsed: the echoed `id` (if any) survives even when the
+/// body is malformed, so error responses still correlate.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// The request's `id` member, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// The body, or a parse error message.
+    pub body: Result<Request, String>,
+}
+
+/// Parses one NDJSON request line.
+pub fn parse_request(line: &str) -> ParsedRequest {
+    let doc = match json::parse(line.trim()) {
+        Ok(doc) => doc,
+        Err(e) => {
+            return ParsedRequest {
+                id: None,
+                body: Err(format!("bad request JSON: {e}")),
+            }
+        }
+    };
+    let id = doc.get("id").cloned();
+    let body = parse_body(&doc);
+    ParsedRequest { id, body }
+}
+
+fn parse_body(doc: &Json) -> Result<Request, String> {
+    let op = doc
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request needs an `op` string")?;
+    match op {
+        "compile" | "transform" => {
+            let source = doc
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or("`source` must be a string")?
+                .to_string();
+            let config = config_from_json(doc)?;
+            Ok(if op == "compile" {
+                Request::Compile { source, config }
+            } else {
+                Request::Transform { source, config }
+            })
+        }
+        "execute" => parse_execute(doc).map(|r| Request::Execute(Box::new(r))),
+        "sweep-cell" => parse_sweep_cell(doc).map(|r| Request::SweepCell(Box::new(r))),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op `{other}` (compile|transform|execute|sweep-cell|stats|shutdown)"
+        )),
+    }
+}
+
+fn parse_execute(doc: &Json) -> Result<ExecuteRequest, String> {
+    let source = doc
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or("`source` must be a string")?
+        .to_string();
+    let config = config_from_json(doc)?;
+    let kernel = doc
+        .get("kernel")
+        .and_then(Json::as_str)
+        .ok_or("`kernel` must be a string")?
+        .to_string();
+    let grid = doc
+        .get("grid")
+        .and_then(Json::as_i64)
+        .ok_or("`grid` must be an integer")?;
+    let block = doc
+        .get("block")
+        .and_then(Json::as_i64)
+        .ok_or("`block` must be an integer")?;
+
+    let mut buffers = Vec::new();
+    for b in doc.get("buffers").and_then(Json::as_array).unwrap_or(&[]) {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("buffer needs a `name`")?
+            .to_string();
+        let data = if let Some(w) = b.get("words") {
+            let w = w.as_u64().ok_or("`words` must be a non-negative integer")?;
+            BufferData::Words(w as usize)
+        } else if let Some(ints) = b.get("ints").and_then(Json::as_array) {
+            BufferData::Ints(
+                ints.iter()
+                    .map(|v| v.as_i64())
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or("`ints` must be integers")?,
+            )
+        } else if let Some(floats) = b.get("floats").and_then(Json::as_array) {
+            BufferData::Floats(
+                floats
+                    .iter()
+                    .map(|v| v.as_f64())
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or("`floats` must be numbers")?,
+            )
+        } else {
+            return Err(format!(
+                "buffer `{name}` needs `words`, `ints`, or `floats`"
+            ));
+        };
+        buffers.push(BufferInit { name, data });
+    }
+
+    let mut args = Vec::new();
+    for a in doc.get("args").and_then(Json::as_array).unwrap_or(&[]) {
+        args.push(match a {
+            Json::Int(v) => Arg::Int(*v),
+            Json::Float(v) => Arg::Float(*v),
+            Json::Str(s) => {
+                let name = s
+                    .strip_prefix('@')
+                    .ok_or_else(|| format!("string arg `{s}` must be a `@buffer` reference"))?;
+                Arg::Buffer(name.to_string())
+            }
+            other => return Err(format!("bad arg {other} (number or \"@buffer\")")),
+        });
+    }
+
+    let mut reads = Vec::new();
+    for r in doc.get("read").and_then(Json::as_array).unwrap_or(&[]) {
+        reads.push(ReadSpec {
+            buffer: r
+                .get("buffer")
+                .and_then(Json::as_str)
+                .ok_or("read needs a `buffer`")?
+                .to_string(),
+            offset: r.get("offset").and_then(Json::as_u64).unwrap_or(0) as usize,
+            len: r
+                .get("len")
+                .and_then(Json::as_u64)
+                .ok_or("read needs a `len`")? as usize,
+            floats: r.get("floats") == Some(&Json::Bool(true)),
+        });
+    }
+
+    Ok(ExecuteRequest {
+        source,
+        config,
+        kernel,
+        grid,
+        block,
+        buffers,
+        args,
+        reads,
+    })
+}
+
+fn parse_sweep_cell(doc: &Json) -> Result<SweepCellRequest, String> {
+    let benchmark = doc
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or("`benchmark` must be a string")?
+        .to_string();
+    let d = doc.get("dataset").ok_or("sweep-cell needs a `dataset`")?;
+    let id_name = d
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("dataset needs an `id` string")?;
+    let id = dataset_by_name(id_name).ok_or_else(|| format!("unknown dataset `{id_name}`"))?;
+    let scale = d
+        .get("scale")
+        .map(|v| v.as_f64().ok_or("`scale` must be a number"))
+        .transpose()?
+        .unwrap_or(0.05);
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err(format!("`scale` must be in (0, 1], got {scale}"));
+    }
+    let seed = d
+        .get("seed")
+        .map(|v| v.as_u64().ok_or("`seed` must be a non-negative integer"))
+        .transpose()?
+        .unwrap_or(42);
+    let v = doc.get("variant").ok_or("sweep-cell needs a `variant`")?;
+    let (variant, default_label) = if v.get("no_cdp") == Some(&Json::Bool(true)) {
+        (Variant::NoCdp, "No CDP".to_string())
+    } else {
+        let config = config_from_json(v)?;
+        let label = config.label();
+        (Variant::Cdp(config), label)
+    };
+    let label = v
+        .get("label")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .unwrap_or(default_label);
+    Ok(SweepCellRequest {
+        benchmark,
+        dataset: DatasetSpec::table(id, scale, seed),
+        label,
+        variant,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Request builders (client side)
+// ----------------------------------------------------------------------
+
+/// The configuration members of a request object, in the shape
+/// [`config_from_json`] parses.
+pub fn config_members(config: &OptConfig) -> Vec<(&'static str, Json)> {
+    let mut members = Vec::new();
+    if let Some(t) = config.threshold {
+        members.push(("threshold", Json::Int(t)));
+    }
+    if let Some(c) = config.coarsen_factor {
+        members.push(("coarsen", Json::Int(c)));
+    }
+    if let Some(agg) = &config.aggregation {
+        members.push((
+            "agg",
+            Json::Str(dp_sweep::key::canonical_granularity(agg.granularity)),
+        ));
+        if let Some(t) = agg.agg_threshold {
+            members.push(("agg_threshold", Json::Int(t)));
+        }
+    }
+    members
+}
+
+/// Builds a `compile` or `transform` request.
+pub fn source_request(op: &'static str, source: &str, config: &OptConfig) -> Json {
+    let mut members = vec![
+        ("op", Json::Str(op.to_string())),
+        ("source", Json::Str(source.to_string())),
+    ];
+    members.extend(config_members(config));
+    object(members)
+}
+
+/// Builds a `sweep-cell` request for a Table-I dataset cell.
+pub fn sweep_cell_request(
+    benchmark: &str,
+    dataset_id: &str,
+    scale: f64,
+    seed: u64,
+    label: &str,
+    variant: &Variant,
+) -> Json {
+    let mut vmembers = vec![("label", Json::Str(label.to_string()))];
+    match variant {
+        Variant::NoCdp => vmembers.push(("no_cdp", Json::Bool(true))),
+        Variant::Cdp(config) => vmembers.extend(config_members(config)),
+    }
+    object([
+        ("op", Json::Str("sweep-cell".to_string())),
+        ("benchmark", Json::Str(benchmark.to_string())),
+        (
+            "dataset",
+            object([
+                ("id", Json::Str(dataset_id.to_string())),
+                ("scale", json::num(scale)),
+                ("seed", json::uint(seed)),
+            ]),
+        ),
+        ("variant", object(vmembers)),
+    ])
+}
+
+/// Builds a bare request for an op with no members (`stats`, `shutdown`).
+pub fn bare_request(op: &'static str) -> Json {
+    object([("op", Json::Str(op.to_string()))])
+}
+
+// ----------------------------------------------------------------------
+// Response builders (server side)
+// ----------------------------------------------------------------------
+
+/// A successful response: `ok:true` + the op's members + the echoed id.
+pub fn ok_response(id: Option<&Json>, members: Vec<(&'static str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(members);
+    let mut v = object(all);
+    if let (Json::Object(map), Some(id)) = (&mut v, id) {
+        map.insert("id".to_string(), id.clone());
+    }
+    v
+}
+
+/// An error response: `ok:false` + the message + the echoed id.
+pub fn error_response(id: Option<&Json>, message: &str) -> Json {
+    let mut v = object([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ]);
+    if let (Json::Object(map), Some(id)) = (&mut v, id) {
+        map.insert("id".to_string(), id.clone());
+    }
+    v
+}
+
+// ----------------------------------------------------------------------
+// Line framing
+// ----------------------------------------------------------------------
+
+/// Writes one value as an NDJSON line and flushes.
+pub fn write_line(w: &mut impl Write, value: &Json) -> std::io::Result<()> {
+    let mut text = value.to_string();
+    text.push('\n');
+    w.write_all(text.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one NDJSON line; `None` on clean EOF.
+pub fn read_line(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    Ok(Some(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::{AggConfig, AggGranularity};
+
+    #[test]
+    fn endpoints_parse() {
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7477").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7477".to_string())
+        );
+        #[cfg(unix)]
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/dp.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/dp.sock"))
+        );
+        assert!(Endpoint::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn compile_request_round_trips() {
+        let config = OptConfig::none()
+            .threshold(64)
+            .coarsen_factor(4)
+            .aggregation(AggConfig {
+                granularity: AggGranularity::MultiBlock(8),
+                agg_threshold: Some(2),
+            });
+        let line = source_request("compile", "__global__ void k() {}", &config).to_string();
+        let parsed = parse_request(&line);
+        let Ok(Request::Compile { source, config: c }) = parsed.body else {
+            panic!("{:?}", parsed.body)
+        };
+        assert_eq!(source, "__global__ void k() {}");
+        assert_eq!(c, config);
+    }
+
+    #[test]
+    fn execute_request_parses() {
+        let line = r#"{"op":"execute","source":"s","kernel":"k","grid":2,"block":32,
+            "buffers":[{"name":"d","words":8},{"name":"e","ints":[1,2]},{"name":"f","floats":[0.5]}],
+            "args":["@d",7,0.25,"@e"],
+            "read":[{"buffer":"d","len":8},{"buffer":"f","len":1,"offset":0,"floats":true}],
+            "id":42}"#;
+        let parsed = parse_request(line);
+        assert_eq!(parsed.id, Some(Json::Int(42)));
+        let Ok(Request::Execute(req)) = parsed.body else {
+            panic!("{:?}", parsed.body)
+        };
+        assert_eq!(req.kernel, "k");
+        assert_eq!(req.buffers.len(), 3);
+        assert_eq!(req.args[0], Arg::Buffer("d".to_string()));
+        assert_eq!(req.args[1], Arg::Int(7));
+        assert_eq!(req.args[2], Arg::Float(0.25));
+        assert!(req.reads[1].floats);
+    }
+
+    #[test]
+    fn sweep_cell_request_round_trips() {
+        let variant = Variant::Cdp(OptConfig::none().threshold(128));
+        let line = sweep_cell_request("BFS", "KRON", 0.002, 42, "CDP+T", &variant).to_string();
+        let parsed = parse_request(&line);
+        let Ok(Request::SweepCell(req)) = parsed.body else {
+            panic!("{:?}", parsed.body)
+        };
+        assert_eq!(req.benchmark, "BFS");
+        assert_eq!(req.label, "CDP+T");
+        assert!(matches!(req.variant, Variant::Cdp(c) if c.threshold == Some(128)));
+        assert!(matches!(
+            req.dataset,
+            DatasetSpec::Table { scale, seed, .. } if scale == 0.002 && seed == 42
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_keep_their_id() {
+        let parsed = parse_request(r#"{"op":"explode","id":"x7"}"#);
+        assert_eq!(parsed.id, Some(Json::Str("x7".to_string())));
+        assert!(parsed.body.unwrap_err().contains("unknown op"));
+
+        let parsed = parse_request("not json");
+        assert!(parsed.id.is_none());
+        assert!(parsed.body.is_err());
+    }
+
+    #[test]
+    fn responses_echo_ids_deterministically() {
+        let ok = ok_response(Some(&Json::Int(3)), vec![("x", Json::Int(1))]);
+        assert_eq!(ok.to_string(), r#"{"id":3,"ok":true,"x":1}"#);
+        let err = error_response(None, "boom");
+        assert_eq!(err.to_string(), r#"{"error":"boom","ok":false}"#);
+    }
+
+    #[test]
+    fn dangling_agg_threshold_is_rejected() {
+        let parsed = parse_request(r#"{"op":"compile","source":"s","agg_threshold":4}"#);
+        assert!(parsed.body.unwrap_err().contains("`agg_threshold` needs"));
+    }
+}

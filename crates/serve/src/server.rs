@@ -1,0 +1,601 @@
+//! The daemon: accept loop, per-connection sessions, request dispatch, and
+//! graceful drain.
+//!
+//! Threading model: the accept loop runs on the caller of
+//! [`Server::serve`]; each connection gets a lightweight session thread
+//! that reads requests and writes responses **in order**. Compilation runs
+//! on the session thread (deduplicated by the single-flight
+//! [`CompiledCache`], so concurrent identical compiles cost one compile);
+//! execution — the CPU-heavy part — is scheduled onto the persistent
+//! [`Pool`], whose size is drawn from the shared `DPOPT_JOBS` budget.
+//! Execution never re-enters the pool from a pool worker (compiles happen
+//! before the job is submitted), so the pool cannot deadlock on itself.
+//!
+//! Graceful drain: a `shutdown` request stops new work (subsequent
+//! requests answer an `ok:false` "draining" error), waits until every
+//! in-flight request has **written its response**, then answers the
+//! shutdown and wakes the accept loop to exit. In-flight work is never
+//! dropped.
+
+use crate::cache::CompiledCache;
+use crate::pool::Pool;
+use crate::proto::{
+    self, Arg, BufferData, Endpoint, ExecuteRequest, ParsedRequest, Request, Stream,
+    SweepCellRequest,
+};
+use dp_core::{Compiler, OptConfig, SharedCompiled, TimingParams};
+use dp_sweep::json::{self, object, Json};
+use dp_sweep::{cache as sweep_cache, key};
+use dp_workloads::benchmarks::{all_benchmarks, Variant};
+use dp_workloads::BenchInput;
+use std::collections::{BTreeMap, HashMap};
+use std::io::BufReader;
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads for the execution pool; `0` draws the configured
+    /// `DPOPT_JOBS` count from the shared budget.
+    pub jobs: usize,
+    /// Compiled-program cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            jobs: 0,
+            cache_capacity: 64,
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+struct State {
+    cache: CompiledCache,
+    pool: Pool,
+    datasets: Mutex<HashMap<String, Arc<BenchInput>>>,
+    requests: Mutex<BTreeMap<String, u64>>,
+    draining: AtomicBool,
+    inflight: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl State {
+    /// Marks one request in flight, unless the server is draining. The
+    /// draining check and the increment happen under the `inflight` lock —
+    /// the same lock [`State::drain`] waits on — so a request is either
+    /// refused or fully counted before a drain can observe the count;
+    /// there is no window where a shutdown completes with an admitted
+    /// request still running.
+    fn begin_request(self: &Arc<Self>) -> Option<InflightGuard> {
+        let mut inflight = self.inflight.lock().unwrap();
+        if self.draining.load(Ordering::SeqCst) {
+            return None;
+        }
+        *inflight += 1;
+        Some(InflightGuard {
+            state: Arc::clone(self),
+        })
+    }
+
+    fn count_request(&self, op: &str) {
+        *self
+            .requests
+            .lock()
+            .unwrap()
+            .entry(op.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Stops new work and blocks until every in-flight request has written
+    /// its response. Idempotent; safe to call from several sessions.
+    fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let mut inflight = self.inflight.lock().unwrap();
+        while *inflight > 0 {
+            inflight = self.drained.wait(inflight).unwrap();
+        }
+    }
+
+    /// The materialized input for a Table-I dataset spec, memoized by its
+    /// canonical identity. The map is small (a handful of datasets exist)
+    /// but still bounded defensively.
+    fn dataset(&self, spec: &dp_sweep::DatasetSpec) -> Arc<BenchInput> {
+        let canon = key::canonical_dataset(spec);
+        if let Some(input) = self.datasets.lock().unwrap().get(&canon) {
+            return Arc::clone(input);
+        }
+        // Instantiate outside the lock (generation can be slow); a racing
+        // session may duplicate the work once, after which the map serves.
+        let input = match spec {
+            dp_sweep::DatasetSpec::Table { id, scale, seed } => {
+                Arc::new(id.instantiate(*scale, *seed))
+            }
+            dp_sweep::DatasetSpec::Provided { input, .. } => Arc::clone(input),
+        };
+        let mut map = self.datasets.lock().unwrap();
+        if map.len() >= 32 {
+            map.clear();
+        }
+        map.entry(canon).or_insert_with(|| Arc::clone(&input));
+        input
+    }
+}
+
+/// Decrements the in-flight count (and wakes a drainer) on drop — after
+/// the session has written the response, because the guard is held across
+/// the write.
+struct InflightGuard {
+    state: Arc<State>,
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let mut inflight = self.state.inflight.lock().unwrap();
+        *inflight -= 1;
+        if *inflight == 0 {
+            self.state.drained.notify_all();
+        }
+    }
+}
+
+/// A bound, not-yet-serving server. Splitting bind from
+/// [`Server::serve`] lets callers learn the actual address (port 0 binds)
+/// before the accept loop starts.
+pub struct Server {
+    listener: Listener,
+    state: Arc<State>,
+    endpoint: Endpoint,
+}
+
+impl Server {
+    /// Binds a listener and builds the shared state (pool + caches).
+    pub fn bind(endpoint: &Endpoint, options: &ServeOptions) -> std::io::Result<Server> {
+        let (listener, actual) = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                let actual = Endpoint::Tcp(listener.local_addr()?.to_string());
+                (Listener::Tcp(listener), actual)
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // A stale socket file from a previous run would fail the
+                // bind; replace it.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                (
+                    Listener::Unix(listener, path.clone()),
+                    Endpoint::Unix(path.clone()),
+                )
+            }
+        };
+        let state = Arc::new(State {
+            cache: CompiledCache::new(options.cache_capacity),
+            pool: Pool::with_budget(options.jobs),
+            datasets: Mutex::new(HashMap::new()),
+            requests: Mutex::new(BTreeMap::new()),
+            draining: AtomicBool::new(false),
+            inflight: Mutex::new(0),
+            drained: Condvar::new(),
+        });
+        Ok(Server {
+            listener,
+            state,
+            endpoint: actual,
+        })
+    }
+
+    /// The endpoint actually bound (resolves `:0` TCP binds).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Accepts and serves connections until a `shutdown` request drains
+    /// the server. Blocks the calling thread.
+    pub fn serve(self) -> std::io::Result<()> {
+        let endpoint = self.endpoint.clone();
+        match &self.listener {
+            Listener::Tcp(listener) => {
+                for stream in listener.incoming() {
+                    if self.state.draining.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        spawn_session(Arc::clone(&self.state), Stream::Tcp(stream), &endpoint);
+                    }
+                }
+            }
+            #[cfg(unix)]
+            Listener::Unix(listener, _) => {
+                for stream in listener.incoming() {
+                    if self.state.draining.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        spawn_session(Arc::clone(&self.state), Stream::Unix(stream), &endpoint);
+                    }
+                }
+            }
+        }
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+fn spawn_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) {
+    let endpoint = endpoint.clone();
+    std::thread::Builder::new()
+        .name("dp-serve-session".to_string())
+        .spawn(move || {
+            let _ = run_session(state, stream, &endpoint);
+        })
+        .expect("spawn session thread");
+}
+
+/// Serves one connection: requests in, responses out, strictly in order.
+fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(line) = proto::read_line(&mut reader)? {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ParsedRequest { id, body } = proto::parse_request(&line);
+        let response = match body {
+            Err(e) => proto::error_response(id.as_ref(), &e),
+            Ok(Request::Shutdown) => {
+                state.count_request("shutdown");
+                state.drain();
+                let response = proto::ok_response(
+                    id.as_ref(),
+                    vec![
+                        ("drained", Json::Bool(true)),
+                        ("op", Json::Str("shutdown".to_string())),
+                    ],
+                );
+                proto::write_line(&mut writer, &response)?;
+                // The accept loop is blocked in `accept`; a throwaway
+                // connection wakes it so it can observe `draining` and exit.
+                let _ = wake_endpoint(endpoint).connect();
+                return Ok(());
+            }
+            Ok(Request::Stats) => {
+                state.count_request("stats");
+                stats_response(&state, id.as_ref())
+            }
+            Ok(request) => match state.begin_request() {
+                None => proto::error_response(id.as_ref(), "server is draining"),
+                Some(guard) => {
+                    state.count_request(op_name(&request));
+                    let response = dispatch(&state, request, id.as_ref());
+                    proto::write_line(&mut writer, &response)?;
+                    drop(guard); // response is on the wire: now drainable
+                    continue;
+                }
+            },
+        };
+        proto::write_line(&mut writer, &response)?;
+    }
+    Ok(())
+}
+
+/// The address a session connects to in order to wake the accept loop: a
+/// wildcard bind (`0.0.0.0`, `[::]`) is not connectable on every platform,
+/// so the wake goes to the loopback of the same family and port.
+fn wake_endpoint(bound: &Endpoint) -> Endpoint {
+    match bound {
+        Endpoint::Tcp(addr) => {
+            if let Some(port) = addr.strip_prefix("0.0.0.0:") {
+                Endpoint::Tcp(format!("127.0.0.1:{port}"))
+            } else if let Some(port) = addr.strip_prefix("[::]:") {
+                Endpoint::Tcp(format!("[::1]:{port}"))
+            } else {
+                bound.clone()
+            }
+        }
+        #[cfg(unix)]
+        Endpoint::Unix(_) => bound.clone(),
+    }
+}
+
+fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Compile { .. } => "compile",
+        Request::Transform { .. } => "transform",
+        Request::Execute(_) => "execute",
+        Request::SweepCell(_) => "sweep-cell",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Compiles through the single-flight cache (on the session thread — never
+/// from a pool worker, see module docs).
+fn cached_compile(
+    state: &State,
+    source: &str,
+    config: &OptConfig,
+) -> (u64, Result<SharedCompiled, String>) {
+    let compile_key = key::compiled_key(source, config);
+    let result = state.cache.get_or_compile(compile_key, || {
+        Compiler::new()
+            .config(*config)
+            .compile(source)
+            .map(|c| c.into_shared())
+            .map_err(|e| e.to_string())
+    });
+    (compile_key, result)
+}
+
+fn dispatch(state: &Arc<State>, request: Request, id: Option<&Json>) -> Json {
+    match request {
+        Request::Compile { source, config } => {
+            let (compile_key, result) = cached_compile(state, &source, &config);
+            match result {
+                Err(e) => proto::error_response(id, &e),
+                Ok(compiled) => {
+                    let kernels: Vec<Json> = compiled
+                        .program()
+                        .functions()
+                        .filter(|f| f.is_kernel())
+                        .map(|f| Json::Str(f.name.clone()))
+                        .collect();
+                    proto::ok_response(
+                        id,
+                        vec![
+                            ("diagnostics", diagnostics_json(&compiled)),
+                            ("kernels", Json::Array(kernels)),
+                            ("key", Json::Str(format!("{compile_key:016x}"))),
+                            ("op", Json::Str("compile".to_string())),
+                        ],
+                    )
+                }
+            }
+        }
+        Request::Transform { source, config } => {
+            let (_, result) = cached_compile(state, &source, &config);
+            match result {
+                Err(e) => proto::error_response(id, &e),
+                Ok(compiled) => proto::ok_response(
+                    id,
+                    vec![
+                        ("diagnostics", diagnostics_json(&compiled)),
+                        ("op", Json::Str("transform".to_string())),
+                        (
+                            "source",
+                            Json::Str(compiled.transformed_source().to_string()),
+                        ),
+                    ],
+                ),
+            }
+        }
+        Request::Execute(request) => {
+            let (_, result) = cached_compile(state, &request.source, &request.config);
+            match result {
+                Err(e) => proto::error_response(id, &e),
+                Ok(compiled) => {
+                    let outcome = state.pool.run(move || run_execute(&compiled, &request));
+                    match flatten_panic(outcome) {
+                        Ok(members) => proto::ok_response(id, members),
+                        Err(e) => proto::error_response(id, &e),
+                    }
+                }
+            }
+        }
+        Request::SweepCell(request) => run_sweep_cell(state, *request, id),
+        // Handled in `run_session`; kept for exhaustiveness.
+        Request::Stats => stats_response(state, id),
+        Request::Shutdown => proto::error_response(id, "unreachable"),
+    }
+}
+
+fn diagnostics_json(compiled: &SharedCompiled) -> Json {
+    Json::Array(
+        compiled
+            .manifest()
+            .diagnostics
+            .iter()
+            .map(|d| Json::Str(d.to_string()))
+            .collect(),
+    )
+}
+
+/// Surfaces a pool-job panic as a deterministic error string.
+fn flatten_panic<T>(outcome: std::thread::Result<Result<T, String>>) -> Result<T, String> {
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic".to_string());
+            Err(format!("request panicked: {msg}"))
+        }
+    }
+}
+
+/// The execution half of an `execute` request, run on a pool worker.
+fn run_execute(
+    compiled: &SharedCompiled,
+    request: &ExecuteRequest,
+) -> Result<Vec<(&'static str, Json)>, String> {
+    let mut exec = compiled.executor();
+    let mut buffers: HashMap<&str, i64> = HashMap::new();
+    for buffer in &request.buffers {
+        let ptr = match &buffer.data {
+            BufferData::Words(words) => exec.alloc(*words),
+            BufferData::Ints(values) => exec.alloc_i64s(values),
+            BufferData::Floats(values) => exec.alloc_f64s(values),
+        };
+        if buffers.insert(&buffer.name, ptr).is_some() {
+            return Err(format!("duplicate buffer `{}`", buffer.name));
+        }
+    }
+    let resolve = |name: &str| -> Result<i64, String> {
+        buffers
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("unknown buffer `@{name}`"))
+    };
+    let args: Vec<dp_vm::Value> = request
+        .args
+        .iter()
+        .map(|arg| {
+            Ok(match arg {
+                Arg::Int(v) => dp_vm::Value::Int(*v),
+                Arg::Float(v) => dp_vm::Value::Float(*v),
+                Arg::Buffer(name) => dp_vm::Value::Int(resolve(name)?),
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    exec.launch(&request.kernel, request.grid, request.block, &args)
+        .map_err(|e| e.to_string())?;
+    exec.sync().map_err(|e| e.to_string())?;
+
+    let mut outputs = Vec::new();
+    for read in &request.reads {
+        let ptr = resolve(&read.buffer)? + read.offset as i64;
+        let values = if read.floats {
+            let floats = exec
+                .read_f64s(ptr, read.len)
+                .map_err(|e| format!("read `{}`: {e}", read.buffer))?;
+            (
+                "floats",
+                Json::Array(floats.into_iter().map(json::num).collect()),
+            )
+        } else {
+            let ints = exec
+                .read_i64s(ptr, read.len)
+                .map_err(|e| format!("read `{}`: {e}", read.buffer))?;
+            (
+                "ints",
+                Json::Array(ints.into_iter().map(Json::Int).collect()),
+            )
+        };
+        outputs.push(object([("buffer", Json::Str(read.buffer.clone())), values]));
+    }
+
+    let report = exec.finish();
+    let sim = report.simulate(&TimingParams::default());
+    Ok(vec![
+        ("device_launches", json::uint(report.stats.device_launches)),
+        ("host_launches", json::uint(sim.host_launches as u64)),
+        ("instructions", json::uint(report.stats.instructions)),
+        ("op", Json::Str("execute".to_string())),
+        ("outputs", Json::Array(outputs)),
+        ("total_us", json::num(sim.total_us)),
+    ])
+}
+
+/// One sweep cell: compile through the cache, memoized dataset, execution
+/// on the pool, summarized through the sweep engine's single path.
+fn run_sweep_cell(state: &Arc<State>, request: SweepCellRequest, id: Option<&Json>) -> Json {
+    let bench = match all_benchmarks()
+        .into_iter()
+        .find(|b| b.name() == request.benchmark)
+    {
+        Some(b) => b,
+        None => {
+            return proto::error_response(id, &format!("unknown benchmark `{}`", request.benchmark))
+        }
+    };
+    let (source, config) = match request.variant {
+        Variant::NoCdp => (bench.no_cdp_source(), OptConfig::none()),
+        Variant::Cdp(config) => (bench.cdp_source(), config),
+    };
+    let (_, result) = cached_compile(state, source, &config);
+    let compiled = match result {
+        Ok(c) => c,
+        Err(e) => return proto::error_response(id, &e),
+    };
+    let input = state.dataset(&request.dataset);
+    let cell_key = key::cell_key(
+        &request.benchmark,
+        source,
+        &request.variant,
+        &request.dataset,
+        &TimingParams::default(),
+        &dp_vm::bytecode::CostModel::default(),
+    );
+    let label = request.label.clone();
+    let outcome = state.pool.run(move || {
+        dp_sweep::execute_cell(
+            bench.as_ref(),
+            &label,
+            &compiled,
+            &input,
+            &TimingParams::default(),
+        )
+        .map_err(|e| e.to_string())
+    });
+    match flatten_panic(outcome) {
+        Err(e) => proto::error_response(id, &e),
+        Ok(summary) => {
+            let mut v = sweep_cache::summary_json(cell_key, &summary);
+            if let Json::Object(map) = &mut v {
+                map.insert("benchmark".to_string(), Json::Str(request.benchmark));
+                map.insert(
+                    "dataset".to_string(),
+                    Json::Str(key::canonical_dataset(&request.dataset)),
+                );
+                map.insert("label".to_string(), Json::Str(request.label));
+                map.insert("ok".to_string(), Json::Bool(true));
+                map.insert("op".to_string(), Json::Str("sweep-cell".to_string()));
+                if let Some(id) = id {
+                    map.insert("id".to_string(), id.clone());
+                }
+            }
+            v
+        }
+    }
+}
+
+/// Live counters — deliberately **outside** the determinism contract.
+fn stats_response(state: &Arc<State>, id: Option<&Json>) -> Json {
+    let cache = state.cache.stats();
+    let requests = state.requests.lock().unwrap();
+    let request_counts = Json::Object(
+        requests
+            .iter()
+            .map(|(op, n)| (op.clone(), json::uint(*n)))
+            .collect(),
+    );
+    proto::ok_response(
+        id,
+        vec![
+            (
+                "compiled_cache",
+                object([
+                    ("entries", json::uint(cache.entries as u64)),
+                    ("evictions", json::uint(cache.evictions)),
+                    ("hits", json::uint(cache.hits)),
+                    ("misses", json::uint(cache.misses)),
+                    ("singleflight_waits", json::uint(cache.singleflight_waits)),
+                ]),
+            ),
+            (
+                "inflight",
+                json::uint(*state.inflight.lock().unwrap() as u64),
+            ),
+            ("jobs", json::uint(state.pool.threads() as u64)),
+            ("op", Json::Str("stats".to_string())),
+            ("requests", request_counts),
+        ],
+    )
+}

@@ -1,0 +1,228 @@
+//! The serve determinism contract, end to end over real sockets.
+//!
+//! For a fixed request set, response bytes must be identical across:
+//! {cold cache, warm cache} × {1 client, 8 concurrent clients}. The warm
+//! phase must be 100% compiled-cache hits, concurrent identical compiles
+//! must be single-flight (total misses == distinct compilations across the
+//! whole test), and `shutdown` must drain in-flight requests before the
+//! listener closes.
+
+use dp_serve::proto::{bare_request, Endpoint};
+use dp_serve::{Client, ServeOptions, Server};
+use dp_sweep::json::Json;
+
+/// A source with real dynamic parallelism so execute responses exercise
+/// the machine, the simulator, and the launch accounting.
+const SRC: &str = "__global__ void child(int* d, int n) { \
+     int i = blockIdx.x * blockDim.x + threadIdx.x; \
+     if (i < n) { atomicAdd(&d[i], 1); } }\n\
+ __global__ void parent(int* d, int* offsets, int numV) { \
+     int v = blockIdx.x * blockDim.x + threadIdx.x; \
+     if (v < numV) { \
+         int count = offsets[v + 1] - offsets[v]; \
+         if (count > 0) { child<<<(count + 31) / 32, 32>>>(d, count); } } }";
+
+/// The fixed request set: every deterministic op, mixed configurations,
+/// malformed lines included (their error responses are part of the
+/// contract too). Built as raw NDJSON so the bytes on the wire are pinned.
+fn request_set() -> Vec<String> {
+    let src = Json::Str(SRC.to_string()).to_string();
+    vec![
+        format!(r#"{{"op":"compile","source":{src},"id":1}}"#),
+        format!(r#"{{"op":"compile","source":{src},"threshold":32,"id":2}}"#),
+        format!(r#"{{"op":"transform","source":{src},"threshold":32,"coarsen":2,"id":3}}"#),
+        format!(
+            r#"{{"op":"execute","source":{src},"kernel":"parent","grid":2,"block":4,
+                "buffers":[{{"name":"d","words":8}},{{"name":"offs","ints":[0,3,4,8,9,11,12]}}],
+                "args":["@d","@offs",6],
+                "read":[{{"buffer":"d","len":8}}],"id":4}}"#
+        )
+        .replace('\n', " "),
+        format!(
+            r#"{{"op":"execute","source":{src},"threshold":32,"kernel":"parent","grid":2,"block":4,
+                "buffers":[{{"name":"d","words":8}},{{"name":"offs","ints":[0,3,4,8,9,11,12]}}],
+                "args":["@d","@offs",6],
+                "read":[{{"buffer":"d","len":8}}],"id":5}}"#
+        )
+        .replace('\n', " "),
+        r#"{"op":"sweep-cell","benchmark":"BFS","dataset":{"id":"KRON","scale":0.002,"seed":42},"variant":{"label":"CDP"},"id":6}"#.to_string(),
+        r#"{"op":"sweep-cell","benchmark":"BFS","dataset":{"id":"KRON","scale":0.002,"seed":42},"variant":{"label":"CDP+T","threshold":128},"id":7}"#.to_string(),
+        // Error paths are deterministic responses too.
+        format!(r#"{{"op":"execute","source":{src},"kernel":"nope","grid":1,"block":1,"id":8}}"#),
+        r#"{"op":"compile","source":"__global__ void k( {","id":9}"#.to_string(),
+        r#"{"op":"warp-drive","id":10}"#.to_string(),
+    ]
+}
+
+/// Distinct compilations the set triggers: SRC×none, SRC×T32, SRC×T32+C2,
+/// the bad-parse source (errors cache too), and the BFS CDP sources
+/// (plain + T128). The valid `execute`/`sweep-cell` requests reuse keys
+/// compiled by earlier requests in the same pass.
+const DISTINCT_COMPILES: u64 = 6;
+
+fn run_set(endpoint: &Endpoint) -> Vec<String> {
+    let mut client = Client::connect(endpoint).expect("connect");
+    let mut responses = Vec::new();
+    for line in request_set() {
+        let response = client
+            .roundtrip_line(&line)
+            .expect("round-trip")
+            .expect("server answered");
+        responses.push(response);
+    }
+    responses
+}
+
+fn start_server() -> Endpoint {
+    let server = Server::bind(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        &ServeOptions {
+            jobs: 2,
+            cache_capacity: 64,
+        },
+    )
+    .expect("bind");
+    let endpoint = server.endpoint().clone();
+    std::thread::spawn(move || server.serve().expect("serve"));
+    endpoint
+}
+
+#[test]
+fn responses_are_byte_identical_cold_warm_and_concurrent() {
+    let endpoint = start_server();
+
+    // --- Cold pass: single client, empty caches.
+    let cold = run_set(&endpoint);
+    assert_eq!(cold.len(), request_set().len());
+    // Spot-check content so "identical" can't mean "identically wrong".
+    assert!(
+        cold[0].contains(r#""kernels":["child","parent"]"#),
+        "{}",
+        cold[0]
+    );
+    // d[i] counts the parents whose degree exceeds i (degrees 3,1,4,1,2,1).
+    assert!(
+        cold[3].contains(r#""ints":[6,3,2,1,0,0,0,0]"#),
+        "{}",
+        cold[3]
+    );
+    assert!(
+        cold[4].contains(r#""ints":[6,3,2,1,0,0,0,0]"#),
+        "{}",
+        cold[4]
+    );
+    assert!(cold[5].contains(r#""op":"sweep-cell""#), "{}", cold[5]);
+    assert!(cold[7].contains(r#""ok":false"#), "{}", cold[7]);
+    assert!(cold[8].contains(r#""ok":false"#), "{}", cold[8]);
+    assert!(cold[9].contains("unknown op"), "{}", cold[9]);
+    // Thresholding serializes every child here (all grids fit one block):
+    // identical results, different launch accounting.
+    assert!(cold[3].contains(r#""device_launches":6"#), "{}", cold[3]);
+    assert!(cold[4].contains(r#""device_launches":0"#), "{}", cold[4]);
+
+    // --- Warm pass: same client path, fully cached compiles.
+    let warm = run_set(&endpoint);
+    assert_eq!(cold, warm, "warm responses must be byte-identical");
+
+    // --- Concurrent pass: 8 clients, each firing the full set.
+    let concurrent: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| run_set(&endpoint))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, responses) in concurrent.iter().enumerate() {
+        assert_eq!(&cold, responses, "concurrent client {i} must match");
+    }
+
+    // --- Stats: the cold pass did all the compiling; everything after was
+    // a cache hit or a single-flight share. 10 passes of the set total.
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let stats = client.request(&bare_request("stats")).expect("stats");
+    let cache = stats.get("compiled_cache").expect("cache stats");
+    assert_eq!(
+        cache.get("misses").and_then(Json::as_u64),
+        Some(DISTINCT_COMPILES),
+        "every compile after the cold pass must be served: {stats}"
+    );
+    let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+    // Each pass touches 9 compile-keyed requests (ids 1-9; the unknown-op
+    // line never reaches the cache); 10 passes = 90 lookups, of which
+    // DISTINCT_COMPILES missed.
+    assert_eq!(hits, 90 - DISTINCT_COMPILES, "{stats}");
+    // Pool size is budget-dependent (a 1-CPU host grants no extra tokens,
+    // so `jobs: 2` may yield a 1-thread pool); only its floor is portable.
+    let jobs = stats.get("jobs").and_then(Json::as_u64).unwrap();
+    assert!((1..=2).contains(&jobs), "{stats}");
+
+    // --- Shutdown: drains, answers, closes the listener.
+    let down = client.request(&bare_request("shutdown")).expect("shutdown");
+    assert_eq!(down.get("drained"), Some(&Json::Bool(true)));
+    // The listener is gone: a fresh connection either refuses or closes
+    // without answering.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    match Client::connect(&endpoint) {
+        Err(_) => {}
+        Ok(mut late) => {
+            let outcome = late.request(&bare_request("stats"));
+            assert!(outcome.is_err(), "post-shutdown request must not be served");
+        }
+    }
+}
+
+#[test]
+fn shutdown_drains_inflight_requests_before_answering() {
+    let endpoint = start_server();
+
+    // A request that takes a while: a real sweep cell on a fresh server
+    // (cold compile + dataset instantiation + execution).
+    let slow = r#"{"op":"sweep-cell","benchmark":"BFS","dataset":{"id":"KRON","scale":0.002,"seed":7},"variant":{"label":"CDP"}}"#;
+
+    std::thread::scope(|scope| {
+        let slow_handle = scope.spawn(|| {
+            let mut client = Client::connect(&endpoint).expect("connect slow");
+            client
+                .roundtrip_line(slow)
+                .expect("slow round-trip")
+                .expect("slow answered")
+        });
+        // Give the slow request a head start so it is in flight when the
+        // shutdown lands.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let down = {
+            let mut client = Client::connect(&endpoint).expect("connect shutdown");
+            client.request(&bare_request("shutdown")).expect("shutdown")
+        };
+        assert_eq!(down.get("drained"), Some(&Json::Bool(true)));
+        let slow_response = slow_handle.join().unwrap();
+        assert!(
+            slow_response.contains(r#""ok":true"#),
+            "in-flight request must complete, not be dropped: {slow_response}"
+        );
+    });
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trips_and_cleans_up() {
+    let path = std::env::temp_dir().join(format!("dp-serve-test-{}.sock", std::process::id()));
+    let endpoint = Endpoint::Unix(path.clone());
+    let server = Server::bind(&endpoint, &ServeOptions::default()).expect("bind unix");
+    let endpoint = server.endpoint().clone();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let mut client = Client::connect(&endpoint).expect("connect unix");
+    let response = client
+        .request(&dp_serve::proto::source_request(
+            "transform",
+            "__global__ void k(int* d) { d[threadIdx.x] = 1; }",
+            &dp_core::OptConfig::none(),
+        ))
+        .expect("transform");
+    assert!(response
+        .get("source")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("__global__"));
+    client.request(&bare_request("shutdown")).expect("shutdown");
+    handle.join().unwrap();
+    assert!(!path.exists(), "socket file removed on clean shutdown");
+}

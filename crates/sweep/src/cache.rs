@@ -1,190 +1,23 @@
 //! Content-addressed result cache.
 //!
-//! Every sweep cell is keyed by a stable 64-bit FNV-1a hash over a
-//! canonical string of everything that determines its result:
-//!
-//! - the cache **format version** ([`CACHE_FORMAT_VERSION`] — bump when the
-//!   summary schema, the VM/simulator semantics, or the cost-model meaning
-//!   changes),
-//! - the **source text** the variant executes (CDP or No-CDP version of the
-//!   benchmark — editing a kernel invalidates exactly its cells),
-//! - the **variant configuration** (thresholding/coarsening/aggregation),
-//! - the **dataset identity** (Table-I id + scale + seed, or a content
-//!   digest for caller-provided inputs),
-//! - the **timing parameters** and **instruction cost model** (every field
-//!   value participates, so any recalibration recomputes).
+//! Every sweep cell is keyed by [`crate::key::cell_key`] — see that module
+//! for exactly which axes participate in the hash (it is the shared key
+//! definition between this on-disk cache and the `dp-serve` daemon's
+//! in-memory compiled-program cache).
 //!
 //! Summaries are persisted as one JSON file per cell under the cache
 //! directory (default `.dpopt-cache/`, override with `DPOPT_CACHE_DIR`).
 
+// The key helpers lived here before they were shared with dp-serve; the
+// old `cache::…` paths stay valid via this re-export.
+pub use crate::key::{
+    canonical_config, canonical_dataset, canonical_variant, cell_key, compiled_key, digest_input,
+    fnv1a, CACHE_FORMAT_VERSION,
+};
+
 use crate::json::{self, num, object, uint, Json};
-use crate::{CellSummary, DatasetSpec};
-use dp_core::{AggGranularity, OptConfig, TimingParams};
-use dp_vm::bytecode::CostModel;
-use dp_workloads::benchmarks::Variant;
-use dp_workloads::BenchInput;
+use crate::CellSummary;
 use std::path::{Path, PathBuf};
-
-/// Bump to invalidate every cached summary (schema or semantics change).
-pub const CACHE_FORMAT_VERSION: u32 = 1;
-
-/// 64-bit FNV-1a over a byte string — stable across builds and platforms.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// Content digest of a caller-provided input (used when a sweep runs on an
-/// in-memory dataset rather than a Table-I id).
-pub fn digest_input(input: &BenchInput) -> u64 {
-    // Each vector is written as `len[v0,v1,...];` so field boundaries are
-    // unambiguous — without the length prefix, moving an element between
-    // adjacent vectors would collide.
-    fn field(canon: &mut String, values: &[i64]) {
-        canon.push_str(&format!("{}[", values.len()));
-        for v in values {
-            canon.push_str(&format!("{v},"));
-        }
-        canon.push_str("];");
-    }
-    let mut canon = String::new();
-    match input {
-        BenchInput::Graph(g) => {
-            canon.push_str("graph;");
-            field(&mut canon, &g.offsets);
-            field(&mut canon, &g.edges);
-            field(&mut canon, &g.weights);
-        }
-        BenchInput::Sat(f) => {
-            canon.push_str(&format!("sat;vars={};", f.num_vars));
-            field(&mut canon, &f.clause_offsets);
-            field(&mut canon, &f.lits);
-            field(&mut canon, &f.signs);
-            field(&mut canon, &f.var_offsets);
-            field(&mut canon, &f.occ_clauses);
-        }
-        BenchInput::Bezier(b) => {
-            canon.push_str(&format!(
-                "bezier;tess={};curv={};",
-                b.max_tess,
-                b.curvature_scale.to_bits()
-            ));
-            canon.push_str(&format!("{}[", b.control_points.len()));
-            for p in &b.control_points {
-                canon.push_str(&format!("{},", p.to_bits()));
-            }
-            canon.push_str("];");
-        }
-    }
-    fnv1a(canon.as_bytes())
-}
-
-fn canonical_granularity(g: AggGranularity) -> String {
-    match g {
-        AggGranularity::Warp => "warp".to_string(),
-        AggGranularity::Block => "block".to_string(),
-        AggGranularity::MultiBlock(n) => format!("multiblock:{n}"),
-        AggGranularity::Grid => "grid".to_string(),
-    }
-}
-
-/// Canonical string for an optimization configuration.
-pub fn canonical_config(config: &OptConfig) -> String {
-    let agg = match &config.aggregation {
-        None => "none".to_string(),
-        Some(a) => format!(
-            "{}/{}",
-            canonical_granularity(a.granularity),
-            a.agg_threshold
-                .map_or("none".to_string(), |t| t.to_string())
-        ),
-    };
-    format!(
-        "t={};c={};a={}",
-        config
-            .threshold
-            .map_or("none".to_string(), |t| t.to_string()),
-        config
-            .coarsen_factor
-            .map_or("none".to_string(), |c| c.to_string()),
-        agg
-    )
-}
-
-fn canonical_variant(variant: &Variant) -> String {
-    match variant {
-        Variant::NoCdp => "nocdp".to_string(),
-        Variant::Cdp(config) => format!("cdp[{}]", canonical_config(config)),
-    }
-}
-
-fn canonical_timing(t: &TimingParams) -> String {
-    format!(
-        "sms={};bps={};tps={};ghz={};issue={};hll={};hso={};pipe={};bd={}",
-        t.num_sms,
-        t.max_blocks_per_sm,
-        t.max_threads_per_sm,
-        t.clock_ghz,
-        t.issue_slots_per_sm,
-        t.host_launch_latency_us,
-        t.host_sync_overhead_us,
-        t.device_launch_pipe_us,
-        t.block_dispatch_us
-    )
-}
-
-fn canonical_cost(c: &CostModel) -> String {
-    format!(
-        "alu={};mul={};div={};mem={};br={};call={};launch={};sync={};fence={};atomic={};intr={};lpo={}",
-        c.alu,
-        c.mul,
-        c.div,
-        c.mem,
-        c.branch,
-        c.call,
-        c.launch,
-        c.sync,
-        c.fence,
-        c.atomic,
-        c.intrinsic,
-        c.launch_presence_overhead
-    )
-}
-
-/// Canonical identity of a dataset spec (used both in cell keys and for
-/// engine-side dataset dedup — one definition so they can never diverge).
-pub fn canonical_dataset(dataset: &DatasetSpec) -> String {
-    match dataset {
-        DatasetSpec::Table { id, scale, seed } => {
-            format!("table[{};scale={scale};seed={seed}]", id.name())
-        }
-        DatasetSpec::Provided { digest, .. } => format!("provided[{digest:016x}]"),
-    }
-}
-
-/// Computes the content-addressed key of one cell.
-pub fn cell_key(
-    benchmark: &str,
-    source: &str,
-    variant: &Variant,
-    dataset: &DatasetSpec,
-    timing: &TimingParams,
-    cost: &CostModel,
-) -> u64 {
-    let canon = format!(
-        "v{CACHE_FORMAT_VERSION}|bench={benchmark}|src={:016x}|variant={}|dataset={}|timing={}|cost={}",
-        fnv1a(source.as_bytes()),
-        canonical_variant(variant),
-        canonical_dataset(dataset),
-        canonical_timing(timing),
-        canonical_cost(cost),
-    );
-    fnv1a(canon.as_bytes())
-}
 
 /// Cache hit/miss counters for one sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -242,50 +75,58 @@ pub fn load(dir: &Path, key: u64) -> Option<CellSummary> {
     let path = cell_path(dir, key);
     let text = std::fs::read_to_string(&path).ok()?;
     let v = json::parse(&text).ok()?;
+    let summary = summary_from_json(&v)?;
+    touch(&path);
+    Some(summary)
+}
+
+/// Parses the JSON form written by [`summary_json`] back into a
+/// [`CellSummary`] (label empty, `verified`/`from_cache` set as a cache hit
+/// would be). Returns `None` on schema or version mismatch — the inverse of
+/// [`summary_json`], shared by the disk cache and the `dp-serve` client.
+pub fn summary_from_json(v: &Json) -> Option<CellSummary> {
     if v.get("version")?.as_u64()? != CACHE_FORMAT_VERSION as u64 {
         return None;
     }
     let f = |name: &str| v.get(name)?.as_f64();
     let u = |name: &str| v.get(name)?.as_u64();
-    let summary = (|| {
-        Some(CellSummary {
-            label: String::new(),
-            total_us: f("total_us")?,
-            device_span_us: f("device_span_us")?,
-            parent_us: f("parent_us")?,
-            child_us: f("child_us")?,
-            launch_us: f("launch_us")?,
-            aggregation_us: f("aggregation_us")?,
-            disaggregation_us: f("disaggregation_us")?,
-            warp_avg_total_us: f("warp_avg_total_us")?,
-            device_launches: u("device_launches")?,
-            host_launches: u("host_launches")?,
-            origin_cycles_total: u("origin_cycles_total")?,
-            instructions: u("instructions")?,
-            output_ints: v
-                .get("output_ints")?
-                .as_array()?
-                .iter()
-                .map(|x| x.as_i64())
-                .collect::<Option<Vec<i64>>>()?,
-            output_floats: v
-                .get("output_floats")?
-                .as_array()?
-                .iter()
-                .map(|x| x.as_f64())
-                .collect::<Option<Vec<f64>>>()?,
-            verified: true,
-            from_cache: true,
-        })
-    })()?;
-    touch(&path);
-    Some(summary)
+    Some(CellSummary {
+        label: String::new(),
+        total_us: f("total_us")?,
+        device_span_us: f("device_span_us")?,
+        parent_us: f("parent_us")?,
+        child_us: f("child_us")?,
+        launch_us: f("launch_us")?,
+        aggregation_us: f("aggregation_us")?,
+        disaggregation_us: f("disaggregation_us")?,
+        warp_avg_total_us: f("warp_avg_total_us")?,
+        device_launches: u("device_launches")?,
+        host_launches: u("host_launches")?,
+        origin_cycles_total: u("origin_cycles_total")?,
+        instructions: u("instructions")?,
+        output_ints: v
+            .get("output_ints")?
+            .as_array()?
+            .iter()
+            .map(|x| x.as_i64())
+            .collect::<Option<Vec<i64>>>()?,
+        output_floats: v
+            .get("output_floats")?
+            .as_array()?
+            .iter()
+            .map(|x| x.as_f64())
+            .collect::<Option<Vec<f64>>>()?,
+        verified: true,
+        from_cache: true,
+    })
 }
 
-/// Persists a summary. Write errors are reported to stderr but do not fail
-/// the sweep (the cache is an accelerator, not a correctness dependency).
-pub fn store(dir: &Path, key: u64, summary: &CellSummary) {
-    let value = object([
+/// The persisted JSON form of a summary — the exact object [`store`]
+/// writes, also the payload of a `dp-serve` `sweep-cell` response (one
+/// serialization path, so a served cell and a cached cell can never
+/// disagree on a byte).
+pub fn summary_json(key: u64, summary: &CellSummary) -> Json {
+    object([
         ("version", uint(CACHE_FORMAT_VERSION as u64)),
         ("key", Json::Str(format!("{key:016x}"))),
         ("total_us", num(summary.total_us)),
@@ -308,7 +149,13 @@ pub fn store(dir: &Path, key: u64, summary: &CellSummary) {
             "output_floats",
             Json::Array(summary.output_floats.iter().map(|&v| num(v)).collect()),
         ),
-    ]);
+    ])
+}
+
+/// Persists a summary. Write errors are reported to stderr but do not fail
+/// the sweep (the cache is an accelerator, not a correctness dependency).
+pub fn store(dir: &Path, key: u64, summary: &CellSummary) {
+    let value = summary_json(key, summary);
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("[dp-sweep] cannot create cache dir {}: {e}", dir.display());
         return;
@@ -400,90 +247,6 @@ pub fn gc(dir: &Path, max_bytes: u64) -> std::io::Result<GcReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dp_workloads::datasets::DatasetId;
-
-    #[test]
-    fn fnv_is_stable() {
-        // Reference vectors for 64-bit FNV-1a.
-        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
-    }
-
-    fn sample_dataset() -> DatasetSpec {
-        DatasetSpec::Table {
-            id: DatasetId::Kron,
-            scale: 0.01,
-            seed: 42,
-        }
-    }
-
-    #[test]
-    fn keys_separate_every_axis() {
-        let base = cell_key(
-            "BFS",
-            "src",
-            &Variant::Cdp(OptConfig::none()),
-            &sample_dataset(),
-            &TimingParams::default(),
-            &CostModel::default(),
-        );
-        let variants: Vec<u64> = vec![
-            cell_key(
-                "BFS",
-                "src2",
-                &Variant::Cdp(OptConfig::none()),
-                &sample_dataset(),
-                &TimingParams::default(),
-                &CostModel::default(),
-            ),
-            cell_key(
-                "BFS",
-                "src",
-                &Variant::Cdp(OptConfig::none().threshold(8)),
-                &sample_dataset(),
-                &TimingParams::default(),
-                &CostModel::default(),
-            ),
-            cell_key(
-                "BFS",
-                "src",
-                &Variant::Cdp(OptConfig::none()),
-                &DatasetSpec::Table {
-                    id: DatasetId::Kron,
-                    scale: 0.01,
-                    seed: 43,
-                },
-                &TimingParams::default(),
-                &CostModel::default(),
-            ),
-            cell_key(
-                "BFS",
-                "src",
-                &Variant::Cdp(OptConfig::none()),
-                &sample_dataset(),
-                &TimingParams {
-                    device_launch_pipe_us: 0.0,
-                    ..TimingParams::default()
-                },
-                &CostModel::default(),
-            ),
-            cell_key(
-                "BFS",
-                "src",
-                &Variant::Cdp(OptConfig::none()),
-                &sample_dataset(),
-                &TimingParams::default(),
-                &CostModel {
-                    launch_presence_overhead: 0,
-                    ..CostModel::default()
-                },
-            ),
-        ];
-        for (i, v) in variants.iter().enumerate() {
-            assert_ne!(base, *v, "axis {i} must invalidate the key");
-        }
-    }
 
     #[test]
     fn store_and_load_round_trip() {

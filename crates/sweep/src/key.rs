@@ -1,0 +1,378 @@
+//! Content-addressed cache keys — the **single definition** of how a unit
+//! of work is hashed, shared by the on-disk sweep result cache
+//! ([`crate::cache`]) and the in-memory compiled-program cache of the
+//! `dp-serve` daemon. Both subsystems key by the same canonical strings and
+//! the same [`CACHE_FORMAT_VERSION`], so their notions of "identical work"
+//! can never drift apart.
+//!
+//! A key hashes, via stable 64-bit FNV-1a:
+//!
+//! - the cache **format version** ([`CACHE_FORMAT_VERSION`] — bump when the
+//!   summary schema, the VM/simulator semantics, or the cost-model meaning
+//!   changes),
+//! - the **source text** the variant executes (editing a kernel invalidates
+//!   exactly its cells),
+//! - the **variant configuration** (thresholding/coarsening/aggregation),
+//! - for full sweep cells, additionally the **dataset identity**
+//!   (Table-I id + scale + seed, or a content digest for caller-provided
+//!   inputs), the **timing parameters**, and the **instruction cost model**
+//!   (every field value participates, so any recalibration recomputes).
+//!
+//! The digests are pinned by unit tests below: changing any canonical
+//! string or the hash function is a format break and must come with a
+//! [`CACHE_FORMAT_VERSION`] bump.
+
+use crate::DatasetSpec;
+use dp_core::{AggGranularity, OptConfig, TimingParams};
+use dp_vm::bytecode::CostModel;
+use dp_workloads::benchmarks::Variant;
+use dp_workloads::BenchInput;
+
+/// Bump to invalidate every cached summary and compiled-program cache entry
+/// (schema or semantics change).
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over a byte string — stable across builds and platforms.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content digest of a caller-provided input (used when a sweep runs on an
+/// in-memory dataset rather than a Table-I id).
+pub fn digest_input(input: &BenchInput) -> u64 {
+    // Each vector is written as `len[v0,v1,...];` so field boundaries are
+    // unambiguous — without the length prefix, moving an element between
+    // adjacent vectors would collide.
+    fn field(canon: &mut String, values: &[i64]) {
+        canon.push_str(&format!("{}[", values.len()));
+        for v in values {
+            canon.push_str(&format!("{v},"));
+        }
+        canon.push_str("];");
+    }
+    let mut canon = String::new();
+    match input {
+        BenchInput::Graph(g) => {
+            canon.push_str("graph;");
+            field(&mut canon, &g.offsets);
+            field(&mut canon, &g.edges);
+            field(&mut canon, &g.weights);
+        }
+        BenchInput::Sat(f) => {
+            canon.push_str(&format!("sat;vars={};", f.num_vars));
+            field(&mut canon, &f.clause_offsets);
+            field(&mut canon, &f.lits);
+            field(&mut canon, &f.signs);
+            field(&mut canon, &f.var_offsets);
+            field(&mut canon, &f.occ_clauses);
+        }
+        BenchInput::Bezier(b) => {
+            canon.push_str(&format!(
+                "bezier;tess={};curv={};",
+                b.max_tess,
+                b.curvature_scale.to_bits()
+            ));
+            canon.push_str(&format!("{}[", b.control_points.len()));
+            for p in &b.control_points {
+                canon.push_str(&format!("{},", p.to_bits()));
+            }
+            canon.push_str("];");
+        }
+    }
+    fnv1a(canon.as_bytes())
+}
+
+/// Canonical string for an aggregation granularity — also the wire format
+/// of the serve protocol's `agg` member (one definition, guarded by the
+/// pinned-digest tests below).
+pub fn canonical_granularity(g: AggGranularity) -> String {
+    match g {
+        AggGranularity::Warp => "warp".to_string(),
+        AggGranularity::Block => "block".to_string(),
+        AggGranularity::MultiBlock(n) => format!("multiblock:{n}"),
+        AggGranularity::Grid => "grid".to_string(),
+    }
+}
+
+/// Canonical string for an optimization configuration.
+pub fn canonical_config(config: &OptConfig) -> String {
+    let agg = match &config.aggregation {
+        None => "none".to_string(),
+        Some(a) => format!(
+            "{}/{}",
+            canonical_granularity(a.granularity),
+            a.agg_threshold
+                .map_or("none".to_string(), |t| t.to_string())
+        ),
+    };
+    format!(
+        "t={};c={};a={}",
+        config
+            .threshold
+            .map_or("none".to_string(), |t| t.to_string()),
+        config
+            .coarsen_factor
+            .map_or("none".to_string(), |c| c.to_string()),
+        agg
+    )
+}
+
+/// Canonical string for a variant (No-CDP, or CDP with a configuration).
+pub fn canonical_variant(variant: &Variant) -> String {
+    match variant {
+        Variant::NoCdp => "nocdp".to_string(),
+        Variant::Cdp(config) => format!("cdp[{}]", canonical_config(config)),
+    }
+}
+
+/// Canonical string for the timing parameters (public so callers can
+/// compare models for equality — `TimingParams` has no `PartialEq`).
+pub fn canonical_timing(t: &TimingParams) -> String {
+    format!(
+        "sms={};bps={};tps={};ghz={};issue={};hll={};hso={};pipe={};bd={}",
+        t.num_sms,
+        t.max_blocks_per_sm,
+        t.max_threads_per_sm,
+        t.clock_ghz,
+        t.issue_slots_per_sm,
+        t.host_launch_latency_us,
+        t.host_sync_overhead_us,
+        t.device_launch_pipe_us,
+        t.block_dispatch_us
+    )
+}
+
+/// Canonical string for the instruction cost model (public for the same
+/// reason as [`canonical_timing`]).
+pub fn canonical_cost(c: &CostModel) -> String {
+    format!(
+        "alu={};mul={};div={};mem={};br={};call={};launch={};sync={};fence={};atomic={};intr={};lpo={}",
+        c.alu,
+        c.mul,
+        c.div,
+        c.mem,
+        c.branch,
+        c.call,
+        c.launch,
+        c.sync,
+        c.fence,
+        c.atomic,
+        c.intrinsic,
+        c.launch_presence_overhead
+    )
+}
+
+/// Canonical identity of a dataset spec (used both in cell keys and for
+/// engine-side dataset dedup — one definition so they can never diverge).
+pub fn canonical_dataset(dataset: &DatasetSpec) -> String {
+    match dataset {
+        DatasetSpec::Table { id, scale, seed } => {
+            format!("table[{};scale={scale};seed={seed}]", id.name())
+        }
+        DatasetSpec::Provided { digest, .. } => format!("provided[{digest:016x}]"),
+    }
+}
+
+/// Computes the content-addressed key of one sweep cell.
+pub fn cell_key(
+    benchmark: &str,
+    source: &str,
+    variant: &Variant,
+    dataset: &DatasetSpec,
+    timing: &TimingParams,
+    cost: &CostModel,
+) -> u64 {
+    let canon = format!(
+        "v{CACHE_FORMAT_VERSION}|bench={benchmark}|src={:016x}|variant={}|dataset={}|timing={}|cost={}",
+        fnv1a(source.as_bytes()),
+        canonical_variant(variant),
+        canonical_dataset(dataset),
+        canonical_timing(timing),
+        canonical_cost(cost),
+    );
+    fnv1a(canon.as_bytes())
+}
+
+/// Computes the content-addressed key of one **compilation**: source text +
+/// optimization configuration + [`CACHE_FORMAT_VERSION`]. This is the key
+/// of the `dp-serve` in-memory compiled-program cache — a strict prefix of
+/// the axes [`cell_key`] hashes, so a compilation shared by many cells is
+/// keyed identically everywhere.
+pub fn compiled_key(source: &str, config: &OptConfig) -> u64 {
+    let canon = format!(
+        "v{CACHE_FORMAT_VERSION}|src={:016x}|config={}",
+        fnv1a(source.as_bytes()),
+        canonical_config(config),
+    );
+    fnv1a(canon.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::AggConfig;
+    use dp_workloads::datasets::DatasetId;
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn canonical_strings_are_pinned() {
+        // These strings are the cache key *format*: any change here must
+        // come with a CACHE_FORMAT_VERSION bump.
+        assert_eq!(canonical_config(&OptConfig::none()), "t=none;c=none;a=none");
+        assert_eq!(
+            canonical_config(
+                &OptConfig::none()
+                    .threshold(128)
+                    .coarsen_factor(8)
+                    .aggregation(AggConfig {
+                        granularity: AggGranularity::MultiBlock(8),
+                        agg_threshold: Some(4),
+                    })
+            ),
+            "t=128;c=8;a=multiblock:8/4"
+        );
+        assert_eq!(canonical_variant(&Variant::NoCdp), "nocdp");
+        assert_eq!(
+            canonical_variant(&Variant::Cdp(OptConfig::none())),
+            "cdp[t=none;c=none;a=none]"
+        );
+        assert_eq!(
+            canonical_dataset(&DatasetSpec::Table {
+                id: DatasetId::Kron,
+                scale: 0.01,
+                seed: 42,
+            }),
+            "table[KRON;scale=0.01;seed=42]"
+        );
+    }
+
+    #[test]
+    fn compiled_key_digests_are_pinned() {
+        // Serve and sweep must agree on these forever (or bump the format
+        // version): the digests are data, not an implementation detail.
+        assert_eq!(
+            compiled_key("src", &OptConfig::none()),
+            0xe5d8_1251_f892_2a73
+        );
+        assert_eq!(
+            compiled_key("src", &OptConfig::none().threshold(8)),
+            0x5a80_78bc_7d28_3bff
+        );
+    }
+
+    fn sample_dataset() -> DatasetSpec {
+        DatasetSpec::Table {
+            id: DatasetId::Kron,
+            scale: 0.01,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn cell_key_digest_is_pinned() {
+        assert_eq!(
+            cell_key(
+                "BFS",
+                "src",
+                &Variant::Cdp(OptConfig::none()),
+                &sample_dataset(),
+                &TimingParams::default(),
+                &CostModel::default(),
+            ),
+            0x87a9_2283_a122_2f85
+        );
+    }
+
+    #[test]
+    fn keys_separate_every_axis() {
+        let base = cell_key(
+            "BFS",
+            "src",
+            &Variant::Cdp(OptConfig::none()),
+            &sample_dataset(),
+            &TimingParams::default(),
+            &CostModel::default(),
+        );
+        let variants: Vec<u64> = vec![
+            cell_key(
+                "BFS",
+                "src2",
+                &Variant::Cdp(OptConfig::none()),
+                &sample_dataset(),
+                &TimingParams::default(),
+                &CostModel::default(),
+            ),
+            cell_key(
+                "BFS",
+                "src",
+                &Variant::Cdp(OptConfig::none().threshold(8)),
+                &sample_dataset(),
+                &TimingParams::default(),
+                &CostModel::default(),
+            ),
+            cell_key(
+                "BFS",
+                "src",
+                &Variant::Cdp(OptConfig::none()),
+                &DatasetSpec::Table {
+                    id: DatasetId::Kron,
+                    scale: 0.01,
+                    seed: 43,
+                },
+                &TimingParams::default(),
+                &CostModel::default(),
+            ),
+            cell_key(
+                "BFS",
+                "src",
+                &Variant::Cdp(OptConfig::none()),
+                &sample_dataset(),
+                &TimingParams {
+                    device_launch_pipe_us: 0.0,
+                    ..TimingParams::default()
+                },
+                &CostModel::default(),
+            ),
+            cell_key(
+                "BFS",
+                "src",
+                &Variant::Cdp(OptConfig::none()),
+                &sample_dataset(),
+                &TimingParams::default(),
+                &CostModel {
+                    launch_presence_overhead: 0,
+                    ..CostModel::default()
+                },
+            ),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, *v, "axis {i} must invalidate the key");
+        }
+    }
+
+    #[test]
+    fn compiled_key_separates_source_and_config() {
+        let base = compiled_key("src", &OptConfig::none());
+        assert_ne!(base, compiled_key("src2", &OptConfig::none()));
+        assert_ne!(base, compiled_key("src", &OptConfig::none().threshold(8)));
+        assert_ne!(
+            base,
+            compiled_key(
+                "src",
+                &OptConfig::none().aggregation(AggConfig::new(AggGranularity::Block))
+            )
+        );
+    }
+}

@@ -46,9 +46,11 @@
 
 pub mod cache;
 pub mod json;
+pub mod key;
 pub mod spec;
 
-pub use cache::{digest_input, CacheStats, CACHE_FORMAT_VERSION};
+pub use cache::CacheStats;
+pub use key::{digest_input, CACHE_FORMAT_VERSION};
 pub use spec::spec_from_json;
 
 use dp_core::{Compiler, Error, TimingParams};
@@ -596,12 +598,26 @@ fn run_cell(
             }
         }
     };
+    execute_cell(bench, &vspec.label, &compiled, input, timing)
+        .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), vspec.label))
+}
+
+/// Runs one benchmark cell against an already-compiled program and
+/// summarizes it — the execution half of the engine's `run_cell`, public so
+/// external callers with their own compiled-program cache (the `dp-serve`
+/// daemon) produce summaries through the exact same path as the sweep
+/// engine.
+pub fn execute_cell(
+    bench: &dyn Benchmark,
+    label: &str,
+    compiled: &dp_core::SharedCompiled,
+    input: &BenchInput,
+    timing: &TimingParams,
+) -> Result<CellSummary, Error> {
     let mut exec = compiled.executor();
-    let output = bench
-        .run(&mut exec, input)
-        .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), vspec.label));
+    let output = bench.run(&mut exec, input)?;
     let report = exec.finish();
-    summarize_run(&vspec.label, output, &report, timing)
+    Ok(summarize_run(label, output, &report, timing))
 }
 
 /// Builds a [`CellSummary`] from one completed run — the single

@@ -29,8 +29,9 @@ use dp_core::{AggConfig, AggGranularity, OptConfig};
 use dp_workloads::benchmarks::Variant;
 use dp_workloads::{datasets_for, DatasetId};
 
-/// All Table-I dataset ids, name → id.
-fn dataset_by_name(name: &str) -> Option<DatasetId> {
+/// All Table-I dataset ids, name → id (also used by the `dp-serve`
+/// protocol's `sweep-cell` requests).
+pub fn dataset_by_name(name: &str) -> Option<DatasetId> {
     [
         DatasetId::Kron,
         DatasetId::Cnr,
@@ -60,18 +61,10 @@ pub fn parse_granularity(spec: &str) -> Option<AggGranularity> {
     }
 }
 
-fn parse_variant(v: &Json) -> Result<VariantSpec, String> {
-    if v.get("no_cdp")
-        .map(|b| b == &Json::Bool(true))
-        .unwrap_or(false)
-    {
-        let label = v
-            .get("label")
-            .and_then(Json::as_str)
-            .unwrap_or("No CDP")
-            .to_string();
-        return Ok(VariantSpec::new(label, Variant::NoCdp));
-    }
+/// Parses the optimization-configuration members of a JSON object
+/// (`threshold`, `coarsen`, `agg`, `agg_threshold`) — the shape used by
+/// sweep-spec variants and by `dp-serve` `compile`/`transform` requests.
+pub fn config_from_json(v: &Json) -> Result<OptConfig, String> {
     let mut config = OptConfig::none();
     if let Some(t) = v.get("threshold") {
         config = config.threshold(t.as_i64().ok_or("`threshold` must be an integer")?);
@@ -88,7 +81,25 @@ fn parse_variant(v: &Json) -> Result<VariantSpec, String> {
             agg.agg_threshold = Some(t.as_i64().ok_or("`agg_threshold` must be an integer")?);
         }
         config = config.aggregation(agg);
+    } else if v.get("agg_threshold").is_some() {
+        return Err("`agg_threshold` needs `agg` (it has no effect on its own)".to_string());
     }
+    Ok(config)
+}
+
+fn parse_variant(v: &Json) -> Result<VariantSpec, String> {
+    if v.get("no_cdp")
+        .map(|b| b == &Json::Bool(true))
+        .unwrap_or(false)
+    {
+        let label = v
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or("No CDP")
+            .to_string();
+        return Ok(VariantSpec::new(label, Variant::NoCdp));
+    }
+    let config = config_from_json(v)?;
     let label = v
         .get("label")
         .and_then(Json::as_str)
@@ -241,6 +252,12 @@ mod tests {
             spec_from_json(r#"{"benchmarks": ["BFS"], "variants": [{"agg": "galaxy"}]}"#)
                 .unwrap_err()
                 .contains("granularity")
+        );
+        // A dangling agg_threshold would silently do nothing — reject it.
+        assert!(
+            spec_from_json(r#"{"benchmarks": ["BFS"], "variants": [{"agg_threshold": 4}]}"#)
+                .unwrap_err()
+                .contains("`agg_threshold` needs `agg`")
         );
     }
 }

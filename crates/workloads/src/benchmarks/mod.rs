@@ -101,7 +101,7 @@ impl BenchOutput {
 }
 
 /// One of the paper's benchmarks.
-pub trait Benchmark: Sync {
+pub trait Benchmark: Send + Sync {
     /// Short name as used in the paper ("BFS", "BT", …).
     fn name(&self) -> &'static str;
     /// CUDA-subset source using dynamic parallelism.
