@@ -24,7 +24,10 @@
 //! repo root so future changes can track the interpreter's perf
 //! trajectory. Environment knobs: `DPOPT_VMBENCH_REPS` (default 5),
 //! `DPOPT_VMBENCH_SCALE` (workload size multiplier, default 1.0),
-//! `DPOPT_JOBS` (parallel-row worker count, default 4).
+//! `DPOPT_JOBS` (parallel-row worker count, default 4), and
+//! `DPOPT_VMBENCH_OUT` (output path override — the CI bench-regression
+//! gate writes a fresh measurement next to the committed reference and
+//! `benchgate`s the two).
 
 use dp_core::{Compiler, DispatchMode, OptConfig};
 use dp_frontend::parse;
@@ -346,8 +349,11 @@ fn main() {
         );
     }
 
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_vm.json");
-    write_json(&path, &results, &cfgs, parallel_jobs).expect("write BENCH_vm.json");
+    let path = match std::env::var("DPOPT_VMBENCH_OUT") {
+        Ok(out) if !out.trim().is_empty() => std::path::PathBuf::from(out),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_vm.json"),
+    };
+    write_json(&path, &results, &cfgs, parallel_jobs).expect("write vmbench JSON");
     let shown = path.canonicalize().unwrap_or(path);
     println!("\nwrote {}", shown.display());
 }

@@ -35,6 +35,7 @@
 
 pub mod autotune;
 pub mod figures;
+pub mod gate;
 
 use dp_core::{AggConfig, AggGranularity, OptConfig, TimingParams};
 use dp_sweep::env_parsed;

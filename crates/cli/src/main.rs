@@ -70,7 +70,8 @@ INFO:
     prints kernels, launch sites, and serializability diagnostics
 
 SWEEP OPTIONS:
-    --jobs <N>             worker threads (default: DPOPT_JOBS or all cores)
+    --jobs <N>             worker threads; sizes the process-wide shared
+                           pool (precedence: --jobs > DPOPT_JOBS > cores)
     --no-cache             ignore and do not populate .dpopt-cache/
     --cache-stats          print cache hit/miss counters after the table
     -o <file>              also write the merged results as JSON
@@ -83,8 +84,9 @@ SWEEP OPTIONS:
 SERVE OPTIONS:
     --listen <addr>        TCP listen address (default: 127.0.0.1:7477)
     --unix <path>          listen on a Unix socket instead
-    --jobs <N>             execution pool workers, drawn from the shared
-                           DPOPT_JOBS budget (default: the configured jobs)
+    --jobs <N>             cap on concurrently-executing requests, run on
+                           the shared DPOPT_JOBS pool (default: configured
+                           jobs)
     --cache-capacity <N>   compiled-program cache entries (default: 64)
 
 CLIENT:
@@ -251,6 +253,11 @@ fn serve(args: &[String]) -> ExitCode {
             other => return fail(&format!("unexpected argument `{other}`")),
         }
     }
+    // Resolve the process-wide worker budget before the shared pool
+    // lazily initializes, so `--jobs` sizes the pool itself (precedence:
+    // flag > `DPOPT_JOBS` > available parallelism) as well as capping the
+    // daemon's concurrent executions.
+    dp_pool::jobs::resolve_jobs((options.jobs > 0).then_some(options.jobs));
     let server = match Server::bind(&endpoint, &options) {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot bind {endpoint}: {e}")),
@@ -477,7 +484,14 @@ fn sweep(args: &[String]) -> ExitCode {
                 Err(e) => return fail(&e),
             }
         }
-        None => run_sweep(&spec, &opts),
+        None => {
+            // Resolve the process-wide worker budget before the shared
+            // pool lazily initializes, so an explicit `--jobs` sizes the
+            // pool itself (precedence: flag > `DPOPT_JOBS` > available
+            // parallelism).
+            dp_pool::jobs::resolve_jobs((opts.jobs > 0).then_some(opts.jobs));
+            run_sweep(&spec, &opts)
+        }
     };
 
     println!(

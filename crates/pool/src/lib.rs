@@ -1,0 +1,48 @@
+//! # dp-pool
+//!
+//! The process-wide worker-thread substrate: one budget, one pool, shared
+//! by every parallel layer in the workspace.
+//!
+//! The paper's core move is amortizing launch overhead by aggregating many
+//! small child grids into fewer larger ones; this crate is the software
+//! analogue applied to our own runtime. Spawning a fresh worker set per
+//! speculatively-executed grid or per sweep generation pays a thread-spawn
+//! tax exactly where the paper's workloads live (runs dominated by
+//! mid-size child grids), so instead every layer draws from a single
+//! lazily-initialized, panic-surviving, process-lifetime pool:
+//!
+//! - [`jobs`] owns the `DPOPT_JOBS` convention and the token budget.
+//!   Resolution happens **once per process** with the precedence
+//!   `--jobs` flag ([`jobs::resolve_jobs`]) > `DPOPT_JOBS` env >
+//!   available parallelism.
+//! - [`Pool::shared`] is the process-lifetime pool, sized to the resolved
+//!   budget (it holds the whole [`jobs::Reservation`] for the life of the
+//!   process). The VM's speculative block executor, the sweep engine's
+//!   generation runner, and the serve daemon all schedule onto it.
+//! - [`Pool::scope`] lets callers borrow stack data into pool jobs (the
+//!   `std::thread::scope` shape, minus the per-call spawns). Submissions
+//!   from *inside* a pool worker — a sweep cell whose grid wants to
+//!   speculate, a served request that runs a sweep — degrade to inline
+//!   execution instead of queueing behind themselves, so the pool can
+//!   never deadlock on nested parallelism and nested layers stay
+//!   sequential, the same discipline the old reservation dance enforced.
+//!
+//! ## Checklist for adding a new parallel layer
+//!
+//! 1. Size your concurrency from the shared budget
+//!    ([`jobs::configured_jobs`] or `Pool::shared().threads() + 1`), never
+//!    from a fresh env read.
+//! 2. Submit work with [`Pool::scope`]/[`Pool::run`] on
+//!    [`Pool::shared`] — never `std::thread::spawn`/`std::thread::scope`
+//!    (grep-enforced by `crates/pool/tests/no_raw_threads.rs`).
+//! 3. Have the *caller* participate (run one worker loop itself) and size
+//!    helper submissions from [`Pool::available_workers`] — spawns are
+//!    claim-gated anyway, so a busy pool means graceful degradation to
+//!    sequential execution, not queueing.
+//! 4. Keep results deterministic at any worker count: merge in a
+//!    canonical order, never in completion order.
+
+pub mod jobs;
+pub mod pool;
+
+pub use pool::{is_worker_thread, Pool, Scope};

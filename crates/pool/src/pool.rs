@@ -1,0 +1,571 @@
+//! The persistent worker pool.
+//!
+//! [`Pool::shared`] is the process-lifetime instance every parallel layer
+//! in the workspace schedules onto (VM block speculation, sweep
+//! generations, served requests); it owns the whole `DPOPT_JOBS` budget
+//! for the life of the process, so there is nothing left to reserve and no
+//! per-grid reserve/release dance. Dedicated pools ([`Pool::new`],
+//! [`Pool::with_budget`]) remain available for layers that genuinely need
+//! their own workers — a dedicated pool's threads *also* mark themselves
+//! as pool workers, so nesting detection spans every pool in the process.
+//!
+//! Three properties keep the substrate safe to share:
+//!
+//! - **Panic survival.** A panicking job is caught on the worker; the
+//!   thread lives on to serve the next job, and [`Pool::run`]/[`Scope`]
+//!   surface the payload to the submitter.
+//! - **Nested submission degrades inline.** Work submitted *from* a pool
+//!   worker (any pool) runs inline on that worker instead of queueing —
+//!   the pool can never deadlock on itself, and nested parallel layers
+//!   become sequential exactly like the old budget-exhaustion path.
+//! - **Zero-worker pools degrade inline.** `DPOPT_JOBS=1` yields a shared
+//!   pool with no workers; everything runs on the submitting thread.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is a pool worker (of *any* pool in the
+/// process). Parallel layers use this to stay sequential when they are
+/// already running inside the substrate.
+pub fn is_worker_thread() -> bool {
+    IS_POOL_WORKER.with(Cell::get)
+}
+
+/// A fixed-size pool of worker threads fed by a shared queue.
+pub struct Pool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    idle: Arc<AtomicUsize>,
+    /// Idle workers already promised to a queued job ([`Pool::try_claim`]).
+    /// Claim-gated submissions ([`Scope::spawn`], [`Pool::run_now`]) only
+    /// queue when `idle - claimed > 0`, so a queued job starts promptly
+    /// instead of stalling behind unrelated long-running work; everything
+    /// else degrades inline on the caller.
+    claimed: Arc<AtomicUsize>,
+    // Held (not read) so the budget tokens stay reserved while the pool
+    // lives; released to `crate::jobs` on drop.
+    _reservation: Option<crate::jobs::Reservation>,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (min 1), without touching the
+    /// shared budget. Prefer [`Pool::shared`] — a dedicated pool is extra
+    /// parallelism on top of whatever the shared pool is doing.
+    pub fn new(threads: usize) -> Self {
+        Pool::build(threads.max(1), None)
+    }
+
+    /// A dedicated pool sized from the shared `DPOPT_JOBS` budget: `want`
+    /// workers requested (`0` means the configured job count), granted the
+    /// caller's own thread plus whatever extra tokens
+    /// [`crate::jobs::reserve_up_to`] yields. The reservation is held
+    /// until the pool drops. Note the shared pool takes the entire budget
+    /// at first use, so a dedicated pool created after it sees an
+    /// exhausted budget and gets a single worker.
+    pub fn with_budget(want: usize) -> Self {
+        let want = if want == 0 {
+            crate::jobs::configured_jobs()
+        } else {
+            want
+        };
+        let reservation = crate::jobs::reserve_up_to(want.saturating_sub(1));
+        let threads = reservation.count() + 1;
+        Pool::build(threads, Some(reservation))
+    }
+
+    /// The process-lifetime shared pool. Lazily initialized on first use;
+    /// sized to the resolved job count (see [`crate::jobs::resolve_jobs`]
+    /// for the precedence) minus one — the budget counts threads *beyond*
+    /// the submitting caller's own, and [`Pool::scope`] callers are
+    /// expected to run one worker loop themselves. Holds the whole budget
+    /// reservation forever: this pool *is* the budget.
+    pub fn shared() -> &'static Pool {
+        static SHARED: OnceLock<Pool> = OnceLock::new();
+        SHARED.get_or_init(|| {
+            let want = crate::jobs::configured_jobs().saturating_sub(1);
+            let reservation = crate::jobs::reserve_up_to(want);
+            let threads = reservation.count();
+            Pool::build(threads, Some(reservation))
+        })
+    }
+
+    fn build(threads: usize, reservation: Option<crate::jobs::Reservation>) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let idle = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&rx);
+                let idle = Arc::clone(&idle);
+                std::thread::Builder::new()
+                    .name(format!("dp-pool-worker-{i}"))
+                    .spawn(move || {
+                        IS_POOL_WORKER.with(|flag| flag.set(true));
+                        loop {
+                            // Waiting on the queue (including waiting for
+                            // the queue lock) counts as idle: it is the
+                            // window in which a submitted job would start
+                            // promptly.
+                            idle.fetch_add(1, Ordering::SeqCst);
+                            let job = rx.lock().unwrap().recv();
+                            idle.fetch_sub(1, Ordering::SeqCst);
+                            match job {
+                                // A panicking job must not take the worker
+                                // down with it — the panic is surfaced to
+                                // the submitter by `run`/`Scope`, and this
+                                // thread lives on for the next job.
+                                Ok(job) => {
+                                    let _ = catch_unwind(AssertUnwindSafe(job));
+                                }
+                                Err(_) => return, // queue closed: pool dropped
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            tx: Some(tx),
+            workers,
+            idle,
+            claimed: Arc::new(AtomicUsize::new(0)),
+            _reservation: reservation,
+        }
+    }
+
+    /// Worker count. The shared pool's count is the resolved job count
+    /// minus one (the submitting thread is the remaining worker), so it
+    /// can legitimately be zero.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Workers currently waiting for a job — a racy lower bound.
+    pub fn idle_workers(&self) -> usize {
+        self.idle.load(Ordering::SeqCst)
+    }
+
+    /// Idle workers not yet promised to a queued claim-gated job — the
+    /// number parallel layers should size helper submissions from: a
+    /// layer that sees zero available workers should run sequentially
+    /// rather than queue behind someone else's work. Racy in the benign
+    /// direction only (a claim can still fail at spawn time, which
+    /// degrades that helper inline).
+    pub fn available_workers(&self) -> usize {
+        self.idle
+            .load(Ordering::SeqCst)
+            .saturating_sub(self.claimed.load(Ordering::SeqCst))
+    }
+
+    /// Atomically promises one currently-idle worker to a job about to be
+    /// queued; the claim is consumed when the job is dequeued. `false`
+    /// means every idle worker is already spoken for — the caller should
+    /// run inline instead of queueing (a queued job with no claim could
+    /// sit behind an unrelated long-running job, stalling whoever joins
+    /// on it).
+    fn try_claim(&self) -> bool {
+        let mut c = self.claimed.load(Ordering::SeqCst);
+        loop {
+            if c >= self.idle.load(Ordering::SeqCst) {
+                return false;
+            }
+            match self
+                .claimed
+                .compare_exchange(c, c + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(observed) => c = observed,
+            }
+        }
+    }
+
+    /// Enqueues a fire-and-forget job. Runs the job inline when the pool
+    /// has no workers or the caller *is* a pool worker (nested submission
+    /// must not queue behind itself).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        if self.workers.is_empty() || is_worker_thread() {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            return;
+        }
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Runs `f` on a pool worker and blocks for its result — inline on the
+    /// calling thread when the pool has no workers or the caller is itself
+    /// a pool worker (nesting degrades instead of deadlocking). A
+    /// panicking job yields `Err` with the panic payload (the worker
+    /// survives).
+    pub fn run<T: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> std::thread::Result<T> {
+        if self.workers.is_empty() || is_worker_thread() {
+            return catch_unwind(AssertUnwindSafe(f));
+        }
+        let (tx, rx) = sync_channel(1);
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let _ = tx.send(result);
+            }))
+            .expect("pool workers alive");
+        rx.recv().expect("pool worker delivered a result")
+    }
+
+    /// Like [`Pool::run`], but never queues behind busy workers: the job
+    /// runs on a *claimed* idle worker, or inline on the calling thread
+    /// when none is free. For callers whose own thread is a legitimate
+    /// execution vehicle — e.g. serve session threads under a concurrency
+    /// cap — where "wait in the queue" is strictly worse than "do it
+    /// yourself".
+    pub fn run_now<T: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> std::thread::Result<T> {
+        if self.workers.is_empty() || is_worker_thread() || !self.try_claim() {
+            return catch_unwind(AssertUnwindSafe(f));
+        }
+        let claimed = Arc::clone(&self.claimed);
+        let (tx, rx) = sync_channel(1);
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(move || {
+                claimed.fetch_sub(1, Ordering::SeqCst);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let _ = tx.send(result);
+            }))
+            .expect("pool workers alive");
+        rx.recv().expect("pool worker delivered a result")
+    }
+
+    /// Runs `f` with a [`Scope`] that can spawn borrowing jobs onto the
+    /// pool — the `std::thread::scope` shape without per-call thread
+    /// spawns. Every spawned job is guaranteed to have finished when
+    /// `scope` returns (panics included: the first payload is re-raised
+    /// after all jobs complete), which is what makes lending stack
+    /// references to pool workers sound.
+    ///
+    /// Spawns degrade to inline execution on the calling thread when the
+    /// pool has no workers, the caller is itself a pool worker, or no
+    /// idle worker can be claimed (a helper queued behind unrelated
+    /// long-running work would stall the scope's join long after the
+    /// caller finished its own loop). The canonical usage — spawn N-1
+    /// helper loops, then run one loop yourself — is therefore correct
+    /// at any pool size and load, nested or not.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState::default()),
+            scope: std::marker::PhantomData,
+            env: std::marker::PhantomData,
+        };
+        // The closure may panic after spawning; jobs borrow stack data, so
+        // the wait must happen before the panic unwinds this frame.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.state.wait_all();
+        if let Some(payload) = scope.state.take_panic() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Closing the queue ends the worker loops; join so the budget
+        // reservation is only released once no worker can still be running.
+        self.tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[derive(Default)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn add_one(&self) {
+        *self.pending.lock().unwrap() += 1;
+    }
+
+    fn finish_one(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap();
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send + 'static>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// Spawn handle passed to the closure of [`Pool::scope`]. `'env` is the
+/// lifetime of borrows captured by spawned jobs; the scope's return
+/// barrier is what lets it be shorter than `'static`.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope Pool,
+    state: Arc<ScopeState>,
+    scope: std::marker::PhantomData<&'scope mut &'scope ()>,
+    env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Submits a job that may borrow `'env` data. Runs inline immediately
+    /// when the pool has no workers, the caller is a pool worker, or no
+    /// idle worker can be claimed ([`Pool::try_claim`] — queueing without
+    /// a claim could stall the scope's join behind unrelated work); a
+    /// panic (inline or on a worker) is re-raised by the enclosing
+    /// [`Pool::scope`] after every job has finished.
+    pub fn spawn(&'scope self, job: impl FnOnce() + Send + 'env) {
+        if self.pool.workers.is_empty() || is_worker_thread() || !self.pool.try_claim() {
+            job();
+            return;
+        }
+        self.state.add_one();
+        let state = Arc::clone(&self.state);
+        let claimed = Arc::clone(&self.pool.claimed);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        // SAFETY: the job may borrow `'env` data, but `Pool::scope` blocks
+        // on `wait_all` before returning (on success *and* panic paths),
+        // and `finish_one` runs after the job completes or panics — so no
+        // job outlives the borrows it captured. The transmute only erases
+        // the lifetime; the vtable and layout are unchanged.
+        let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+        self.pool
+            .tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(move || {
+                claimed.fetch_sub(1, Ordering::SeqCst);
+                let result = catch_unwind(AssertUnwindSafe(job));
+                if let Err(payload) = result {
+                    state.record_panic(payload);
+                }
+                state.finish_one();
+            }))
+            .expect("pool workers alive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_jobs_and_returns_results() {
+        let pool = Pool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let results: Vec<i64> = (0..16).map(|i| pool.run(move || i * 2).unwrap()).collect();
+        assert_eq!(results, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn submitted_jobs_all_run() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drop joins the workers, draining the queue
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = Pool::new(1);
+        let r = pool.run(|| panic!("job exploded"));
+        assert!(r.is_err());
+        // The single worker survived and serves the next job.
+        assert_eq!(pool.run(|| 41 + 1).unwrap(), 42);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data_and_joins() {
+        let pool = Pool::new(3);
+        let data: Vec<u64> = (0..1000).collect();
+        let partial = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
+        pool.scope(|scope| {
+            for (i, slot) in partial.iter().enumerate() {
+                let data = &data;
+                scope.spawn(move || {
+                    let sum: u64 = data.iter().skip(i).step_by(3).sum();
+                    slot.store(sum as usize, Ordering::SeqCst);
+                });
+            }
+        });
+        let total: usize = partial.iter().map(|s| s.load(Ordering::SeqCst)).sum();
+        assert_eq!(total as u64, (0..1000).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_propagates_job_panics_after_joining() {
+        let pool = Pool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                scope.spawn(|| panic!("scoped job exploded"));
+                scope.spawn(|| {
+                    finished.fetch_add(1, Ordering::SeqCst);
+                });
+            })
+        }));
+        assert!(result.is_err());
+        // The sibling job was not abandoned, and the workers survive.
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.run(|| 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn nested_scope_spawn_runs_inline_instead_of_deadlocking() {
+        let pool = Pool::new(1);
+        // A pool job that itself opens a scope on the same single-worker
+        // pool: without inline degradation this queues behind itself and
+        // hangs forever.
+        let r = pool.run(|| {
+            assert!(is_worker_thread());
+            let mut acc = 0usize;
+            Pool::shared().scope(|scope| {
+                let acc = &mut acc;
+                scope.spawn(move || *acc += 1);
+            });
+            acc
+        });
+        assert_eq!(r.unwrap(), 1);
+    }
+
+    #[test]
+    fn zero_worker_run_is_inline() {
+        let pool = Pool::build(0, None);
+        assert_eq!(pool.threads(), 0);
+        assert_eq!(pool.run(|| 5).unwrap(), 5);
+        let mut hits = 0;
+        pool.scope(|scope| {
+            let hits = &mut hits;
+            scope.spawn(move || *hits += 1);
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn scope_spawn_degrades_inline_when_every_worker_is_busy() {
+        let pool = Pool::new(1);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let (entered_tx, entered_rx) = sync_channel::<()>(0);
+        pool.submit(move || {
+            entered_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        });
+        entered_rx.recv().unwrap();
+        // The only worker is parked on `block_rx`: an unclaimed spawn
+        // would queue behind it and stall the scope's join until the
+        // worker frees. The claim gate must run the job inline instead —
+        // observable synchronously, before the worker is unblocked.
+        let ran = std::sync::atomic::AtomicBool::new(false);
+        pool.scope(|scope| {
+            scope.spawn(|| ran.store(true, Ordering::SeqCst));
+            assert!(
+                ran.load(Ordering::SeqCst),
+                "spawn must degrade inline while the worker is busy"
+            );
+        });
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn run_now_is_inline_when_every_worker_is_busy() {
+        let pool = Pool::new(1);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let (entered_tx, entered_rx) = sync_channel::<()>(0);
+        pool.submit(move || {
+            entered_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        });
+        entered_rx.recv().unwrap();
+        // `run` would block here until the worker frees; `run_now` must
+        // execute on the calling thread immediately.
+        assert_eq!(pool.run_now(|| 11).unwrap(), 11);
+        block_tx.send(()).unwrap();
+        // With the worker idle again, run_now claims and uses it.
+        for _ in 0..100 {
+            if pool.available_workers() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(pool.run_now(|| 13).unwrap(), 13);
+    }
+
+    #[test]
+    fn idle_workers_tracks_availability() {
+        let pool = Pool::new(2);
+        // Give the workers a moment to park on the queue.
+        for _ in 0..100 {
+            if pool.idle_workers() == 2 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(pool.idle_workers(), 2);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let (entered_tx, entered_rx) = sync_channel::<()>(0);
+        pool.submit(move || {
+            entered_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        });
+        entered_rx.recv().unwrap();
+        assert!(pool.idle_workers() <= 1);
+        block_tx.send(()).unwrap();
+    }
+}

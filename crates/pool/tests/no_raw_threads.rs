@@ -1,0 +1,45 @@
+//! Grep-enforcement of the shared-substrate discipline: the VM's grid
+//! execution path and the sweep engine's generation runner must draw
+//! their parallelism from `dp_pool` — no raw `std::thread::scope` /
+//! `std::thread::spawn` is allowed to reappear there (each one is a
+//! per-grid/per-generation thread-spawn tax the pool exists to remove,
+//! and a worker set the shared budget cannot see).
+//!
+//! Comments and doc lines are stripped before matching so the files can
+//! still *talk* about threads; only code is policed.
+
+use std::path::Path;
+
+/// Source files on the no-raw-threads list, relative to this crate.
+const POLICED: &[&str] = &["../vm/src/machine.rs", "../sweep/src/lib.rs"];
+
+#[test]
+fn grid_execution_and_generation_runner_use_the_shared_pool() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in POLICED {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        for (lineno, line) in source.lines().enumerate() {
+            let code = strip_comment(line);
+            for needle in ["thread::spawn", "thread::scope"] {
+                assert!(
+                    !code.contains(needle),
+                    "{}:{}: `{needle}` in a pooled execution path — submit to \
+                     dp_pool::Pool::shared() instead (see dp-pool's crate docs)",
+                    path.display(),
+                    lineno + 1,
+                );
+            }
+        }
+    }
+}
+
+/// Drops `//`-style comments (incl. doc comments). Good enough for this
+/// policing job: neither policed file puts `//` inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}

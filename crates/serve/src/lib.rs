@@ -16,10 +16,12 @@
 //!   bounded, with single-flight deduplication so N concurrent identical
 //!   compiles perform one compile and share the
 //!   [`dp_core::SharedCompiled`].
-//! - **A persistent worker pool** ([`pool`]): execution is scheduled onto
-//!   workers drawn from the shared `DPOPT_JOBS` budget
-//!   ([`dp_vm::jobs`]), so server-level concurrency and per-grid block
-//!   speculation never oversubscribe the host.
+//! - **The shared persistent worker pool** ([`dp_pool::Pool::shared`],
+//!   re-exported as [`pool`]): execution is scheduled onto the same
+//!   process-lifetime pool the VM's block executor and the sweep engine
+//!   use, so server-level concurrency, sweeps, and per-grid block
+//!   speculation coexist in one process under one `DPOPT_JOBS` budget.
+//!   `--jobs` caps how many requests this server runs concurrently.
 //! - **Deterministic responses** ([`server`]): for every op except
 //!   `stats`, response bytes are a pure function of request bytes — cold
 //!   cache, warm cache, or 16 concurrent clients, the bytes are identical.
@@ -45,12 +47,16 @@
 
 pub mod cache;
 pub mod client;
-pub mod pool;
 pub mod proto;
 pub mod server;
 
+// The worker pool was promoted to the shared `dp-pool` crate (every
+// parallel layer draws from it now); these re-exports keep historical
+// `dp_serve::pool::…`/`dp_serve::Pool` paths working.
+pub use dp_pool::pool;
+
 pub use cache::{CompiledCache, CompiledCacheStats};
 pub use client::Client;
-pub use pool::Pool;
+pub use dp_pool::Pool;
 pub use proto::Endpoint;
 pub use server::{ServeOptions, Server};

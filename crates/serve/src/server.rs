@@ -6,10 +6,13 @@
 //! that reads requests and writes responses **in order**. Compilation runs
 //! on the session thread (deduplicated by the single-flight
 //! [`CompiledCache`], so concurrent identical compiles cost one compile);
-//! execution — the CPU-heavy part — is scheduled onto the persistent
-//! [`Pool`], whose size is drawn from the shared `DPOPT_JOBS` budget.
-//! Execution never re-enters the pool from a pool worker (compiles happen
-//! before the job is submitted), so the pool cannot deadlock on itself.
+//! execution — the CPU-heavy part — is scheduled onto the **shared**
+//! persistent pool ([`Pool::shared`]), the same substrate the VM's block
+//! executor and the sweep engine draw from, under a `--jobs` concurrency
+//! cap. Anything the pool runs that tries to parallelize further (a
+//! grid's block speculation inside an `execute`) degrades inline on its
+//! worker, so the pool cannot deadlock on itself and the process never
+//! oversubscribes one `DPOPT_JOBS` budget.
 //!
 //! Graceful drain: a `shutdown` request stops new work (subsequent
 //! requests answer an `ok:false` "draining" error), waits until every
@@ -18,12 +21,12 @@
 //! dropped.
 
 use crate::cache::CompiledCache;
-use crate::pool::Pool;
 use crate::proto::{
     self, Arg, BufferData, Endpoint, ExecuteRequest, ParsedRequest, Request, Stream,
     SweepCellRequest,
 };
 use dp_core::{Compiler, OptConfig, SharedCompiled, TimingParams};
+use dp_pool::Pool;
 use dp_sweep::json::{self, object, Json};
 use dp_sweep::{cache as sweep_cache, key};
 use dp_workloads::benchmarks::{all_benchmarks, Variant};
@@ -40,8 +43,9 @@ use std::sync::{Arc, Condvar, Mutex};
 /// Server construction options.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Worker threads for the execution pool; `0` draws the configured
-    /// `DPOPT_JOBS` count from the shared budget.
+    /// Cap on concurrently-executing requests, scheduled onto the shared
+    /// persistent pool ([`dp_pool::Pool::shared`]); `0` means the
+    /// configured `DPOPT_JOBS` count.
     pub jobs: usize,
     /// Compiled-program cache capacity (entries).
     pub cache_capacity: usize,
@@ -64,7 +68,13 @@ enum Listener {
 
 struct State {
     cache: CompiledCache,
-    pool: Pool,
+    /// The process-wide shared pool — the daemon owns no workers of its
+    /// own, so serving, sweeps, and grids coexist under one budget.
+    pool: &'static Pool,
+    /// `--jobs` cap on concurrently-executing requests.
+    jobs_cap: usize,
+    exec_slots: Mutex<usize>,
+    exec_free: Condvar,
     datasets: Mutex<HashMap<String, Arc<BenchInput>>>,
     requests: Mutex<BTreeMap<String, u64>>,
     draining: AtomicBool,
@@ -88,6 +98,29 @@ impl State {
         Some(InflightGuard {
             state: Arc::clone(self),
         })
+    }
+
+    /// Schedules CPU-heavy work onto the shared pool, bounded by the
+    /// `--jobs` cap: at most `jobs_cap` requests execute at once no matter
+    /// how many sessions are connected or how large the shared pool is.
+    /// `run_now` executes on an idle pool worker when one is free and
+    /// inline on this session thread otherwise — the session thread counts
+    /// as an execution vehicle, so a cap of N really means N concurrent
+    /// requests even when the shared pool is smaller or busy.
+    fn exec<T: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> std::thread::Result<T> {
+        let mut slots = self.exec_slots.lock().unwrap();
+        while *slots == 0 {
+            slots = self.exec_free.wait(slots).unwrap();
+        }
+        *slots -= 1;
+        drop(slots);
+        let result = self.pool.run_now(f);
+        *self.exec_slots.lock().unwrap() += 1;
+        self.exec_free.notify_one();
+        result
     }
 
     fn count_request(&self, op: &str) {
@@ -181,9 +214,17 @@ impl Server {
                 )
             }
         };
+        let jobs_cap = if options.jobs > 0 {
+            options.jobs
+        } else {
+            dp_pool::jobs::configured_jobs()
+        };
         let state = Arc::new(State {
             cache: CompiledCache::new(options.cache_capacity),
-            pool: Pool::with_budget(options.jobs),
+            pool: Pool::shared(),
+            jobs_cap,
+            exec_slots: Mutex::new(jobs_cap),
+            exec_free: Condvar::new(),
             datasets: Mutex::new(HashMap::new()),
             requests: Mutex::new(BTreeMap::new()),
             draining: AtomicBool::new(false),
@@ -389,7 +430,7 @@ fn dispatch(state: &Arc<State>, request: Request, id: Option<&Json>) -> Json {
             match result {
                 Err(e) => proto::error_response(id, &e),
                 Ok(compiled) => {
-                    let outcome = state.pool.run(move || run_execute(&compiled, &request));
+                    let outcome = state.exec(move || run_execute(&compiled, &request));
                     match flatten_panic(outcome) {
                         Ok(members) => proto::ok_response(id, members),
                         Err(e) => proto::error_response(id, &e),
@@ -534,7 +575,7 @@ fn run_sweep_cell(state: &Arc<State>, request: SweepCellRequest, id: Option<&Jso
         &dp_vm::bytecode::CostModel::default(),
     );
     let label = request.label.clone();
-    let outcome = state.pool.run(move || {
+    let outcome = state.exec(move || {
         dp_sweep::execute_cell(
             bench.as_ref(),
             &label,
@@ -593,7 +634,7 @@ fn stats_response(state: &Arc<State>, id: Option<&Json>) -> Json {
                 "inflight",
                 json::uint(*state.inflight.lock().unwrap() as u64),
             ),
-            ("jobs", json::uint(state.pool.threads() as u64)),
+            ("jobs", json::uint(state.jobs_cap as u64)),
             ("op", Json::Str("stats".to_string())),
             ("requests", request_counts),
         ],

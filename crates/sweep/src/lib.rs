@@ -10,8 +10,9 @@
 //! - **Declarative specs.** A [`SweepSpec`] is a list of [`SeriesSpec`]s;
 //!   each series is one benchmark on one dataset across an ordered variant
 //!   list. Expansion to cells is deterministic.
-//! - **Parallel execution.** Cells run across a `std::thread` worker pool
-//!   (`DPOPT_JOBS`, default: available parallelism). Every worker owns its
+//! - **Parallel execution.** Cells run on the shared persistent worker
+//!   pool ([`dp_pool::Pool::shared`], sized once from the `DPOPT_JOBS`
+//!   budget — no per-generation thread spawns). Every worker owns its
 //!   own `Executor`/VM state — nothing mutable is shared — and results are
 //!   **merged in spec order**, so output is byte-identical to sequential
 //!   execution regardless of worker count.
@@ -333,15 +334,17 @@ where
     }
 }
 
-/// Resolves a requested worker count: explicit > `DPOPT_JOBS` > available
-/// parallelism (min 1). The env lookup is shared with the VM's parallel
-/// block executor ([`dp_vm::jobs::configured_jobs`]) so both layers agree
-/// on the convention.
+/// Resolves a requested worker count: explicit > `--jobs`-resolved /
+/// `DPOPT_JOBS` > available parallelism (min 1). The resolution is shared
+/// with the VM's parallel block executor
+/// ([`dp_pool::jobs::configured_jobs`]) so every layer agrees on the
+/// convention. The result is this sweep's concurrency *cap*; actual
+/// helper submissions are additionally gated on idle shared-pool workers.
 pub fn effective_jobs(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    dp_vm::jobs::configured_jobs()
+    dp_pool::jobs::configured_jobs()
 }
 
 // ----------------------------------------------------------------------
@@ -425,11 +428,13 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
     }
 
     let jobs = effective_jobs(opts.jobs);
-    // Register this sweep's workers with the process-wide thread budget
-    // shared with the VM's parallel block executor: while the pool is
-    // live, grids running *inside* cells see an exhausted budget and stay
-    // sequential instead of oversubscribing the host. Released on drop.
-    let _thread_reservation = dp_vm::jobs::reserve_up_to(jobs.saturating_sub(1));
+    // Generations run on the shared persistent worker pool: helper loops
+    // are pool submissions (gated on actually-idle workers), the calling
+    // thread always runs one loop itself, and cells that land on pool
+    // workers keep their grids sequential (`dp_pool::is_worker_thread`),
+    // so sweep × block-speculation nesting shares one `DPOPT_JOBS` budget
+    // without reserving or spawning anything per generation.
+    let pool = dp_pool::Pool::shared();
 
     // Materialize each distinct dataset once: those needed by a pending
     // cell, plus empty-variant series (their description *is* the result).
@@ -458,22 +463,26 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
         let slots: Vec<Mutex<Option<Arc<BenchInput>>>> =
             needed.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs.min(needed.len().max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&series_idx) = needed.get(i) else {
-                        return;
-                    };
-                    let input = match &spec.series[series_idx].dataset {
-                        DatasetSpec::Table { id, scale, seed } => {
-                            Arc::new(id.instantiate(*scale, *seed))
-                        }
-                        DatasetSpec::Provided { input, .. } => Arc::clone(input),
-                    };
-                    *slots[i].lock().unwrap() = Some(input);
-                });
+        let materialize = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(&series_idx) = needed.get(i) else {
+                return;
+            };
+            let input = match &spec.series[series_idx].dataset {
+                DatasetSpec::Table { id, scale, seed } => Arc::new(id.instantiate(*scale, *seed)),
+                DatasetSpec::Provided { input, .. } => Arc::clone(input),
+            };
+            *slots[i].lock().unwrap() = Some(input);
+        };
+        pool.scope(|scope| {
+            let helpers = pool
+                .available_workers()
+                .min(jobs.saturating_sub(1))
+                .min(needed.len().saturating_sub(1));
+            for _ in 0..helpers {
+                scope.spawn(materialize);
             }
+            materialize();
         });
         slots
             .into_iter()
@@ -489,39 +498,44 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
         let results: Vec<Mutex<Option<CellSummary>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs.min(pending.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = pending.get(i) else {
-                        return;
-                    };
-                    let series = &spec.series[cell.series_idx];
-                    let vspec = &series.variants[cell.cell_idx];
-                    let input =
-                        &inputs[dataset_of_series[cell.series_idx].expect("dataset resolved")];
-                    if !opts.quiet {
-                        eprintln!(
-                            "[dp-sweep] run {}/{} [{}]",
-                            series.benchmark,
-                            series.dataset.name(),
-                            vspec.label
-                        );
-                    }
-                    let summary = run_cell(
-                        benches[cell.series_idx],
-                        vspec,
-                        input,
-                        &series.timing,
-                        &series.cost,
-                        &compile_cache,
-                    );
-                    if opts.cache {
-                        cache::store(&cache_dir, cell.key, &summary);
-                    }
-                    *results[i].lock().unwrap() = Some(summary);
-                });
+        let run_generation = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(cell) = pending.get(i) else {
+                return;
+            };
+            let series = &spec.series[cell.series_idx];
+            let vspec = &series.variants[cell.cell_idx];
+            let input = &inputs[dataset_of_series[cell.series_idx].expect("dataset resolved")];
+            if !opts.quiet {
+                eprintln!(
+                    "[dp-sweep] run {}/{} [{}]",
+                    series.benchmark,
+                    series.dataset.name(),
+                    vspec.label
+                );
             }
+            let summary = run_cell(
+                benches[cell.series_idx],
+                vspec,
+                input,
+                &series.timing,
+                &series.cost,
+                &compile_cache,
+            );
+            if opts.cache {
+                cache::store(&cache_dir, cell.key, &summary);
+            }
+            *results[i].lock().unwrap() = Some(summary);
+        };
+        pool.scope(|scope| {
+            let helpers = pool
+                .available_workers()
+                .min(jobs.saturating_sub(1))
+                .min(pending.len().saturating_sub(1));
+            for _ in 0..helpers {
+                scope.spawn(run_generation);
+            }
+            run_generation();
         });
         for (cell, result) in pending.iter().zip(results) {
             summaries[cell.series_idx][cell.cell_idx] =

@@ -72,11 +72,14 @@
 
 pub mod bytecode;
 pub mod error;
-pub mod jobs;
 pub mod lower;
 pub mod machine;
 pub mod trace;
 pub mod value;
+
+// The budget moved to the shared worker-pool crate (`dp-pool`); the
+// re-export keeps every historical `dp_vm::jobs::` path working.
+pub use dp_pool::jobs;
 
 pub use bytecode::{CostClass, CostModel, Module};
 pub use error::{CompileError, ExecError};

@@ -22,8 +22,9 @@
 //!
 //! Blocks of a grid are independent by construction (the premise the
 //! paper's aggregation/coarsening passes exploit), so grids with enough
-//! blocks execute across a worker pool drawn from the shared
-//! [`jobs`](crate::jobs) budget (`DPOPT_JOBS`). Workers run blocks
+//! blocks execute across the shared persistent worker pool
+//! ([`dp_pool::Pool::shared`], sized once from the `DPOPT_JOBS` budget —
+//! no per-grid thread spawns). Workers run blocks
 //! *speculatively* against a snapshot of global memory, recording
 //! word-granular read/write sets; the parent then validates blocks **in
 //! linear block order** — a block is valid iff it read nothing an
@@ -39,7 +40,6 @@
 
 use crate::bytecode::*;
 use crate::error::ExecError;
-use crate::jobs;
 use crate::trace::*;
 use crate::value::{Value, SHARED_SPACE_BASE};
 use dp_frontend::ast::{CodeOrigin, FnQual, Type};
@@ -1988,37 +1988,42 @@ impl Machine {
         &self.trace
     }
 
-    /// Decides the worker count for a grid. `1` means sequential; anything
-    /// larger comes with the budget reservation (if auto) to hold for the
-    /// grid's duration.
-    fn plan_workers(&self, kernel: FuncId, num_blocks: u64) -> (usize, Option<jobs::Reservation>) {
+    /// Decides the worker count for a grid; `1` means sequential.
+    ///
+    /// In auto mode the count comes from the shared pool
+    /// ([`dp_pool::Pool::shared`]), which resolved the `DPOPT_JOBS` budget
+    /// once at pool init (precedence: `--jobs` flag > env > available
+    /// parallelism): speculation is worth starting only when pool workers
+    /// are actually idle, and a grid that is already running *on* a pool
+    /// worker (a sweep cell, a served request) stays sequential — the
+    /// nesting discipline the per-grid budget reservation used to enforce.
+    /// A forced count ([`Machine::set_block_parallelism`]) bypasses the
+    /// idle gate; its helper loops degrade inline if the pool is empty.
+    fn plan_workers(&self, kernel: FuncId, num_blocks: u64) -> usize {
         if num_blocks < MIN_PARALLEL_BLOCKS {
-            return (1, None);
+            return 1;
         }
         // A finite instruction budget is consumed in execution order;
         // exhaustion mid-grid must reproduce exactly, so budgeted runs
         // stay sequential.
         if self.limits.max_instructions != u64::MAX {
-            return (1, None);
+            return 1;
         }
         if self.kernel_serial[kernel as usize] {
-            return (1, None);
-        }
-        let cap = self
-            .par_jobs
-            .unwrap_or_else(jobs::configured_jobs)
-            .min(num_blocks as usize);
-        if cap <= 1 {
-            return (1, None);
+            return 1;
         }
         match self.par_jobs {
-            Some(_) => (cap, None),
+            Some(forced) => forced.min(num_blocks as usize).max(1),
             None => {
-                let reservation = jobs::reserve_up_to(cap - 1);
-                match reservation.count() {
-                    0 => (1, None),
-                    extra => (extra + 1, Some(reservation)),
+                if dp_pool::is_worker_thread() {
+                    return 1;
                 }
+                let pool = dp_pool::Pool::shared();
+                let cap = (pool.threads() + 1).min(num_blocks as usize);
+                if cap <= 1 {
+                    return 1;
+                }
+                1 + pool.available_workers().min(cap - 1)
             }
         }
     }
@@ -2043,7 +2048,7 @@ impl Machine {
             blocks: Vec::with_capacity(num_blocks as usize),
         };
 
-        let (workers, reservation) = self.plan_workers(grid.kernel, num_blocks as u64);
+        let workers = self.plan_workers(grid.kernel, num_blocks as u64);
         if workers > 1 {
             self.execute_grid_parallel(&grid, &coerced_args, &mut gtrace, workers)?;
         } else {
@@ -2054,7 +2059,6 @@ impl Machine {
                 gtrace.blocks.push(btrace);
             }
         }
-        drop(reservation);
 
         self.stats.grids_executed += 1;
         // Grid ids are assigned at enqueue time in FIFO order, so the
@@ -2183,7 +2187,10 @@ impl Machine {
                     *results[linear].lock().expect("results lock") = Some(r);
                 }
             };
-            std::thread::scope(|scope| {
+            // Helper loops run on the shared persistent pool (no per-grid
+            // thread spawns); the calling thread is always one of the
+            // workers, so progress never depends on pool availability.
+            dp_pool::Pool::shared().scope(|scope| {
                 let mut iter = par_workers[..workers].iter_mut();
                 let mine = iter.next().expect("at least one worker");
                 for worker in iter {

@@ -1,6 +1,7 @@
 //! Edge-case semantics of the process-wide `DPOPT_JOBS` budget
-//! (`dp_vm::jobs`) that the `dp-serve` worker pool depends on: reserving
-//! from an exhausted budget, `DPOPT_JOBS=1`, and budget release when the
+//! (`dp_vm::jobs`, re-exported from `dp_pool::jobs` — the ledger the
+//! shared pool holds its lifetime reservation from): reserving from an
+//! exhausted budget, `DPOPT_JOBS=1`, and budget release when the
 //! reserving worker panics.
 //!
 //! The budget is process-global state, so the tests in this file serialize

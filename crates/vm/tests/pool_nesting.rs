@@ -1,0 +1,64 @@
+//! Pool lifecycle through the VM: the block executor runs on the shared
+//! persistent pool (`dp_pool::Pool::shared`), so (a) a grid submitted
+//! *from* a pool worker — the sweep-cell-inside-a-request shape — must
+//! degrade to sequential execution instead of deadlocking the pool on
+//! itself, and (b) a grid job that panics must not take the substrate
+//! down with it.
+
+use dp_pool::Pool;
+use dp_vm::lower::compile_program;
+use dp_vm::machine::Machine;
+use dp_vm::Value;
+
+const SRC: &str =
+    "__global__ void k(int* d) { d[blockIdx.x * blockDim.x + threadIdx.x] = blockIdx.x * 100 + threadIdx.x; }";
+
+/// Runs an 8-block grid (≥ the parallel threshold) and returns its memory
+/// plus whether the machine took the parallel path.
+fn run_grid() -> (Vec<i64>, u64) {
+    let p = dp_frontend::parse(SRC).unwrap();
+    let mut m = Machine::new(compile_program(&p).unwrap());
+    let d = m.alloc(256);
+    m.launch_host("k", 8, 32, &[Value::Int(d)]).unwrap();
+    m.run_to_quiescence().unwrap();
+    (
+        m.read_i64s(d, 256).unwrap(),
+        m.parallel_stats().parallel_grids,
+    )
+}
+
+#[test]
+fn nested_grid_on_a_pool_worker_degrades_to_sequential() {
+    let (reference, _) = run_grid();
+
+    // The nesting shape dp-serve and dp-sweep produce: CPU-bound work —
+    // here a ≥4-block grid in auto mode — scheduled onto the shared pool.
+    // Before the shared substrate, this was the deadlock/oversubscription
+    // case the per-layer budget reservations existed for.
+    let (memory, parallel_grids) = Pool::shared().run(run_grid).expect("grid job completed");
+    assert_eq!(memory, reference, "nested execution must be bit-identical");
+    assert_eq!(
+        parallel_grids, 0,
+        "a grid already running on the substrate must stay sequential"
+    );
+}
+
+#[test]
+fn panicking_grid_job_leaves_the_pool_serviceable() {
+    // A dedicated single-worker pool so the job demonstrably runs on a
+    // worker thread (the shared pool may have zero workers on a 1-CPU
+    // host, which would exercise the inline path instead).
+    let pool = Pool::new(1);
+    let r = pool.run(|| {
+        let p = dp_frontend::parse(SRC).unwrap();
+        let mut m = Machine::new(compile_program(&p).unwrap());
+        // Unknown kernel: unwrap panics on the worker mid-job.
+        m.launch_host("nonexistent", 8, 32, &[]).unwrap();
+    });
+    assert!(r.is_err(), "the panic must surface to the submitter");
+
+    // The worker survived and the next grid job runs to completion.
+    let (reference, _) = run_grid();
+    let (memory, _) = pool.run(run_grid).expect("pool still serves jobs");
+    assert_eq!(memory, reference);
+}
