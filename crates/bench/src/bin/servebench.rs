@@ -1,0 +1,198 @@
+//! `servebench` — tracked latency/throughput benchmark for the dp-serve
+//! daemon.
+//!
+//! Measures the full client-observed round-trip (socket write → NDJSON
+//! parse → admission → compile → execute → response read) against a real
+//! TCP server, across a cold/warm × concurrency matrix:
+//!
+//! - **cold**: every request carries a distinct source text, so each one
+//!   pays a compiled-cache miss — the compile-dominated path;
+//! - **warm**: every request reuses one pre-warmed source, so each one is
+//!   a pure cache hit — the dispatch-dominated path the daemon exists to
+//!   provide;
+//! - at **1, 8, and 64** concurrent pipelining clients, each on its own
+//!   connection.
+//!
+//! Each scenario runs against a freshly-bound server (port 0, `--jobs 4`)
+//! so scenarios cannot warm each other. Request counts are fixed (no
+//! environment scaling): the CI gate (`benchgate` in serve mode) requires
+//! the fresh run to serve *exactly* the committed request counts, and
+//! gates p50/p99 latency with generous headroom — absolute microseconds
+//! on shared runners are noisy, so the gate is sized to catch
+//! order-of-magnitude regressions (a lost cache, an accidental convoy),
+//! not jitter. Throughput (requests/s) is reported but never gated.
+//!
+//! Results are printed as a table and written to `BENCH_serve.json` at
+//! the repo root (`DPOPT_SERVEBENCH_OUT` overrides the path — CI writes
+//! the fresh measurement next to the committed reference).
+
+use dp_serve::proto::Endpoint;
+use dp_serve::{Client, ServeOptions, Server};
+use std::time::{Duration, Instant};
+
+/// Execution-slot cap for every scenario's server — fixed so committed
+/// and fresh runs measure the same configuration regardless of host size.
+const JOBS: usize = 4;
+/// Requests per client in cold scenarios (each one compiles).
+const ITERS_COLD: usize = 4;
+/// Requests per client in warm scenarios (each one is a cache hit).
+const ITERS_WARM: usize = 16;
+
+/// The benchmark request: a small kernel with one child launch, so the
+/// execute path exercises the machine and launch accounting without
+/// swamping the round-trip in simulation time. `nonce` is baked into the
+/// source text: distinct nonces mean distinct compile keys (the cold
+/// path), a fixed nonce means cache hits (the warm path).
+fn request_line(nonce: u64, id: u64) -> String {
+    let source = format!(
+        "__global__ void child(int* d, int n) {{ \
+           int i = threadIdx.x; if (i < n) {{ d[i] = i + {nonce}; }} }}\n\
+         __global__ void parent(int* d, int n) {{ \
+           if (threadIdx.x == 0) {{ child<<<1, 32>>>(d, n); }} }}"
+    );
+    let source = dp_sweep::json::Json::Str(source).to_string();
+    format!(
+        r#"{{"op":"execute","source":{source},"kernel":"parent","grid":1,"block":4,"buffers":[{{"name":"d","words":32}}],"args":["@d",8],"read":[{{"buffer":"d","len":4}}],"id":{id}}}"#
+    )
+}
+
+struct Scenario {
+    name: String,
+    clients: usize,
+    /// Total requests served (exact-match gated).
+    requests: usize,
+    p50_us: f64,
+    p99_us: f64,
+    rps: f64,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx].as_secs_f64() * 1e6
+}
+
+/// One cell of the matrix, against its own fresh server.
+fn run_scenario(clients: usize, warm: bool) -> Scenario {
+    let server = Server::bind(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        &ServeOptions {
+            jobs: JOBS,
+            cache_capacity: 1024,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind benchmark server");
+    let endpoint = server.endpoint().clone();
+    let server_thread = std::thread::spawn(move || server.serve().expect("serve"));
+
+    if warm {
+        // One untimed request compiles the shared source; every timed
+        // request after it is a cache hit.
+        let mut warmer = Client::connect(&endpoint).expect("connect warmer");
+        let response = warmer
+            .roundtrip_line(&request_line(0, 0))
+            .expect("warm round-trip")
+            .expect("warm response");
+        assert!(response.contains(r#""ok":true"#), "{response}");
+    }
+
+    let iters = if warm { ITERS_WARM } else { ITERS_COLD };
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let endpoint = &endpoint;
+                scope.spawn(move || {
+                    let mut client = Client::connect(endpoint).expect("connect client");
+                    let mut samples = Vec::with_capacity(iters);
+                    for i in 0..iters {
+                        // Cold: every (client, iteration) pair compiles a
+                        // distinct source. Warm: everyone shares nonce 0.
+                        let nonce = if warm { 0 } else { (c * 10_000 + i + 1) as u64 };
+                        let line = request_line(nonce, i as u64 + 1);
+                        let sent = Instant::now();
+                        let response = client
+                            .roundtrip_line(&line)
+                            .expect("round-trip")
+                            .expect("response");
+                        samples.push(sent.elapsed());
+                        assert!(response.contains(r#""ok":true"#), "{response}");
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut down = Client::connect(&endpoint).expect("connect shutdown");
+    down.request(&dp_serve::proto::bare_request("shutdown"))
+        .expect("shutdown");
+    server_thread.join().expect("server thread");
+
+    latencies.sort();
+    let requests = clients * iters;
+    assert_eq!(latencies.len(), requests);
+    Scenario {
+        name: format!("{}-c{clients}", if warm { "warm" } else { "cold" }),
+        clients,
+        requests,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        rps: requests as f64 / wall.as_secs_f64(),
+    }
+}
+
+fn write_json(path: &std::path::Path, scenarios: &[Scenario]) -> std::io::Result<()> {
+    let mut out = format!(
+        "{{\n  \"benchmark\": \"servebench\",\n  \"unit\": \"microseconds\",\n  \"jobs\": {JOBS},\n  \"scenarios\": [\n"
+    );
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"clients\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"rps\": {:.1} }}{}\n",
+            s.name,
+            s.clients,
+            s.requests,
+            s.p50_us,
+            s.p99_us,
+            s.rps,
+            if i + 1 < scenarios.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    // Pin the shared-pool budget before any pool exists so the run is
+    // reproducible regardless of the host's DPOPT_JOBS default.
+    dp_pool::jobs::resolve_jobs(Some(JOBS));
+
+    let mut scenarios = Vec::new();
+    println!(
+        "{:<10} {:>8} {:>9} {:>11} {:>11} {:>10}",
+        "scenario", "clients", "requests", "p50 (us)", "p99 (us)", "req/s"
+    );
+    for clients in [1usize, 8, 64] {
+        for warm in [false, true] {
+            let s = run_scenario(clients, warm);
+            println!(
+                "{:<10} {:>8} {:>9} {:>11.1} {:>11.1} {:>10.1}",
+                s.name, s.clients, s.requests, s.p50_us, s.p99_us, s.rps
+            );
+            scenarios.push(s);
+        }
+    }
+
+    let path = match std::env::var("DPOPT_SERVEBENCH_OUT") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json"),
+    };
+    write_json(&path, &scenarios).expect("write servebench JSON");
+    println!("wrote {}", path.display());
+}

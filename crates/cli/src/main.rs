@@ -88,6 +88,17 @@ SERVE OPTIONS:
                            the shared DPOPT_JOBS pool (default: configured
                            jobs)
     --cache-capacity <N>   compiled-program cache entries (default: 64)
+    --max-connections <N>  cap on live sessions; extras get one structured
+                           `overloaded` error line (default: 0 = unlimited)
+    --max-queue-depth <N>  cap on requests waiting for an execution slot;
+                           past it requests fast-fail with an `overloaded`
+                           error (default: 0 = unlimited)
+    --request-timeout-ms <N>  deadline for queued work: requests still
+                           waiting when it expires answer
+                           `deadline_exceeded` (default: 0 = none)
+    --max-request-bytes <N>  cap on one request line; oversized lines get
+                           a `too_large` error, then the connection closes
+                           (default: 8388608, 0 = unlimited)
 
 CLIENT:
     forwards newline-delimited JSON requests (a file, or `-`/nothing for
@@ -250,8 +261,36 @@ fn serve(args: &[String]) -> ExitCode {
                 Some(v) if v > 0 => options.cache_capacity = v as usize,
                 _ => return fail("--cache-capacity needs a positive integer"),
             },
+            "--max-connections" => match parse_arg(args, &mut i) {
+                Some(v) if v >= 0 => options.max_connections = v as usize,
+                _ => return fail("--max-connections needs a non-negative integer"),
+            },
+            "--max-queue-depth" => match parse_arg(args, &mut i) {
+                Some(v) if v >= 0 => options.max_queue_depth = v as usize,
+                _ => return fail("--max-queue-depth needs a non-negative integer"),
+            },
+            "--request-timeout-ms" => match parse_arg(args, &mut i) {
+                Some(v) if v >= 0 => options.request_timeout_ms = v as u64,
+                _ => return fail("--request-timeout-ms needs a non-negative integer"),
+            },
+            "--max-request-bytes" => match parse_arg(args, &mut i) {
+                Some(v) if v >= 0 => options.max_request_bytes = v as usize,
+                _ => return fail("--max-request-bytes needs a non-negative integer"),
+            },
             other => return fail(&format!("unexpected argument `{other}`")),
         }
+    }
+    // Fault plans come only from the environment at the CLI layer (the
+    // programmatic field is for in-process tests); a malformed spec is a
+    // startup failure, not a silently-unarmed plan.
+    match dp_serve::FaultPlan::from_env() {
+        Ok(plan) => {
+            if !plan.is_empty() {
+                eprintln!("dp-serve: fault injection armed via DPOPT_SERVE_FAULTS");
+            }
+            options.faults = plan;
+        }
+        Err(e) => return fail(&e),
     }
     // Resolve the process-wide worker budget before the shared pool
     // lazily initializes, so `--jobs` sizes the pool itself (precedence:

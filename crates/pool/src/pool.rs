@@ -52,6 +52,9 @@ pub struct Pool {
     /// instead of stalling behind unrelated long-running work; everything
     /// else degrades inline on the caller.
     claimed: Arc<AtomicUsize>,
+    /// Jobs sent but not yet picked up by a worker — the admission-control
+    /// signal surfaced by [`Pool::queue_depth`].
+    queued: Arc<AtomicUsize>,
     // Held (not read) so the budget tokens stay reserved while the pool
     // lives; released to `crate::jobs` on drop.
     _reservation: Option<crate::jobs::Reservation>,
@@ -139,8 +142,32 @@ impl Pool {
             workers,
             idle,
             claimed: Arc::new(AtomicUsize::new(0)),
+            queued: Arc::new(AtomicUsize::new(0)),
             _reservation: reservation,
         }
+    }
+
+    /// Sends a job to the workers, keeping the queued count exact: the
+    /// count covers the window from send until a worker dequeues the job.
+    /// Every queue send in the pool goes through here.
+    fn enqueue(&self, job: Job) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let queued = Arc::clone(&self.queued);
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(Box::new(move || {
+                queued.fetch_sub(1, Ordering::SeqCst);
+                job();
+            }))
+            .expect("pool workers alive");
+    }
+
+    /// Jobs sent to the queue but not yet picked up by a worker — a racy
+    /// snapshot, exposed so layers above (serve admission control, stats)
+    /// can observe backlog without owning the pool's internals.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
     }
 
     /// Worker count. The shared pool's count is the resolved job count
@@ -197,11 +224,7 @@ impl Pool {
             let _ = catch_unwind(AssertUnwindSafe(job));
             return;
         }
-        self.tx
-            .as_ref()
-            .expect("pool is live")
-            .send(Box::new(job))
-            .expect("pool workers alive");
+        self.enqueue(Box::new(job));
     }
 
     /// Runs `f` on a pool worker and blocks for its result — inline on the
@@ -217,14 +240,10 @@ impl Pool {
             return catch_unwind(AssertUnwindSafe(f));
         }
         let (tx, rx) = sync_channel(1);
-        self.tx
-            .as_ref()
-            .expect("pool is live")
-            .send(Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(f));
-                let _ = tx.send(result);
-            }))
-            .expect("pool workers alive");
+        self.enqueue(Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let _ = tx.send(result);
+        }));
         rx.recv().expect("pool worker delivered a result")
     }
 
@@ -243,15 +262,11 @@ impl Pool {
         }
         let claimed = Arc::clone(&self.claimed);
         let (tx, rx) = sync_channel(1);
-        self.tx
-            .as_ref()
-            .expect("pool is live")
-            .send(Box::new(move || {
-                claimed.fetch_sub(1, Ordering::SeqCst);
-                let result = catch_unwind(AssertUnwindSafe(f));
-                let _ = tx.send(result);
-            }))
-            .expect("pool workers alive");
+        self.enqueue(Box::new(move || {
+            claimed.fetch_sub(1, Ordering::SeqCst);
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let _ = tx.send(result);
+        }));
         rx.recv().expect("pool worker delivered a result")
     }
 
@@ -375,19 +390,14 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // job outlives the borrows it captured. The transmute only erases
         // the lifetime; the vtable and layout are unchanged.
         let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
-        self.pool
-            .tx
-            .as_ref()
-            .expect("pool is live")
-            .send(Box::new(move || {
-                claimed.fetch_sub(1, Ordering::SeqCst);
-                let result = catch_unwind(AssertUnwindSafe(job));
-                if let Err(payload) = result {
-                    state.record_panic(payload);
-                }
-                state.finish_one();
-            }))
-            .expect("pool workers alive");
+        self.pool.enqueue(Box::new(move || {
+            claimed.fetch_sub(1, Ordering::SeqCst);
+            let result = catch_unwind(AssertUnwindSafe(job));
+            if let Err(payload) = result {
+                state.record_panic(payload);
+            }
+            state.finish_one();
+        }));
     }
 }
 
@@ -545,6 +555,32 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
         assert_eq!(pool.run_now(|| 13).unwrap(), 13);
+    }
+
+    #[test]
+    fn queue_depth_tracks_the_backlog() {
+        let pool = Pool::new(1);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let (entered_tx, entered_rx) = sync_channel::<()>(0);
+        pool.submit(move || {
+            entered_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        });
+        entered_rx.recv().unwrap();
+        assert_eq!(pool.queue_depth(), 0, "the running job is not queued");
+        // Three jobs behind a blocked single worker: all three sit queued.
+        for _ in 0..3 {
+            pool.submit(|| {});
+        }
+        assert_eq!(pool.queue_depth(), 3);
+        block_tx.send(()).unwrap();
+        for _ in 0..200 {
+            if pool.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(pool.queue_depth(), 0, "drained backlog reads zero");
     }
 
     #[test]

@@ -26,6 +26,22 @@
 //!   `stats`, response bytes are a pure function of request bytes — cold
 //!   cache, warm cache, or 16 concurrent clients, the bytes are identical.
 //!   `shutdown` drains in-flight requests before the socket closes.
+//! - **Pipelining and backpressure** ([`server`]): requests carrying an
+//!   `id` are handled concurrently per connection and answered out of
+//!   order (responses echo the `id`); id-less requests keep the legacy
+//!   strictly-in-order protocol byte-for-byte. `--max-connections`,
+//!   `--max-queue-depth`, `--request-timeout-ms`, and
+//!   `--max-request-bytes` bound load with deterministic structured
+//!   errors (`kind`: `overloaded`, `deadline_exceeded`, `too_large`, …)
+//!   instead of unbounded queueing.
+//! - **Client resilience** ([`client`]): connect/read timeouts and a
+//!   bounded, deterministically-jittered retry loop
+//!   ([`client::ResilientClient`]) behind the `--remote` helpers — sound
+//!   to re-send because the ops are deterministic.
+//! - **Fault injection** ([`faults`]): a test-only [`FaultPlan`]
+//!   (`DPOPT_SERVE_FAULTS`) arms torn writes, disconnects, delays, and
+//!   panics at named points in the request path; the `faults.rs` suite
+//!   proves the daemon stays serviceable through each.
 //!
 //! ```no_run
 //! use dp_serve::proto::{bare_request, Endpoint};
@@ -47,6 +63,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod proto;
 pub mod server;
 
@@ -56,7 +73,8 @@ pub mod server;
 pub use dp_pool::pool;
 
 pub use cache::{CompiledCache, CompiledCacheStats};
-pub use client::Client;
+pub use client::{Client, ClientOptions, RequestError, ResilientClient};
 pub use dp_pool::Pool;
+pub use faults::{FaultKind, FaultPlan, FaultPoint};
 pub use proto::Endpoint;
 pub use server::{ServeOptions, Server};

@@ -89,7 +89,14 @@ impl Endpoint {
     /// Connects a client stream to this endpoint.
     pub fn connect(&self) -> std::io::Result<Stream> {
         match self {
-            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Stream::Tcp),
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                // One NDJSON line per exchange: Nagle's algorithm would
+                // hold the line hostage to the peer's delayed ACK
+                // (~40ms per round-trip); latency is the product here.
+                stream.set_nodelay(true)?;
+                Ok(Stream::Tcp(stream))
+            }
             #[cfg(unix)]
             Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
         }
@@ -113,6 +120,30 @@ impl Stream {
             Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
             #[cfg(unix)]
             Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Severs both directions of the socket. Errors are ignored — the
+    /// peer may already be gone, which is exactly when this gets called.
+    pub fn shutdown(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Sets the read timeout (`None` clears it) — the client side's
+    /// defense against a hung server.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(timeout),
         }
     }
 }
@@ -554,6 +585,25 @@ pub fn error_response(id: Option<&Json>, message: &str) -> Json {
     v
 }
 
+/// A structured robustness error: `{"op":"error","kind":…,…}`. The
+/// `kind` member is machine-matchable so clients can distinguish
+/// load-shedding (`overloaded`, `deadline_exceeded`), protocol trouble
+/// (`parse`, `too_large`), lifecycle (`draining`), and crashes (`panic`)
+/// without parsing prose. Domain errors (compile failures, unknown
+/// buffers) keep the legacy kind-less [`error_response`] shape.
+pub fn error_response_kind(id: Option<&Json>, kind: &'static str, message: &str) -> Json {
+    let mut v = object([
+        ("error", Json::Str(message.to_string())),
+        ("kind", Json::Str(kind.to_string())),
+        ("ok", Json::Bool(false)),
+        ("op", Json::Str("error".to_string())),
+    ]);
+    if let (Json::Object(map), Some(id)) = (&mut v, id) {
+        map.insert("id".to_string(), id.clone());
+    }
+    v
+}
+
 // ----------------------------------------------------------------------
 // Line framing
 // ----------------------------------------------------------------------
@@ -573,6 +623,61 @@ pub fn read_line(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
         return Ok(None);
     }
     Ok(Some(line))
+}
+
+/// Outcome of a bounded line read ([`read_line_limited`]).
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// One line (trailing newline included when present).
+    Line(String),
+    /// The line exceeded the byte cap; its bytes were left unconsumed
+    /// (the server answers a structured error and closes the connection).
+    TooLarge,
+    /// Clean EOF before any bytes.
+    Eof,
+}
+
+/// Reads one line of at most `max_bytes` bytes (newline included) without
+/// ever buffering more than the cap — a hostile or broken client cannot
+/// make the server allocate an unbounded line. Invalid UTF-8 is replaced
+/// lossily rather than surfaced as an I/O error, so one binary-garbage
+/// line becomes a parse error instead of silently dropping the session.
+/// `max_bytes == 0` means unlimited.
+pub fn read_line_limited(r: &mut impl BufRead, max_bytes: usize) -> std::io::Result<LineRead> {
+    let max_bytes = if max_bytes == 0 {
+        usize::MAX
+    } else {
+        max_bytes
+    };
+    let mut acc: Vec<u8> = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(if acc.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&acc).into_owned())
+            });
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if acc.len() + pos + 1 > max_bytes {
+                    return Ok(LineRead::TooLarge);
+                }
+                acc.extend_from_slice(&buf[..=pos]);
+                r.consume(pos + 1);
+                return Ok(LineRead::Line(String::from_utf8_lossy(&acc).into_owned()));
+            }
+            None => {
+                let n = buf.len();
+                if acc.len() + n > max_bytes {
+                    return Ok(LineRead::TooLarge);
+                }
+                acc.extend_from_slice(buf);
+                r.consume(n);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -666,6 +771,134 @@ mod tests {
         assert_eq!(ok.to_string(), r#"{"id":3,"ok":true,"x":1}"#);
         let err = error_response(None, "boom");
         assert_eq!(err.to_string(), r#"{"error":"boom","ok":false}"#);
+    }
+
+    #[test]
+    fn kinded_errors_are_structured_and_echo_ids() {
+        let err = error_response_kind(Some(&Json::Int(9)), "overloaded", "queue full");
+        assert_eq!(
+            err.to_string(),
+            r#"{"error":"queue full","id":9,"kind":"overloaded","ok":false,"op":"error"}"#
+        );
+        let err = error_response_kind(None, "parse", "bad json");
+        assert_eq!(
+            err.to_string(),
+            r#"{"error":"bad json","kind":"parse","ok":false,"op":"error"}"#
+        );
+    }
+
+    /// Satellite: a table of malformed request lines. Every one must
+    /// yield a structured parse error (never a panic, never a silent
+    /// drop), and the `id` must survive whenever the line is valid JSON.
+    #[test]
+    fn malformed_request_table() {
+        // (line, expected error fragment, id expected to survive)
+        let table: &[(&str, &str, Option<Json>)] = &[
+            ("not json at all", "bad request JSON", None),
+            ("{\"op\":\"compile\"", "bad request JSON", None),
+            ("42", "op", None),
+            ("[1,2,3]", "op", None),
+            ("{}", "op", None),
+            (r#"{"op":7,"id":1}"#, "op", Some(Json::Int(1))),
+            (
+                r#"{"op":"explode","id":2}"#,
+                "unknown op",
+                Some(Json::Int(2)),
+            ),
+            (r#"{"op":"compile","id":3}"#, "`source`", Some(Json::Int(3))),
+            (
+                r#"{"op":"compile","source":7,"id":4}"#,
+                "`source`",
+                Some(Json::Int(4)),
+            ),
+            (
+                r#"{"op":"execute","source":"s","id":5}"#,
+                "`kernel`",
+                Some(Json::Int(5)),
+            ),
+            (
+                r#"{"op":"execute","source":"s","kernel":"k","grid":"x","id":6}"#,
+                "`grid`",
+                Some(Json::Int(6)),
+            ),
+            (
+                r#"{"op":"execute","source":"s","kernel":"k","grid":1,"block":1,"buffers":[{"name":"d"}],"id":7}"#,
+                "`words`, `ints`, or `floats`",
+                Some(Json::Int(7)),
+            ),
+            (
+                r#"{"op":"execute","source":"s","kernel":"k","grid":1,"block":1,"args":["d"],"id":8}"#,
+                "`@buffer`",
+                Some(Json::Int(8)),
+            ),
+            (
+                r#"{"op":"execute","source":"s","kernel":"k","grid":1,"block":1,"read":[{"buffer":"d"}],"id":9}"#,
+                "`len`",
+                Some(Json::Int(9)),
+            ),
+            (
+                r#"{"op":"sweep-cell","id":10}"#,
+                "`benchmark`",
+                Some(Json::Int(10)),
+            ),
+            (
+                r#"{"op":"sweep-cell","benchmark":"BFS","id":11}"#,
+                "`dataset`",
+                Some(Json::Int(11)),
+            ),
+            (
+                r#"{"op":"sweep-cell","benchmark":"BFS","dataset":{"id":"NOPE"},"variant":{},"id":12}"#,
+                "unknown dataset",
+                Some(Json::Int(12)),
+            ),
+            (
+                r#"{"op":"sweep-cell","benchmark":"BFS","dataset":{"id":"KRON","scale":2.0},"variant":{},"id":13}"#,
+                "`scale`",
+                Some(Json::Int(13)),
+            ),
+            (
+                r#"{"op":"compile","source":"s","threshold":"big","id":14}"#,
+                "threshold",
+                Some(Json::Int(14)),
+            ),
+        ];
+        for (line, fragment, id) in table {
+            let parsed = parse_request(line);
+            assert_eq!(&parsed.id, id, "id for `{line}`");
+            let err = parsed
+                .body
+                .expect_err(&format!("`{line}` must not parse as a request"));
+            assert!(
+                err.contains(fragment),
+                "error for `{line}` must mention `{fragment}`, got `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn limited_reads_enforce_the_cap() {
+        use std::io::Cursor;
+        let mut r = Cursor::new(b"short\nlonger line\n".to_vec());
+        assert_eq!(
+            read_line_limited(&mut r, 8).unwrap(),
+            LineRead::Line("short\n".to_string())
+        );
+        assert_eq!(read_line_limited(&mut r, 8).unwrap(), LineRead::TooLarge);
+
+        // Unlimited (0) accepts anything and reports clean EOF after.
+        let mut r = Cursor::new(b"x".repeat(100_000));
+        let LineRead::Line(line) = read_line_limited(&mut r, 0).unwrap() else {
+            panic!("unlimited read must succeed");
+        };
+        assert_eq!(line.len(), 100_000);
+        assert_eq!(read_line_limited(&mut r, 0).unwrap(), LineRead::Eof);
+
+        // Invalid UTF-8 is replaced, not an I/O error.
+        let mut r = Cursor::new(b"\xff\xfe{\"op\"}\n".to_vec());
+        let LineRead::Line(line) = read_line_limited(&mut r, 64).unwrap() else {
+            panic!("lossy read must succeed");
+        };
+        assert!(line.contains('\u{FFFD}'), "{line:?}");
     }
 
     #[test]

@@ -1,28 +1,42 @@
-//! The daemon: accept loop, per-connection sessions, request dispatch, and
-//! graceful drain.
+//! The daemon: accept loop, per-connection sessions, request dispatch,
+//! admission control, and graceful drain.
 //!
 //! Threading model: the accept loop runs on the caller of
-//! [`Server::serve`]; each connection gets a lightweight session thread
-//! that reads requests and writes responses **in order**. Compilation runs
-//! on the session thread (deduplicated by the single-flight
-//! [`CompiledCache`], so concurrent identical compiles cost one compile);
-//! execution — the CPU-heavy part — is scheduled onto the **shared**
-//! persistent pool ([`Pool::shared`]), the same substrate the VM's block
-//! executor and the sweep engine draw from, under a `--jobs` concurrency
-//! cap. Anything the pool runs that tries to parallelize further (a
-//! grid's block speculation inside an `execute`) degrades inline on its
-//! worker, so the pool cannot deadlock on itself and the process never
-//! oversubscribes one `DPOPT_JOBS` budget.
+//! [`Server::serve`]; each connection gets a session thread that reads
+//! requests off the socket. Requests carrying an `id` are **pipelined**:
+//! each one is handled on its own short-lived request thread and its
+//! response (tagged with the echoed `id`) is written whenever it is ready,
+//! so a slow compile never convoys fast requests behind it on the same
+//! connection. Requests *without* an `id` keep the legacy strictly-in-order
+//! protocol byte-for-byte: the session waits for every pipelined response
+//! to flush, then handles the request inline — an id-less client cannot
+//! observe reordering. Compilation is deduplicated by the single-flight
+//! [`CompiledCache`]; execution — the CPU-heavy part — is scheduled onto
+//! the **shared** persistent pool ([`Pool::shared`]) under the `--jobs`
+//! concurrency cap, so serving, sweeps, and per-grid block speculation
+//! coexist under one `DPOPT_JOBS` budget.
+//!
+//! Admission control: `--max-queue-depth` bounds how many admitted
+//! requests may wait for an execution slot; beyond it the server answers a
+//! deterministic `{"op":"error","kind":"overloaded"}` fast-fail instead of
+//! queueing without bound. `--request-timeout-ms` arms a per-request
+//! deadline: work still *waiting* for a slot when the deadline passes is
+//! cancelled with `kind:"deadline_exceeded"` (running work is never
+//! killed). `--max-connections` bounds live sessions — a connection over
+//! the cap receives one `overloaded` error line and is closed.
+//! `--max-request-bytes` bounds a single request line; oversized lines get
+//! a structured `too_large` error and the connection closes.
 //!
 //! Graceful drain: a `shutdown` request stops new work (subsequent
-//! requests answer an `ok:false` "draining" error), waits until every
-//! in-flight request has **written its response**, then answers the
-//! shutdown and wakes the accept loop to exit. In-flight work is never
-//! dropped.
+//! requests answer a `kind:"draining"` error), waits until every in-flight
+//! request — pipelined ones included — has **written its response**, then
+//! answers the shutdown and wakes the accept loop to exit. In-flight work
+//! is never dropped.
 
 use crate::cache::CompiledCache;
+use crate::faults::{FaultKind, FaultPlan, FaultPoint};
 use crate::proto::{
-    self, Arg, BufferData, Endpoint, ExecuteRequest, ParsedRequest, Request, Stream,
+    self, Arg, BufferData, Endpoint, ExecuteRequest, LineRead, ParsedRequest, Request, Stream,
     SweepCellRequest,
 };
 use dp_core::{Compiler, OptConfig, SharedCompiled, TimingParams};
@@ -35,10 +49,16 @@ use std::collections::{BTreeMap, HashMap};
 use std::io::BufReader;
 use std::net::TcpListener;
 #[cfg(unix)]
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-session cap on spawned-but-unfinished pipelined requests; past it
+/// the session thread stops reading, which surfaces to the client as
+/// ordinary TCP backpressure rather than an error.
+const PIPELINE_WINDOW: usize = 64;
 
 /// Server construction options.
 #[derive(Debug, Clone)]
@@ -49,6 +69,23 @@ pub struct ServeOptions {
     pub jobs: usize,
     /// Compiled-program cache capacity (entries).
     pub cache_capacity: usize,
+    /// Cap on live sessions; a connection over the cap is answered with
+    /// one `overloaded` error line and closed. `0` means unlimited.
+    pub max_connections: usize,
+    /// Cap on admitted requests waiting for an execution slot; past it
+    /// new requests fast-fail with `kind:"overloaded"`. `0` means
+    /// unlimited.
+    pub max_queue_depth: usize,
+    /// Per-request deadline in milliseconds: work still waiting for an
+    /// execution slot when it expires answers `kind:"deadline_exceeded"`
+    /// (running work is never cancelled). `0` means no deadline.
+    pub request_timeout_ms: u64,
+    /// Cap on one request line's bytes (newline included); oversized
+    /// lines answer `kind:"too_large"` and close the connection. `0`
+    /// means unlimited.
+    pub max_request_bytes: usize,
+    /// Armed fault injections (tests only; empty in production).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeOptions {
@@ -56,14 +93,38 @@ impl Default for ServeOptions {
         ServeOptions {
             jobs: 0,
             cache_capacity: 64,
+            max_connections: 0,
+            max_queue_depth: 0,
+            request_timeout_ms: 0,
+            max_request_bytes: 8 * 1024 * 1024,
+            faults: FaultPlan::default(),
         }
     }
+}
+
+/// The request limits copied out of [`ServeOptions`] (shared by every
+/// session through [`State`]).
+#[derive(Debug, Clone, Copy)]
+struct Limits {
+    max_connections: usize,
+    max_queue_depth: usize,
+    request_timeout_ms: u64,
+    max_request_bytes: usize,
 }
 
 enum Listener {
     Tcp(TcpListener),
     #[cfg(unix)]
     Unix(UnixListener, PathBuf),
+}
+
+/// Execution-slot accounting: `free_slots` is the remaining `--jobs`
+/// budget, `waiting` counts admitted requests not yet holding a slot.
+/// One mutex covers both so admission (`free_slots == 0 && waiting >=
+/// max_queue_depth`) is a single consistent read.
+struct ExecState {
+    free_slots: usize,
+    waiting: usize,
 }
 
 struct State {
@@ -73,10 +134,16 @@ struct State {
     pool: &'static Pool,
     /// `--jobs` cap on concurrently-executing requests.
     jobs_cap: usize,
-    exec_slots: Mutex<usize>,
+    limits: Limits,
+    faults: FaultPlan,
+    exec: Mutex<ExecState>,
     exec_free: Condvar,
+    /// Live session count (the `--max-connections` admission signal).
+    sessions: AtomicUsize,
     datasets: Mutex<HashMap<String, Arc<BenchInput>>>,
     requests: Mutex<BTreeMap<String, u64>>,
+    /// Refused/expired request counts by error kind, for `stats`.
+    rejects: Mutex<BTreeMap<&'static str, u64>>,
     draining: AtomicBool,
     inflight: Mutex<usize>,
     drained: Condvar,
@@ -100,27 +167,72 @@ impl State {
         })
     }
 
+    /// Admits a request into the execution queue, or refuses it when the
+    /// queue is saturated (`max_queue_depth` waiters and no free slot).
+    /// The returned token holds one `waiting` count; it is consumed by
+    /// [`State::exec_within`] or released on drop.
+    fn admit(self: &Arc<Self>) -> Option<QueueSlot> {
+        let mut exec = self.exec.lock().unwrap();
+        if self.limits.max_queue_depth > 0
+            && exec.free_slots == 0
+            && exec.waiting >= self.limits.max_queue_depth
+        {
+            return None;
+        }
+        exec.waiting += 1;
+        Some(QueueSlot {
+            state: Arc::clone(self),
+            consumed: false,
+        })
+    }
+
+    /// The absolute deadline a request admitted now must start by.
+    fn deadline(&self) -> Option<Instant> {
+        (self.limits.request_timeout_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(self.limits.request_timeout_ms))
+    }
+
     /// Schedules CPU-heavy work onto the shared pool, bounded by the
     /// `--jobs` cap: at most `jobs_cap` requests execute at once no matter
     /// how many sessions are connected or how large the shared pool is.
     /// `run_now` executes on an idle pool worker when one is free and
-    /// inline on this session thread otherwise — the session thread counts
+    /// inline on the calling thread otherwise — the calling thread counts
     /// as an execution vehicle, so a cap of N really means N concurrent
-    /// requests even when the shared pool is smaller or busy.
-    fn exec<T: Send + 'static>(
+    /// requests even when the shared pool is smaller or busy. `Err(())`
+    /// means the deadline passed while the request was still waiting for
+    /// a slot; once work starts it always runs to completion.
+    fn exec_within<T: Send + 'static>(
         &self,
+        mut slot: QueueSlot,
+        deadline: Option<Instant>,
         f: impl FnOnce() -> T + Send + 'static,
-    ) -> std::thread::Result<T> {
-        let mut slots = self.exec_slots.lock().unwrap();
-        while *slots == 0 {
-            slots = self.exec_free.wait(slots).unwrap();
+    ) -> Result<std::thread::Result<T>, ()> {
+        let mut exec = self.exec.lock().unwrap();
+        while exec.free_slots == 0 {
+            match deadline {
+                None => exec = self.exec_free.wait(exec).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        exec.waiting -= 1;
+                        slot.consumed = true;
+                        return Err(());
+                    }
+                    exec = self.exec_free.wait_timeout(exec, d - now).unwrap().0;
+                }
+            }
         }
-        *slots -= 1;
-        drop(slots);
+        exec.free_slots -= 1;
+        exec.waiting -= 1;
+        slot.consumed = true;
+        drop(exec);
         let result = self.pool.run_now(f);
-        *self.exec_slots.lock().unwrap() += 1;
-        self.exec_free.notify_one();
-        result
+        self.exec.lock().unwrap().free_slots += 1;
+        // `notify_all`, not `notify_one`: waiters carry distinct deadlines,
+        // and a woken waiter may immediately expire instead of taking the
+        // slot — every waiter must get the chance to re-check.
+        self.exec_free.notify_all();
+        Ok(result)
     }
 
     fn count_request(&self, op: &str) {
@@ -130,6 +242,10 @@ impl State {
             .unwrap()
             .entry(op.to_string())
             .or_insert(0) += 1;
+    }
+
+    fn count_reject(&self, kind: &'static str) {
+        *self.rejects.lock().unwrap().entry(kind).or_insert(0) += 1;
     }
 
     /// Stops new work and blocks until every in-flight request has written
@@ -168,7 +284,7 @@ impl State {
 }
 
 /// Decrements the in-flight count (and wakes a drainer) on drop — after
-/// the session has written the response, because the guard is held across
+/// the request has written its response, because the guard is held across
 /// the write.
 struct InflightGuard {
     state: Arc<State>,
@@ -184,6 +300,66 @@ impl Drop for InflightGuard {
     }
 }
 
+/// One admitted request's place in the execution queue (a `waiting`
+/// count). Consumed by [`State::exec_within`]; released on drop for
+/// requests that never reach the executor (compiles, domain errors).
+struct QueueSlot {
+    state: Arc<State>,
+    consumed: bool,
+}
+
+impl Drop for QueueSlot {
+    fn drop(&mut self) {
+        if !self.consumed {
+            self.state.exec.lock().unwrap().waiting -= 1;
+        }
+    }
+}
+
+/// Per-connection shared state: the response writer and the count of
+/// spawned-but-unfinished pipelined requests. The writer mutex makes each
+/// response line atomic on the wire; the pending counter orders id-less
+/// (legacy, strictly-in-order) requests after every outstanding pipelined
+/// response and implements the [`PIPELINE_WINDOW`] backpressure.
+struct Session {
+    writer: Mutex<Stream>,
+    pending: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Session {
+    fn write(&self, response: &Json) -> std::io::Result<()> {
+        proto::write_line(&mut *self.writer.lock().unwrap(), response)
+    }
+
+    fn shutdown_socket(&self) {
+        self.writer.lock().unwrap().shutdown();
+    }
+
+    /// Reserves a pipelined request, blocking while the window is full.
+    fn begin_pipelined(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending >= PIPELINE_WINDOW {
+            pending = self.idle.wait(pending).unwrap();
+        }
+        *pending += 1;
+    }
+
+    fn finish_pipelined(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        self.idle.notify_all();
+    }
+
+    /// Blocks until every pipelined response has been written.
+    fn wait_idle(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.idle.wait(pending).unwrap();
+        }
+    }
+}
+
 /// A bound, not-yet-serving server. Splitting bind from
 /// [`Server::serve`] lets callers learn the actual address (port 0 binds)
 /// before the accept loop starts.
@@ -195,6 +371,12 @@ pub struct Server {
 
 impl Server {
     /// Binds a listener and builds the shared state (pool + caches).
+    ///
+    /// A Unix bind that hits a leftover socket file probes it first: a
+    /// refused connect means the previous daemon died without unlinking,
+    /// so the stale file is removed and the bind retried once; a
+    /// successful connect means a live daemon owns the path, and the bind
+    /// fails rather than hijacking it.
     pub fn bind(endpoint: &Endpoint, options: &ServeOptions) -> std::io::Result<Server> {
         let (listener, actual) = match endpoint {
             Endpoint::Tcp(addr) => {
@@ -204,10 +386,28 @@ impl Server {
             }
             #[cfg(unix)]
             Endpoint::Unix(path) => {
-                // A stale socket file from a previous run would fail the
-                // bind; replace it.
-                let _ = std::fs::remove_file(path);
-                let listener = UnixListener::bind(path)?;
+                let listener = match UnixListener::bind(path) {
+                    Ok(l) => l,
+                    Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                        match UnixStream::connect(path) {
+                            Ok(_) => {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::AddrInUse,
+                                    format!(
+                                        "`{}` has a live server; refusing to replace it",
+                                        path.display()
+                                    ),
+                                ))
+                            }
+                            Err(_) => {
+                                // Dead socket from a crashed daemon.
+                                std::fs::remove_file(path)?;
+                                UnixListener::bind(path)?
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e),
+                };
                 (
                     Listener::Unix(listener, path.clone()),
                     Endpoint::Unix(path.clone()),
@@ -219,14 +419,32 @@ impl Server {
         } else {
             dp_pool::jobs::configured_jobs()
         };
+        let faults = if options.faults.is_empty() {
+            FaultPlan::from_env()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?
+        } else {
+            options.faults.clone()
+        };
         let state = Arc::new(State {
             cache: CompiledCache::new(options.cache_capacity),
             pool: Pool::shared(),
             jobs_cap,
-            exec_slots: Mutex::new(jobs_cap),
+            limits: Limits {
+                max_connections: options.max_connections,
+                max_queue_depth: options.max_queue_depth,
+                request_timeout_ms: options.request_timeout_ms,
+                max_request_bytes: options.max_request_bytes,
+            },
+            faults,
+            exec: Mutex::new(ExecState {
+                free_slots: jobs_cap,
+                waiting: 0,
+            }),
             exec_free: Condvar::new(),
+            sessions: AtomicUsize::new(0),
             datasets: Mutex::new(HashMap::new()),
             requests: Mutex::new(BTreeMap::new()),
+            rejects: Mutex::new(BTreeMap::new()),
             draining: AtomicBool::new(false),
             inflight: Mutex::new(0),
             drained: Condvar::new(),
@@ -254,6 +472,9 @@ impl Server {
                         break;
                     }
                     if let Ok(stream) = stream {
+                        // Responses are single lines; without nodelay the
+                        // last segment waits on the client's delayed ACK.
+                        let _ = stream.set_nodelay(true);
                         spawn_session(Arc::clone(&self.state), Stream::Tcp(stream), &endpoint);
                     }
                 }
@@ -279,60 +500,206 @@ impl Server {
 }
 
 fn spawn_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) {
+    // The accept loop is single-threaded, so the load-then-increment is
+    // not racing other admissions (an exiting session's decrement can only
+    // make the count smaller — the cap never over-admits a live set).
+    let max = state.limits.max_connections;
+    if max > 0 && state.sessions.load(Ordering::SeqCst) >= max {
+        state.count_reject("overloaded");
+        let mut stream = stream;
+        let refusal = proto::error_response_kind(
+            None,
+            "overloaded",
+            &format!("connection limit ({max}) reached"),
+        );
+        let _ = proto::write_line(&mut stream, &refusal);
+        return;
+    }
+    state.sessions.fetch_add(1, Ordering::SeqCst);
     let endpoint = endpoint.clone();
     std::thread::Builder::new()
         .name("dp-serve-session".to_string())
         .spawn(move || {
-            let _ = run_session(state, stream, &endpoint);
+            let _ = run_session(Arc::clone(&state), stream, &endpoint);
+            state.sessions.fetch_sub(1, Ordering::SeqCst);
         })
         .expect("spawn session thread");
 }
 
-/// Serves one connection: requests in, responses out, strictly in order.
+/// Serves one connection. Pipelined (`id`-tagged) requests each run on
+/// their own request thread and respond out of order; id-less requests
+/// preserve the legacy strictly-in-order protocol.
 fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    while let Some(line) = proto::read_line(&mut reader)? {
+    let session = Arc::new(Session {
+        writer: Mutex::new(stream),
+        pending: Mutex::new(0),
+        idle: Condvar::new(),
+    });
+    loop {
+        let line = match proto::read_line_limited(&mut reader, state.limits.max_request_bytes)? {
+            LineRead::Eof => break,
+            LineRead::TooLarge => {
+                state.count_reject("too_large");
+                // Flush outstanding pipelined responses, answer, close:
+                // past the cap the line boundary is unknown, so the
+                // connection cannot be resynchronized.
+                session.wait_idle();
+                session.write(&proto::error_response_kind(
+                    None,
+                    "too_large",
+                    &format!(
+                        "request line exceeds {} bytes",
+                        state.limits.max_request_bytes
+                    ),
+                ))?;
+                session.shutdown_socket();
+                break;
+            }
+            LineRead::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
+        match state.faults.fire(FaultPoint::SessionRead, "") {
+            Some(FaultKind::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultKind::Panic) => panic!("injected fault: panic at session-read"),
+            Some(FaultKind::TornWrite | FaultKind::Disconnect) => {
+                session.shutdown_socket();
+                break;
+            }
+            None => {}
+        }
         let ParsedRequest { id, body } = proto::parse_request(&line);
-        let response = match body {
-            Err(e) => proto::error_response(id.as_ref(), &e),
-            Ok(Request::Shutdown) => {
+        let request = match body {
+            Err(e) => {
+                state.count_reject("parse");
+                session.write(&proto::error_response_kind(id.as_ref(), "parse", &e))?;
+                continue;
+            }
+            Ok(request) => request,
+        };
+        match request {
+            Request::Shutdown => {
                 state.count_request("shutdown");
+                // Pipelined requests hold inflight guards until their
+                // responses are written, so the drain covers them; the
+                // wait_idle then orders this session's shutdown answer
+                // after its own outstanding responses.
                 state.drain();
-                let response = proto::ok_response(
+                session.wait_idle();
+                session.write(&proto::ok_response(
                     id.as_ref(),
                     vec![
                         ("drained", Json::Bool(true)),
                         ("op", Json::Str("shutdown".to_string())),
                     ],
-                );
-                proto::write_line(&mut writer, &response)?;
+                ))?;
                 // The accept loop is blocked in `accept`; a throwaway
                 // connection wakes it so it can observe `draining` and exit.
                 let _ = wake_endpoint(endpoint).connect();
                 return Ok(());
             }
-            Ok(Request::Stats) => {
+            Request::Stats => {
                 state.count_request("stats");
-                stats_response(&state, id.as_ref())
+                session.write(&stats_response(&state, id.as_ref()))?;
             }
-            Ok(request) => match state.begin_request() {
-                None => proto::error_response(id.as_ref(), "server is draining"),
-                Some(guard) => {
-                    state.count_request(op_name(&request));
-                    let response = dispatch(&state, request, id.as_ref());
-                    proto::write_line(&mut writer, &response)?;
-                    drop(guard); // response is on the wire: now drainable
-                    continue;
+            request => {
+                let pipelined = id.is_some();
+                if !pipelined {
+                    // Legacy protocol: strictly in order, never
+                    // interleaved with pipelined responses.
+                    session.wait_idle();
                 }
-            },
-        };
-        proto::write_line(&mut writer, &response)?;
+                let Some(guard) = state.begin_request() else {
+                    state.count_reject("draining");
+                    session.write(&proto::error_response_kind(
+                        id.as_ref(),
+                        "draining",
+                        "server is draining",
+                    ))?;
+                    continue;
+                };
+                let Some(slot) = state.admit() else {
+                    drop(guard);
+                    state.count_reject("overloaded");
+                    session.write(&proto::error_response_kind(
+                        id.as_ref(),
+                        "overloaded",
+                        &format!(
+                            "queue depth limit ({}) reached",
+                            state.limits.max_queue_depth
+                        ),
+                    ))?;
+                    continue;
+                };
+                let op = op_name(&request);
+                state.count_request(op);
+                let deadline = state.deadline();
+                if pipelined {
+                    session.begin_pipelined();
+                    let state2 = Arc::clone(&state);
+                    let session2 = Arc::clone(&session);
+                    let id2 = id.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("dp-serve-request".to_string())
+                        .spawn(move || {
+                            let response = dispatch(&state2, request, id2.as_ref(), slot, deadline);
+                            // Write before the guards drop: a drain must
+                            // not complete with this response unwritten.
+                            let _ = deliver(&state2, &session2, op, &response);
+                            drop(guard);
+                            session2.finish_pipelined();
+                        });
+                    if spawned.is_err() {
+                        // Thread exhaustion; the closure (and its guards)
+                        // was dropped unrun. Degrade to a fast-fail.
+                        session.finish_pipelined();
+                        state.count_reject("overloaded");
+                        session.write(&proto::error_response_kind(
+                            id.as_ref(),
+                            "overloaded",
+                            "cannot spawn a request thread",
+                        ))?;
+                    }
+                } else {
+                    let response = dispatch(&state, request, id.as_ref(), slot, deadline);
+                    deliver(&state, &session, op, &response)?;
+                    drop(guard); // response is on the wire: now drainable
+                }
+            }
+        }
     }
     Ok(())
+}
+
+/// Writes one dispatched response, applying any armed `pre-write` fault.
+fn deliver(
+    state: &State,
+    session: &Session,
+    op: &'static str,
+    response: &Json,
+) -> std::io::Result<()> {
+    match state.faults.fire(FaultPoint::PreWrite, op) {
+        Some(FaultKind::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultKind::Panic) => panic!("injected fault: panic at pre-write"),
+        Some(FaultKind::TornWrite) => {
+            use std::io::Write;
+            let mut text = response.to_string();
+            text.push('\n');
+            let mut writer = session.writer.lock().unwrap();
+            writer.write_all(&text.as_bytes()[..text.len() / 2])?;
+            writer.flush()?;
+            writer.shutdown();
+            return Ok(());
+        }
+        Some(FaultKind::Disconnect) => {
+            session.shutdown_socket();
+            return Ok(());
+        }
+        None => {}
+    }
+    session.write(response)
 }
 
 /// The address a session connects to in order to wake the accept loop: a
@@ -365,7 +732,7 @@ fn op_name(request: &Request) -> &'static str {
     }
 }
 
-/// Compiles through the single-flight cache (on the session thread — never
+/// Compiles through the single-flight cache (on the request thread — never
 /// from a pool worker, see module docs).
 fn cached_compile(
     state: &State,
@@ -383,9 +750,41 @@ fn cached_compile(
     (compile_key, result)
 }
 
-fn dispatch(state: &Arc<State>, request: Request, id: Option<&Json>) -> Json {
+/// Applies any armed `exec` fault inside the execution slot.
+fn apply_exec_fault(faults: &FaultPlan, op: &str) {
+    match faults.fire(FaultPoint::Exec, op) {
+        Some(FaultKind::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultKind::Panic) => panic!("injected fault: panic at exec"),
+        // Socket faults have no meaning inside the executor.
+        Some(FaultKind::TornWrite | FaultKind::Disconnect) | None => {}
+    }
+}
+
+/// The deterministic deadline error: built from the *configured* timeout,
+/// never from measured time, so the bytes are a pure function of the
+/// request and the server's flags.
+fn deadline_response(state: &State, id: Option<&Json>) -> Json {
+    state.count_reject("deadline_exceeded");
+    proto::error_response_kind(
+        id,
+        "deadline_exceeded",
+        &format!(
+            "request expired after {} ms before an execution slot freed",
+            state.limits.request_timeout_ms
+        ),
+    )
+}
+
+fn dispatch(
+    state: &Arc<State>,
+    request: Request,
+    id: Option<&Json>,
+    slot: QueueSlot,
+    deadline: Option<Instant>,
+) -> Json {
     match request {
         Request::Compile { source, config } => {
+            drop(slot); // compiles never enter the execution queue
             let (compile_key, result) = cached_compile(state, &source, &config);
             match result {
                 Err(e) => proto::error_response(id, &e),
@@ -409,6 +808,7 @@ fn dispatch(state: &Arc<State>, request: Request, id: Option<&Json>) -> Json {
             }
         }
         Request::Transform { source, config } => {
+            drop(slot);
             let (_, result) = cached_compile(state, &source, &config);
             match result {
                 Err(e) => proto::error_response(id, &e),
@@ -430,15 +830,24 @@ fn dispatch(state: &Arc<State>, request: Request, id: Option<&Json>) -> Json {
             match result {
                 Err(e) => proto::error_response(id, &e),
                 Ok(compiled) => {
-                    let outcome = state.exec(move || run_execute(&compiled, &request));
-                    match flatten_panic(outcome) {
-                        Ok(members) => proto::ok_response(id, members),
-                        Err(e) => proto::error_response(id, &e),
+                    let faults = state.faults.clone();
+                    match state.exec_within(slot, deadline, move || {
+                        apply_exec_fault(&faults, "execute");
+                        run_execute(&compiled, &request)
+                    }) {
+                        Err(()) => deadline_response(state, id),
+                        Ok(outcome) => match outcome {
+                            Ok(Ok(members)) => proto::ok_response(id, members),
+                            Ok(Err(e)) => proto::error_response(id, &e),
+                            Err(payload) => {
+                                proto::error_response_kind(id, "panic", &panic_message(payload))
+                            }
+                        },
                     }
                 }
             }
         }
-        Request::SweepCell(request) => run_sweep_cell(state, *request, id),
+        Request::SweepCell(request) => run_sweep_cell(state, *request, id, slot, deadline),
         // Handled in `run_session`; kept for exhaustiveness.
         Request::Stats => stats_response(state, id),
         Request::Shutdown => proto::error_response(id, "unreachable"),
@@ -456,19 +865,15 @@ fn diagnostics_json(compiled: &SharedCompiled) -> Json {
     )
 }
 
-/// Surfaces a pool-job panic as a deterministic error string.
-fn flatten_panic<T>(outcome: std::thread::Result<Result<T, String>>) -> Result<T, String> {
-    match outcome {
-        Ok(result) => result,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic".to_string());
-            Err(format!("request panicked: {msg}"))
-        }
-    }
+/// Renders a panic payload as the deterministic message the daemon
+/// answers with (the worker survives; see `dp_pool`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic".to_string());
+    format!("request panicked: {msg}")
 }
 
 /// The execution half of an `execute` request, run on a pool worker.
@@ -546,7 +951,13 @@ fn run_execute(
 
 /// One sweep cell: compile through the cache, memoized dataset, execution
 /// on the pool, summarized through the sweep engine's single path.
-fn run_sweep_cell(state: &Arc<State>, request: SweepCellRequest, id: Option<&Json>) -> Json {
+fn run_sweep_cell(
+    state: &Arc<State>,
+    request: SweepCellRequest,
+    id: Option<&Json>,
+    slot: QueueSlot,
+    deadline: Option<Instant>,
+) -> Json {
     let bench = match all_benchmarks()
         .into_iter()
         .find(|b| b.name() == request.benchmark)
@@ -575,7 +986,9 @@ fn run_sweep_cell(state: &Arc<State>, request: SweepCellRequest, id: Option<&Jso
         &dp_vm::bytecode::CostModel::default(),
     );
     let label = request.label.clone();
-    let outcome = state.exec(move || {
+    let faults = state.faults.clone();
+    let outcome = match state.exec_within(slot, deadline, move || {
+        apply_exec_fault(&faults, "sweep-cell");
         dp_sweep::execute_cell(
             bench.as_ref(),
             &label,
@@ -584,10 +997,14 @@ fn run_sweep_cell(state: &Arc<State>, request: SweepCellRequest, id: Option<&Jso
             &TimingParams::default(),
         )
         .map_err(|e| e.to_string())
-    });
-    match flatten_panic(outcome) {
-        Err(e) => proto::error_response(id, &e),
-        Ok(summary) => {
+    }) {
+        Err(()) => return deadline_response(state, id),
+        Ok(outcome) => outcome,
+    };
+    match outcome {
+        Err(payload) => proto::error_response_kind(id, "panic", &panic_message(payload)),
+        Ok(Err(e)) => proto::error_response(id, &e),
+        Ok(Ok(summary)) => {
             let mut v = sweep_cache::summary_json(cell_key, &summary);
             if let Json::Object(map) = &mut v {
                 map.insert("benchmark".to_string(), Json::Str(request.benchmark));
@@ -617,6 +1034,18 @@ fn stats_response(state: &Arc<State>, id: Option<&Json>) -> Json {
             .map(|(op, n)| (op.clone(), json::uint(*n)))
             .collect(),
     );
+    drop(requests);
+    let rejects = state.rejects.lock().unwrap();
+    let reject_counts = Json::Object(
+        rejects
+            .iter()
+            .map(|(kind, n)| (kind.to_string(), json::uint(*n)))
+            .collect(),
+    );
+    drop(rejects);
+    let exec = state.exec.lock().unwrap();
+    let (free_slots, waiting) = (exec.free_slots, exec.waiting);
+    drop(exec);
     proto::ok_response(
         id,
         vec![
@@ -635,8 +1064,49 @@ fn stats_response(state: &Arc<State>, id: Option<&Json>) -> Json {
                 json::uint(*state.inflight.lock().unwrap() as u64),
             ),
             ("jobs", json::uint(state.jobs_cap as u64)),
+            (
+                "limits",
+                object([
+                    (
+                        "max_connections",
+                        json::uint(state.limits.max_connections as u64),
+                    ),
+                    (
+                        "max_queue_depth",
+                        json::uint(state.limits.max_queue_depth as u64),
+                    ),
+                    (
+                        "max_request_bytes",
+                        json::uint(state.limits.max_request_bytes as u64),
+                    ),
+                    (
+                        "request_timeout_ms",
+                        json::uint(state.limits.request_timeout_ms),
+                    ),
+                ]),
+            ),
             ("op", Json::Str("stats".to_string())),
+            (
+                "pool",
+                object([
+                    ("idle", json::uint(state.pool.idle_workers() as u64)),
+                    ("queued", json::uint(state.pool.queue_depth() as u64)),
+                    ("threads", json::uint(state.pool.threads() as u64)),
+                ]),
+            ),
+            (
+                "queue",
+                object([
+                    ("free_slots", json::uint(free_slots as u64)),
+                    ("waiting", json::uint(waiting as u64)),
+                ]),
+            ),
+            ("rejects", reject_counts),
             ("requests", request_counts),
+            (
+                "sessions",
+                json::uint(state.sessions.load(Ordering::SeqCst) as u64),
+            ),
         ],
     )
 }

@@ -74,14 +74,15 @@ fn run_set(endpoint: &Endpoint) -> Vec<String> {
 }
 
 fn start_server() -> Endpoint {
-    let server = Server::bind(
-        &Endpoint::Tcp("127.0.0.1:0".to_string()),
-        &ServeOptions {
-            jobs: 2,
-            cache_capacity: 64,
-        },
-    )
-    .expect("bind");
+    start_server_with(ServeOptions {
+        jobs: 2,
+        cache_capacity: 64,
+        ..ServeOptions::default()
+    })
+}
+
+fn start_server_with(options: ServeOptions) -> Endpoint {
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), &options).expect("bind");
     let endpoint = server.endpoint().clone();
     std::thread::spawn(move || server.serve().expect("serve"));
     endpoint
@@ -225,4 +226,175 @@ fn unix_socket_round_trips_and_cleans_up() {
     client.request(&bare_request("shutdown")).expect("shutdown");
     handle.join().unwrap();
     assert!(!path.exists(), "socket file removed on clean shutdown");
+}
+
+/// A crashed daemon leaves its socket file behind; the next bind must
+/// detect the corpse (connect refused), unlink it, and bind — while a
+/// *live* daemon's socket must never be hijacked.
+#[cfg(unix)]
+#[test]
+fn stale_unix_socket_is_unlinked_and_rebound() {
+    let path = std::env::temp_dir().join(format!("dp-serve-stale-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    // Simulate the crash: bind a listener, then drop it without unlinking
+    // (std's UnixListener leaves the file behind on drop).
+    drop(std::os::unix::net::UnixListener::bind(&path).expect("first bind"));
+    assert!(path.exists(), "the stale file is the premise of this test");
+
+    let endpoint = Endpoint::Unix(path.clone());
+    let server = Server::bind(&endpoint, &ServeOptions::default())
+        .expect("bind over a stale socket must succeed");
+
+    // While that server lives, a second bind must refuse, not steal.
+    let second = Server::bind(&endpoint, &ServeOptions::default());
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    match second {
+        Ok(_) => panic!("bound over a live server"),
+        Err(e) => assert!(
+            e.to_string().contains("live server"),
+            "refusal must say why: {e}"
+        ),
+    }
+
+    let mut client = Client::connect(&endpoint).expect("connect rebound");
+    client.request(&bare_request("stats")).expect("stats");
+    client.request(&bare_request("shutdown")).expect("shutdown");
+    handle.join().unwrap();
+    assert!(!path.exists(), "socket file removed on clean shutdown");
+}
+
+#[test]
+fn connection_limit_refuses_with_a_structured_error() {
+    let endpoint = start_server_with(ServeOptions {
+        jobs: 1,
+        max_connections: 1,
+        ..ServeOptions::default()
+    });
+
+    // First connection occupies the only slot (prove it's live).
+    let mut first = Client::connect(&endpoint).expect("connect first");
+    first.request(&bare_request("stats")).expect("stats");
+
+    // Second connection is refused with one error line, without sending
+    // anything — the server pushes the refusal at accept time.
+    let mut second = Client::connect(&endpoint).expect("tcp connect still accepts");
+    let refusal = second
+        .roundtrip_line(r#"{"op":"stats"}"#)
+        .expect("read refusal")
+        .expect("refusal line");
+    assert!(refusal.contains(r#""kind":"overloaded""#), "{refusal}");
+    assert!(refusal.contains("connection limit (1)"), "{refusal}");
+
+    // Freeing the slot re-opens the door (poll: the server notices the
+    // close asynchronously). A refused connection still accepts at the
+    // TCP level, so "recovered" means a request actually succeeds.
+    drop(first);
+    let mut recovered = None;
+    for _ in 0..50 {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        if let Ok(mut client) = Client::connect(&endpoint) {
+            if client.request(&bare_request("stats")).is_ok() {
+                recovered = Some(client);
+                break;
+            }
+        }
+    }
+    let mut client = recovered.expect("limit must release with the connection");
+    client.request(&bare_request("shutdown")).expect("shutdown");
+}
+
+#[test]
+fn oversized_request_line_gets_a_structured_error_then_close() {
+    let endpoint = start_server_with(ServeOptions {
+        jobs: 1,
+        max_request_bytes: 1024,
+        ..ServeOptions::default()
+    });
+
+    let huge = format!(r#"{{"op":"compile","source":"{}"}}"#, "x".repeat(4096));
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let response = client
+        .roundtrip_line(&huge)
+        .expect("read error response")
+        .expect("server answers before closing");
+    assert!(response.contains(r#""kind":"too_large""#), "{response}");
+    assert!(response.contains("exceeds 1024 bytes"), "{response}");
+    // The connection is closed after the error...
+    let after = client.roundtrip_line(r#"{"op":"stats"}"#);
+    assert!(
+        matches!(after, Ok(None) | Err(_)),
+        "connection must be closed: {after:?}"
+    );
+    // ...but the server survives for well-behaved clients.
+    let mut fresh = Client::connect(&endpoint).expect("reconnect");
+    fresh.request(&bare_request("stats")).expect("stats");
+    fresh.request(&bare_request("shutdown")).expect("shutdown");
+}
+
+#[test]
+fn invalid_utf8_line_answers_a_parse_error_and_keeps_the_session() {
+    let endpoint = start_server_with(ServeOptions {
+        jobs: 1,
+        ..ServeOptions::default()
+    });
+
+    // Raw socket: a line of binary garbage, then a valid request on the
+    // same connection. The session must answer both.
+    let mut stream = endpoint.connect().expect("connect");
+    {
+        use std::io::Write;
+        stream.write_all(b"{\"op\":\xFF\xFE}\n").expect("garbage");
+        stream.write_all(b"{\"op\":\"stats\"}\n").expect("stats");
+        stream.flush().expect("flush");
+    }
+    let mut reader = std::io::BufReader::new(stream);
+    let first = dp_serve::proto::read_line(&mut reader)
+        .expect("read")
+        .expect("parse error answered");
+    assert!(first.contains(r#""kind":"parse""#), "{first}");
+    assert!(first.contains(r#""ok":false"#), "{first}");
+    let second = dp_serve::proto::read_line(&mut reader)
+        .expect("read")
+        .expect("session stayed alive");
+    assert!(second.contains(r#""op":"stats""#), "{second}");
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    client.request(&bare_request("shutdown")).expect("shutdown");
+}
+
+/// `connect_with` must ride out a server that binds late.
+#[cfg(unix)]
+#[test]
+fn client_retry_rides_out_a_late_binding_server() {
+    use dp_serve::ClientOptions;
+
+    let path = std::env::temp_dir().join(format!("dp-serve-late-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let endpoint = Endpoint::Unix(path.clone());
+
+    let bind_endpoint = endpoint.clone();
+    let server_thread = std::thread::spawn(move || {
+        // Bind well after the client's first attempt fails.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let server = Server::bind(&bind_endpoint, &ServeOptions::default()).expect("bind");
+        server.serve().expect("serve");
+    });
+
+    let started = std::time::Instant::now();
+    let mut client = Client::connect_with(
+        &endpoint,
+        &ClientOptions {
+            retries: 8,
+            backoff_base_ms: 60,
+            ..ClientOptions::default()
+        },
+    )
+    .expect("retries must outlast the bind delay");
+    assert!(
+        started.elapsed() >= std::time::Duration::from_millis(250),
+        "the first attempts must have failed and backed off"
+    );
+    client.request(&bare_request("stats")).expect("stats");
+    client.request(&bare_request("shutdown")).expect("shutdown");
+    server_thread.join().unwrap();
 }
