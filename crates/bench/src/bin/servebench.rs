@@ -164,11 +164,17 @@ fn write_json(path: &std::path::Path, scenarios: &[Scenario]) -> std::io::Result
             if i + 1 < scenarios.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    // The registry snapshot rides along for drill-down (request-latency
+    // histograms, byte counters); benchgate reads only the named fields
+    // above and ignores it.
+    out.push_str("  ],\n  \"metrics\": ");
+    out.push_str(&dp_obs::metrics::snapshot().to_json_string());
+    out.push_str("\n}\n");
     std::fs::write(path, out)
 }
 
 fn main() {
+    dp_obs::metrics::enable();
     // Pin the shared-pool budget before any pool exists so the run is
     // reproducible regardless of the host's DPOPT_JOBS default.
     dp_pool::jobs::resolve_jobs(Some(JOBS));

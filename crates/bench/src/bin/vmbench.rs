@@ -280,17 +280,23 @@ fn write_json(
             if i + 1 < results.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    // The registry snapshot rides along for drill-down (VM speculation
+    // counters, pool queue-wait); benchgate reads only the named fields
+    // above and ignores it.
+    out.push_str("  ],\n  \"metrics\": ");
+    out.push_str(&dp_obs::metrics::snapshot().to_json_string());
+    out.push_str("\n}\n");
     std::fs::write(path, out)
 }
 
 fn main() {
+    dp_obs::metrics::enable();
     // `env_parsed` warns on stderr for set-but-unparsable values.
     let reps = env_parsed::<f64>("DPOPT_VMBENCH_REPS", 5.0) as usize;
     let scale: f64 = env_parsed("DPOPT_VMBENCH_SCALE", 1.0);
     let parallel_jobs = match env_parsed::<usize>("DPOPT_JOBS", 4) {
         0 => {
-            eprintln!("warning: ignoring DPOPT_JOBS=0; the parallel row uses 4 workers");
+            dp_obs::diag!("warning: ignoring DPOPT_JOBS=0; the parallel row uses 4 workers");
             4
         }
         v => v,

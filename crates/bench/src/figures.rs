@@ -177,9 +177,11 @@ pub fn fig9_format(result: &SweepResult, harness: &Harness, csv: bool) -> String
         all_verified &= series.cells.iter().all(|c| c.verified);
         for c in &series.cells {
             if !c.verified {
-                eprintln!(
+                dp_obs::diag!(
                     "  !! output mismatch for {} on {}/{}",
-                    c.label, series.benchmark, series.dataset_name
+                    c.label,
+                    series.benchmark,
+                    series.dataset_name
                 );
             }
         }

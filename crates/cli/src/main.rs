@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         Some("sweep") => sweep(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("trace-report") => trace_report(&args[1..]),
         Some("--version") | Some("-V") => {
             println!("dpopt {}", env!("CARGO_PKG_VERSION"));
             ExitCode::SUCCESS
@@ -56,6 +57,7 @@ USAGE:
     dpopt sweep <spec.json> [OPTIONS]
     dpopt serve [OPTIONS]
     dpopt client (--connect <addr> | --unix <path>) [requests.ndjson|-] [--op <op>]
+    dpopt trace-report <trace.jsonl> [--tree | --collapse]
     dpopt --version
 
 TRANSFORM OPTIONS:
@@ -99,11 +101,18 @@ SERVE OPTIONS:
     --max-request-bytes <N>  cap on one request line; oversized lines get
                            a `too_large` error, then the connection closes
                            (default: 8388608, 0 = unlimited)
+    --metrics-dump-secs <N>  dump a metrics-registry snapshot to stderr
+                           every N seconds (default: 0 = off)
 
 CLIENT:
     forwards newline-delimited JSON requests (a file, or `-`/nothing for
     stdin) to a dp-serve daemon and prints one response line each;
-    --op stats|shutdown sends that single request instead
+    --op stats|metrics|shutdown sends that single request instead
+
+TRACE REPORT:
+    summarizes a DPOPT_TRACE span log (JSONL): per-span-name table of
+    count/total/avg/max by default, --tree prints the largest request
+    tree, --collapse emits folded stacks for flamegraph tooling
 ";
 
 /// Reads an input file, failing with a message that names the path.
@@ -277,6 +286,10 @@ fn serve(args: &[String]) -> ExitCode {
                 Some(v) if v >= 0 => options.max_request_bytes = v as usize,
                 _ => return fail("--max-request-bytes needs a non-negative integer"),
             },
+            "--metrics-dump-secs" => match parse_arg(args, &mut i) {
+                Some(v) if v >= 0 => options.metrics_dump_secs = v as u64,
+                _ => return fail("--metrics-dump-secs needs a non-negative integer"),
+            },
             other => return fail(&format!("unexpected argument `{other}`")),
         }
     }
@@ -286,7 +299,7 @@ fn serve(args: &[String]) -> ExitCode {
     match dp_serve::FaultPlan::from_env() {
         Ok(plan) => {
             if !plan.is_empty() {
-                eprintln!("dp-serve: fault injection armed via DPOPT_SERVE_FAULTS");
+                dp_obs::diag!("dp-serve: fault injection armed via DPOPT_SERVE_FAULTS");
             }
             options.faults = plan;
         }
@@ -301,10 +314,10 @@ fn serve(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot bind {endpoint}: {e}")),
     };
-    eprintln!("dp-serve listening on {}", server.endpoint());
+    dp_obs::diag!("dp-serve listening on {}", server.endpoint());
     match server.serve() {
         Ok(()) => {
-            eprintln!("dp-serve drained and stopped");
+            dp_obs::diag!("dp-serve drained and stopped");
             ExitCode::SUCCESS
         }
         Err(e) => fail(&format!("serve: {e}")),
@@ -341,8 +354,9 @@ fn client(args: &[String]) -> ExitCode {
                 i += 1;
                 op = match args.get(i).map(String::as_str) {
                     Some("stats") => Some("stats"),
+                    Some("metrics") => Some("metrics"),
                     Some("shutdown") => Some("shutdown"),
-                    _ => return fail("--op must be stats or shutdown"),
+                    _ => return fail("--op must be stats, metrics, or shutdown"),
                 };
                 i += 1;
             }
@@ -385,6 +399,221 @@ fn client(args: &[String]) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
     }
+}
+
+/// One parsed span from a `DPOPT_TRACE` JSONL log.
+struct TraceSpan {
+    name: String,
+    parent: u64,
+    start_us: u64,
+    end_us: Option<u64>,
+    children: Vec<u64>,
+}
+
+impl TraceSpan {
+    /// Duration of a completed span; open spans report 0 (they were cut
+    /// off by process exit and have no trustworthy extent).
+    fn duration_us(&self) -> u64 {
+        self.end_us.map_or(0, |e| e.saturating_sub(self.start_us))
+    }
+}
+
+/// Parses a trace log into id → span, tolerating unknown events and
+/// truncated trailing lines (a live daemon may still be appending).
+fn parse_trace(text: &str) -> Result<std::collections::BTreeMap<u64, TraceSpan>, String> {
+    let mut spans = std::collections::BTreeMap::<u64, TraceSpan>::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(event) = json::parse(line) else {
+            // Torn final line from a live writer; anything earlier that
+            // fails to parse is a real error worth surfacing.
+            if lineno + 1 == text.lines().count() {
+                continue;
+            }
+            return Err(format!("line {}: not a JSON object", lineno + 1));
+        };
+        let id = event.get("id").and_then(Json::as_u64).unwrap_or(0);
+        if id == 0 {
+            continue;
+        }
+        match event.get("ev").and_then(Json::as_str) {
+            Some("start") => {
+                let span = TraceSpan {
+                    name: event
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    parent: event.get("parent").and_then(Json::as_u64).unwrap_or(0),
+                    start_us: event.get("t_us").and_then(Json::as_u64).unwrap_or(0),
+                    end_us: None,
+                    children: Vec::new(),
+                };
+                spans.insert(id, span);
+            }
+            Some("end") => {
+                if let Some(span) = spans.get_mut(&id) {
+                    span.end_us = event.get("t_us").and_then(Json::as_u64);
+                }
+            }
+            _ => {}
+        }
+    }
+    let links: Vec<(u64, u64)> = spans
+        .iter()
+        .filter(|(_, s)| s.parent != 0)
+        .map(|(id, s)| (s.parent, *id))
+        .collect();
+    for (parent, child) in links {
+        if let Some(p) = spans.get_mut(&parent) {
+            p.children.push(child);
+        }
+    }
+    Ok(spans)
+}
+
+/// Inclusive duration of the tree rooted at `id`.
+fn tree_total_us(spans: &std::collections::BTreeMap<u64, TraceSpan>, id: u64) -> u64 {
+    let Some(span) = spans.get(&id) else { return 0 };
+    span.duration_us()
+        .max(span.children.iter().map(|&c| tree_total_us(spans, c)).sum())
+}
+
+fn print_tree(spans: &std::collections::BTreeMap<u64, TraceSpan>, id: u64, depth: usize) {
+    let Some(span) = spans.get(&id) else { return };
+    let duration = match span.end_us {
+        Some(_) => format!("{} us", span.duration_us()),
+        None => "open".to_string(),
+    };
+    println!(
+        "{:indent$}{} ({duration})",
+        "",
+        span.name,
+        indent = depth * 2
+    );
+    let mut children = span.children.clone();
+    children.sort_by_key(|&c| spans.get(&c).map_or(0, |s| s.start_us));
+    for child in children {
+        print_tree(spans, child, depth + 1);
+    }
+}
+
+/// Emits folded stacks (`root;child;leaf <self_us>`) for flamegraph
+/// tooling, merging identical paths.
+fn print_collapsed(spans: &std::collections::BTreeMap<u64, TraceSpan>) {
+    let mut folded = std::collections::BTreeMap::<String, u64>::new();
+    for (id, span) in spans {
+        let child_us: u64 = span
+            .children
+            .iter()
+            .map(|&c| spans.get(&c).map_or(0, TraceSpan::duration_us))
+            .sum();
+        let self_us = span.duration_us().saturating_sub(child_us);
+        if self_us == 0 {
+            continue;
+        }
+        let mut path = vec![span.name.as_str()];
+        let mut cursor = span.parent;
+        while cursor != 0 && cursor != *id {
+            let Some(parent) = spans.get(&cursor) else {
+                break;
+            };
+            path.push(parent.name.as_str());
+            cursor = parent.parent;
+        }
+        path.reverse();
+        *folded.entry(path.join(";")).or_insert(0) += self_us;
+    }
+    for (path, us) in folded {
+        println!("{path} {us}");
+    }
+}
+
+fn trace_report(args: &[String]) -> ExitCode {
+    let mut input = None;
+    let mut tree = false;
+    let mut collapse = false;
+    for arg in args {
+        match arg.as_str() {
+            "--tree" => tree = true,
+            "--collapse" => collapse = true,
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+            }
+            other => return fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(input) = input else {
+        return fail("missing trace file (usage: dpopt trace-report <trace.jsonl>)");
+    };
+    let text = match read_input(&input) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let spans = match parse_trace(&text) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("bad trace `{input}`: {e}")),
+    };
+    if spans.is_empty() {
+        return fail(&format!("`{input}` contains no spans"));
+    }
+    if collapse {
+        print_collapsed(&spans);
+        return ExitCode::SUCCESS;
+    }
+    if tree {
+        let root = spans
+            .iter()
+            .filter(|(_, s)| s.parent == 0 || !spans.contains_key(&s.parent))
+            .map(|(&id, _)| id)
+            .max_by_key(|&id| tree_total_us(&spans, id));
+        match root {
+            Some(id) => print_tree(&spans, id, 0),
+            None => return fail("trace has no root span"),
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Default: per-name aggregates over completed spans, heaviest first.
+    struct Agg {
+        count: u64,
+        total_us: u64,
+        max_us: u64,
+        open: u64,
+    }
+    let mut by_name = std::collections::BTreeMap::<&str, Agg>::new();
+    for span in spans.values() {
+        let agg = by_name.entry(span.name.as_str()).or_insert(Agg {
+            count: 0,
+            total_us: 0,
+            max_us: 0,
+            open: 0,
+        });
+        agg.count += 1;
+        if span.end_us.is_some() {
+            let d = span.duration_us();
+            agg.total_us += d;
+            agg.max_us = agg.max_us.max(d);
+        } else {
+            agg.open += 1;
+        }
+    }
+    let mut rows: Vec<_> = by_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(b.0)));
+    println!(
+        "{:<16} {:>8} {:>12} {:>10} {:>10} {:>6}",
+        "span", "count", "total_us", "avg_us", "max_us", "open"
+    );
+    for (name, agg) in rows {
+        let closed = agg.count - agg.open;
+        let avg = agg.total_us.checked_div(closed).unwrap_or(0);
+        println!(
+            "{name:<16} {:>8} {:>12} {avg:>10} {:>10} {:>6}",
+            agg.count, agg.total_us, agg.max_us, agg.open
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn info(args: &[String]) -> ExitCode {

@@ -439,3 +439,73 @@ fn serve_client_and_remote_round_trip() {
     std::fs::remove_file(spec).ok();
     std::fs::remove_file(reqs).ok();
 }
+
+/// The observability hard constraint: every debug/trace/metrics switch at
+/// once must leave stdout byte-identical to a bare run. Instrumentation
+/// may write to the registry, stderr, or the trace file — never stdout.
+#[test]
+fn sweep_stdout_is_identical_with_all_diagnostics_enabled() {
+    let tag = format!("{}-purity", std::process::id());
+    let spec = std::env::temp_dir().join(format!("dpopt-spec-{tag}.json"));
+    std::fs::write(&spec, SWEEP_SPEC).unwrap();
+    let trace = std::env::temp_dir().join(format!("dpopt-trace-{tag}.jsonl"));
+    let _ = std::fs::remove_file(&trace);
+
+    let run = |diagnostics: bool| {
+        let mut cmd = dpopt();
+        // --no-cache: both runs compute, so the table (and the cached
+        // column) cannot differ for cache reasons.
+        cmd.args(["sweep", spec.to_str().unwrap(), "--no-cache", "--jobs", "2"]);
+        if diagnostics {
+            cmd.env("DPOPT_PAR_DEBUG", "1");
+            cmd.env("DPOPT_METRICS", "1");
+            cmd.env("DPOPT_TRACE", &trace);
+        }
+        cmd.output().unwrap()
+    };
+
+    let bare = run(false);
+    assert!(
+        bare.status.success(),
+        "{}",
+        String::from_utf8_lossy(&bare.stderr)
+    );
+    let noisy = run(true);
+    assert!(
+        noisy.status.success(),
+        "{}",
+        String::from_utf8_lossy(&noisy.stderr)
+    );
+    assert_eq!(
+        String::from_utf8(bare.stdout).unwrap(),
+        String::from_utf8(noisy.stdout).unwrap(),
+        "diagnostics must never reach stdout"
+    );
+    // The trace sink really was exercised (the comparison above is
+    // meaningless if tracing silently failed to arm).
+    let traced = std::fs::read_to_string(&trace).unwrap_or_default();
+    assert!(traced.contains("\"ev\":\"start\""), "trace file is empty");
+
+    // And the span log is consumable by the reporting tool.
+    let report = dpopt()
+        .args(["trace-report", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        report.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let table = String::from_utf8(report.stdout).unwrap();
+    assert!(table.contains("sweep.cell"), "{table}");
+    assert!(table.contains("pool.job"), "{table}");
+
+    let folded = dpopt()
+        .args(["trace-report", trace.to_str().unwrap(), "--collapse"])
+        .output()
+        .unwrap();
+    assert!(folded.status.success());
+
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_file(&trace).ok();
+}

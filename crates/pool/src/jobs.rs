@@ -35,7 +35,7 @@ fn env_jobs() -> usize {
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(v) if v > 0 => v,
             _ => {
-                eprintln!(
+                dp_obs::diag!(
                     "warning: ignoring invalid DPOPT_JOBS=`{raw}`; falling back to available parallelism"
                 );
                 auto_jobs()
@@ -54,7 +54,7 @@ pub fn resolve_jobs(flag: Option<usize>) -> usize {
     let resolved = *CONFIGURED.get_or_init(|| flag.filter(|&n| n > 0).unwrap_or_else(env_jobs));
     if let Some(n) = flag {
         if n > 0 && n != resolved {
-            eprintln!(
+            dp_obs::diag!(
                 "warning: --jobs {n} ignored; the worker budget was already resolved to {resolved} for this process"
             );
         }

@@ -28,7 +28,32 @@ use std::sync::mpsc::{sync_channel, Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
+use dp_obs::metrics::{Counter, Histogram};
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Time from queue send to worker dequeue — the backlog signal.
+static QUEUE_WAIT_US: Histogram = Histogram::new("pool.queue_wait_us");
+/// Wall time of the job body itself (queued and inline alike).
+static JOB_RUN_US: Histogram = Histogram::new("pool.job_run_us");
+static JOBS_QUEUED: Counter = Counter::new("pool.jobs.queued");
+static JOBS_INLINE: Counter = Counter::new("pool.jobs.inline");
+
+/// Runs a job inline on the submitting thread with the same observability
+/// envelope a queued job gets on a worker: a `pool.job` span (parented to
+/// the caller's current span) and a run-time sample. Keeping the envelope
+/// identical is what makes trace trees connected at any worker count —
+/// on a one-CPU host the shared pool has zero workers and *every* job
+/// takes this path.
+#[inline]
+fn observe_inline<T>(f: impl FnOnce() -> T) -> T {
+    JOBS_INLINE.incr();
+    let _span = dp_obs::trace::span_with("pool.job", &[("inline", "1")]);
+    let run = dp_obs::metrics::now();
+    let out = f();
+    JOB_RUN_US.record_since(run);
+    out
+}
 
 thread_local! {
     static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -153,12 +178,23 @@ impl Pool {
     fn enqueue(&self, job: Job) {
         self.queued.fetch_add(1, Ordering::SeqCst);
         let queued = Arc::clone(&self.queued);
+        JOBS_QUEUED.incr();
+        // Capture the submitter's span context here, enter it on the
+        // worker: the job's `pool.job` span parents to whatever was
+        // current at submission (a serve request, a sweep generation).
+        let ctx = dp_obs::trace::current_ctx();
+        let sent = dp_obs::metrics::now();
         self.tx
             .as_ref()
             .expect("pool is live")
             .send(Box::new(move || {
                 queued.fetch_sub(1, Ordering::SeqCst);
+                QUEUE_WAIT_US.record_since(sent);
+                let _ctx = ctx.enter();
+                let _span = dp_obs::trace::span("pool.job");
+                let run = dp_obs::metrics::now();
                 job();
+                JOB_RUN_US.record_since(run);
             }))
             .expect("pool workers alive");
     }
@@ -221,7 +257,7 @@ impl Pool {
     /// must not queue behind itself).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
         if self.workers.is_empty() || is_worker_thread() {
-            let _ = catch_unwind(AssertUnwindSafe(job));
+            let _ = catch_unwind(AssertUnwindSafe(|| observe_inline(job)));
             return;
         }
         self.enqueue(Box::new(job));
@@ -237,7 +273,7 @@ impl Pool {
         f: impl FnOnce() -> T + Send + 'static,
     ) -> std::thread::Result<T> {
         if self.workers.is_empty() || is_worker_thread() {
-            return catch_unwind(AssertUnwindSafe(f));
+            return catch_unwind(AssertUnwindSafe(|| observe_inline(f)));
         }
         let (tx, rx) = sync_channel(1);
         self.enqueue(Box::new(move || {
@@ -258,7 +294,7 @@ impl Pool {
         f: impl FnOnce() -> T + Send + 'static,
     ) -> std::thread::Result<T> {
         if self.workers.is_empty() || is_worker_thread() || !self.try_claim() {
-            return catch_unwind(AssertUnwindSafe(f));
+            return catch_unwind(AssertUnwindSafe(|| observe_inline(f)));
         }
         let claimed = Arc::clone(&self.claimed);
         let (tx, rx) = sync_channel(1);
@@ -377,7 +413,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     /// [`Pool::scope`] after every job has finished.
     pub fn spawn(&'scope self, job: impl FnOnce() + Send + 'env) {
         if self.pool.workers.is_empty() || is_worker_thread() || !self.pool.try_claim() {
-            job();
+            observe_inline(job);
             return;
         }
         self.state.add_one();

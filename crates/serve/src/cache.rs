@@ -21,8 +21,14 @@
 //! deterministic as a program.
 
 use dp_core::SharedCompiled;
+use dp_obs::metrics::Counter;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+
+static CACHE_HITS: Counter = Counter::new("serve.cache.hits");
+static CACHE_MISSES: Counter = Counter::new("serve.cache.misses");
+static CACHE_EVICTIONS: Counter = Counter::new("serve.cache.evictions");
+static CACHE_SF_WAITS: Counter = Counter::new("serve.cache.singleflight_waits");
 
 /// What a finished compilation produced (errors are cached verbatim).
 pub type CompileResult = Result<SharedCompiled, String>;
@@ -113,13 +119,16 @@ impl CompiledCache {
                 entry.last_used = clock;
                 let slot = Arc::clone(&entry.slot);
                 inner.hits += 1;
+                CACHE_HITS.incr();
                 if !slot.is_ready() {
                     inner.singleflight_waits += 1;
+                    CACHE_SF_WAITS.incr();
                 }
                 drop(inner);
                 return slot.wait();
             }
             inner.misses += 1;
+            CACHE_MISSES.incr();
             let slot = Arc::new(Slot {
                 result: Mutex::new(None),
                 ready: Condvar::new(),
@@ -167,6 +176,7 @@ impl CompiledCache {
                 Some(k) => {
                     inner.entries.remove(&k);
                     inner.evictions += 1;
+                    CACHE_EVICTIONS.incr();
                 }
                 None => break, // everything is in flight; let it land
             }

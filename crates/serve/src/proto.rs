@@ -18,6 +18,7 @@
 //! | `execute`    | `source`, config, `kernel`, `grid`, `block`, `buffers`, `args`, `read` |
 //! | `sweep-cell` | `benchmark`, `dataset` (`id`/`scale`/`seed`), `variant`       |
 //! | `stats`      | —                                                             |
+//! | `metrics`    | —                                                             |
 //! | `shutdown`   | —                                                             |
 //!
 //! `execute` buffers: `[{"name":"d","words":N}]` (zero-filled) or
@@ -28,12 +29,14 @@
 //!
 //! ## Determinism contract
 //!
-//! For every op except `stats`, the response bytes are a pure function of
-//! the request bytes: no timestamps, cache-hit flags, socket addresses, or
-//! scheduling artifacts appear in a response. A request answers
-//! byte-identically whether it was served cold, cache-warm, or concurrently
-//! with any number of other clients. (`stats` reports live counters and is
-//! deliberately outside the contract.)
+//! For every op except `stats` and `metrics`, the response bytes are a
+//! pure function of the request bytes: no timestamps, cache-hit flags,
+//! socket addresses, or scheduling artifacts appear in a response. A
+//! request answers byte-identically whether it was served cold,
+//! cache-warm, or concurrently with any number of other clients.
+//! (`stats` reports live counters and `metrics` dumps the `dp-obs`
+//! registry — both are observability surfaces, deliberately outside the
+//! contract.)
 
 use dp_core::OptConfig;
 use dp_sweep::json::{self, object, Json};
@@ -285,6 +288,9 @@ pub enum Request {
     SweepCell(Box<SweepCellRequest>),
     /// Report live server counters (outside the determinism contract).
     Stats,
+    /// Dump the `dp-obs` metrics registry (outside the determinism
+    /// contract).
+    Metrics,
     /// Drain in-flight requests, then stop the server.
     Shutdown,
 }
@@ -337,9 +343,10 @@ fn parse_body(doc: &Json) -> Result<Request, String> {
         "execute" => parse_execute(doc).map(|r| Request::Execute(Box::new(r))),
         "sweep-cell" => parse_sweep_cell(doc).map(|r| Request::SweepCell(Box::new(r))),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (compile|transform|execute|sweep-cell|stats|shutdown)"
+            "unknown op `{other}` (compile|transform|execute|sweep-cell|stats|metrics|shutdown)"
         )),
     }
 }
@@ -609,11 +616,12 @@ pub fn error_response_kind(id: Option<&Json>, kind: &'static str, message: &str)
 // ----------------------------------------------------------------------
 
 /// Writes one value as an NDJSON line and flushes.
-pub fn write_line(w: &mut impl Write, value: &Json) -> std::io::Result<()> {
+pub fn write_line(w: &mut impl Write, value: &Json) -> std::io::Result<usize> {
     let mut text = value.to_string();
     text.push('\n');
     w.write_all(text.as_bytes())?;
-    w.flush()
+    w.flush()?;
+    Ok(text.len())
 }
 
 /// Reads one NDJSON line; `None` on clean EOF.

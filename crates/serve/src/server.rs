@@ -40,6 +40,7 @@ use crate::proto::{
     SweepCellRequest,
 };
 use dp_core::{Compiler, OptConfig, SharedCompiled, TimingParams};
+use dp_obs::metrics::{Counter, Histogram};
 use dp_pool::Pool;
 use dp_sweep::json::{self, object, Json};
 use dp_sweep::{cache as sweep_cache, key};
@@ -59,6 +60,74 @@ use std::time::{Duration, Instant};
 /// the session thread stops reading, which surfaces to the client as
 /// ordinary TCP backpressure rather than an error.
 const PIPELINE_WINDOW: usize = 64;
+
+// Request latency per op (admission to response-ready). The daemon
+// enables the registry at bind, so these are always live in a server
+// process; everything they record stays off the response bytes.
+static REQ_COMPILE_US: Histogram = Histogram::new("serve.req.compile_us");
+static REQ_TRANSFORM_US: Histogram = Histogram::new("serve.req.transform_us");
+static REQ_EXECUTE_US: Histogram = Histogram::new("serve.req.execute_us");
+static REQ_SWEEP_CELL_US: Histogram = Histogram::new("serve.req.sweep_cell_us");
+static REQ_STATS_US: Histogram = Histogram::new("serve.req.stats_us");
+static REQ_METRICS_US: Histogram = Histogram::new("serve.req.metrics_us");
+
+// Per-op request counters (the registry mirror of `State::requests`).
+static OP_COMPILE: Counter = Counter::new("serve.op.compile");
+static OP_TRANSFORM: Counter = Counter::new("serve.op.transform");
+static OP_EXECUTE: Counter = Counter::new("serve.op.execute");
+static OP_SWEEP_CELL: Counter = Counter::new("serve.op.sweep-cell");
+static OP_STATS: Counter = Counter::new("serve.op.stats");
+static OP_METRICS: Counter = Counter::new("serve.op.metrics");
+static OP_SHUTDOWN: Counter = Counter::new("serve.op.shutdown");
+
+// Cumulative wire bytes per session class. A request (and its response)
+// is `pipelined` when it carries an `id`; id-less traffic is the legacy
+// in-order protocol. Request lines count their newline; so do responses.
+static BYTES_READ_PIPELINED: Counter = Counter::new("serve.bytes_read.pipelined");
+static BYTES_READ_INORDER: Counter = Counter::new("serve.bytes_read.inorder");
+static BYTES_WRITTEN_PIPELINED: Counter = Counter::new("serve.bytes_written.pipelined");
+static BYTES_WRITTEN_INORDER: Counter = Counter::new("serve.bytes_written.inorder");
+
+fn op_counter(op: &str) -> Option<&'static Counter> {
+    match op {
+        "compile" => Some(&OP_COMPILE),
+        "transform" => Some(&OP_TRANSFORM),
+        "execute" => Some(&OP_EXECUTE),
+        "sweep-cell" => Some(&OP_SWEEP_CELL),
+        "stats" => Some(&OP_STATS),
+        "metrics" => Some(&OP_METRICS),
+        "shutdown" => Some(&OP_SHUTDOWN),
+        _ => None,
+    }
+}
+
+fn req_histogram(op: &str) -> Option<&'static Histogram> {
+    match op {
+        "compile" => Some(&REQ_COMPILE_US),
+        "transform" => Some(&REQ_TRANSFORM_US),
+        "execute" => Some(&REQ_EXECUTE_US),
+        "sweep-cell" => Some(&REQ_SWEEP_CELL_US),
+        "stats" => Some(&REQ_STATS_US),
+        "metrics" => Some(&REQ_METRICS_US),
+        _ => None,
+    }
+}
+
+fn count_bytes_read(len: usize, pipelined: bool) {
+    if pipelined {
+        BYTES_READ_PIPELINED.add(len as u64);
+    } else {
+        BYTES_READ_INORDER.add(len as u64);
+    }
+}
+
+fn count_bytes_written(len: usize, pipelined: bool) {
+    if pipelined {
+        BYTES_WRITTEN_PIPELINED.add(len as u64);
+    } else {
+        BYTES_WRITTEN_INORDER.add(len as u64);
+    }
+}
 
 /// Server construction options.
 #[derive(Debug, Clone)]
@@ -86,6 +155,10 @@ pub struct ServeOptions {
     pub max_request_bytes: usize,
     /// Armed fault injections (tests only; empty in production).
     pub faults: FaultPlan,
+    /// When non-zero, a background thread dumps a metrics-registry
+    /// snapshot to stderr every N seconds (stdout and the wire are
+    /// never touched).
+    pub metrics_dump_secs: u64,
 }
 
 impl Default for ServeOptions {
@@ -98,6 +171,7 @@ impl Default for ServeOptions {
             request_timeout_ms: 0,
             max_request_bytes: 8 * 1024 * 1024,
             faults: FaultPlan::default(),
+            metrics_dump_secs: 0,
         }
     }
 }
@@ -147,6 +221,10 @@ struct State {
     draining: AtomicBool,
     inflight: Mutex<usize>,
     drained: Condvar,
+    /// Daemon start time, for the `uptime_ms` stats field.
+    started: Instant,
+    /// Period of the stderr metrics-snapshot dump (`0` = off).
+    metrics_dump_secs: u64,
 }
 
 impl State {
@@ -236,6 +314,9 @@ impl State {
     }
 
     fn count_request(&self, op: &str) {
+        if let Some(counter) = op_counter(op) {
+            counter.incr();
+        }
         *self
             .requests
             .lock()
@@ -328,8 +409,12 @@ struct Session {
 }
 
 impl Session {
-    fn write(&self, response: &Json) -> std::io::Result<()> {
-        proto::write_line(&mut *self.writer.lock().unwrap(), response)
+    /// Writes one response line, charging its bytes to the request's
+    /// session class (`pipelined` = the request carried an `id`).
+    fn write(&self, response: &Json, pipelined: bool) -> std::io::Result<()> {
+        let n = proto::write_line(&mut *self.writer.lock().unwrap(), response)?;
+        count_bytes_written(n, pipelined);
+        Ok(())
     }
 
     fn shutdown_socket(&self) {
@@ -414,6 +499,11 @@ impl Server {
                 )
             }
         };
+        // The daemon always collects metrics: the `metrics` op must have
+        // data to report without requiring `DPOPT_METRICS` in the
+        // environment. Collection writes only to the in-process registry,
+        // never to stdout or the wire.
+        dp_obs::metrics::enable();
         let jobs_cap = if options.jobs > 0 {
             options.jobs
         } else {
@@ -448,6 +538,8 @@ impl Server {
             draining: AtomicBool::new(false),
             inflight: Mutex::new(0),
             drained: Condvar::new(),
+            started: Instant::now(),
+            metrics_dump_secs: options.metrics_dump_secs,
         });
         Ok(Server {
             listener,
@@ -465,6 +557,24 @@ impl Server {
     /// the server. Blocks the calling thread.
     pub fn serve(self) -> std::io::Result<()> {
         let endpoint = self.endpoint.clone();
+        if self.state.metrics_dump_secs > 0 {
+            let period = Duration::from_secs(self.state.metrics_dump_secs);
+            let state = Arc::clone(&self.state);
+            // Detached: the dump loop holds no guards and dies with the
+            // process; it exits on its own once a drain begins.
+            let _ = std::thread::Builder::new()
+                .name("dp-serve-metrics-dump".to_string())
+                .spawn(move || loop {
+                    std::thread::sleep(period);
+                    if state.draining.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    dp_obs::diag!(
+                        "dp-serve metrics {}",
+                        dp_obs::metrics::snapshot().to_json_string()
+                    );
+                });
+        }
         match &self.listener {
             Listener::Tcp(listener) => {
                 for stream in listener.incoming() {
@@ -545,14 +655,17 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
                 // past the cap the line boundary is unknown, so the
                 // connection cannot be resynchronized.
                 session.wait_idle();
-                session.write(&proto::error_response_kind(
-                    None,
-                    "too_large",
-                    &format!(
-                        "request line exceeds {} bytes",
-                        state.limits.max_request_bytes
+                session.write(
+                    &proto::error_response_kind(
+                        None,
+                        "too_large",
+                        &format!(
+                            "request line exceeds {} bytes",
+                            state.limits.max_request_bytes
+                        ),
                     ),
-                ))?;
+                    false,
+                )?;
                 session.shutdown_socket();
                 break;
             }
@@ -571,10 +684,14 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
             None => {}
         }
         let ParsedRequest { id, body } = proto::parse_request(&line);
+        count_bytes_read(line.len(), id.is_some());
         let request = match body {
             Err(e) => {
                 state.count_reject("parse");
-                session.write(&proto::error_response_kind(id.as_ref(), "parse", &e))?;
+                session.write(
+                    &proto::error_response_kind(id.as_ref(), "parse", &e),
+                    id.is_some(),
+                )?;
                 continue;
             }
             Ok(request) => request,
@@ -588,13 +705,16 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
                 // after its own outstanding responses.
                 state.drain();
                 session.wait_idle();
-                session.write(&proto::ok_response(
-                    id.as_ref(),
-                    vec![
-                        ("drained", Json::Bool(true)),
-                        ("op", Json::Str("shutdown".to_string())),
-                    ],
-                ))?;
+                session.write(
+                    &proto::ok_response(
+                        id.as_ref(),
+                        vec![
+                            ("drained", Json::Bool(true)),
+                            ("op", Json::Str("shutdown".to_string())),
+                        ],
+                    ),
+                    id.is_some(),
+                )?;
                 // The accept loop is blocked in `accept`; a throwaway
                 // connection wakes it so it can observe `draining` and exit.
                 let _ = wake_endpoint(endpoint).connect();
@@ -602,7 +722,15 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
             }
             Request::Stats => {
                 state.count_request("stats");
-                session.write(&stats_response(&state, id.as_ref()))?;
+                let started = dp_obs::metrics::now();
+                session.write(&stats_response(&state, id.as_ref()), id.is_some())?;
+                REQ_STATS_US.record_since(started);
+            }
+            Request::Metrics => {
+                state.count_request("metrics");
+                let started = dp_obs::metrics::now();
+                session.write(&metrics_response(id.as_ref()), id.is_some())?;
+                REQ_METRICS_US.record_since(started);
             }
             request => {
                 let pipelined = id.is_some();
@@ -613,24 +741,26 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
                 }
                 let Some(guard) = state.begin_request() else {
                     state.count_reject("draining");
-                    session.write(&proto::error_response_kind(
-                        id.as_ref(),
-                        "draining",
-                        "server is draining",
-                    ))?;
+                    session.write(
+                        &proto::error_response_kind(id.as_ref(), "draining", "server is draining"),
+                        pipelined,
+                    )?;
                     continue;
                 };
                 let Some(slot) = state.admit() else {
                     drop(guard);
                     state.count_reject("overloaded");
-                    session.write(&proto::error_response_kind(
-                        id.as_ref(),
-                        "overloaded",
-                        &format!(
-                            "queue depth limit ({}) reached",
-                            state.limits.max_queue_depth
+                    session.write(
+                        &proto::error_response_kind(
+                            id.as_ref(),
+                            "overloaded",
+                            &format!(
+                                "queue depth limit ({}) reached",
+                                state.limits.max_queue_depth
+                            ),
                         ),
-                    ))?;
+                        pipelined,
+                    )?;
                     continue;
                 };
                 let op = op_name(&request);
@@ -644,10 +774,15 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
                     let spawned = std::thread::Builder::new()
                         .name("dp-serve-request".to_string())
                         .spawn(move || {
+                            let _span = dp_obs::trace::span_with("serve.request", &[("op", op)]);
+                            let started = dp_obs::metrics::now();
                             let response = dispatch(&state2, request, id2.as_ref(), slot, deadline);
                             // Write before the guards drop: a drain must
                             // not complete with this response unwritten.
-                            let _ = deliver(&state2, &session2, op, &response);
+                            let _ = deliver(&state2, &session2, op, &response, true);
+                            if let Some(h) = req_histogram(op) {
+                                h.record_since(started);
+                            }
                             drop(guard);
                             session2.finish_pipelined();
                         });
@@ -656,15 +791,23 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
                         // was dropped unrun. Degrade to a fast-fail.
                         session.finish_pipelined();
                         state.count_reject("overloaded");
-                        session.write(&proto::error_response_kind(
-                            id.as_ref(),
-                            "overloaded",
-                            "cannot spawn a request thread",
-                        ))?;
+                        session.write(
+                            &proto::error_response_kind(
+                                id.as_ref(),
+                                "overloaded",
+                                "cannot spawn a request thread",
+                            ),
+                            pipelined,
+                        )?;
                     }
                 } else {
+                    let _span = dp_obs::trace::span_with("serve.request", &[("op", op)]);
+                    let started = dp_obs::metrics::now();
                     let response = dispatch(&state, request, id.as_ref(), slot, deadline);
-                    deliver(&state, &session, op, &response)?;
+                    deliver(&state, &session, op, &response, false)?;
+                    if let Some(h) = req_histogram(op) {
+                        h.record_since(started);
+                    }
                     drop(guard); // response is on the wire: now drainable
                 }
             }
@@ -679,6 +822,7 @@ fn deliver(
     session: &Session,
     op: &'static str,
     response: &Json,
+    pipelined: bool,
 ) -> std::io::Result<()> {
     match state.faults.fire(FaultPoint::PreWrite, op) {
         Some(FaultKind::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
@@ -699,7 +843,7 @@ fn deliver(
         }
         None => {}
     }
-    session.write(response)
+    session.write(response, pipelined)
 }
 
 /// The address a session connects to in order to wake the accept loop: a
@@ -728,6 +872,7 @@ fn op_name(request: &Request) -> &'static str {
         Request::Execute(_) => "execute",
         Request::SweepCell(_) => "sweep-cell",
         Request::Stats => "stats",
+        Request::Metrics => "metrics",
         Request::Shutdown => "shutdown",
     }
 }
@@ -850,6 +995,7 @@ fn dispatch(
         Request::SweepCell(request) => run_sweep_cell(state, *request, id, slot, deadline),
         // Handled in `run_session`; kept for exhaustiveness.
         Request::Stats => stats_response(state, id),
+        Request::Metrics => metrics_response(id),
         Request::Shutdown => proto::error_response(id, "unreachable"),
     }
 }
@@ -1050,6 +1196,18 @@ fn stats_response(state: &Arc<State>, id: Option<&Json>) -> Json {
         id,
         vec![
             (
+                "bytes",
+                object([
+                    ("read_inorder", json::uint(BYTES_READ_INORDER.value())),
+                    ("read_pipelined", json::uint(BYTES_READ_PIPELINED.value())),
+                    ("written_inorder", json::uint(BYTES_WRITTEN_INORDER.value())),
+                    (
+                        "written_pipelined",
+                        json::uint(BYTES_WRITTEN_PIPELINED.value()),
+                    ),
+                ]),
+            ),
+            (
                 "compiled_cache",
                 object([
                     ("entries", json::uint(cache.entries as u64)),
@@ -1107,6 +1265,25 @@ fn stats_response(state: &Arc<State>, id: Option<&Json>) -> Json {
                 "sessions",
                 json::uint(state.sessions.load(Ordering::SeqCst) as u64),
             ),
+            (
+                "uptime_ms",
+                json::uint(state.started.elapsed().as_millis() as u64),
+            ),
+        ],
+    )
+}
+
+/// The full metrics-registry snapshot as one response. Like `stats`,
+/// deliberately **outside** the determinism contract: the values are
+/// live process counters, not a function of the request bytes.
+fn metrics_response(id: Option<&Json>) -> Json {
+    let snapshot = dp_obs::metrics::snapshot().to_json_string();
+    let metrics = json::parse(&snapshot).unwrap_or(Json::Null);
+    proto::ok_response(
+        id,
+        vec![
+            ("metrics", metrics),
+            ("op", Json::Str("metrics".to_string())),
         ],
     )
 }

@@ -157,7 +157,7 @@ pub fn summary_json(key: u64, summary: &CellSummary) -> Json {
 pub fn store(dir: &Path, key: u64, summary: &CellSummary) {
     let value = summary_json(key, summary);
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("[dp-sweep] cannot create cache dir {}: {e}", dir.display());
+        dp_obs::diag!("[dp-sweep] cannot create cache dir {}: {e}", dir.display());
         return;
     }
     let path = cell_path(dir, key);
@@ -165,11 +165,11 @@ pub fn store(dir: &Path, key: u64, summary: &CellSummary) {
     // leave a torn file behind.
     let tmp = dir.join(format!("{key:016x}.tmp.{}", std::process::id()));
     if let Err(e) = std::fs::write(&tmp, value.to_string()) {
-        eprintln!("[dp-sweep] cannot write {}: {e}", tmp.display());
+        dp_obs::diag!("[dp-sweep] cannot write {}: {e}", tmp.display());
         return;
     }
     if let Err(e) = std::fs::rename(&tmp, &path) {
-        eprintln!("[dp-sweep] cannot publish {}: {e}", path.display());
+        dp_obs::diag!("[dp-sweep] cannot publish {}: {e}", path.display());
         let _ = std::fs::remove_file(&tmp);
     }
 }

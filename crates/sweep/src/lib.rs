@@ -55,6 +55,7 @@ pub use key::{digest_input, CACHE_FORMAT_VERSION};
 pub use spec::spec_from_json;
 
 use dp_core::{Compiler, Error, TimingParams};
+use dp_obs::metrics::{Counter, Histogram};
 use dp_vm::bytecode::CostModel;
 use dp_workloads::benchmarks::{all_benchmarks, Benchmark, Variant};
 use dp_workloads::{datasets::DatasetId, describe, BenchInput, BenchOutput};
@@ -62,6 +63,15 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Wall time of one cold cell: compile-cache fetch + full VM execution +
+/// summarization ([`execute_cell`] — shared with the serve daemon's
+/// `sweep-cell` op, so both record here).
+static CELL_COLD_US: Histogram = Histogram::new("sweep.cell_cold_us");
+/// Wall time of one warm cell: a result-cache hit's load + parse.
+static CELL_WARM_US: Histogram = Histogram::new("sweep.cell_warm_us");
+static CACHE_HITS: Counter = Counter::new("sweep.cache.hits");
+static CACHE_MISSES: Counter = Counter::new("sweep.cache.misses");
 
 // ----------------------------------------------------------------------
 // Spec types
@@ -327,7 +337,9 @@ where
         Ok(raw) => match raw.trim().parse() {
             Ok(v) => v,
             Err(_) => {
-                eprintln!("warning: ignoring unparsable {name}=`{raw}`; falling back to {default}");
+                dp_obs::diag!(
+                    "warning: ignoring unparsable {name}=`{raw}`; falling back to {default}"
+                );
                 default
             }
         },
@@ -411,12 +423,16 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
                 &series.cost,
             );
             if opts.cache {
+                let probe = dp_obs::metrics::now();
                 if let Some(mut cached) = cache::load(&cache_dir, key) {
+                    CELL_WARM_US.record_since(probe);
+                    CACHE_HITS.incr();
                     cached.label = vspec.label.clone();
                     summaries[series_idx][cell_idx] = Some(cached);
                     stats.hits += 1;
                     continue;
                 }
+                CACHE_MISSES.incr();
                 stats.misses += 1;
             }
             pending.push(PendingCell {
@@ -507,7 +523,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
             let vspec = &series.variants[cell.cell_idx];
             let input = &inputs[dataset_of_series[cell.series_idx].expect("dataset resolved")];
             if !opts.quiet {
-                eprintln!(
+                dp_obs::diag!(
                     "[dp-sweep] run {}/{} [{}]",
                     series.benchmark,
                     series.dataset.name(),
@@ -628,10 +644,21 @@ pub fn execute_cell(
     input: &BenchInput,
     timing: &TimingParams,
 ) -> Result<CellSummary, Error> {
+    let _span = if dp_obs::trace::active() {
+        dp_obs::trace::span_with(
+            "sweep.cell",
+            &[("benchmark", bench.name()), ("label", label)],
+        )
+    } else {
+        dp_obs::trace::span("sweep.cell")
+    };
+    let started = dp_obs::metrics::now();
     let mut exec = compiled.executor();
     let output = bench.run(&mut exec, input)?;
     let report = exec.finish();
-    Ok(summarize_run(label, output, &report, timing))
+    let summary = summarize_run(label, output, &report, timing);
+    CELL_COLD_US.record_since(started);
+    Ok(summary)
 }
 
 /// Builds a [`CellSummary`] from one completed run — the single

@@ -43,9 +43,21 @@ use crate::error::ExecError;
 use crate::trace::*;
 use crate::value::{Value, SHARED_SPACE_BASE};
 use dp_frontend::ast::{CodeOrigin, FnQual, Type};
+use dp_obs::metrics::{Counter, Histogram};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+// Registry mirrors of the speculation outcomes in
+// [`Machine::parallel_stats`] — like `ParallelStats`, these live outside
+// the determinism contract (they are observability, not results).
+static VM_PAR_GRIDS: Counter = Counter::new("vm.spec.parallel_grids");
+static VM_SPEC_BLOCKS: Counter = Counter::new("vm.spec.speculated_blocks");
+static VM_CONFLICT_BLOCKS: Counter = Counter::new("vm.spec.conflict_blocks");
+static VM_SERIALIZED: Counter = Counter::new("vm.spec.serialized_kernels");
+/// Wall time of one `run_to_quiescence` call (a host launch's full
+/// device-side cascade).
+static VM_RUN_US: Histogram = Histogram::new("vm.run_us");
 
 /// Grids below this many blocks always run sequentially (thread spawn and
 /// merge bookkeeping would dominate).
@@ -1972,10 +1984,16 @@ impl Machine {
     /// Runs every pending grid (and everything they launch) to completion —
     /// the equivalent of `cudaDeviceSynchronize()`.
     pub fn run_to_quiescence(&mut self) -> Result<(), ExecError> {
-        while let Some(grid) = self.pending.pop_front() {
-            self.execute_grid(grid)?;
-        }
-        Ok(())
+        let _span = dp_obs::trace::span("vm.run");
+        let started = dp_obs::metrics::now();
+        let result = (|| {
+            while let Some(grid) = self.pending.pop_front() {
+                self.execute_grid(grid)?;
+            }
+            Ok(())
+        })();
+        VM_RUN_US.record_since(started);
+        result
     }
 
     /// Takes the accumulated execution trace, leaving an empty one.
@@ -2130,6 +2148,19 @@ impl Machine {
         workers: usize,
     ) -> Result<(), ExecError> {
         let num_blocks = (grid.grid[0] * grid.grid[1] * grid.grid[2]) as usize;
+        let blocks_attr;
+        let _span = if dp_obs::trace::active() {
+            blocks_attr = num_blocks.to_string();
+            dp_obs::trace::span_with(
+                "vm.grid",
+                &[
+                    ("kernel", &self.module.function(grid.kernel).name),
+                    ("blocks", &blocks_attr),
+                ],
+            )
+        } else {
+            dp_obs::trace::span("vm.grid")
+        };
         let words = self.mem.allocated_words();
         let chunks = words.div_ceil(64);
         while self.par_workers.len() < workers {
@@ -2227,7 +2258,7 @@ impl Machine {
                         Ok(_) => "read/write overlap with an earlier block".to_string(),
                         Err(e) => format!("speculation aborted: {e}"),
                     };
-                    eprintln!(
+                    dp_obs::diag!(
                         "[dp-vm] overlap: kernel `{}` block {linear}: {reason}; re-executing sequentially",
                         module.function(grid.kernel).name
                     );
@@ -2296,13 +2327,17 @@ impl Machine {
         par_stats.parallel_grids += 1;
         par_stats.speculated_blocks += num_blocks as u64;
         par_stats.conflict_blocks += invalid_blocks;
+        VM_PAR_GRIDS.incr();
+        VM_SPEC_BLOCKS.add(num_blocks as u64);
+        VM_CONFLICT_BLOCKS.add(invalid_blocks);
         if invalid_blocks * 2 > num_blocks as u64 && !kernel_serial[grid.kernel as usize] {
             // This kernel's blocks are coupled (e.g. a cross-block atomic
             // reduction): stop paying speculation for it.
             kernel_serial[grid.kernel as usize] = true;
             par_stats.serialized_kernels += 1;
+            VM_SERIALIZED.incr();
             if par_debug() {
-                eprintln!(
+                dp_obs::diag!(
                     "[dp-vm] kernel `{}` marked serial after {invalid_blocks}/{num_blocks} conflicting blocks",
                     module.function(grid.kernel).name
                 );
