@@ -12,8 +12,11 @@
 //! dpopt sweep spec.json [--jobs N] [--no-cache] [--cache-stats] [-o out.json]
 //!       [--remote ADDR]
 //! dpopt sweep --gc [--max-cache-mb N]
+//! dpopt cache verify [--repair] [--dir PATH]
 //! dpopt serve [--listen ADDR | --unix PATH] [--jobs N] [--cache-capacity N]
+//!       [--auth-token TOKEN] [--disk-cache DIR]
 //! dpopt client (--connect ADDR | --unix PATH) [requests.ndjson|-] [--op OP]
+//!       [--token TOKEN]
 //! ```
 
 use dp_core::{AggConfig, AggGranularity, Compiler, OptConfig};
@@ -30,6 +33,7 @@ fn main() -> ExitCode {
         Some("transform") => transform(&args[1..]),
         Some("info") => info(&args[1..]),
         Some("sweep") => sweep(&args[1..]),
+        Some("cache") => cache_cmd(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
         Some("trace-report") => trace_report(&args[1..]),
@@ -55,6 +59,7 @@ USAGE:
     dpopt transform <input.cu> [OPTIONS]
     dpopt info <input.cu>
     dpopt sweep <spec.json> [OPTIONS]
+    dpopt cache verify [--repair] [--dir <path>]
     dpopt serve [OPTIONS]
     dpopt client (--connect <addr> | --unix <path>) [requests.ndjson|-] [--op <op>]
     dpopt trace-report <trace.jsonl> [--tree | --collapse]
@@ -83,6 +88,16 @@ SWEEP OPTIONS:
     --remote <addr>        run every cell on a dp-serve daemon instead of
                            locally (one sweep-cell request per cell)
 
+CACHE:
+    verify                 fsck the sweep result cache: re-checksum every
+                           entry, report torn / corrupt / stale-version /
+                           quarantined files; exits non-zero when problems
+                           remain
+    --repair               remove every problem entry it reports (they
+                           recompute on the next sweep)
+    --dir <path>           cache directory (default: DPOPT_CACHE_DIR or
+                           .dpopt-cache)
+
 SERVE OPTIONS:
     --listen <addr>        TCP listen address (default: 127.0.0.1:7477)
     --unix <path>          listen on a Unix socket instead
@@ -103,11 +118,19 @@ SERVE OPTIONS:
                            (default: 8388608, 0 = unlimited)
     --metrics-dump-secs <N>  dump a metrics-registry snapshot to stderr
                            every N seconds (default: 0 = off)
+    --auth-token <TOKEN>   require clients to authenticate with this token
+                           (a `hello` op) before any other request; falls
+                           back to DPOPT_SERVE_TOKEN when the flag is
+                           absent
+    --disk-cache <dir>     serve sweep-cell responses from (and populate)
+                           a checksummed on-disk result cache that
+                           survives daemon restarts
 
 CLIENT:
     forwards newline-delimited JSON requests (a file, or `-`/nothing for
     stdin) to a dp-serve daemon and prints one response line each;
-    --op stats|metrics|shutdown sends that single request instead
+    --op stats|metrics|shutdown sends that single request instead;
+    --token <TOKEN> authenticates first (default: DPOPT_SERVE_TOKEN)
 
 TRACE REPORT:
     summarizes a DPOPT_TRACE span log (JSONL): per-span-name table of
@@ -227,6 +250,75 @@ fn transform(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `dpopt cache verify [--repair] [--dir <path>]` — the storage-tier
+/// fsck: re-checksums every entry and reports (optionally removes)
+/// anything that would not load.
+fn cache_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("verify") => {}
+        Some(other) => {
+            return fail(&format!(
+                "unknown cache command `{other}` (expected: verify)"
+            ))
+        }
+        None => {
+            return fail(
+                "missing cache command (usage: dpopt cache verify [--repair] [--dir <path>])",
+            )
+        }
+    }
+    let mut repair = false;
+    let mut dir = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--repair" => {
+                repair = true;
+                i += 1;
+            }
+            "--dir" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return fail("--dir needs a path");
+                };
+                dir = Some(std::path::PathBuf::from(path));
+                i += 1;
+            }
+            other => return fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let dir = dp_sweep::cache::resolve_cache_dir(dir.as_deref());
+    let report = match dp_sweep::cache::verify(&dir, repair) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cache verify failed in `{}`: {e}", dir.display())),
+    };
+    use dp_sweep::cache::EntryProblem;
+    println!(
+        "cache verify: {} — {} scanned, {} ok, {} torn, {} corrupt, {} stale-version, {} quarantined, {} repaired",
+        dir.display(),
+        report.scanned,
+        report.ok,
+        report.count(EntryProblem::Torn),
+        report.count(EntryProblem::Corrupt),
+        report.count(EntryProblem::Stale),
+        report.count(EntryProblem::Quarantined),
+        report.repaired
+    );
+    for finding in &report.findings {
+        println!(
+            "  {:<13} {} — {}{}",
+            finding.problem.label(),
+            finding.name,
+            finding.detail,
+            if finding.repaired { " (removed)" } else { "" }
+        );
+    }
+    if report.findings.iter().any(|f| !f.repaired) {
+        return fail("cache has unrepaired problems (re-run with --repair to evict them)");
+    }
+    ExitCode::SUCCESS
+}
+
 /// Parses a `--remote`/`--connect`/`--listen` endpoint argument.
 fn parse_endpoint_arg(args: &[String], i: &mut usize) -> Result<Endpoint, ExitCode> {
     *i += 1;
@@ -290,8 +382,29 @@ fn serve(args: &[String]) -> ExitCode {
                 Some(v) if v >= 0 => options.metrics_dump_secs = v as u64,
                 _ => return fail("--metrics-dump-secs needs a non-negative integer"),
             },
+            "--auth-token" => {
+                i += 1;
+                let Some(token) = args.get(i) else {
+                    return fail("--auth-token needs a value");
+                };
+                options.auth_token = Some(token.clone());
+                i += 1;
+            }
+            "--disk-cache" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return fail("--disk-cache needs a directory");
+                };
+                options.disk_cache = Some(std::path::PathBuf::from(path));
+                i += 1;
+            }
             other => return fail(&format!("unexpected argument `{other}`")),
         }
+    }
+    if options.auth_token.is_none() {
+        options.auth_token = std::env::var("DPOPT_SERVE_TOKEN")
+            .ok()
+            .filter(|t| !t.is_empty());
     }
     // Fault plans come only from the environment at the CLI layer (the
     // programmatic field is for in-process tests); a malformed spec is a
@@ -299,7 +412,7 @@ fn serve(args: &[String]) -> ExitCode {
     match dp_serve::FaultPlan::from_env() {
         Ok(plan) => {
             if !plan.is_empty() {
-                dp_obs::diag!("dp-serve: fault injection armed via DPOPT_SERVE_FAULTS");
+                dp_obs::diag!("dp-serve: fault injection armed via DPOPT_FAULTS");
             }
             options.faults = plan;
         }
@@ -328,9 +441,18 @@ fn client(args: &[String]) -> ExitCode {
     let mut endpoint = None;
     let mut input = None;
     let mut op = None;
+    let mut token = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--token" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return fail("--token needs a value");
+                };
+                token = Some(value.clone());
+                i += 1;
+            }
             "--connect" => match parse_endpoint_arg(args, &mut i) {
                 Ok(e) => endpoint = Some(e),
                 Err(code) => return code,
@@ -370,11 +492,21 @@ fn client(args: &[String]) -> ExitCode {
     let Some(endpoint) = endpoint else {
         return fail("client needs --connect <addr> or --unix <path>");
     };
+    let token = token.or_else(|| {
+        std::env::var("DPOPT_SERVE_TOKEN")
+            .ok()
+            .filter(|t| !t.is_empty())
+    });
     if let Some(op) = op {
         let mut client = match dp_serve::Client::connect(&endpoint) {
             Ok(c) => c,
             Err(e) => return fail(&format!("connect {endpoint}: {e}")),
         };
+        if let Some(token) = &token {
+            if let Err(e) = client.authenticate(token) {
+                return fail(&format!("authenticate: {}", e.message()));
+            }
+        }
         return match client.request(&bare_request(op)) {
             Ok(response) => {
                 println!("{response}");
@@ -395,7 +527,9 @@ fn client(args: &[String]) -> ExitCode {
             Err(e) => return fail(&format!("cannot read `{path}`: {e}")),
         },
     };
-    match dp_serve::client::forward_lines(&endpoint, lines, |response| println!("{response}")) {
+    match dp_serve::client::forward_lines_auth(&endpoint, token.as_deref(), lines, |response| {
+        println!("{response}")
+    }) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => fail(&e),
     }

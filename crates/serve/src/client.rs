@@ -42,6 +42,9 @@ pub struct ClientOptions {
     pub backoff_base_ms: u64,
     /// Seed for the backoff jitter — fixed, so schedules are reproducible.
     pub backoff_seed: u64,
+    /// Token for token-protected servers: sent as a `hello` op right
+    /// after every (re)connect. Defaults from `DPOPT_SERVE_TOKEN`.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ClientOptions {
@@ -52,6 +55,7 @@ impl Default for ClientOptions {
             retries: 2,
             backoff_base_ms: 25,
             backoff_seed: 0xD90_513,
+            auth_token: std::env::var("DPOPT_SERVE_TOKEN").ok(),
         }
     }
 }
@@ -196,6 +200,13 @@ impl Client {
         proto::read_line(&mut self.reader)
     }
 
+    /// Authenticates against a token-protected server with the `hello`
+    /// op. A `kind:"auth"` rejection is authoritative (the server closes
+    /// the session); transport failures are retryable as usual.
+    pub fn authenticate(&mut self, token: &str) -> Result<(), RequestError> {
+        self.try_request(&proto::hello_request(token)).map(|_| ())
+    }
+
     /// Sends a request value, returning the parsed response. An `ok:false`
     /// response or a transport failure is an `Err` with the message.
     pub fn request(&mut self, request: &Json) -> Result<Json, String> {
@@ -260,10 +271,7 @@ impl ResilientClient {
         loop {
             let outcome = match self.connected() {
                 Ok(client) => client.try_request(request),
-                Err(e) => Err(RequestError::Transport(format!(
-                    "connect {}: {e}",
-                    self.endpoint
-                ))),
+                Err(e) => Err(e),
             };
             match outcome {
                 Ok(response) => return Ok(response),
@@ -282,18 +290,28 @@ impl ResilientClient {
         }
     }
 
-    fn connected(&mut self) -> std::io::Result<&mut Client> {
+    fn connected(&mut self) -> Result<&mut Client, RequestError> {
         if self.client.is_none() {
             // Single attempt here: the request loop owns the retries.
             let single = ClientOptions {
                 retries: 0,
                 ..self.opts.clone()
             };
-            let stream = connect_once(&self.endpoint, &single)?;
-            self.client = Some(Client {
-                reader: BufReader::new(stream.try_clone()?),
+            let transport = |e: std::io::Error| {
+                RequestError::Transport(format!("connect {}: {e}", self.endpoint))
+            };
+            let stream = connect_once(&self.endpoint, &single).map_err(transport)?;
+            let mut client = Client {
+                reader: BufReader::new(stream.try_clone().map_err(transport)?),
                 writer: stream,
-            });
+            };
+            // A rejected token comes back as `RequestError::Server`, so
+            // the request loop gives up instead of retrying a credential
+            // that cannot start working.
+            if let Some(token) = self.opts.auth_token.clone() {
+                client.authenticate(&token)?;
+            }
+            self.client = Some(client);
         }
         Ok(self.client.as_mut().expect("client just connected"))
     }
@@ -413,13 +431,36 @@ pub fn remote_sweep(endpoint: &Endpoint, spec: &SweepSpec) -> Result<SweepResult
 
 /// Forwards raw NDJSON request lines and hands each response line to
 /// `sink` — the one entry point behind `dpopt client FILE` and the CI
-/// smoke scripts.
+/// smoke scripts. Authenticates first from `DPOPT_SERVE_TOKEN` when set.
 pub fn forward_lines(
     endpoint: &Endpoint,
+    lines: impl Iterator<Item = String>,
+    sink: impl FnMut(&str),
+) -> Result<(), String> {
+    forward_lines_auth(
+        endpoint,
+        std::env::var("DPOPT_SERVE_TOKEN").ok().as_deref(),
+        lines,
+        sink,
+    )
+}
+
+/// [`forward_lines`] with an explicit token (`dpopt client --token`). The
+/// `hello` handshake happens before the first line is forwarded and its
+/// response never reaches `sink`, so forwarded output is unchanged by
+/// authentication.
+pub fn forward_lines_auth(
+    endpoint: &Endpoint,
+    token: Option<&str>,
     lines: impl Iterator<Item = String>,
     mut sink: impl FnMut(&str),
 ) -> Result<(), String> {
     let mut client = Client::connect(endpoint).map_err(|e| format!("connect {endpoint}: {e}"))?;
+    if let Some(token) = token {
+        client
+            .authenticate(token)
+            .map_err(|e| format!("authenticate: {}", e.message()))?;
+    }
     for line in lines {
         if line.trim().is_empty() {
             continue;

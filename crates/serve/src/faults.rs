@@ -1,241 +1,14 @@
-//! Test-only fault injection for the daemon.
-//!
-//! A [`FaultPlan`] arms a set of faults at named points in the server's
-//! request path; the fault-injection test suite
-//! (`crates/serve/tests/faults.rs`) uses it to prove the daemon stays
-//! serviceable and its caches stay coherent after torn writes, dropped
-//! connections, injected latency, and worker panics. Production servers
-//! run with an empty plan — every injection site is a single relaxed
-//! check against an empty slice.
+//! Fault injection for the daemon — now a re-export of the shared
+//! [`dp_faults`] crate, which owns the plan grammar
+//! (`kind@point[:op][*count]`, `;`-separated) for both the network/exec
+//! points used here and the filesystem points used by the on-disk caches.
 //!
 //! Plans are built programmatically ([`ServeOptions::faults`]) by the
-//! in-process tests, or parsed from the `DPOPT_SERVE_FAULTS` environment
-//! variable for out-of-process smoke runs:
-//!
-//! ```text
-//! DPOPT_SERVE_FAULTS="delay-ms500@exec:sweep-cell;torn-write@pre-write:compile*2"
-//! ```
-//!
-//! Each `;`-separated entry is `kind@point[:op][*count]`:
-//!
-//! - **kind** — `panic`, `torn-write`, `disconnect`, or `delay-ms<N>`
-//! - **point** — `session-read` (a request line was read, before parsing),
-//!   `exec` (inside the execution slot, before the work runs), or
-//!   `pre-write` (a response is about to be written)
-//! - **op** — only fire for this op (`compile`, `execute`, …); omitted
-//!   means any op (at `session-read` the op is not yet known, so only
-//!   op-less entries fire there)
-//! - **count** — how many times the entry fires before disarming
-//!   (default 1)
+//! in-process tests, or parsed from `DPOPT_FAULTS` (with the original
+//! `DPOPT_SERVE_FAULTS` spelling kept as an alias) for out-of-process
+//! smoke runs. See the `dp_faults` crate docs for the full kind/point
+//! tables.
 //!
 //! [`ServeOptions::faults`]: crate::ServeOptions
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-/// What an armed fault does when it fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultKind {
-    /// Panic on the executing thread (the daemon must survive and answer
-    /// a deterministic error).
-    Panic,
-    /// Write only the first half of the response bytes, then sever the
-    /// connection.
-    TornWrite,
-    /// Sever the connection without writing anything.
-    Disconnect,
-    /// Sleep this many milliseconds, then continue normally — the lever
-    /// for deterministic saturation, deadline, and out-of-order tests.
-    DelayMs(u64),
-}
-
-/// A named site in the request path where faults can fire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultPoint {
-    /// A request line was read off the socket, before parsing.
-    SessionRead,
-    /// Inside the execution slot, before the request's work runs.
-    Exec,
-    /// A response is about to be written.
-    PreWrite,
-}
-
-impl FaultPoint {
-    fn parse(name: &str) -> Option<FaultPoint> {
-        match name {
-            "session-read" => Some(FaultPoint::SessionRead),
-            "exec" => Some(FaultPoint::Exec),
-            "pre-write" => Some(FaultPoint::PreWrite),
-            _ => None,
-        }
-    }
-}
-
-#[derive(Debug)]
-struct Fault {
-    kind: FaultKind,
-    point: FaultPoint,
-    /// Only fire for this op; `None` fires for any op.
-    op: Option<String>,
-    /// Remaining firings; the fault disarms at zero.
-    remaining: AtomicU64,
-}
-
-/// An armed set of faults, cheap to clone and share across sessions.
-#[derive(Debug, Clone, Default)]
-pub struct FaultPlan {
-    faults: Arc<Vec<Fault>>,
-}
-
-impl FaultPlan {
-    /// True when no faults are armed (the production state).
-    pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
-    }
-
-    /// Parses a `;`-separated plan (see the module docs for the syntax).
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        let mut faults = Vec::new();
-        for entry in spec.split(';') {
-            let entry = entry.trim();
-            if entry.is_empty() {
-                continue;
-            }
-            faults.push(parse_entry(entry)?);
-        }
-        Ok(FaultPlan {
-            faults: Arc::new(faults),
-        })
-    }
-
-    /// The plan armed by `DPOPT_SERVE_FAULTS` (empty when unset).
-    pub fn from_env() -> Result<FaultPlan, String> {
-        match std::env::var("DPOPT_SERVE_FAULTS") {
-            Ok(spec) => FaultPlan::parse(&spec).map_err(|e| format!("DPOPT_SERVE_FAULTS: {e}")),
-            Err(_) => Ok(FaultPlan::default()),
-        }
-    }
-
-    /// Consumes and returns one matching armed fault at `point` for `op`,
-    /// or `None` (the overwhelmingly common case). Entries fire in plan
-    /// order; each firing decrements the entry's remaining count.
-    pub fn fire(&self, point: FaultPoint, op: &str) -> Option<FaultKind> {
-        for fault in self.faults.iter() {
-            if fault.point != point {
-                continue;
-            }
-            if let Some(want) = &fault.op {
-                if want != op {
-                    continue;
-                }
-            }
-            // Claim one firing; a concurrent session may win the race, in
-            // which case keep looking for another matching entry.
-            let claimed = fault
-                .remaining
-                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
-                .is_ok();
-            if claimed {
-                return Some(fault.kind);
-            }
-        }
-        None
-    }
-}
-
-fn parse_entry(entry: &str) -> Result<Fault, String> {
-    let (spec, count) = match entry.split_once('*') {
-        Some((spec, count)) => {
-            let count: u64 = count
-                .parse()
-                .map_err(|_| format!("bad fault count in `{entry}`"))?;
-            (spec, count)
-        }
-        None => (entry, 1),
-    };
-    let (kind, site) = spec
-        .split_once('@')
-        .ok_or_else(|| format!("fault `{entry}` needs `kind@point`"))?;
-    let kind = if let Some(ms) = kind.strip_prefix("delay-ms") {
-        FaultKind::DelayMs(
-            ms.parse()
-                .map_err(|_| format!("bad delay milliseconds in `{entry}`"))?,
-        )
-    } else {
-        match kind {
-            "panic" => FaultKind::Panic,
-            "torn-write" => FaultKind::TornWrite,
-            "disconnect" => FaultKind::Disconnect,
-            other => {
-                return Err(format!(
-                    "unknown fault kind `{other}` (panic|torn-write|disconnect|delay-ms<N>)"
-                ))
-            }
-        }
-    };
-    let (point, op) = match site.split_once(':') {
-        Some((point, op)) => (point, Some(op.to_string())),
-        None => (site, None),
-    };
-    let point = FaultPoint::parse(point)
-        .ok_or_else(|| format!("unknown fault point `{point}` (session-read|exec|pre-write)"))?;
-    Ok(Fault {
-        kind,
-        point,
-        op,
-        remaining: AtomicU64::new(count),
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_the_full_syntax() {
-        let plan =
-            FaultPlan::parse("panic@exec:execute; delay-ms250@session-read*3;torn-write@pre-write")
-                .unwrap();
-        assert!(!plan.is_empty());
-        // The exec entry is op-filtered: wrong op never fires it.
-        assert_eq!(plan.fire(FaultPoint::Exec, "compile"), None);
-        assert_eq!(
-            plan.fire(FaultPoint::Exec, "execute"),
-            Some(FaultKind::Panic)
-        );
-        assert_eq!(plan.fire(FaultPoint::Exec, "execute"), None, "disarmed");
-        // The delay entry fires three times, for any op.
-        for _ in 0..3 {
-            assert_eq!(
-                plan.fire(FaultPoint::SessionRead, ""),
-                Some(FaultKind::DelayMs(250))
-            );
-        }
-        assert_eq!(plan.fire(FaultPoint::SessionRead, ""), None);
-        assert_eq!(
-            plan.fire(FaultPoint::PreWrite, "anything"),
-            Some(FaultKind::TornWrite)
-        );
-    }
-
-    #[test]
-    fn empty_plan_never_fires() {
-        let plan = FaultPlan::default();
-        assert!(plan.is_empty());
-        assert_eq!(plan.fire(FaultPoint::Exec, "execute"), None);
-        assert!(FaultPlan::parse("  ;  ").unwrap().is_empty());
-    }
-
-    #[test]
-    fn rejects_malformed_entries() {
-        for bad in [
-            "panic",           // no point
-            "panic@nowhere",   // unknown point
-            "explode@exec",    // unknown kind
-            "delay-msX@exec",  // bad delay
-            "panic@exec*many", // bad count
-        ] {
-            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must not parse");
-        }
-    }
-}
+pub use dp_faults::{FaultKind, FaultPlan, FaultPoint};

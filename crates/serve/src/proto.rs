@@ -286,6 +286,12 @@ pub enum Request {
     Execute(Box<ExecuteRequest>),
     /// Run one sweep cell.
     SweepCell(Box<SweepCellRequest>),
+    /// Authenticate the session (`--auth-token` servers reject every
+    /// other op until a `hello` with the right token succeeds).
+    Hello {
+        /// The shared secret presented by the client, if any.
+        token: Option<String>,
+    },
     /// Report live server counters (outside the determinism contract).
     Stats,
     /// Dump the `dp-obs` metrics registry (outside the determinism
@@ -342,11 +348,17 @@ fn parse_body(doc: &Json) -> Result<Request, String> {
         }
         "execute" => parse_execute(doc).map(|r| Request::Execute(Box::new(r))),
         "sweep-cell" => parse_sweep_cell(doc).map(|r| Request::SweepCell(Box::new(r))),
+        "hello" => Ok(Request::Hello {
+            token: doc
+                .get("token")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        }),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (compile|transform|execute|sweep-cell|stats|metrics|shutdown)"
+            "unknown op `{other}` (hello|compile|transform|execute|sweep-cell|stats|metrics|shutdown)"
         )),
     }
 }
@@ -563,6 +575,14 @@ pub fn sweep_cell_request(
 /// Builds a bare request for an op with no members (`stats`, `shutdown`).
 pub fn bare_request(op: &'static str) -> Json {
     object([("op", Json::Str(op.to_string()))])
+}
+
+/// Builds a `hello` authentication request.
+pub fn hello_request(token: &str) -> Json {
+    object([
+        ("op", Json::Str("hello".to_string())),
+        ("token", Json::Str(token.to_string())),
+    ])
 }
 
 // ----------------------------------------------------------------------

@@ -79,6 +79,13 @@ static OP_SWEEP_CELL: Counter = Counter::new("serve.op.sweep-cell");
 static OP_STATS: Counter = Counter::new("serve.op.stats");
 static OP_METRICS: Counter = Counter::new("serve.op.metrics");
 static OP_SHUTDOWN: Counter = Counter::new("serve.op.shutdown");
+static OP_HELLO: Counter = Counter::new("serve.op.hello");
+
+// The opt-in on-disk sweep-cell result cache (`--disk-cache`), backed by
+// the crash-safe `dp_sweep::cache` storage tier.
+static DISK_CACHE_HITS: Counter = Counter::new("serve.disk_cache.hits");
+static DISK_CACHE_MISSES: Counter = Counter::new("serve.disk_cache.misses");
+static DISK_CACHE_STORES: Counter = Counter::new("serve.disk_cache.stores");
 
 // Cumulative wire bytes per session class. A request (and its response)
 // is `pipelined` when it carries an `id`; id-less traffic is the legacy
@@ -97,6 +104,7 @@ fn op_counter(op: &str) -> Option<&'static Counter> {
         "stats" => Some(&OP_STATS),
         "metrics" => Some(&OP_METRICS),
         "shutdown" => Some(&OP_SHUTDOWN),
+        "hello" => Some(&OP_HELLO),
         _ => None,
     }
 }
@@ -159,6 +167,16 @@ pub struct ServeOptions {
     /// snapshot to stderr every N seconds (stdout and the wire are
     /// never touched).
     pub metrics_dump_secs: u64,
+    /// Shared-secret token. When set, every session must authenticate
+    /// with a `hello` op carrying this token before any other request;
+    /// unauthenticated requests answer `kind:"auth"` and the session
+    /// closes. Required for binding beyond loopback.
+    pub auth_token: Option<String>,
+    /// When set, `sweep-cell` responses are served from (and populate)
+    /// the crash-safe on-disk sweep result cache in this directory — the
+    /// same checksummed `dp_sweep::cache` format `dpopt sweep` uses, so
+    /// results survive daemon restarts and are shared across clients.
+    pub disk_cache: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -172,6 +190,8 @@ impl Default for ServeOptions {
             max_request_bytes: 8 * 1024 * 1024,
             faults: FaultPlan::default(),
             metrics_dump_secs: 0,
+            auth_token: None,
+            disk_cache: None,
         }
     }
 }
@@ -225,6 +245,13 @@ struct State {
     started: Instant,
     /// Period of the stderr metrics-snapshot dump (`0` = off).
     metrics_dump_secs: u64,
+    /// Shared secret sessions must present via `hello` (`None` = open).
+    auth_token: Option<String>,
+    /// Directory of the on-disk sweep-cell result cache (`None` = off).
+    disk_cache: Option<PathBuf>,
+    /// Latched when the disk cache becomes unusable (disk full /
+    /// read-only): stores stop, reads continue, one warning is logged.
+    disk_cache_broken: AtomicBool,
 }
 
 impl State {
@@ -540,6 +567,9 @@ impl Server {
             drained: Condvar::new(),
             started: Instant::now(),
             metrics_dump_secs: options.metrics_dump_secs,
+            auth_token: options.auth_token.clone(),
+            disk_cache: options.disk_cache.clone(),
+            disk_cache_broken: AtomicBool::new(false),
         });
         Ok(Server {
             listener,
@@ -646,6 +676,9 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
         pending: Mutex::new(0),
         idle: Condvar::new(),
     });
+    // Open servers start authenticated; token-protected ones require a
+    // matching `hello` before anything else.
+    let mut authed = state.auth_token.is_none();
     loop {
         let line = match proto::read_line_limited(&mut reader, state.limits.max_request_bytes)? {
             LineRead::Eof => break,
@@ -681,7 +714,8 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
                 session.shutdown_socket();
                 break;
             }
-            None => {}
+            // Filesystem-surface kinds have no meaning on the socket.
+            Some(_) | None => {}
         }
         let ParsedRequest { id, body } = proto::parse_request(&line);
         count_bytes_read(line.len(), id.is_some());
@@ -696,6 +730,50 @@ fn run_session(state: Arc<State>, stream: Stream, endpoint: &Endpoint) -> std::i
             }
             Ok(request) => request,
         };
+        if let Request::Hello { token } = &request {
+            state.count_request("hello");
+            match &state.auth_token {
+                Some(expected) if token.as_deref() != Some(expected.as_str()) => {
+                    state.count_reject("auth");
+                    session.wait_idle();
+                    session.write(
+                        &proto::error_response_kind(id.as_ref(), "auth", "invalid token"),
+                        id.is_some(),
+                    )?;
+                    session.shutdown_socket();
+                    break;
+                }
+                _ => {
+                    authed = true;
+                    session.write(
+                        &proto::ok_response(
+                            id.as_ref(),
+                            vec![
+                                ("authed", Json::Bool(true)),
+                                ("op", Json::Str("hello".to_string())),
+                            ],
+                        ),
+                        id.is_some(),
+                    )?;
+                }
+            }
+            continue;
+        }
+        if !authed {
+            // Every op — including stats and shutdown — is gated.
+            state.count_reject("auth");
+            session.wait_idle();
+            session.write(
+                &proto::error_response_kind(
+                    id.as_ref(),
+                    "auth",
+                    "authentication required: send `hello` with the token first",
+                ),
+                id.is_some(),
+            )?;
+            session.shutdown_socket();
+            break;
+        }
         match request {
             Request::Shutdown => {
                 state.count_request("shutdown");
@@ -841,7 +919,8 @@ fn deliver(
             session.shutdown_socket();
             return Ok(());
         }
-        None => {}
+        // Filesystem-surface kinds have no meaning on the socket.
+        Some(_) | None => {}
     }
     session.write(response, pipelined)
 }
@@ -874,6 +953,7 @@ fn op_name(request: &Request) -> &'static str {
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Shutdown => "shutdown",
+        Request::Hello { .. } => "hello",
     }
 }
 
@@ -900,8 +980,8 @@ fn apply_exec_fault(faults: &FaultPlan, op: &str) {
     match faults.fire(FaultPoint::Exec, op) {
         Some(FaultKind::DelayMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
         Some(FaultKind::Panic) => panic!("injected fault: panic at exec"),
-        // Socket faults have no meaning inside the executor.
-        Some(FaultKind::TornWrite | FaultKind::Disconnect) | None => {}
+        // Socket and filesystem faults have no meaning inside the executor.
+        Some(_) | None => {}
     }
 }
 
@@ -996,7 +1076,7 @@ fn dispatch(
         // Handled in `run_session`; kept for exhaustiveness.
         Request::Stats => stats_response(state, id),
         Request::Metrics => metrics_response(id),
-        Request::Shutdown => proto::error_response(id, "unreachable"),
+        Request::Shutdown | Request::Hello { .. } => proto::error_response(id, "unreachable"),
     }
 }
 
@@ -1117,12 +1197,6 @@ fn run_sweep_cell(
         Variant::NoCdp => (bench.no_cdp_source(), OptConfig::none()),
         Variant::Cdp(config) => (bench.cdp_source(), config),
     };
-    let (_, result) = cached_compile(state, source, &config);
-    let compiled = match result {
-        Ok(c) => c,
-        Err(e) => return proto::error_response(id, &e),
-    };
-    let input = state.dataset(&request.dataset);
     let cell_key = key::cell_key(
         &request.benchmark,
         source,
@@ -1131,6 +1205,22 @@ fn run_sweep_cell(
         &TimingParams::default(),
         &dp_vm::bytecode::CostModel::default(),
     );
+    // Disk-cache probe before compiling: a hit skips the compile and the
+    // execution queue entirely. Corrupt entries were already quarantined
+    // by `load`, so a hit is always checksum-verified.
+    if let Some(dir) = &state.disk_cache {
+        if let Some(summary) = sweep_cache::load(dir, cell_key) {
+            DISK_CACHE_HITS.incr();
+            return sweep_cell_response(cell_key, &summary, &request, id);
+        }
+        DISK_CACHE_MISSES.incr();
+    }
+    let (_, result) = cached_compile(state, source, &config);
+    let compiled = match result {
+        Ok(c) => c,
+        Err(e) => return proto::error_response(id, &e),
+    };
+    let input = state.dataset(&request.dataset);
     let label = request.label.clone();
     let faults = state.faults.clone();
     let outcome = match state.exec_within(slot, deadline, move || {
@@ -1151,23 +1241,55 @@ fn run_sweep_cell(
         Err(payload) => proto::error_response_kind(id, "panic", &panic_message(payload)),
         Ok(Err(e)) => proto::error_response(id, &e),
         Ok(Ok(summary)) => {
-            let mut v = sweep_cache::summary_json(cell_key, &summary);
-            if let Json::Object(map) = &mut v {
-                map.insert("benchmark".to_string(), Json::Str(request.benchmark));
-                map.insert(
-                    "dataset".to_string(),
-                    Json::Str(key::canonical_dataset(&request.dataset)),
-                );
-                map.insert("label".to_string(), Json::Str(request.label));
-                map.insert("ok".to_string(), Json::Bool(true));
-                map.insert("op".to_string(), Json::Str("sweep-cell".to_string()));
-                if let Some(id) = id {
-                    map.insert("id".to_string(), id.clone());
+            if let Some(dir) = &state.disk_cache {
+                if !state.disk_cache_broken.load(Ordering::Relaxed) {
+                    match sweep_cache::store(dir, cell_key, &summary) {
+                        sweep_cache::StoreOutcome::Stored => DISK_CACHE_STORES.incr(),
+                        sweep_cache::StoreOutcome::TransientError => {}
+                        sweep_cache::StoreOutcome::Unavailable => {
+                            if !state.disk_cache_broken.swap(true, Ordering::Relaxed) {
+                                dp_obs::diag!(
+                                    "[dp-serve] disk cache {} unavailable (disk full or \
+                                     read-only); continuing without storing",
+                                    dir.display()
+                                );
+                            }
+                        }
+                    }
                 }
             }
-            v
+            sweep_cell_response(cell_key, &summary, &request, id)
         }
     }
+}
+
+/// Builds the `sweep-cell` response from a summary. Freshly executed and
+/// disk-cached results go through this same `summary_json` path, so the
+/// response bytes are identical either way.
+fn sweep_cell_response(
+    cell_key: u64,
+    summary: &dp_sweep::CellSummary,
+    request: &SweepCellRequest,
+    id: Option<&Json>,
+) -> Json {
+    let mut v = sweep_cache::summary_json(cell_key, summary);
+    if let Json::Object(map) = &mut v {
+        map.insert(
+            "benchmark".to_string(),
+            Json::Str(request.benchmark.clone()),
+        );
+        map.insert(
+            "dataset".to_string(),
+            Json::Str(key::canonical_dataset(&request.dataset)),
+        );
+        map.insert("label".to_string(), Json::Str(request.label.clone()));
+        map.insert("ok".to_string(), Json::Bool(true));
+        map.insert("op".to_string(), Json::Str("sweep-cell".to_string()));
+        if let Some(id) = id {
+            map.insert("id".to_string(), id.clone());
+        }
+    }
+    v
 }
 
 /// Live counters — deliberately **outside** the determinism contract.

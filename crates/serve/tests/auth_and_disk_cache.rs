@@ -1,0 +1,207 @@
+//! Token authentication (`hello`) and the crash-safe on-disk sweep-cell
+//! cache, end to end over real sockets.
+//!
+//! Auth contract: with `--auth-token` set, *every* op — stats and
+//! shutdown included — answers `kind:"auth"` and closes the session until
+//! the client sends a matching `hello`. Disk-cache contract: sweep-cell
+//! response bytes are identical whether computed or served from disk, the
+//! stored entries carry checksum footers, and a corrupted entry is
+//! quarantined and recomputed — never served.
+
+use dp_serve::client::{forward_lines_auth, ClientOptions, ResilientClient};
+use dp_serve::proto::{bare_request, Endpoint};
+use dp_serve::{Client, ServeOptions, Server};
+use dp_sweep::json::Json;
+
+const CELL_REQUEST: &str = r#"{"op":"sweep-cell","benchmark":"BFS","dataset":{"id":"KRON","scale":0.002,"seed":42},"variant":{"label":"CDP+T","threshold":128}}"#;
+
+fn start_server_with(options: ServeOptions) -> Endpoint {
+    let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), &options).expect("bind");
+    let endpoint = server.endpoint().clone();
+    std::thread::spawn(move || server.serve().expect("serve"));
+    endpoint
+}
+
+fn token_server(token: &str) -> Endpoint {
+    start_server_with(ServeOptions {
+        jobs: 1,
+        auth_token: Some(token.to_string()),
+        ..ServeOptions::default()
+    })
+}
+
+#[test]
+fn unauthenticated_ops_get_an_auth_error_and_the_session_closes() {
+    let endpoint = token_server("open-sesame");
+    for line in [
+        r#"{"op":"stats"}"#,
+        r#"{"op":"shutdown"}"#,
+        r#"{"op":"compile","source":"__global__ void k(int* d) { d[0] = 1; }"}"#,
+    ] {
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let response = client
+            .roundtrip_line(line)
+            .expect("round-trip")
+            .expect("server answered before closing");
+        assert!(
+            response.contains(r#""kind":"auth""#),
+            "expected auth rejection, got: {response}"
+        );
+        assert!(response.contains(r#""ok":false"#), "{response}");
+        // The gate closes the session: nothing further is answered.
+        let after = client.roundtrip_line(line);
+        assert!(
+            matches!(after, Ok(None) | Err(_)),
+            "session must be closed after an auth rejection"
+        );
+    }
+}
+
+#[test]
+fn wrong_token_is_rejected_and_right_token_unlocks_everything() {
+    let endpoint = token_server("open-sesame");
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let err = client
+        .authenticate("wrong")
+        .expect_err("wrong token must be rejected");
+    assert!(err.message().contains("invalid token"), "{}", err.message());
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    client.authenticate("open-sesame").expect("right token");
+    let stats = client.request(&bare_request("stats")).expect("stats");
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+
+    // The resilient client authenticates on every (re)connect from its
+    // options, so `--remote` flows work against protected daemons.
+    let mut resilient = ResilientClient::new(
+        &endpoint,
+        ClientOptions {
+            auth_token: Some("open-sesame".to_string()),
+            ..ClientOptions::default()
+        },
+    );
+    let response = resilient.request(&bare_request("stats")).expect("stats");
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+
+    // A wrong token in the options is a hard error, not a retry loop.
+    let mut rejected = ResilientClient::new(
+        &endpoint,
+        ClientOptions {
+            auth_token: Some("nope".to_string()),
+            retries: 3,
+            ..ClientOptions::default()
+        },
+    );
+    let err = rejected
+        .request(&bare_request("stats"))
+        .expect_err("bad token");
+    assert!(err.contains("invalid token"), "{err}");
+}
+
+#[test]
+fn forward_lines_auth_handshake_never_reaches_the_sink() {
+    let endpoint = token_server("open-sesame");
+    let mut responses = Vec::new();
+    forward_lines_auth(
+        &endpoint,
+        Some("open-sesame"),
+        [r#"{"op":"stats","id":1}"#.to_string()].into_iter(),
+        |line| responses.push(line.to_string()),
+    )
+    .expect("authenticated forward");
+    assert_eq!(responses.len(), 1, "one request, one sink line");
+    assert!(
+        !responses[0].contains(r#""op":"hello""#),
+        "the hello response leaked into forwarded output: {}",
+        responses[0]
+    );
+    assert!(responses[0].contains(r#""op":"stats""#), "{}", responses[0]);
+}
+
+#[test]
+fn open_server_accepts_hello_and_plain_requests_alike() {
+    let endpoint = start_server_with(ServeOptions {
+        jobs: 1,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(&endpoint).expect("connect");
+    // `hello` is harmless without a configured token…
+    client.authenticate("anything").expect("open server");
+    // …and plain requests never needed it.
+    let mut plain = Client::connect(&endpoint).expect("connect");
+    let stats = plain.request(&bare_request("stats")).expect("stats");
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn disk_cache_round_trips_survives_restart_and_quarantines_corruption() {
+    let dir = std::env::temp_dir().join(format!("dp-serve-disk-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let options = || ServeOptions {
+        jobs: 1,
+        disk_cache: Some(dir.clone()),
+        ..ServeOptions::default()
+    };
+
+    // Cold compute, then a disk hit: bytes must match exactly.
+    let endpoint = start_server_with(options());
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let computed = client
+        .roundtrip_line(CELL_REQUEST)
+        .expect("round-trip")
+        .expect("answered");
+    let from_disk = client
+        .roundtrip_line(CELL_REQUEST)
+        .expect("round-trip")
+        .expect("answered");
+    assert_eq!(computed, from_disk, "disk hit must be byte-identical");
+
+    // The entry is a sealed v2 cache file.
+    let entry = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .expect("one stored entry");
+    let text = std::fs::read_to_string(entry.path()).expect("readable");
+    assert!(text.contains("#dpopt-cache v"), "missing footer:\n{text}");
+
+    // A different daemon instance (fresh in-memory caches) serves the
+    // same bytes straight from disk.
+    let endpoint = start_server_with(options());
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let after_restart = client
+        .roundtrip_line(CELL_REQUEST)
+        .expect("round-trip")
+        .expect("answered");
+    assert_eq!(computed, after_restart, "restart must not change bytes");
+
+    // Flip one byte mid-entry: the next request must detect it, refuse to
+    // serve it, quarantine it, and recompute the identical answer.
+    let mut bytes = std::fs::read(entry.path()).expect("read entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(entry.path(), &bytes).expect("corrupt entry");
+    let recomputed = client
+        .roundtrip_line(CELL_REQUEST)
+        .expect("round-trip")
+        .expect("answered");
+    assert_eq!(computed, recomputed, "corruption must never change bytes");
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        names.iter().any(|n| n.ends_with(".corrupt")),
+        "corrupt entry must be quarantined, saw: {names:?}"
+    );
+    // The recompute re-published a clean entry alongside the quarantine.
+    assert!(
+        names.iter().any(|n| n.ends_with(".json")),
+        "recomputed entry must be stored again, saw: {names:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

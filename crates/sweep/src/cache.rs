@@ -1,12 +1,34 @@
-//! Content-addressed result cache.
+//! Content-addressed result cache — the crash-safe storage tier.
 //!
 //! Every sweep cell is keyed by [`crate::key::cell_key`] — see that module
 //! for exactly which axes participate in the hash (it is the shared key
 //! definition between this on-disk cache and the `dp-serve` daemon's
 //! in-memory compiled-program cache).
 //!
-//! Summaries are persisted as one JSON file per cell under the cache
-//! directory (default `.dpopt-cache/`, override with `DPOPT_CACHE_DIR`).
+//! Summaries are persisted as one file per cell under the cache directory
+//! (default `.dpopt-cache/`, override with `DPOPT_CACHE_DIR`). The entry
+//! format is integrity-checked end to end:
+//!
+//! ```text
+//! {"version":2,"key":"...", ...}                      ← JSON body
+//! #dpopt-cache v2 len=<body bytes> fnv1a=<16 hex>     ← integrity footer
+//! ```
+//!
+//! [`store`] seals the body with a [`fnv1a`] content checksum and a length
+//! field, publishes via write-then-rename, and reports whether the
+//! directory is still usable ([`StoreOutcome`] — disk-full and read-only
+//! directories demote the sweep to cache-off instead of spamming errors).
+//! [`load`] verifies length and checksum before parsing; an entry that
+//! fails is **quarantined** to `<key>.corrupt` (counted in the
+//! `sweep.cache.corrupt` metric, diagnosed on stderr) rather than silently
+//! re-parsed as a miss every run. [`verify`] is the fsck behind
+//! `dpopt cache verify [--repair]`, and [`gc`] evicts quarantined entries
+//! before touching live ones.
+//!
+//! All cache I/O goes through [`dp_faults::fs`], so the fault plans in
+//! `DPOPT_FAULTS` (torn write, short read, bit flip, `ENOSPC`, `EIO`,
+//! delayed rename) exercise exactly the code paths production crashes hit
+//! — see `crates/cli/tests/chaos.rs` for the process-level proof.
 
 // The key helpers lived here before they were shared with dp-serve; the
 // old `cache::…` paths stay valid via this re-export.
@@ -17,7 +39,14 @@ pub use crate::key::{
 
 use crate::json::{self, num, object, uint, Json};
 use crate::CellSummary;
+use dp_obs::metrics::Counter;
 use std::path::{Path, PathBuf};
+
+static CACHE_CORRUPT: Counter = Counter::new("sweep.cache.corrupt");
+
+/// The tag cache I/O passes to [`dp_faults::fs`] — fault plans can target
+/// exactly this traffic with `kind@fs-write:sweep-cache`.
+pub const FS_TAG: &str = "sweep-cache";
 
 /// Cache hit/miss counters for one sweep.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,17 +96,131 @@ fn touch(path: &Path) {
     }
 }
 
-/// Loads a cached summary, if present and readable. Corrupt or
-/// schema-mismatched entries are treated as misses. A *hit* (and only a
-/// hit — stale-format or torn entries must keep aging toward eviction)
-/// refreshes the entry's modification time, the LRU clock used by [`gc`].
+// ----------------------------------------------------------------------
+// Entry sealing and decoding
+// ----------------------------------------------------------------------
+
+const FOOTER_MARK: &str = "\n#dpopt-cache v";
+
+/// Appends the integrity footer to a serialized body.
+fn seal_entry(body: &str) -> String {
+    format!(
+        "{body}\n#dpopt-cache v{CACHE_FORMAT_VERSION} len={} fnv1a={:016x}\n",
+        body.len(),
+        fnv1a(body.as_bytes())
+    )
+}
+
+/// How an on-disk entry decoded.
+enum EntryState {
+    /// Footer verified, body parsed, schema current.
+    Ok(CellSummary),
+    /// Intact but written by a different format version — a miss, left in
+    /// place to age out ([`verify`] reports it, `--repair` evicts it).
+    Stale,
+    /// Integrity failure: torn, bit-flipped, truncated, or undecodable.
+    /// [`load`] quarantines these.
+    Corrupt(&'static str),
+}
+
+/// Verifies and parses one entry's raw text (body + footer).
+fn decode_entry(text: &str) -> EntryState {
+    let Some(idx) = text.rfind(FOOTER_MARK) else {
+        // No footer. A pre-checksum (v1) entry still decodes as versioned
+        // JSON — stale, not corrupt; anything else is torn bytes.
+        return match json::parse(text.trim()) {
+            Ok(v) if v.get("version").and_then(Json::as_u64).is_some() => EntryState::Stale,
+            _ => EntryState::Corrupt("missing checksum footer"),
+        };
+    };
+    let body = &text[..idx];
+    let footer = text[idx + 1..].trim_end();
+    let mut parts = footer.split_whitespace();
+    parts.next(); // the "#dpopt-cache" tag located by rfind
+    let version: Option<u32> = parts
+        .next()
+        .and_then(|p| p.strip_prefix('v'))
+        .and_then(|v| v.parse().ok());
+    let len: Option<usize> = parts
+        .next()
+        .and_then(|p| p.strip_prefix("len="))
+        .and_then(|v| v.parse().ok());
+    let sum: Option<u64> = parts
+        .next()
+        .and_then(|p| p.strip_prefix("fnv1a="))
+        .and_then(|v| u64::from_str_radix(v, 16).ok());
+    let (Some(version), Some(len), Some(sum)) = (version, len, sum) else {
+        return EntryState::Corrupt("malformed footer");
+    };
+    if len != body.len() {
+        return EntryState::Corrupt("length mismatch");
+    }
+    if sum != fnv1a(body.as_bytes()) {
+        return EntryState::Corrupt("checksum mismatch");
+    }
+    if version != CACHE_FORMAT_VERSION {
+        return EntryState::Stale;
+    }
+    let Ok(v) = json::parse(body) else {
+        return EntryState::Corrupt("undecodable body");
+    };
+    match summary_from_json(&v) {
+        Some(summary) => EntryState::Ok(summary),
+        // The checksum passed, so the bytes are what the writer meant;
+        // a version field below tells stale from a genuine schema bug.
+        None => match v.get("version").and_then(Json::as_u64) {
+            Some(n) if n != CACHE_FORMAT_VERSION as u64 => EntryState::Stale,
+            _ => EntryState::Corrupt("schema mismatch"),
+        },
+    }
+}
+
+/// Moves a failed entry aside as `<key>.corrupt` so it is never re-parsed
+/// (and [`gc`] evicts it first), and counts it in `sweep.cache.corrupt`.
+fn quarantine(path: &Path, key: u64, reason: &str) {
+    CACHE_CORRUPT.incr();
+    let target = path.with_extension("corrupt");
+    match std::fs::rename(path, &target) {
+        Ok(()) => dp_obs::diag!(
+            "[dp-sweep] quarantined corrupt cache entry {key:016x} ({reason}) -> {}",
+            target.display()
+        ),
+        Err(e) => dp_obs::diag!(
+            "[dp-sweep] corrupt cache entry {key:016x} ({reason}); quarantine failed: {e}"
+        ),
+    }
+}
+
+/// Loads a cached summary, if present and **verified**: the footer's
+/// length and fnv1a checksum must match the body before it is parsed.
+/// Entries that fail verification are quarantined to `<key>.corrupt`
+/// (never served, never re-parsed); stale-format entries are plain
+/// misses. A *hit* (and only a hit — stale entries must keep aging toward
+/// eviction) refreshes the entry's modification time, the LRU clock used
+/// by [`gc`].
 pub fn load(dir: &Path, key: u64) -> Option<CellSummary> {
     let path = cell_path(dir, key);
-    let text = std::fs::read_to_string(&path).ok()?;
-    let v = json::parse(&text).ok()?;
-    let summary = summary_from_json(&v)?;
-    touch(&path);
-    Some(summary)
+    let text = match dp_faults::fs::read_to_string(&path, FS_TAG) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            // Transient read failure: the bytes on disk may be fine, so
+            // miss without quarantining.
+            dp_obs::diag!("[dp-sweep] cache read failed for {key:016x}: {e}");
+            return None;
+        }
+    };
+    match decode_entry(&text) {
+        EntryState::Ok(summary) => {
+            touch(&path);
+            Some(summary)
+        }
+        EntryState::Stale => None,
+        EntryState::Corrupt(reason) => {
+            quarantine(&path, key, reason);
+            None
+        }
+    }
 }
 
 /// Parses the JSON form written by [`summary_json`] back into a
@@ -122,9 +265,9 @@ pub fn summary_from_json(v: &Json) -> Option<CellSummary> {
 }
 
 /// The persisted JSON form of a summary — the exact object [`store`]
-/// writes, also the payload of a `dp-serve` `sweep-cell` response (one
-/// serialization path, so a served cell and a cached cell can never
-/// disagree on a byte).
+/// writes (before the integrity footer is appended), also the payload of a
+/// `dp-serve` `sweep-cell` response (one serialization path, so a served
+/// cell and a cached cell can never disagree on a byte).
 pub fn summary_json(key: u64, summary: &CellSummary) -> Json {
     object([
         ("version", uint(CACHE_FORMAT_VERSION as u64)),
@@ -152,26 +295,66 @@ pub fn summary_json(key: u64, summary: &CellSummary) -> Json {
     ])
 }
 
-/// Persists a summary. Write errors are reported to stderr but do not fail
-/// the sweep (the cache is an accelerator, not a correctness dependency).
-pub fn store(dir: &Path, key: u64, summary: &CellSummary) {
-    let value = summary_json(key, summary);
+/// What [`store`] managed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The entry was sealed and published.
+    Stored,
+    /// A transient failure; the next store may well succeed.
+    TransientError,
+    /// The directory is unusable — disk full (`ENOSPC`) or not writable
+    /// (`EROFS`/permission denied). Callers should demote to cache-off
+    /// instead of retrying every cell.
+    Unavailable,
+}
+
+fn classify_store_error(e: &std::io::Error) -> StoreOutcome {
+    const ENOSPC: i32 = 28;
+    const EROFS: i32 = 30;
+    if matches!(e.raw_os_error(), Some(ENOSPC) | Some(EROFS))
+        || e.kind() == std::io::ErrorKind::PermissionDenied
+    {
+        StoreOutcome::Unavailable
+    } else {
+        StoreOutcome::TransientError
+    }
+}
+
+/// Persists a summary: seals the serialized body with the integrity
+/// footer, writes `<key>.tmp.<pid>`, and publishes via rename so
+/// concurrent workers and interrupted runs never expose a torn file under
+/// the final name. Errors are reported to stderr but do not fail the
+/// sweep (the cache is an accelerator, not a correctness dependency); the
+/// returned [`StoreOutcome`] tells callers when the directory itself is
+/// gone so they can stop trying.
+pub fn store(dir: &Path, key: u64, summary: &CellSummary) -> StoreOutcome {
+    store_with(dp_faults::global(), dir, key, summary)
+}
+
+fn store_with(
+    plan: &dp_faults::FaultPlan,
+    dir: &Path,
+    key: u64,
+    summary: &CellSummary,
+) -> StoreOutcome {
+    let payload = seal_entry(&summary_json(key, summary).to_string());
     if let Err(e) = std::fs::create_dir_all(dir) {
         dp_obs::diag!("[dp-sweep] cannot create cache dir {}: {e}", dir.display());
-        return;
+        return classify_store_error(&e);
     }
     let path = cell_path(dir, key);
-    // Write-then-rename so concurrent workers and interrupted runs never
-    // leave a torn file behind.
     let tmp = dir.join(format!("{key:016x}.tmp.{}", std::process::id()));
-    if let Err(e) = std::fs::write(&tmp, value.to_string()) {
+    if let Err(e) = dp_faults::fs::write_with(plan, &tmp, payload.as_bytes(), FS_TAG) {
         dp_obs::diag!("[dp-sweep] cannot write {}: {e}", tmp.display());
-        return;
+        let _ = std::fs::remove_file(&tmp);
+        return classify_store_error(&e);
     }
-    if let Err(e) = std::fs::rename(&tmp, &path) {
+    if let Err(e) = dp_faults::fs::rename_with(plan, &tmp, &path, FS_TAG) {
         dp_obs::diag!("[dp-sweep] cannot publish {}: {e}", path.display());
         let _ = std::fs::remove_file(&tmp);
+        return classify_store_error(&e);
     }
+    StoreOutcome::Stored
 }
 
 // ----------------------------------------------------------------------
@@ -183,7 +366,8 @@ pub fn store(dir: &Path, key: u64, summary: &CellSummary) {
 pub struct GcReport {
     /// Cell summaries found.
     pub entries: usize,
-    /// Entries evicted (least recently used first).
+    /// Entries evicted (quarantined `.corrupt` files first, then least
+    /// recently used).
     pub evicted: usize,
     /// Total bytes before eviction.
     pub bytes_before: u64,
@@ -191,12 +375,14 @@ pub struct GcReport {
     pub bytes_after: u64,
 }
 
-/// Prunes the cache directory down to `max_bytes`, evicting
-/// **least-recently-used** cell summaries first (modification time is the
-/// LRU clock: [`store`] stamps it and [`load`] refreshes it on every hit).
-/// Ties break on file name so eviction order is deterministic. Stale
-/// `*.tmp.*` files from interrupted writes are always removed. A missing
-/// cache directory is an empty cache, not an error.
+/// Prunes the cache directory down to `max_bytes`. Quarantined
+/// `*.corrupt` files are evicted first (they exist only for post-incident
+/// inspection), then **least-recently-used** cell summaries
+/// (modification time is the LRU clock: [`store`] stamps it and [`load`]
+/// refreshes it on every hit). Ties break on file name so eviction order
+/// is deterministic. Stale `*.tmp.*` files from interrupted writes are
+/// always removed. A missing cache directory is an empty cache, not an
+/// error.
 pub fn gc(dir: &Path, max_bytes: u64) -> std::io::Result<GcReport> {
     let mut report = GcReport::default();
     let entries = match std::fs::read_dir(dir) {
@@ -204,7 +390,8 @@ pub fn gc(dir: &Path, max_bytes: u64) -> std::io::Result<GcReport> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
         Err(e) => return Err(e),
     };
-    let mut cells: Vec<(std::time::SystemTime, String, u64, PathBuf)> = Vec::new();
+    // rank 0 = quarantined (first out), rank 1 = live summaries.
+    let mut cells: Vec<(u8, std::time::SystemTime, String, u64, PathBuf)> = Vec::new();
     for entry in entries {
         let entry = entry?;
         let path = entry.path();
@@ -217,29 +404,176 @@ pub fn gc(dir: &Path, max_bytes: u64) -> std::io::Result<GcReport> {
             let _ = std::fs::remove_file(&path);
             continue;
         }
-        if !name.ends_with(".json") {
+        let rank = if name.ends_with(".corrupt") {
+            0
+        } else if name.ends_with(".json") {
+            1
+        } else {
             continue;
-        }
+        };
         let meta = entry.metadata()?;
         let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
-        cells.push((mtime, name, meta.len(), path));
+        cells.push((rank, mtime, name, meta.len(), path));
     }
-    report.entries = cells.len();
-    report.bytes_before = cells.iter().map(|c| c.2).sum();
+    report.entries = cells.iter().filter(|c| c.0 == 1).count();
+    report.bytes_before = cells.iter().map(|c| c.3).sum();
     report.bytes_after = report.bytes_before;
     if report.bytes_before <= max_bytes {
         return Ok(report);
     }
-    // Oldest first; name tiebreak keeps eviction deterministic when a
-    // filesystem's timestamps are coarse.
-    cells.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-    for (_, _, len, path) in cells {
+    // Quarantined first, then oldest; name tiebreak keeps eviction
+    // deterministic when a filesystem's timestamps are coarse.
+    cells.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    for (_, _, _, len, path) in cells {
         if report.bytes_after <= max_bytes {
             break;
         }
         std::fs::remove_file(&path)?;
         report.bytes_after -= len;
         report.evicted += 1;
+    }
+    Ok(report)
+}
+
+// ----------------------------------------------------------------------
+// Verification (fsck)
+// ----------------------------------------------------------------------
+
+/// What is wrong with one cache file (see [`VerifyFinding`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryProblem {
+    /// A `*.tmp.*` leftover from an interrupted write.
+    Torn,
+    /// Failed integrity verification (bad footer, length, checksum, or
+    /// body).
+    Corrupt,
+    /// Intact, but written by a different format version.
+    Stale,
+    /// A `*.corrupt` file quarantined by an earlier [`load`].
+    Quarantined,
+}
+
+impl EntryProblem {
+    /// The label `dpopt cache verify` prints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EntryProblem::Torn => "torn",
+            EntryProblem::Corrupt => "corrupt",
+            EntryProblem::Stale => "stale-version",
+            EntryProblem::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// One problematic file found by [`verify`].
+#[derive(Debug, Clone)]
+pub struct VerifyFinding {
+    /// File name within the cache directory.
+    pub name: String,
+    /// The classification.
+    pub problem: EntryProblem,
+    /// Human-readable detail (the specific integrity failure).
+    pub detail: String,
+    /// Whether `--repair` removed it.
+    pub repaired: bool,
+}
+
+/// The result of walking a cache directory with [`verify`].
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Files examined (entries, quarantine files, and tmp leftovers).
+    pub scanned: usize,
+    /// Entries that verified clean.
+    pub ok: usize,
+    /// Files removed by repair.
+    pub repaired: usize,
+    /// Problems, sorted by file name.
+    pub findings: Vec<VerifyFinding>,
+}
+
+impl VerifyReport {
+    /// True when every scanned entry verified clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings of one problem class.
+    pub fn count(&self, problem: EntryProblem) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.problem == problem)
+            .count()
+    }
+}
+
+/// Walks the cache directory and verifies every entry — the fsck behind
+/// `dpopt cache verify [--repair]`. Classifies `*.tmp.*` leftovers as
+/// torn, `*.corrupt` files as quarantined, and checks each `*.json` entry
+/// against its integrity footer (corrupt) and format version (stale).
+/// With `repair`, problem files are removed. Reads go straight to the
+/// filesystem, not through the fault plan: fsck must see the real bytes.
+/// A missing directory is an empty (clean) cache.
+pub fn verify(dir: &Path, repair: bool) -> std::io::Result<VerifyReport> {
+    let mut report = VerifyReport::default();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        files.push((
+            entry.file_name().to_string_lossy().into_owned(),
+            entry.path(),
+        ));
+    }
+    files.sort();
+    for (name, path) in files {
+        let problem: Option<(EntryProblem, String)> = if name.contains(".tmp.") {
+            Some((EntryProblem::Torn, "interrupted write".to_string()))
+        } else if name.ends_with(".corrupt") {
+            Some((EntryProblem::Quarantined, "quarantined by load".to_string()))
+        } else if name.ends_with(".json") {
+            match std::fs::read_to_string(&path) {
+                Ok(text) => match decode_entry(&text) {
+                    EntryState::Ok(_) => None,
+                    EntryState::Stale => Some((
+                        EntryProblem::Stale,
+                        format!("not format v{CACHE_FORMAT_VERSION}"),
+                    )),
+                    EntryState::Corrupt(reason) => {
+                        Some((EntryProblem::Corrupt, reason.to_string()))
+                    }
+                },
+                Err(e) => Some((EntryProblem::Corrupt, format!("unreadable: {e}"))),
+            }
+        } else {
+            continue;
+        };
+        report.scanned += 1;
+        match problem {
+            None => report.ok += 1,
+            Some((problem, detail)) => {
+                let repaired = repair && std::fs::remove_file(&path).is_ok();
+                if repaired {
+                    report.repaired += 1;
+                }
+                report.findings.push(VerifyFinding {
+                    name,
+                    problem,
+                    detail,
+                    repaired,
+                });
+            }
+        }
     }
     Ok(report)
 }
@@ -272,7 +606,7 @@ mod tests {
             from_cache: false,
         };
         assert!(load(&dir, 7).is_none(), "empty cache misses");
-        store(&dir, 7, &summary);
+        assert_eq!(store(&dir, 7, &summary), StoreOutcome::Stored);
         let loaded = load(&dir, 7).expect("stored entry loads");
         assert_eq!(loaded.total_us.to_bits(), summary.total_us.to_bits());
         assert_eq!(
@@ -283,6 +617,9 @@ mod tests {
         assert_eq!(loaded.output_ints, summary.output_ints);
         assert_eq!(loaded.output_floats, summary.output_floats);
         assert!(loaded.from_cache);
+        // The entry carries a verifiable footer.
+        let text = std::fs::read_to_string(cell_path(&dir, 7)).unwrap();
+        assert!(text.contains("#dpopt-cache v"), "footer present:\n{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -379,12 +716,159 @@ mod tests {
     }
 
     #[test]
-    fn schema_version_mismatch_is_a_miss() {
+    fn gc_evicts_quarantined_entries_before_live_ones() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-gc-q-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store(&dir, 1, &sample_summary("live"));
+        set_age(&dir, 1, 10_000); // ancient, but live
+        let entry_len = std::fs::metadata(cell_path(&dir, 1)).unwrap().len();
+        // A fresh quarantined file bigger than the live entry.
+        let corrupt = dir.join("00000000000000ff.corrupt");
+        std::fs::write(&corrupt, vec![b'x'; 2 * entry_len as usize]).unwrap();
+        // Budget fits the live entry only: the quarantine file must be the
+        // first victim even though it is newer.
+        let report = gc(&dir, entry_len).unwrap();
+        assert_eq!(report.entries, 1, "corrupt files are not entries");
+        assert_eq!(report.evicted, 1);
+        assert!(!corrupt.exists(), "quarantined file evicted first");
+        assert!(load(&dir, 1).is_some(), "live entry survives");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_versioned_entry_is_a_stale_miss_not_corruption() {
         let dir = std::env::temp_dir().join(format!("dp-sweep-ver-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
+        // A pre-footer (v1-era) entry: versioned JSON, no footer.
         std::fs::write(dir.join(format!("{:016x}.json", 9u64)), "{\"version\":0}").unwrap();
         assert!(load(&dir, 9).is_none());
+        assert!(
+            dir.join(format!("{:016x}.json", 9u64)).exists(),
+            "stale entries age out, they are not quarantined"
+        );
+        let report = verify(&dir, false).unwrap();
+        assert_eq!(report.count(EntryProblem::Stale), 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_counted_and_never_served() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-q-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        store(&dir, 21, &sample_summary("x"));
+        // Flip one byte of the body on disk — the footer checksum must
+        // catch it.
+        let path = cell_path(&dir, 21);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        dp_obs::metrics::enable();
+        let before = CACHE_CORRUPT.value();
+        assert!(load(&dir, 21).is_none(), "corrupt entry never served");
+        assert!(CACHE_CORRUPT.value() > before, "corruption counted");
+        assert!(!path.exists(), "entry removed from the live namespace");
+        let corrupt = dir.join(format!("{:016x}.corrupt", 21u64));
+        assert!(corrupt.exists(), "entry quarantined");
+        // Still a miss afterwards, and no double quarantine.
+        assert!(load(&dir, 21).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_reports_unavailable_on_disk_full() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-full-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = dp_faults::FaultPlan::parse("enospc@fs-write:sweep-cache").unwrap();
+        assert_eq!(
+            store_with(&plan, &dir, 5, &sample_summary("x")),
+            StoreOutcome::Unavailable
+        );
+        assert!(load(&dir, 5).is_none(), "nothing published");
+        // The torn tmp file was cleaned up.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .count();
+        assert_eq!(leftovers, 0, "no tmp leftovers after a failed store");
+        // The plan is spent: the next store succeeds.
+        assert_eq!(
+            store_with(&plan, &dir, 5, &sample_summary("x")),
+            StoreOutcome::Stored
+        );
+        assert!(load(&dir, 5).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_publish_is_caught_by_the_footer() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-torn-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // torn-write reports success with half the bytes, so the rename
+        // publishes a torn entry — exactly what a crash mid-write leaves.
+        let plan = dp_faults::FaultPlan::parse("torn-write@fs-write:sweep-cache").unwrap();
+        assert_eq!(
+            store_with(&plan, &dir, 6, &sample_summary("x")),
+            StoreOutcome::Stored
+        );
+        assert!(load(&dir, 6).is_none(), "torn entry never served");
+        assert!(
+            dir.join(format!("{:016x}.corrupt", 6u64)).exists(),
+            "torn entry quarantined"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_classifies_and_repairs_every_problem_class() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-fsck-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // ok entry
+        store(&dir, 1, &sample_summary("ok"));
+        // torn tmp leftover
+        std::fs::write(dir.join("00000000000000aa.tmp.1"), "half").unwrap();
+        // quarantine file
+        std::fs::write(dir.join("00000000000000bb.corrupt"), "junk").unwrap();
+        // corrupt entry (checksum mismatch)
+        store(&dir, 2, &sample_summary("bad"));
+        let path2 = cell_path(&dir, 2);
+        let mut bytes = std::fs::read(&path2).unwrap();
+        bytes[12] ^= 0x01;
+        std::fs::write(&path2, &bytes).unwrap();
+        // stale entry (valid footer, old version)
+        let body = "{\"version\":1}";
+        let stale = format!(
+            "{body}\n#dpopt-cache v1 len={} fnv1a={:016x}\n",
+            body.len(),
+            fnv1a(body.as_bytes())
+        );
+        std::fs::write(dir.join("00000000000000cc.json"), stale).unwrap();
+
+        let report = verify(&dir, false).unwrap();
+        assert_eq!(report.scanned, 5);
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.count(EntryProblem::Torn), 1);
+        assert_eq!(report.count(EntryProblem::Quarantined), 1);
+        assert_eq!(report.count(EntryProblem::Corrupt), 1);
+        assert_eq!(report.count(EntryProblem::Stale), 1);
+        assert_eq!(report.repaired, 0, "no repair without the flag");
+        assert!(!report.is_clean());
+
+        let report = verify(&dir, true).unwrap();
+        assert_eq!(report.repaired, 4);
+        let report = verify(&dir, false).unwrap();
+        assert!(report.is_clean(), "repair leaves a clean directory");
+        assert_eq!(report.ok, 1, "the good entry survives repair");
+        assert!(load(&dir, 1).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_of_a_missing_dir_is_clean() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-fsck-none-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = verify(&dir, false).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.scanned, 0);
     }
 }

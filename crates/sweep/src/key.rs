@@ -30,7 +30,7 @@ use dp_workloads::BenchInput;
 
 /// Bump to invalidate every cached summary and compiled-program cache entry
 /// (schema or semantics change).
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over a byte string — stable across builds and platforms.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -264,11 +264,11 @@ mod tests {
         // version): the digests are data, not an implementation detail.
         assert_eq!(
             compiled_key("src", &OptConfig::none()),
-            0xe5d8_1251_f892_2a73
+            0xe2f4_0892_0104_11b0
         );
         assert_eq!(
             compiled_key("src", &OptConfig::none().threshold(8)),
-            0x5a80_78bc_7d28_3bff
+            0x5329_ab93_4ebe_6992
         );
     }
 
@@ -291,7 +291,7 @@ mod tests {
                 &TimingParams::default(),
                 &CostModel::default(),
             ),
-            0x87a9_2283_a122_2f85
+            0xa79c_ea14_91ee_b854
         );
     }
 

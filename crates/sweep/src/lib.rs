@@ -61,7 +61,7 @@ use dp_workloads::benchmarks::{all_benchmarks, Benchmark, Variant};
 use dp_workloads::{datasets::DatasetId, describe, BenchInput, BenchOutput};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Wall time of one cold cell: compile-cache fetch + full VM execution +
@@ -510,6 +510,12 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
     // cache (compiled programs are immutable and Send) but each owns its
     // executor and VM state.
     let compile_cache: CompileCache = Mutex::new(HashMap::new());
+    // Graceful degradation: the first disk-full / read-only store demotes
+    // the whole sweep to cache-off with one warning. Results still flow —
+    // the cache is an accelerator, never a correctness dependency — and
+    // stdout stays byte-identical because cache state is never printed by
+    // the deterministic outputs.
+    let cache_broken = AtomicBool::new(false);
     if !pending.is_empty() {
         let results: Vec<Mutex<Option<CellSummary>>> =
             pending.iter().map(|_| Mutex::new(None)).collect();
@@ -538,8 +544,16 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
                 &series.cost,
                 &compile_cache,
             );
-            if opts.cache {
-                cache::store(&cache_dir, cell.key, &summary);
+            if opts.cache
+                && !cache_broken.load(Ordering::Relaxed)
+                && cache::store(&cache_dir, cell.key, &summary) == cache::StoreOutcome::Unavailable
+                && !cache_broken.swap(true, Ordering::Relaxed)
+            {
+                dp_obs::diag!(
+                    "[dp-sweep] cache dir {} unavailable (disk full or read-only); \
+                     continuing without the cache",
+                    cache_dir.display()
+                );
             }
             *results[i].lock().unwrap() = Some(summary);
         };
