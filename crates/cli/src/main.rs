@@ -10,11 +10,12 @@
 //!       [--remote ADDR]
 //! dpopt info input.cu
 //! dpopt sweep spec.json [--jobs N] [--no-cache] [--cache-stats] [-o out.json]
-//!       [--remote ADDR]
+//!       [--remote ADDR[,ADDR...]]
 //! dpopt sweep --gc [--max-cache-mb N]
 //! dpopt cache verify [--repair] [--dir PATH]
+//! dpopt cache sync ADDR[,ADDR...] [--dir PATH]
 //! dpopt serve [--listen ADDR | --unix PATH] [--jobs N] [--cache-capacity N]
-//!       [--auth-token TOKEN] [--disk-cache DIR]
+//!       [--auth-token TOKEN] [--disk-cache DIR] [--max-disk-cache-mb N]
 //! dpopt client (--connect ADDR | --unix PATH) [requests.ndjson|-] [--op OP]
 //!       [--token TOKEN]
 //! ```
@@ -60,6 +61,7 @@ USAGE:
     dpopt info <input.cu>
     dpopt sweep <spec.json> [OPTIONS]
     dpopt cache verify [--repair] [--dir <path>]
+    dpopt cache sync <addr,...> [--dir <path>]
     dpopt serve [OPTIONS]
     dpopt client (--connect <addr> | --unix <path>) [requests.ndjson|-] [--op <op>]
     dpopt trace-report <trace.jsonl> [--tree | --collapse]
@@ -85,8 +87,12 @@ SWEEP OPTIONS:
     --gc                   evict least-recently-used cache entries instead
                            of sweeping (no spec file needed)
     --max-cache-mb <N>     cache size budget for --gc (default: 512)
-    --remote <addr>        run every cell on a dp-serve daemon instead of
-                           locally (one sweep-cell request per cell)
+    --remote <addr,...>    shard the cells across one or more dp-serve
+                           daemons (comma-separated): locally cached cells
+                           short-circuit, the rest are routed by rendezvous
+                           hash, streamed pipelined, and merged in spec
+                           order — stdout is byte-identical to a local
+                           sequential run, even if a daemon dies mid-sweep
 
 CACHE:
     verify                 fsck the sweep result cache: re-checksum every
@@ -97,6 +103,11 @@ CACHE:
                            recompute on the next sweep)
     --dir <path>           cache directory (default: DPOPT_CACHE_DIR or
                            .dpopt-cache)
+    sync <addr,...>        converge the local cache and every listed
+                           daemon's --disk-cache to the union of their
+                           entries (sealed bytes travel verbatim; each
+                           receipt re-verifies the checksum and
+                           quarantines corrupt payloads)
 
 SERVE OPTIONS:
     --listen <addr>        TCP listen address (default: 127.0.0.1:7477)
@@ -125,6 +136,9 @@ SERVE OPTIONS:
     --disk-cache <dir>     serve sweep-cell responses from (and populate)
                            a checksummed on-disk result cache that
                            survives daemon restarts
+    --max-disk-cache-mb <N>  disk-cache size budget: after each store the
+                           directory is trimmed to N MB with LRU eviction
+                           (default: 0 = unbounded)
 
 CLIENT:
     forwards newline-delimited JSON requests (a file, or `-`/nothing for
@@ -176,7 +190,7 @@ fn transform(args: &[String]) -> ExitCode {
                 Some(v) => agg_threshold = Some(v),
                 None => return fail("--agg-threshold needs an integer"),
             },
-            "--remote" => match parse_endpoint_arg(args, &mut i) {
+            "--remote" => match parse_endpoints_arg(args, &mut i).and_then(first_reachable) {
                 Ok(e) => remote = Some(e),
                 Err(code) => return code,
             },
@@ -256,14 +270,16 @@ fn transform(args: &[String]) -> ExitCode {
 fn cache_cmd(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("verify") => {}
+        Some("sync") => return cache_sync(&args[1..]),
         Some(other) => {
             return fail(&format!(
-                "unknown cache command `{other}` (expected: verify)"
+                "unknown cache command `{other}` (expected: verify | sync)"
             ))
         }
         None => {
             return fail(
-                "missing cache command (usage: dpopt cache verify [--repair] [--dir <path>])",
+                "missing cache command (usage: dpopt cache verify [--repair] [--dir <path>] \
+                 | dpopt cache sync <addr,...> [--dir <path>])",
             )
         }
     }
@@ -319,14 +335,102 @@ fn cache_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Parses a `--remote`/`--connect`/`--listen` endpoint argument.
-fn parse_endpoint_arg(args: &[String], i: &mut usize) -> Result<Endpoint, ExitCode> {
+/// `dpopt cache sync <addr,...> [--dir <path>]` — converge the local
+/// result cache and every daemon's disk cache to the union of their
+/// entries, re-verifying checksums on every receipt.
+fn cache_sync(args: &[String]) -> ExitCode {
+    let mut endpoints = None;
+    let mut dir = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    return fail("--dir needs a path");
+                };
+                dir = Some(std::path::PathBuf::from(path));
+                i += 1;
+            }
+            other if endpoints.is_none() && !other.starts_with('-') => {
+                match dp_shard::parse_endpoint_list(other) {
+                    Ok(list) => endpoints = Some(list),
+                    Err(e) => return fail(&e),
+                }
+                i += 1;
+            }
+            other => return fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let Some(endpoints) = endpoints else {
+        return fail("missing endpoints (usage: dpopt cache sync <addr,...> [--dir <path>])");
+    };
+    let opts = dp_shard::SyncOptions {
+        cache_dir: dir.clone(),
+        ..dp_shard::SyncOptions::default()
+    };
+    let report = match dp_shard::sync_caches(&endpoints, &opts) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("cache sync: {e}")),
+    };
+    let resolved = dp_sweep::cache::resolve_cache_dir(dir.as_deref());
+    println!(
+        "cache sync: {} — union {} keys across {} daemon(s) + local (had {}), pulled {}, rejected {}",
+        resolved.display(),
+        report.union,
+        endpoints.len(),
+        report.local_before,
+        report.pulled,
+        report.rejected
+    );
+    for (name, pushed) in &report.pushed {
+        println!("  pushed {pushed} -> {name}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses a `--remote`/`--connect` endpoint-list argument: one or more
+/// comma-separated endpoints, with clear errors on empty or duplicate
+/// entries (`A,,B`, trailing commas, `A,B,A`).
+fn parse_endpoints_arg(args: &[String], i: &mut usize) -> Result<Vec<Endpoint>, ExitCode> {
     *i += 1;
     let Some(spec) = args.get(*i) else {
         return Err(fail(&format!("{} needs an address", args[*i - 1])));
     };
     *i += 1;
-    Endpoint::parse(spec).map_err(|e| fail(&e))
+    dp_shard::parse_endpoint_list(spec).map_err(|e| fail(&e))
+}
+
+/// Parses a single-endpoint argument (`--listen`): list syntax is still
+/// validated, but more than one endpoint is a clear error instead of a
+/// bogus `host:port,host:port` address.
+fn parse_endpoint_arg(args: &[String], i: &mut usize) -> Result<Endpoint, ExitCode> {
+    let flag = args[*i].clone();
+    let mut endpoints = parse_endpoints_arg(args, i)?;
+    if endpoints.len() > 1 {
+        return Err(fail(&format!(
+            "{flag} takes a single endpoint ({} given)",
+            endpoints.len()
+        )));
+    }
+    Ok(endpoints.remove(0))
+}
+
+/// The endpoint to use from a failover list: the single entry, or — for a
+/// real list — the first one that accepts a connection.
+fn first_reachable(endpoints: Vec<Endpoint>) -> Result<Endpoint, ExitCode> {
+    if endpoints.len() == 1 {
+        return Ok(endpoints.into_iter().next().unwrap());
+    }
+    for endpoint in &endpoints {
+        if endpoint.connect().is_ok() {
+            return Ok(endpoint.clone());
+        }
+    }
+    Err(fail(&format!(
+        "no reachable endpoint among the {} given",
+        endpoints.len()
+    )))
 }
 
 fn serve(args: &[String]) -> ExitCode {
@@ -398,6 +502,10 @@ fn serve(args: &[String]) -> ExitCode {
                 options.disk_cache = Some(std::path::PathBuf::from(path));
                 i += 1;
             }
+            "--max-disk-cache-mb" => match parse_arg(args, &mut i) {
+                Some(v) if v >= 0 => options.max_disk_cache_mb = v as u64,
+                _ => return fail("--max-disk-cache-mb needs a non-negative integer"),
+            },
             other => return fail(&format!("unexpected argument `{other}`")),
         }
     }
@@ -453,7 +561,7 @@ fn client(args: &[String]) -> ExitCode {
                 token = Some(value.clone());
                 i += 1;
             }
-            "--connect" => match parse_endpoint_arg(args, &mut i) {
+            "--connect" => match parse_endpoints_arg(args, &mut i).and_then(first_reachable) {
                 Ok(e) => endpoint = Some(e),
                 Err(code) => return code,
             },
@@ -800,7 +908,7 @@ fn sweep(args: &[String]) -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--remote" => match parse_endpoint_arg(args, &mut i) {
+            "--remote" => match parse_endpoints_arg(args, &mut i) {
                 Ok(e) => remote = Some(e),
                 Err(code) => return code,
             },
@@ -874,14 +982,20 @@ fn sweep(args: &[String]) -> ExitCode {
     };
 
     let result = match remote {
-        // Remote sweeps run cell by cell on the daemon (which sizes its
-        // own worker pool and compiled-program cache); the local result
-        // cache is bypassed and local --jobs would be silently meaningless.
-        Some(endpoint) => {
+        // Remote sweeps shard cells across the daemon fleet (each daemon
+        // sizes its own worker pool and compiled-program cache); locally
+        // cached cells short-circuit, and local --jobs would be silently
+        // meaningless for the rest.
+        Some(endpoints) => {
             if opts.jobs != 0 {
-                return fail("--jobs has no effect with --remote (the daemon sizes its pool)");
+                return fail("--jobs has no effect with --remote (the daemons size their pools)");
             }
-            match dp_serve::client::remote_sweep(&endpoint, &spec) {
+            let shard_opts = dp_shard::ShardOptions {
+                cache: opts.cache,
+                cache_dir: opts.cache_dir.clone(),
+                ..dp_shard::ShardOptions::default()
+            };
+            match dp_shard::shard_sweep(&endpoints, &spec, &shard_opts) {
                 Ok(r) => r,
                 Err(e) => return fail(&e),
             }

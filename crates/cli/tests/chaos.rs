@@ -426,3 +426,176 @@ fn sigkill_serve_mid_store_leaves_a_recoverable_disk_cache() {
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_file(&reqs).ok();
 }
+
+/// Runs `dpopt sweep --remote` against `remotes`, returning stdout+stderr.
+fn shard_sweep(cache: &Path, spec: &Path, remotes: &str) -> (String, String) {
+    let out = dpopt()
+        .env("DPOPT_CACHE_DIR", cache)
+        .args([
+            "sweep",
+            spec.to_str().unwrap(),
+            "--remote",
+            remotes,
+            "--cache-stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "sharded sweep failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn live_entries(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// A two-daemon sharded sweep prints the byte-identical table of a local
+/// sequential run, cold and warm, and `cache sync` converges all three
+/// caches to the same entries.
+#[test]
+fn sharded_sweep_is_byte_identical_to_local_sequential_runs() {
+    let spec = write_spec("shard-clean");
+    let ref_cache = tmp("shard-clean-ref");
+    let _ = std::fs::remove_dir_all(&ref_cache);
+    let cold_ref = sweep(&ref_cache, &spec);
+    let warm_ref = sweep(&ref_cache, &spec);
+
+    let dir_a = tmp("shard-clean-a");
+    let dir_b = tmp("shard-clean-b");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let (mut a, addr_a, _stderr_a) = spawn_server(&dir_a, None);
+    let (mut b, addr_b, _stderr_b) = spawn_server(&dir_b, None);
+    let remotes = format!("{addr_a},{addr_b}");
+
+    let cache = tmp("shard-clean-cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let (cold, _) = shard_sweep(&cache, &spec, &remotes);
+    assert_eq!(cold, cold_ref, "cold sharded stdout diverged from local");
+    let (warm, _) = shard_sweep(&cache, &spec, &remotes);
+    assert_eq!(warm, warm_ref, "warm sharded stdout diverged from local");
+
+    // Fleet convergence: afterwards every cache holds all three entries.
+    let sync = dpopt()
+        .args(["cache", "sync", &remotes, "--dir", cache.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        sync.status.success(),
+        "cache sync failed: {}",
+        String::from_utf8_lossy(&sync.stderr)
+    );
+    let sync_out = String::from_utf8_lossy(&sync.stdout).into_owned();
+    assert!(sync_out.contains("union 3 keys"), "{sync_out}");
+    for dir in [&cache, &dir_a, &dir_b] {
+        assert_eq!(live_entries(dir), 3, "{} did not converge", dir.display());
+    }
+
+    a.kill().unwrap();
+    a.wait().unwrap();
+    b.kill().unwrap();
+    b.wait().unwrap();
+    for dir in [&ref_cache, &cache, &dir_a, &dir_b] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    std::fs::remove_file(&spec).ok();
+}
+
+/// SIGKILL one of two daemons while it is parked inside a sweep-cell
+/// execution: the scheduler must declare it lost, reroute its cells to
+/// the survivor, and still print the byte-identical local table.
+#[test]
+fn sigkill_a_daemon_mid_sharded_sweep_reroutes_with_identical_stdout() {
+    let spec_path = write_spec("shard-kill");
+    let ref_cache = tmp("shard-kill-ref");
+    let _ = std::fs::remove_dir_all(&ref_cache);
+    let cold_ref = sweep(&ref_cache, &spec_path);
+    let warm_ref = sweep(&ref_cache, &spec_path);
+
+    let spec = dp_sweep::spec_from_json(SWEEP_SPEC).expect("spec");
+    let cells = dp_sweep::enumerate_cells(&spec).expect("cells");
+
+    let dir_b = tmp("shard-kill-b");
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let (mut b, addr_b, _stderr_b) = spawn_server(&dir_b, None);
+
+    // The victim parks 30s inside its first sweep-cell execution (firing
+    // the marker first), which is where the SIGKILL lands. Rendezvous
+    // routing keys on the daemon's dynamic port, so respawn until the
+    // victim actually owns at least one cell.
+    let dir_a = tmp("shard-kill-a");
+    let mut victim = None;
+    for _ in 0..20 {
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let (child, addr_a, stderr_a) = spawn_server(&dir_a, Some("delay-ms30000@exec:sweep-cell"));
+        let endpoints = [
+            dp_serve::proto::Endpoint::parse(&addr_a).expect("victim endpoint"),
+            dp_serve::proto::Endpoint::parse(&addr_b).expect("survivor endpoint"),
+        ];
+        if cells
+            .iter()
+            .any(|c| dp_shard::route(c.key, &endpoints) == 0)
+        {
+            victim = Some((child, addr_a, stderr_a));
+            break;
+        }
+        let mut child = child;
+        child.kill().unwrap();
+        child.wait().unwrap();
+    }
+    let (mut a, addr_a, stderr_a) = victim.expect("routing never picked the victim in 20 spawns");
+
+    let cache = tmp("shard-kill-cache");
+    let _ = std::fs::remove_dir_all(&cache);
+    let remotes = format!("{addr_a},{addr_b}");
+    let spec_clone = spec_path.clone();
+    let cache_clone = cache.clone();
+    let sweep_thread = std::thread::spawn(move || shard_sweep(&cache_clone, &spec_clone, &remotes));
+
+    let mut killed = false;
+    for line in stderr_a.lines() {
+        let Ok(line) = line else { break };
+        if line.contains("fired delay-ms@exec:sweep-cell") {
+            a.kill().expect("SIGKILL the victim daemon");
+            killed = true;
+            break;
+        }
+    }
+    assert!(killed, "victim daemon never reached a sweep-cell execution");
+    a.wait().unwrap();
+
+    let (stdout, stderr) = sweep_thread.join().expect("sharded sweep");
+    assert_eq!(
+        stdout, cold_ref,
+        "stdout diverged after losing a daemon mid-sweep"
+    );
+    assert!(
+        stderr.contains("lost mid-sweep"),
+        "expected the reroute diagnostic, got:\n{stderr}"
+    );
+
+    // No cell was lost: the local cache is fully warm and a local rerun
+    // matches the never-crashed warm table.
+    let warm = sweep(&cache, &spec_path);
+    assert_eq!(warm, warm_ref, "post-failover warm table diverged");
+
+    b.kill().unwrap();
+    b.wait().unwrap();
+    for dir in [&ref_cache, &cache, &dir_a, &dir_b] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    std::fs::remove_file(&spec_path).ok();
+}

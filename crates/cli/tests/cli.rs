@@ -369,9 +369,13 @@ fn serve_client_and_remote_round_trip() {
     );
     assert_eq!(local.stdout, remote.stdout, "remote transform must match");
 
-    // A remote sweep produces the same table as a local uncached run.
+    // A remote sweep produces the same table as a local uncached run. The
+    // scheduler probes (and populates) the local result cache, so point it
+    // at a fresh directory to keep the run cold and hermetic.
     let spec = std::env::temp_dir().join(format!("dpopt-remote-spec-{}.json", std::process::id()));
     std::fs::write(&spec, SWEEP_SPEC).unwrap();
+    let cache = std::env::temp_dir().join(format!("dpopt-remote-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
     let local = dpopt()
         .args(["sweep", spec.to_str().unwrap(), "--no-cache", "--jobs", "1"])
         .output()
@@ -379,6 +383,7 @@ fn serve_client_and_remote_round_trip() {
     assert!(local.status.success());
     let remote = dpopt()
         .args(["sweep", spec.to_str().unwrap(), "--remote", &addr])
+        .env("DPOPT_CACHE_DIR", &cache)
         .output()
         .unwrap();
     assert!(
@@ -396,6 +401,12 @@ fn serve_client_and_remote_round_trip() {
             .join("\n")
     };
     assert_eq!(table(&local.stdout), table(&remote.stdout));
+    // Remotely computed cells were stored into the local result cache.
+    let stored = std::fs::read_dir(&cache)
+        .unwrap()
+        .filter(|e| e.as_ref().unwrap().path().extension() == Some(std::ffi::OsStr::new("json")))
+        .count();
+    assert_eq!(stored, 3, "every remote cell lands in the local cache");
 
     // The client forwards NDJSON and prints responses; stats reports the
     // compiled-cache counters.
@@ -438,6 +449,7 @@ fn serve_client_and_remote_round_trip() {
     std::fs::remove_file(input).ok();
     std::fs::remove_file(spec).ok();
     std::fs::remove_file(reqs).ok();
+    std::fs::remove_dir_all(cache).ok();
 }
 
 /// The observability hard constraint: every debug/trace/metrics switch at

@@ -168,6 +168,51 @@ impl Counter {
 }
 
 // ----------------------------------------------------------------------
+// Labeled counters
+// ----------------------------------------------------------------------
+
+/// A counter whose name is composed at runtime: `<base>.<label>.<suffix>`
+/// with `label` sanitized to the registry's dotted-lowercase convention
+/// (every character outside `[a-z0-9]` becomes `_`). The first call for a
+/// given composed name leaks one `Counter` (and its name) to obtain the
+/// `&'static` handle the recording API requires; subsequent calls return
+/// the same handle from a dedup map. The leak is bounded by the number of
+/// distinct labels the process ever sees — for the fleet scheduler that is
+/// one handful per daemon endpoint.
+pub fn labeled_counter(base: &str, label: &str, suffix: &str) -> &'static Counter {
+    static BY_NAME: OnceLock<Mutex<BTreeMap<String, &'static Counter>>> = OnceLock::new();
+    let name = format!("{base}.{}.{suffix}", sanitize_label(label));
+    let mut map = BY_NAME
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap();
+    if let Some(c) = map.get(&name) {
+        return c;
+    }
+    let leaked_name: &'static str = Box::leak(name.clone().into_boxed_str());
+    let counter: &'static Counter = Box::leak(Box::new(Counter::new(leaked_name)));
+    map.insert(name, counter);
+    counter
+}
+
+/// Lowercases `label` and folds everything outside `[a-z0-9]` to `_`, so
+/// `127.0.0.1:7477` becomes `127_0_0_1_7477` — one dotted-name segment,
+/// not five.
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            let c = c.to_ascii_lowercase();
+            if c.is_ascii_alphanumeric() {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
 // Histogram
 // ----------------------------------------------------------------------
 
@@ -456,6 +501,25 @@ mod tests {
         // Overflow bucket renders as le=-1 when present.
         TEST_HIST.record_us(u64::MAX / 2);
         assert!(snapshot().to_json_string().contains("[-1,"));
+    }
+
+    #[test]
+    fn labeled_counters_dedup_and_sanitize() {
+        enable();
+        let a = labeled_counter("test.shard.daemon", "127.0.0.1:7477", "routed");
+        let b = labeled_counter("test.shard.daemon", "127.0.0.1:7477", "routed");
+        assert!(std::ptr::eq(a, b), "same label must return the same handle");
+        a.add(2);
+        b.incr();
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.shard.daemon.127_0_0_1_7477.routed"), 3);
+        let c = labeled_counter("test.shard.daemon", "unix:/tmp/Sock-1", "routed");
+        assert!(!std::ptr::eq(a, c));
+        c.incr();
+        assert_eq!(
+            snapshot().counter("test.shard.daemon.unix__tmp_sock_1.routed"),
+            1
+        );
     }
 
     #[test]

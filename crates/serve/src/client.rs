@@ -290,6 +290,30 @@ impl ResilientClient {
         }
     }
 
+    /// The endpoint this client targets.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The live session, connecting (and authenticating, when
+    /// `opts.auth_token` is set) first if needed — for callers that
+    /// pipeline raw lines through [`Client::writer_mut`] /
+    /// [`Client::read_response_line`] instead of strict round-trips (the
+    /// `dp-shard` fleet scheduler). Such callers own their own retry
+    /// loop: on a transport failure they call [`ResilientClient::reset`]
+    /// and re-send everything still unacknowledged.
+    pub fn session(&mut self) -> Result<&mut Client, RequestError> {
+        self.connected()
+    }
+
+    /// Drops the current connection (poisoned: unanswered or torn
+    /// requests in flight), so the next [`ResilientClient::session`] or
+    /// [`ResilientClient::request`] reconnects — and re-authenticates —
+    /// from scratch.
+    pub fn reset(&mut self) {
+        self.client = None;
+    }
+
     fn connected(&mut self) -> Result<&mut Client, RequestError> {
         if self.client.is_none() {
             // Single attempt here: the request loop owns the retries.

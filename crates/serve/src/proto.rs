@@ -17,6 +17,8 @@
 //! | `transform`  | same as `compile`                                             |
 //! | `execute`    | `source`, config, `kernel`, `grid`, `block`, `buffers`, `args`, `read` |
 //! | `sweep-cell` | `benchmark`, `dataset` (`id`/`scale`/`seed`), `variant`       |
+//! | `cache-push` | `key` (16-hex), `entry` (sealed cache bytes, verbatim)        |
+//! | `cache-pull` | optional `key` (16-hex); without one, lists held keys         |
 //! | `stats`      | —                                                             |
 //! | `metrics`    | —                                                             |
 //! | `shutdown`   | —                                                             |
@@ -36,7 +38,8 @@
 //! cache-warm, or concurrently with any number of other clients.
 //! (`stats` reports live counters and `metrics` dumps the `dp-obs`
 //! registry — both are observability surfaces, deliberately outside the
-//! contract.)
+//! contract. `cache-push`/`cache-pull` answer from mutable disk-cache
+//! state and sit outside it too.)
 
 use dp_core::OptConfig;
 use dp_sweep::json::{self, object, Json};
@@ -292,6 +295,20 @@ pub enum Request {
         /// The shared secret presented by the client, if any.
         token: Option<String>,
     },
+    /// Store one sealed disk-cache entry, verbatim, after checksum
+    /// re-verification (requires `--disk-cache`).
+    CachePush {
+        /// The cell's content-addressed key.
+        key: u64,
+        /// The sealed entry bytes, exactly as they sit on disk.
+        entry: String,
+    },
+    /// Fetch one sealed disk-cache entry by key, or — with no key — the
+    /// sorted inventory of held keys (requires `--disk-cache`).
+    CachePull {
+        /// The cell key to fetch; `None` asks for the key inventory.
+        key: Option<u64>,
+    },
     /// Report live server counters (outside the determinism contract).
     Stats,
     /// Dump the `dp-obs` metrics registry (outside the determinism
@@ -354,13 +371,38 @@ fn parse_body(doc: &Json) -> Result<Request, String> {
                 .and_then(Json::as_str)
                 .map(str::to_string),
         }),
+        "cache-push" => {
+            let key = parse_cache_key(doc.get("key").ok_or("cache-push needs a `key`")?)?;
+            let entry = doc
+                .get("entry")
+                .and_then(Json::as_str)
+                .ok_or("`entry` must be a string")?
+                .to_string();
+            Ok(Request::CachePush { key, entry })
+        }
+        "cache-pull" => {
+            let key = doc.get("key").map(parse_cache_key).transpose()?;
+            Ok(Request::CachePull { key })
+        }
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (hello|compile|transform|execute|sweep-cell|stats|metrics|shutdown)"
+            "unknown op `{other}` (hello|compile|transform|execute|sweep-cell|cache-push|cache-pull|stats|metrics|shutdown)"
         )),
     }
+}
+
+/// A cache key on the wire: canonically a 16-hex string (u64 keys
+/// overflow the interchange-safe integer range); a plain non-negative
+/// integer is accepted too.
+fn parse_cache_key(v: &Json) -> Result<u64, String> {
+    if let Some(hex) = v.as_str() {
+        return u64::from_str_radix(hex, 16)
+            .map_err(|_| format!("`key` must be a 16-hex cell key, got `{hex}`"));
+    }
+    v.as_u64()
+        .ok_or_else(|| "`key` must be a 16-hex cell key".to_string())
 }
 
 fn parse_execute(doc: &Json) -> Result<ExecuteRequest, String> {
@@ -577,6 +619,24 @@ pub fn bare_request(op: &'static str) -> Json {
     object([("op", Json::Str(op.to_string()))])
 }
 
+/// Builds a `cache-push` request carrying one sealed entry verbatim.
+pub fn cache_push_request(key: u64, entry: &str) -> Json {
+    object([
+        ("op", Json::Str("cache-push".to_string())),
+        ("key", Json::Str(format!("{key:016x}"))),
+        ("entry", Json::Str(entry.to_string())),
+    ])
+}
+
+/// Builds a `cache-pull` request: one key, or `None` for the inventory.
+pub fn cache_pull_request(key: Option<u64>) -> Json {
+    let mut members = vec![("op", Json::Str("cache-pull".to_string()))];
+    if let Some(key) = key {
+        members.push(("key", Json::Str(format!("{key:016x}"))));
+    }
+    object(members)
+}
+
 /// Builds a `hello` authentication request.
 pub fn hello_request(token: &str) -> Json {
     object([
@@ -780,6 +840,49 @@ mod tests {
             req.dataset,
             DatasetSpec::Table { scale, seed, .. } if scale == 0.002 && seed == 42
         ));
+    }
+
+    #[test]
+    fn cache_push_and_pull_round_trip() {
+        let entry =
+            "{\"key\":\"00000000deadbeef\"}\n#dpopt-cache v2 len=27 fnv1a=0123456789abcdef\n";
+        let line = cache_push_request(0xdead_beef, entry).to_string();
+        let parsed = parse_request(&line);
+        let Ok(Request::CachePush { key, entry: e }) = parsed.body else {
+            panic!("{:?}", parsed.body)
+        };
+        assert_eq!(key, 0xdead_beef);
+        assert_eq!(e, entry);
+
+        let line = cache_pull_request(Some(0xdead_beef)).to_string();
+        let Ok(Request::CachePull { key: Some(k) }) = parse_request(&line).body else {
+            panic!("single-key pull")
+        };
+        assert_eq!(k, 0xdead_beef);
+        let Ok(Request::CachePull { key: None }) =
+            parse_request(&cache_pull_request(None).to_string()).body
+        else {
+            panic!("inventory pull")
+        };
+
+        // Integer keys are tolerated; garbage hex is not.
+        let Ok(Request::CachePull { key: Some(7) }) =
+            parse_request(r#"{"op":"cache-pull","key":7}"#).body
+        else {
+            panic!("integer key")
+        };
+        let err = parse_request(r#"{"op":"cache-pull","key":"xyz"}"#)
+            .body
+            .unwrap_err();
+        assert!(err.contains("16-hex"), "{err}");
+        let err = parse_request(r#"{"op":"cache-push","entry":"x"}"#)
+            .body
+            .unwrap_err();
+        assert!(err.contains("needs a `key`"), "{err}");
+        let err = parse_request(r#"{"op":"cache-push","key":"00000000deadbeef"}"#)
+            .body
+            .unwrap_err();
+        assert!(err.contains("`entry`"), "{err}");
     }
 
     #[test]

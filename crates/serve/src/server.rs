@@ -68,6 +68,8 @@ static REQ_COMPILE_US: Histogram = Histogram::new("serve.req.compile_us");
 static REQ_TRANSFORM_US: Histogram = Histogram::new("serve.req.transform_us");
 static REQ_EXECUTE_US: Histogram = Histogram::new("serve.req.execute_us");
 static REQ_SWEEP_CELL_US: Histogram = Histogram::new("serve.req.sweep_cell_us");
+static REQ_CACHE_PUSH_US: Histogram = Histogram::new("serve.req.cache_push_us");
+static REQ_CACHE_PULL_US: Histogram = Histogram::new("serve.req.cache_pull_us");
 static REQ_STATS_US: Histogram = Histogram::new("serve.req.stats_us");
 static REQ_METRICS_US: Histogram = Histogram::new("serve.req.metrics_us");
 
@@ -76,6 +78,8 @@ static OP_COMPILE: Counter = Counter::new("serve.op.compile");
 static OP_TRANSFORM: Counter = Counter::new("serve.op.transform");
 static OP_EXECUTE: Counter = Counter::new("serve.op.execute");
 static OP_SWEEP_CELL: Counter = Counter::new("serve.op.sweep-cell");
+static OP_CACHE_PUSH: Counter = Counter::new("serve.op.cache-push");
+static OP_CACHE_PULL: Counter = Counter::new("serve.op.cache-pull");
 static OP_STATS: Counter = Counter::new("serve.op.stats");
 static OP_METRICS: Counter = Counter::new("serve.op.metrics");
 static OP_SHUTDOWN: Counter = Counter::new("serve.op.shutdown");
@@ -101,6 +105,8 @@ fn op_counter(op: &str) -> Option<&'static Counter> {
         "transform" => Some(&OP_TRANSFORM),
         "execute" => Some(&OP_EXECUTE),
         "sweep-cell" => Some(&OP_SWEEP_CELL),
+        "cache-push" => Some(&OP_CACHE_PUSH),
+        "cache-pull" => Some(&OP_CACHE_PULL),
         "stats" => Some(&OP_STATS),
         "metrics" => Some(&OP_METRICS),
         "shutdown" => Some(&OP_SHUTDOWN),
@@ -115,6 +121,8 @@ fn req_histogram(op: &str) -> Option<&'static Histogram> {
         "transform" => Some(&REQ_TRANSFORM_US),
         "execute" => Some(&REQ_EXECUTE_US),
         "sweep-cell" => Some(&REQ_SWEEP_CELL_US),
+        "cache-push" => Some(&REQ_CACHE_PUSH_US),
+        "cache-pull" => Some(&REQ_CACHE_PULL_US),
         "stats" => Some(&REQ_STATS_US),
         "metrics" => Some(&REQ_METRICS_US),
         _ => None,
@@ -177,6 +185,11 @@ pub struct ServeOptions {
     /// same checksummed `dp_sweep::cache` format `dpopt sweep` uses, so
     /// results survive daemon restarts and are shared across clients.
     pub disk_cache: Option<PathBuf>,
+    /// Size budget for the disk cache in MB: after each successful store
+    /// or `cache-push` the directory is trimmed to the budget with the
+    /// sweep cache's LRU eviction (quarantined entries evict first). `0`
+    /// means unbounded.
+    pub max_disk_cache_mb: u64,
 }
 
 impl Default for ServeOptions {
@@ -192,6 +205,7 @@ impl Default for ServeOptions {
             metrics_dump_secs: 0,
             auth_token: None,
             disk_cache: None,
+            max_disk_cache_mb: 0,
         }
     }
 }
@@ -249,6 +263,8 @@ struct State {
     auth_token: Option<String>,
     /// Directory of the on-disk sweep-cell result cache (`None` = off).
     disk_cache: Option<PathBuf>,
+    /// Disk-cache size budget in bytes (`0` = unbounded).
+    disk_cache_budget: u64,
     /// Latched when the disk cache becomes unusable (disk full /
     /// read-only): stores stop, reads continue, one warning is logged.
     disk_cache_broken: AtomicBool,
@@ -569,6 +585,7 @@ impl Server {
             metrics_dump_secs: options.metrics_dump_secs,
             auth_token: options.auth_token.clone(),
             disk_cache: options.disk_cache.clone(),
+            disk_cache_budget: options.max_disk_cache_mb * 1024 * 1024,
             disk_cache_broken: AtomicBool::new(false),
         });
         Ok(Server {
@@ -950,6 +967,8 @@ fn op_name(request: &Request) -> &'static str {
         Request::Transform { .. } => "transform",
         Request::Execute(_) => "execute",
         Request::SweepCell(_) => "sweep-cell",
+        Request::CachePush { .. } => "cache-push",
+        Request::CachePull { .. } => "cache-pull",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Shutdown => "shutdown",
@@ -1073,6 +1092,14 @@ fn dispatch(
             }
         }
         Request::SweepCell(request) => run_sweep_cell(state, *request, id, slot, deadline),
+        Request::CachePush { key, entry } => {
+            drop(slot); // disk I/O, not compute: never enters the queue
+            run_cache_push(state, key, &entry, id)
+        }
+        Request::CachePull { key } => {
+            drop(slot);
+            run_cache_pull(state, key, id)
+        }
         // Handled in `run_session`; kept for exhaustiveness.
         Request::Stats => stats_response(state, id),
         Request::Metrics => metrics_response(id),
@@ -1244,7 +1271,10 @@ fn run_sweep_cell(
             if let Some(dir) = &state.disk_cache {
                 if !state.disk_cache_broken.load(Ordering::Relaxed) {
                     match sweep_cache::store(dir, cell_key, &summary) {
-                        sweep_cache::StoreOutcome::Stored => DISK_CACHE_STORES.incr(),
+                        sweep_cache::StoreOutcome::Stored => {
+                            DISK_CACHE_STORES.incr();
+                            enforce_disk_cache_budget(state);
+                        }
                         sweep_cache::StoreOutcome::TransientError => {}
                         sweep_cache::StoreOutcome::Unavailable => {
                             if !state.disk_cache_broken.swap(true, Ordering::Relaxed) {
@@ -1259,6 +1289,106 @@ fn run_sweep_cell(
                 }
             }
             sweep_cell_response(cell_key, &summary, &request, id)
+        }
+    }
+}
+
+/// Trims the disk cache to its `--max-disk-cache-mb` budget (LRU,
+/// quarantined entries first) after a successful store or push.
+fn enforce_disk_cache_budget(state: &State) {
+    if state.disk_cache_budget == 0 {
+        return;
+    }
+    if let Some(dir) = &state.disk_cache {
+        let _ = sweep_cache::gc(dir, state.disk_cache_budget);
+    }
+}
+
+/// `cache-push`: store one sealed entry verbatim — but only after its
+/// checksum and key re-verify on this side of the wire. A corrupt payload
+/// is quarantined (never published under the live key) and answered with
+/// a `kind:"cache"` error; replication can never spread a bad byte.
+fn run_cache_push(state: &Arc<State>, key: u64, entry: &str, id: Option<&Json>) -> Json {
+    let Some(dir) = &state.disk_cache else {
+        return proto::error_response(id, "disk cache not enabled (start with --disk-cache)");
+    };
+    // Idempotence: a key whose verified entry is already on disk answers
+    // `stored:false` without touching the file (sealed entries for one
+    // key are byte-identical by construction).
+    if sweep_cache::load_sealed(dir, key).is_some() {
+        return proto::ok_response(
+            id,
+            vec![
+                ("key", Json::Str(format!("{key:016x}"))),
+                ("op", Json::Str("cache-push".to_string())),
+                ("stored", Json::Bool(false)),
+            ],
+        );
+    }
+    match sweep_cache::store_sealed(dir, key, entry) {
+        Err(reason) => {
+            sweep_cache::quarantine_rejected(dir, key, entry, reason);
+            proto::error_response_kind(
+                id,
+                "cache",
+                &format!("rejected corrupt cache entry {key:016x} ({reason})"),
+            )
+        }
+        Ok(sweep_cache::StoreOutcome::Stored) => {
+            DISK_CACHE_STORES.incr();
+            enforce_disk_cache_budget(state);
+            proto::ok_response(
+                id,
+                vec![
+                    ("key", Json::Str(format!("{key:016x}"))),
+                    ("op", Json::Str("cache-push".to_string())),
+                    ("stored", Json::Bool(true)),
+                ],
+            )
+        }
+        Ok(_) => proto::error_response(id, &format!("cannot store cache entry {key:016x}")),
+    }
+}
+
+/// `cache-pull`: hand back one sealed entry's exact bytes (the receiver
+/// re-verifies), or — with no key — the sorted inventory of held keys.
+fn run_cache_pull(state: &Arc<State>, key: Option<u64>, id: Option<&Json>) -> Json {
+    let Some(dir) = &state.disk_cache else {
+        return proto::error_response(id, "disk cache not enabled (start with --disk-cache)");
+    };
+    match key {
+        None => {
+            let keys = sweep_cache::list_keys(dir).unwrap_or_default();
+            proto::ok_response(
+                id,
+                vec![
+                    (
+                        "keys",
+                        Json::Array(
+                            keys.into_iter()
+                                .map(|k| Json::Str(format!("{k:016x}")))
+                                .collect(),
+                        ),
+                    ),
+                    ("op", Json::Str("cache-pull".to_string())),
+                ],
+            )
+        }
+        Some(key) => {
+            // `load_sealed` re-verifies the checksum and quarantines a
+            // corrupt file, so a served entry is never known-bad.
+            let mut members = vec![
+                ("key", Json::Str(format!("{key:016x}"))),
+                ("op", Json::Str("cache-pull".to_string())),
+            ];
+            match sweep_cache::load_sealed(dir, key) {
+                Some(entry) => {
+                    members.push(("entry", Json::Str(entry)));
+                    members.push(("found", Json::Bool(true)));
+                }
+                None => members.push(("found", Json::Bool(false))),
+            }
+            proto::ok_response(id, members)
         }
     }
 }
@@ -1337,6 +1467,16 @@ fn stats_response(state: &Arc<State>, id: Option<&Json>) -> Json {
                     ("hits", json::uint(cache.hits)),
                     ("misses", json::uint(cache.misses)),
                     ("singleflight_waits", json::uint(cache.singleflight_waits)),
+                ]),
+            ),
+            (
+                "disk_cache",
+                object([
+                    ("enabled", Json::Bool(state.disk_cache.is_some())),
+                    ("hits", json::uint(DISK_CACHE_HITS.value())),
+                    ("misses", json::uint(DISK_CACHE_MISSES.value())),
+                    ("quarantined", json::uint(sweep_cache::corrupt_count())),
+                    ("stores", json::uint(DISK_CACHE_STORES.value())),
                 ]),
             ),
             (

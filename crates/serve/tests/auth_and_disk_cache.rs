@@ -9,7 +9,7 @@
 //! quarantined and recomputed — never served.
 
 use dp_serve::client::{forward_lines_auth, ClientOptions, ResilientClient};
-use dp_serve::proto::{bare_request, Endpoint};
+use dp_serve::proto::{bare_request, cache_pull_request, cache_push_request, Endpoint};
 use dp_serve::{Client, ServeOptions, Server};
 use dp_sweep::json::Json;
 
@@ -204,4 +204,171 @@ fn disk_cache_round_trips_survives_restart_and_quarantines_corruption() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+fn disk_cache_server(tag: &str) -> (Endpoint, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("dp-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let endpoint = start_server_with(ServeOptions {
+        jobs: 1,
+        disk_cache: Some(dir.clone()),
+        ..ServeOptions::default()
+    });
+    (endpoint, dir)
+}
+
+#[test]
+fn cache_push_and_pull_replicate_entries_between_daemons() {
+    let (a, dir_a) = disk_cache_server("push-a");
+    let (b, dir_b) = disk_cache_server("push-b");
+
+    // Daemon A computes one cell into its disk cache.
+    let mut ca = Client::connect(&a).expect("connect A");
+    let computed = ca
+        .roundtrip_line(CELL_REQUEST)
+        .expect("round-trip")
+        .expect("answered");
+
+    // Pull the inventory, then the sealed entry itself.
+    let inventory = ca.request(&cache_pull_request(None)).expect("inventory");
+    let keys = inventory
+        .get("keys")
+        .and_then(Json::as_array)
+        .expect("keys array");
+    assert_eq!(keys.len(), 1, "one computed cell, one entry");
+    let key = keys[0]
+        .as_str()
+        .and_then(|k| u64::from_str_radix(k, 16).ok())
+        .expect("16-hex key");
+    let pulled = ca.request(&cache_pull_request(Some(key))).expect("pull");
+    assert_eq!(pulled.get("found"), Some(&Json::Bool(true)));
+    let entry = pulled
+        .get("entry")
+        .and_then(Json::as_str)
+        .expect("sealed entry bytes")
+        .to_string();
+    assert!(entry.contains("#dpopt-cache v"), "entry travels sealed");
+
+    // Push into daemon B; a re-push of a held entry is a no-op.
+    let mut cb = Client::connect(&b).expect("connect B");
+    let push = cb.request(&cache_push_request(key, &entry)).expect("push");
+    assert_eq!(push.get("stored"), Some(&Json::Bool(true)));
+    let again = cb
+        .request(&cache_push_request(key, &entry))
+        .expect("re-push");
+    assert_eq!(again.get("stored"), Some(&Json::Bool(false)), "idempotent");
+
+    // B now serves the replicated entry as a disk hit, byte-identical to
+    // A's computed answer.
+    let served = cb
+        .roundtrip_line(CELL_REQUEST)
+        .expect("round-trip")
+        .expect("answered");
+    assert_eq!(served, computed, "replicated entry must serve A's bytes");
+    let stats = cb.request(&bare_request("stats")).expect("stats");
+    let disk = stats.get("disk_cache").expect("disk_cache stats");
+    assert_eq!(disk.get("enabled"), Some(&Json::Bool(true)));
+    assert!(
+        disk.get("hits").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "the served cell counts as a disk hit: {stats}"
+    );
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn a_corrupt_cache_push_is_rejected_quarantined_and_counted() {
+    let (a, dir_a) = disk_cache_server("reject-a");
+    let (c, dir_c) = disk_cache_server("reject-c");
+
+    // Obtain a genuine sealed entry from daemon A, then flip one byte.
+    let mut ca = Client::connect(&a).expect("connect A");
+    ca.roundtrip_line(CELL_REQUEST)
+        .expect("round-trip")
+        .expect("answered");
+    let inventory = ca.request(&cache_pull_request(None)).expect("inventory");
+    let key = inventory
+        .get("keys")
+        .and_then(Json::as_array)
+        .and_then(|k| k[0].as_str())
+        .and_then(|k| u64::from_str_radix(k, 16).ok())
+        .expect("key");
+    let entry = ca
+        .request(&cache_pull_request(Some(key)))
+        .expect("pull")
+        .get("entry")
+        .and_then(Json::as_str)
+        .expect("entry")
+        .to_string();
+    let mut flipped = entry.clone().into_bytes();
+    let mid = flipped.len() / 3;
+    flipped[mid] ^= 0x20;
+    let corrupt = String::from_utf8(flipped).expect("still utf-8");
+
+    // A fresh daemon must reject the bit-flipped payload: kind "cache",
+    // nothing published under the live key, bytes kept aside as
+    // `<key>.corrupt`, and the rejection visible in stats and metrics.
+    let mut cc = Client::connect(&c).expect("connect C");
+    let err = cc
+        .request(&cache_push_request(key, &corrupt))
+        .expect_err("corrupt push must be rejected");
+    assert!(
+        err.contains("rejected corrupt cache entry"),
+        "unexpected error: {err}"
+    );
+    let miss = cc
+        .request(&cache_pull_request(Some(key)))
+        .expect("pull back");
+    assert_eq!(
+        miss.get("found"),
+        Some(&Json::Bool(false)),
+        "rejected bytes must never be published"
+    );
+    assert!(
+        dir_c.join(format!("{key:016x}.corrupt")).exists(),
+        "rejected payload is quarantined for inspection"
+    );
+    assert!(
+        !dir_c.join(format!("{key:016x}.json")).exists(),
+        "no live entry may appear"
+    );
+
+    let stats = cc.request(&bare_request("stats")).expect("stats");
+    let disk = stats.get("disk_cache").expect("disk_cache stats");
+    assert!(
+        disk.get("quarantined").and_then(Json::as_u64).unwrap_or(0) >= 1,
+        "quarantine counter missing from stats: {stats}"
+    );
+    let metrics = cc.request(&bare_request("metrics")).expect("metrics");
+    let corrupt_total = metrics
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get("sweep.cache.corrupt"))
+        .and_then(Json::as_u64)
+        .expect("sweep.cache.corrupt counter");
+    assert!(corrupt_total >= 1, "metrics must count the rejection");
+
+    // A valid push still lands afterwards — the key is not poisoned.
+    let push = cc.request(&cache_push_request(key, &entry)).expect("push");
+    assert_eq!(push.get("stored"), Some(&Json::Bool(true)));
+
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_c).ok();
+}
+
+#[test]
+fn cache_ops_without_a_disk_cache_are_refused() {
+    let endpoint = start_server_with(ServeOptions {
+        jobs: 1,
+        ..ServeOptions::default()
+    });
+    let mut client = Client::connect(&endpoint).expect("connect");
+    for request in [cache_pull_request(None), cache_push_request(1, "x")] {
+        let err = client.request(&request).expect_err("refused");
+        assert!(
+            err.contains("disk cache not enabled"),
+            "unexpected error: {err}"
+        );
+    }
 }

@@ -295,6 +295,141 @@ pub fn summary_json(key: u64, summary: &CellSummary) -> Json {
     ])
 }
 
+// ----------------------------------------------------------------------
+// Raw sealed-entry access (fleet cache push/pull)
+// ----------------------------------------------------------------------
+//
+// The `cache-push`/`cache-pull` serve ops move entries between machines as
+// their exact on-disk bytes — body plus integrity footer — so the checksum
+// written by the producer is re-verified on every receiving side and a
+// replicated entry can never differ from the original by a byte.
+
+/// Verifies a sealed entry's integrity footer **and** that its body names
+/// `key` — the binding that stops a valid entry from being published under
+/// the wrong name. `Err` carries the same reason strings [`load`] uses for
+/// quarantine diagnostics.
+pub fn verify_sealed(entry: &str, key: u64) -> Result<(), &'static str> {
+    match decode_entry(entry) {
+        EntryState::Ok(_) => {}
+        EntryState::Stale => return Err("stale format version"),
+        EntryState::Corrupt(reason) => return Err(reason),
+    }
+    // decode_entry verified the footer exists and the body parses.
+    let idx = entry.rfind(FOOTER_MARK).expect("footer verified");
+    let v = json::parse(&entry[..idx]).expect("body verified");
+    match v.get("key").and_then(Json::as_str) {
+        Some(k) if k == format!("{key:016x}") => Ok(()),
+        _ => Err("key mismatch"),
+    }
+}
+
+/// Reads one entry's raw sealed text (body + footer), verified against
+/// `key` first: a corrupt file is quarantined exactly as [`load`] would,
+/// and never shipped. Stale-format entries are `None` — replicating an
+/// old format across the fleet helps nobody.
+pub fn load_sealed(dir: &Path, key: u64) -> Option<String> {
+    let path = cell_path(dir, key);
+    let text = match dp_faults::fs::read_to_string(&path, FS_TAG) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            dp_obs::diag!("[dp-sweep] cache read failed for {key:016x}: {e}");
+            return None;
+        }
+    };
+    match verify_sealed(&text, key) {
+        Ok(()) => Some(text),
+        Err("stale format version") => None,
+        Err(reason) => {
+            quarantine(&path, key, reason);
+            None
+        }
+    }
+}
+
+/// Publishes a received sealed entry verbatim under `key`, re-verifying it
+/// first ([`verify_sealed`]): a corrupt or mis-keyed payload is rejected
+/// with the reason and **nothing is written to the live namespace**.
+/// Publication is the same tmp-write-then-rename as [`store`].
+pub fn store_sealed(dir: &Path, key: u64, entry: &str) -> Result<StoreOutcome, &'static str> {
+    verify_sealed(entry, key)?;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        dp_obs::diag!("[dp-sweep] cannot create cache dir {}: {e}", dir.display());
+        return Ok(classify_store_error(&e));
+    }
+    let path = cell_path(dir, key);
+    let tmp = dir.join(format!("{key:016x}.tmp.{}", std::process::id()));
+    if let Err(e) = dp_faults::fs::write(&tmp, entry.as_bytes(), FS_TAG) {
+        dp_obs::diag!("[dp-sweep] cannot write {}: {e}", tmp.display());
+        let _ = std::fs::remove_file(&tmp);
+        return Ok(classify_store_error(&e));
+    }
+    if let Err(e) = dp_faults::fs::rename(&tmp, &path, FS_TAG) {
+        dp_obs::diag!("[dp-sweep] cannot publish {}: {e}", path.display());
+        let _ = std::fs::remove_file(&tmp);
+        return Ok(classify_store_error(&e));
+    }
+    Ok(StoreOutcome::Stored)
+}
+
+/// Quarantines a **rejected incoming** payload — bytes that failed
+/// [`verify_sealed`] on receipt and were never published. They are written
+/// to `<key>.corrupt` (best effort) for post-incident inspection and
+/// counted in `sweep.cache.corrupt`, mirroring what [`load`] does to
+/// corrupt on-disk entries.
+pub fn quarantine_rejected(dir: &Path, key: u64, entry: &str, reason: &str) {
+    CACHE_CORRUPT.incr();
+    let target = dir.join(format!("{key:016x}.corrupt"));
+    let _ = std::fs::create_dir_all(dir);
+    match std::fs::write(&target, entry.as_bytes()) {
+        Ok(()) => dp_obs::diag!(
+            "[dp-sweep] quarantined rejected cache entry {key:016x} ({reason}) -> {}",
+            target.display()
+        ),
+        Err(e) => dp_obs::diag!(
+            "[dp-sweep] rejected cache entry {key:016x} ({reason}); quarantine failed: {e}"
+        ),
+    }
+}
+
+/// Lifetime total of entries this process has quarantined (corrupt on
+/// load, rejected on push) — `sweep.cache.corrupt`, exposed so the serve
+/// `stats` op can report it without a metrics snapshot.
+pub fn corrupt_count() -> u64 {
+    CACHE_CORRUPT.value()
+}
+
+/// The keys of every live entry in the cache directory, sorted — the
+/// inventory `cache-pull` answers so a fleet can converge. Quarantine
+/// files, tmp leftovers, and unparsable names are skipped; a missing
+/// directory is an empty cache.
+pub fn list_keys(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut keys = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(hex) = name.strip_suffix(".json") else {
+            continue;
+        };
+        if hex.len() != 16 {
+            continue;
+        }
+        if let Ok(key) = u64::from_str_radix(hex, 16) {
+            keys.push(key);
+        }
+    }
+    keys.sort_unstable();
+    Ok(keys)
+}
+
 /// What [`store`] managed to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StoreOutcome {
@@ -860,6 +995,79 @@ mod tests {
         assert!(report.is_clean(), "repair leaves a clean directory");
         assert_eq!(report.ok, 1, "the good entry survives repair");
         assert!(load(&dir, 1).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealed_entries_round_trip_verbatim_between_directories() {
+        let a = std::env::temp_dir().join(format!("dp-sweep-seal-a-{}", std::process::id()));
+        let b = std::env::temp_dir().join(format!("dp-sweep-seal-b-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+        store(&a, 31, &sample_summary("x"));
+        let entry = load_sealed(&a, 31).expect("stored entry ships");
+        assert!(verify_sealed(&entry, 31).is_ok());
+        assert_eq!(verify_sealed(&entry, 32), Err("key mismatch"));
+        assert_eq!(store_sealed(&b, 31, &entry), Ok(StoreOutcome::Stored));
+        // The replica is byte-identical and serves as a normal hit.
+        assert_eq!(
+            std::fs::read(cell_path(&a, 31)).unwrap(),
+            std::fs::read(cell_path(&b, 31)).unwrap()
+        );
+        assert!(load(&b, 31).is_some());
+        assert_eq!(list_keys(&b).unwrap(), vec![31]);
+        std::fs::remove_dir_all(&a).ok();
+        std::fs::remove_dir_all(&b).ok();
+    }
+
+    #[test]
+    fn store_sealed_rejects_corrupt_payloads_without_publishing() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-seal-rej-{}", std::process::id()));
+        let src = std::env::temp_dir().join(format!("dp-sweep-seal-src-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&src);
+        store(&src, 41, &sample_summary("x"));
+        let mut entry = load_sealed(&src, 41).unwrap().into_bytes();
+        entry[10] ^= 0x20; // bit-flip in transit
+        let entry = String::from_utf8(entry).unwrap();
+        assert_eq!(store_sealed(&dir, 41, &entry), Err("checksum mismatch"));
+        assert!(
+            !cell_path(&dir, 41).exists(),
+            "rejected payload never published"
+        );
+        // Receiving-side quarantine: counted and kept for inspection.
+        dp_obs::metrics::enable();
+        let before = corrupt_count();
+        quarantine_rejected(&dir, 41, &entry, "checksum mismatch");
+        assert_eq!(corrupt_count(), before + 1);
+        assert!(dir.join(format!("{:016x}.corrupt", 41u64)).exists());
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&src).ok();
+    }
+
+    #[test]
+    fn load_sealed_quarantines_corrupt_entries_and_skips_stale_ones() {
+        let dir = std::env::temp_dir().join(format!("dp-sweep-seal-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_sealed(&dir, 1).is_none(), "missing dir is a miss");
+        store(&dir, 1, &sample_summary("x"));
+        let path = cell_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_sealed(&dir, 1).is_none(), "corrupt entry never ships");
+        assert!(!path.exists(), "quarantined");
+        // Stale entries are misses but stay in place.
+        let body = "{\"version\":1}";
+        let stale = format!(
+            "{body}\n#dpopt-cache v1 len={} fnv1a={:016x}\n",
+            body.len(),
+            fnv1a(body.as_bytes())
+        );
+        std::fs::write(cell_path(&dir, 2), stale).unwrap();
+        assert!(load_sealed(&dir, 2).is_none());
+        assert!(cell_path(&dir, 2).exists());
+        assert_eq!(list_keys(&dir).unwrap(), vec![2]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -360,6 +360,63 @@ pub fn effective_jobs(requested: usize) -> usize {
 }
 
 // ----------------------------------------------------------------------
+// Cell partitioning
+// ----------------------------------------------------------------------
+
+/// One cell of an expanded sweep grid: its position in the spec plus the
+/// content-addressed cache key that names its result. This is the unit a
+/// distributed scheduler partitions — the key is stable across processes
+/// and machines, so routing on it keeps warm caches sticky.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRef {
+    /// Index into [`SweepSpec::series`].
+    pub series_idx: usize,
+    /// Index into that series' [`SeriesSpec::variants`].
+    pub cell_idx: usize,
+    /// The cell's [`cache::cell_key`] — identical to what [`run_sweep`]
+    /// probes and stores under.
+    pub key: u64,
+}
+
+/// Expands a spec to its deterministic cell grid, in spec order — the
+/// exact enumeration [`run_sweep`] performs, exposed so external
+/// schedulers (the `dp-shard` fleet scheduler) partition the same cells
+/// under the same keys. Errs (instead of panicking like `run_sweep`) on
+/// an unknown benchmark name, since a scheduler wants a structured error.
+pub fn enumerate_cells(spec: &SweepSpec) -> Result<Vec<CellRef>, String> {
+    let registry: HashMap<String, Box<dyn Benchmark>> = all_benchmarks()
+        .into_iter()
+        .map(|b| (b.name().to_string(), b))
+        .collect();
+    let mut cells = Vec::with_capacity(spec.cell_count());
+    for (series_idx, series) in spec.series.iter().enumerate() {
+        let bench = registry
+            .get(&series.benchmark)
+            .ok_or_else(|| format!("unknown benchmark `{}`", series.benchmark))?;
+        for (cell_idx, vspec) in series.variants.iter().enumerate() {
+            let source = match vspec.variant {
+                Variant::NoCdp => bench.no_cdp_source(),
+                Variant::Cdp(_) => bench.cdp_source(),
+            };
+            let key = cache::cell_key(
+                &series.benchmark,
+                source,
+                &vspec.variant,
+                &series.dataset,
+                &series.timing,
+                &series.cost,
+            );
+            cells.push(CellRef {
+                series_idx,
+                cell_idx,
+                key,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+// ----------------------------------------------------------------------
 // Engine
 // ----------------------------------------------------------------------
 
@@ -799,6 +856,53 @@ mod tests {
             unreachable!()
         };
         assert_ne!(digest, 0);
+    }
+
+    #[test]
+    fn enumerate_cells_expands_in_spec_order_with_distinct_keys() {
+        let spec = tiny_spec();
+        let cells = enumerate_cells(&spec).unwrap();
+        assert_eq!(cells.len(), spec.cell_count());
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.series_idx, 0);
+            assert_eq!(cell.cell_idx, i, "cells come out in spec order");
+        }
+        let mut keys: Vec<u64> = cells.iter().map(|c| c.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), cells.len(), "distinct variants, distinct keys");
+        // The enumeration and a real run agree on the keys: a warm run
+        // after `run_sweep` hits on every enumerated key.
+        let dir = std::env::temp_dir().join(format!("dp-sweep-enum-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SweepOptions {
+            jobs: 1,
+            cache: true,
+            cache_dir: Some(dir.clone()),
+            quiet: true,
+        };
+        run_sweep(&spec, &opts);
+        for cell in &cells {
+            assert!(
+                cache::load(&dir, cell.key).is_some(),
+                "run_sweep stored under the enumerated key {:016x}",
+                cell.key
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enumerate_cells_rejects_unknown_benchmarks() {
+        let spec = SweepSpec {
+            series: vec![SeriesSpec::new(
+                "NOPE",
+                DatasetSpec::table(DatasetId::Kron, 0.002, 1),
+                vec![VariantSpec::new("CDP", Variant::Cdp(OptConfig::none()))],
+            )],
+        };
+        let err = enumerate_cells(&spec).unwrap_err();
+        assert!(err.contains("unknown benchmark `NOPE`"), "{err}");
     }
 
     #[test]
