@@ -353,7 +353,7 @@ fn cache_sync(args: &[String]) -> ExitCode {
                 i += 1;
             }
             other if endpoints.is_none() && !other.starts_with('-') => {
-                match dp_shard::parse_endpoint_list(other) {
+                match dp_serve::parse_endpoint_list(other) {
                     Ok(list) => endpoints = Some(list),
                     Err(e) => return fail(&e),
                 }
@@ -398,7 +398,7 @@ fn parse_endpoints_arg(args: &[String], i: &mut usize) -> Result<Vec<Endpoint>, 
         return Err(fail(&format!("{} needs an address", args[*i - 1])));
     };
     *i += 1;
-    dp_shard::parse_endpoint_list(spec).map_err(|e| fail(&e))
+    dp_serve::parse_endpoint_list(spec).map_err(|e| fail(&e))
 }
 
 /// Parses a single-endpoint argument (`--listen`): list syntax is still

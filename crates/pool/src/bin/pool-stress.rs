@@ -1,0 +1,141 @@
+//! pool-stress — high-submission-rate mixed-class stress harness for the
+//! shared pool, run in CI (the `pool-stress` job) at `DPOPT_JOBS`
+//! 1, 2, and 4.
+//!
+//! The harness floods the shared pool with bulk jobs (each spinning ~1ms
+//! and calling `checkpoint()` midway, like a sweep cell at a grid
+//! boundary) while several submitter threads interleave interactive
+//! probes, then asserts the two contracts the class-aware scheduler
+//! exists for:
+//!
+//! - **Zero lost jobs.** Every bulk job and every interactive probe runs
+//!   exactly once; all queues drain to zero.
+//! - **Bounded interactive latency.** The p99 submit→start latency of the
+//!   interactive probes stays far below the time it takes to drain the
+//!   bulk backlog — interactive work overtakes bulk, it does not queue
+//!   behind it. (The bound is generous against CI noise but well under
+//!   the full-backlog drain time that FIFO scheduling would produce.)
+//!
+//! Exits non-zero with a diagnostic on any violation; prints a one-line
+//! summary on success.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dp_pool::{checkpoint, JobClass, Pool};
+
+const BULK_JOBS: usize = 2000;
+/// Per-bulk-job spin, split around a checkpoint() call. Total backlog at
+/// one worker ≈ 2s — an order of magnitude above the latency bound, so
+/// FIFO behavior cannot sneak under it.
+const BULK_SPIN: Duration = Duration::from_micros(500);
+const SUBMITTERS: usize = 4;
+const PROBES_PER_SUBMITTER: usize = 75;
+/// p99 bound on interactive submit→start latency. Generous against a
+/// loaded CI runner; tiny against the ~2s bulk backlog.
+const P99_BOUND: Duration = Duration::from_millis(250);
+
+fn spin(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+fn main() {
+    let pool = Pool::shared();
+    let bulk_done = Arc::new(AtomicUsize::new(0));
+
+    // Flood: bulk jobs spin and yield once in the middle, the shape of a
+    // sweep generation hitting a grid boundary.
+    for _ in 0..BULK_JOBS {
+        let bulk_done = Arc::clone(&bulk_done);
+        pool.submit_as(JobClass::Bulk, move || {
+            spin(BULK_SPIN);
+            checkpoint();
+            spin(BULK_SPIN);
+            bulk_done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+
+    // Probes: each submitter interleaves claim-gated interactive calls
+    // (serve's exec path) with queue-wait measurements of plain
+    // interactive submissions.
+    let wait_latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
+    let probes_run = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..SUBMITTERS {
+            s.spawn(|| {
+                for _ in 0..PROBES_PER_SUBMITTER {
+                    let value = pool
+                        .run_now_as(JobClass::Interactive, || 7usize)
+                        .expect("interactive run_now probe");
+                    assert_eq!(value, 7);
+                    probes_run.fetch_add(1, Ordering::SeqCst);
+
+                    let (tx, rx) = sync_channel::<Duration>(1);
+                    let sent = Instant::now();
+                    pool.submit_as(JobClass::Interactive, move || {
+                        let _ = tx.send(sent.elapsed());
+                    });
+                    let waited = rx
+                        .recv_timeout(Duration::from_secs(30))
+                        .expect("interactive submit probe must start promptly");
+                    probes_run.fetch_add(1, Ordering::SeqCst);
+                    wait_latencies.lock().unwrap().push(waited);
+                }
+            });
+        }
+    });
+
+    // Drain: every bulk job must complete (no lost jobs, queues to zero).
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while bulk_done.load(Ordering::SeqCst) < BULK_JOBS {
+        if Instant::now() >= deadline {
+            eprintln!(
+                "pool-stress: LOST JOBS — {}/{} bulk jobs completed, stats {:?}",
+                bulk_done.load(Ordering::SeqCst),
+                BULK_JOBS,
+                pool.stats()
+            );
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stats = pool.stats();
+    if stats.queued_total() != 0 {
+        eprintln!("pool-stress: queues not drained: {stats:?}");
+        std::process::exit(1);
+    }
+    let expected_probes = SUBMITTERS * PROBES_PER_SUBMITTER * 2;
+    let ran = probes_run.load(Ordering::SeqCst);
+    if ran != expected_probes {
+        eprintln!("pool-stress: LOST PROBES — {ran}/{expected_probes} ran");
+        std::process::exit(1);
+    }
+
+    let mut waits = wait_latencies.into_inner().unwrap();
+    waits.sort_unstable();
+    let pct = |p: usize| waits[(waits.len() - 1) * p / 100];
+    let p99 = pct(99);
+    println!(
+        "pool-stress: threads={} bulk={} probes={} wait_p50={:?} wait_p99={:?} \
+         steals={} yields={}",
+        stats.threads,
+        BULK_JOBS,
+        expected_probes,
+        pct(50),
+        p99,
+        stats.steals,
+        stats.yields,
+    );
+    if p99 > P99_BOUND {
+        eprintln!(
+            "pool-stress: interactive p99 {p99:?} exceeds bound {P99_BOUND:?} \
+             (bulk backlog is not being overtaken)"
+        );
+        std::process::exit(1);
+    }
+}

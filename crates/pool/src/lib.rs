@@ -26,23 +26,35 @@
 //!   execution instead of queueing behind themselves, so the pool can
 //!   never deadlock on nested parallelism and nested layers stay
 //!   sequential, the same discipline the old reservation dance enforced.
+//! - Scheduling is **class-aware** ([`JobClass`]): jobs land in per-worker
+//!   deques and idle workers steal across slots, draining every
+//!   [`JobClass::Interactive`] queue (served requests, fleet drivers)
+//!   before any [`JobClass::Bulk`] queue (sweep generations, block
+//!   speculation, benches). Long bulk jobs call [`checkpoint`] at natural
+//!   boundaries to hand their worker to one waiting interactive job.
+//!   [`Pool::stats`] snapshots depths/steals/yields as one [`PoolStats`].
 //!
 //! ## Checklist for adding a new parallel layer
 //!
 //! 1. Size your concurrency from the shared budget
 //!    ([`jobs::configured_jobs`] or `Pool::shared().threads() + 1`), never
 //!    from a fresh env read.
-//! 2. Submit work with [`Pool::scope`]/[`Pool::run`] on
+//! 2. Submit work with [`Pool::scope`]/[`Pool::run_as`] on
 //!    [`Pool::shared`] — never `std::thread::spawn`/`std::thread::scope`
 //!    (grep-enforced by `crates/pool/tests/no_raw_threads.rs`).
-//! 3. Have the *caller* participate (run one worker loop itself) and size
+//! 3. Pick the [`JobClass`] deliberately: `Interactive` only for work a
+//!    human or a remote daemon is blocked on; everything else is `Bulk`
+//!    (the class-less entry points default to it). If a bulk loop
+//!    iteration can run long, call [`checkpoint`] at iteration
+//!    boundaries.
+//! 4. Have the *caller* participate (run one worker loop itself) and size
 //!    helper submissions from [`Pool::available_workers`] — spawns are
 //!    claim-gated anyway, so a busy pool means graceful degradation to
 //!    sequential execution, not queueing.
-//! 4. Keep results deterministic at any worker count: merge in a
+//! 5. Keep results deterministic at any worker count: merge in a
 //!    canonical order, never in completion order.
 
 pub mod jobs;
 pub mod pool;
 
-pub use pool::{is_worker_thread, Pool, Scope};
+pub use pool::{checkpoint, is_worker_thread, JobClass, Pool, PoolStats, Scope};

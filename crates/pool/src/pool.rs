@@ -1,4 +1,5 @@
-//! The persistent worker pool.
+//! The persistent worker pool: per-worker deques, work stealing, and two
+//! scheduling classes.
 //!
 //! [`Pool::shared`] is the process-lifetime instance every parallel layer
 //! in the workspace schedules onto (VM block speculation, sweep
@@ -8,6 +9,19 @@
 //! [`Pool::with_budget`]) remain available for layers that genuinely need
 //! their own workers — a dedicated pool's threads *also* mark themselves
 //! as pool workers, so nesting detection spans every pool in the process.
+//!
+//! Scheduling is class-aware. Every submission carries a [`JobClass`]:
+//! [`JobClass::Interactive`] for latency-sensitive work (served requests)
+//! and [`JobClass::Bulk`] for throughput work (sweep generations, block
+//! speculation, benches). Jobs land in per-worker deque slots via a
+//! round-robin cursor; a worker pops its own slot from the front and
+//! *steals* from the back of every other slot, always draining every
+//! interactive queue in the pool before touching any bulk queue. A
+//! long-running bulk job can additionally call [`checkpoint`] at natural
+//! boundaries to run one waiting interactive job inline — cooperative
+//! yielding for the worst case where every worker is pinned under bulk
+//! work. [`Pool::stats`] snapshots the whole scheduler (per-class depths,
+//! steals, yields) for dp-obs and serve's `stats` op.
 //!
 //! Three properties keep the substrate safe to share:
 //!
@@ -21,11 +35,12 @@
 //! - **Zero-worker pools degrade inline.** `DPOPT_JOBS=1` yields a shared
 //!   pool with no workers; everything runs on the submitting thread.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use dp_obs::metrics::{Counter, Histogram};
@@ -38,6 +53,39 @@ static QUEUE_WAIT_US: Histogram = Histogram::new("pool.queue_wait_us");
 static JOB_RUN_US: Histogram = Histogram::new("pool.job_run_us");
 static JOBS_QUEUED: Counter = Counter::new("pool.jobs.queued");
 static JOBS_INLINE: Counter = Counter::new("pool.jobs.inline");
+/// Jobs a worker popped from another worker's slot.
+static STEALS: Counter = Counter::new("pool.steals");
+/// Interactive jobs run inside a bulk job's [`checkpoint`].
+static YIELDS: Counter = Counter::new("pool.yields");
+
+/// Scheduling class of a submitted job.
+///
+/// Workers drain every [`Interactive`](JobClass::Interactive) queue in the
+/// pool before touching any [`Bulk`](JobClass::Bulk) queue, so interactive
+/// work is never queued behind bulk backlog — at worst it waits for one
+/// in-flight job per worker (and [`checkpoint`] shortens even that).
+/// The class-less entry points ([`Pool::submit`], [`Pool::run`],
+/// [`Pool::run_now`], [`Scope::spawn`]) default to `Bulk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobClass {
+    /// Latency-sensitive work: served requests, fleet drivers. Dequeued
+    /// and stolen before any bulk job anywhere in the pool.
+    Interactive,
+    /// Throughput work: sweep generations, VM block speculation, benches.
+    Bulk,
+}
+
+impl JobClass {
+    /// Number of classes — the per-slot deque array is indexed by class.
+    const COUNT: usize = 2;
+
+    fn idx(self) -> usize {
+        match self {
+            JobClass::Interactive => 0,
+            JobClass::Bulk => 1,
+        }
+    }
+}
 
 /// Runs a job inline on the submitting thread with the same observability
 /// envelope a queued job gets on a worker: a `pool.job` span (parented to
@@ -57,6 +105,16 @@ fn observe_inline<T>(f: impl FnOnce() -> T) -> T {
 
 thread_local! {
     static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Which pool this worker thread belongs to, and its slot index —
+    /// what [`checkpoint`] needs to pull a waiting interactive job.
+    static WORKER_CTX: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+    /// Guard against a yielded job itself yielding (unbounded recursion).
+    static IN_CHECKPOINT: Cell<bool> = const { Cell::new(false) };
+}
+
+struct WorkerCtx {
+    shared: Arc<Shared>,
+    slot: usize,
 }
 
 /// Whether the current thread is a pool worker (of *any* pool in the
@@ -66,20 +124,223 @@ pub fn is_worker_thread() -> bool {
     IS_POOL_WORKER.with(Cell::get)
 }
 
-/// A fixed-size pool of worker threads fed by a shared queue.
+/// Cooperative yield point for long-running bulk jobs: if the calling
+/// thread is a pool worker and an interactive job is waiting anywhere in
+/// its pool, runs exactly one such job inline and returns `true`.
+/// Otherwise (not a worker, no interactive backlog, or already inside a
+/// yielded job) this is a cheap no-op returning `false` — a relaxed
+/// counter load in the common case, safe to call every loop iteration.
+///
+/// A panic in the yielded job is caught here: it cannot unwind into the
+/// host bulk job (the yielded job's own submitter still observes the
+/// payload through its `run`/`run_now` result channel).
+pub fn checkpoint() -> bool {
+    WORKER_CTX.with(|slot| {
+        let borrow = slot.borrow();
+        let Some(ctx) = borrow.as_ref() else {
+            return false;
+        };
+        if ctx.shared.queued[JobClass::Interactive.idx()].load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        if IN_CHECKPOINT.with(Cell::get) {
+            return false;
+        }
+        let Some(job) = ctx.shared.pop_class(ctx.slot, JobClass::Interactive, false) else {
+            return false;
+        };
+        ctx.shared.yields.fetch_add(1, Ordering::SeqCst);
+        YIELDS.incr();
+        IN_CHECKPOINT.with(|flag| flag.set(true));
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        IN_CHECKPOINT.with(|flag| flag.set(false));
+        true
+    })
+}
+
+/// One worker's pair of job deques, one per [`JobClass`]. External
+/// submitters push to the back of a round-robin-chosen slot; the owning
+/// worker pops from the front; every other worker steals from the back.
+struct Slot {
+    queues: Mutex<[VecDeque<Job>; JobClass::COUNT]>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            queues: Mutex::new([VecDeque::new(), VecDeque::new()]),
+        }
+    }
+}
+
+/// Scheduler state shared by the pool handle and every worker thread.
+struct Shared {
+    slots: Vec<Slot>,
+    /// Jobs pushed but not yet popped, per class — the source of truth for
+    /// [`Pool::queue_depth`] and the cheap "anything interactive waiting?"
+    /// probe in [`checkpoint`]. Incremented *before* the slot insert and
+    /// decremented *after* the slot removal, so a non-zero count is always
+    /// visible by the time a job is findable (workers may transiently
+    /// re-scan, but never park while a push is in flight).
+    queued: [AtomicUsize; JobClass::COUNT],
+    /// Jobs popped from a slot other than the popping worker's own.
+    steals: AtomicU64,
+    /// Interactive jobs run inside a bulk job's [`checkpoint`].
+    yields: AtomicU64,
+    /// Workers currently parked waiting for work.
+    idle: AtomicUsize,
+    /// Idle workers already promised to a queued job ([`Shared::try_claim`]).
+    claimed: AtomicUsize,
+    /// Round-robin push cursor across slots.
+    next_slot: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Parking lot. Push bumps the queued count, then takes this lock to
+    /// notify; a worker only parks after re-checking the counts *under*
+    /// the lock — so a wakeup can never be lost between the final scan
+    /// and the wait.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    fn total_queued(&self) -> usize {
+        self.queued.iter().map(|q| q.load(Ordering::SeqCst)).sum()
+    }
+
+    fn push(&self, class: JobClass, job: Job) {
+        debug_assert!(!self.slots.is_empty(), "push on a zero-worker pool");
+        self.queued[class.idx()].fetch_add(1, Ordering::SeqCst);
+        let target = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[target].queues.lock().unwrap()[class.idx()].push_back(job);
+        let _lot = self.sleep.lock().unwrap();
+        self.wake.notify_one();
+    }
+
+    /// Pops one job of `class`: the front of `me`'s own deque first, then
+    /// a steal from the back of every other slot. `record_steals` is off
+    /// for [`checkpoint`] pops (a yield is counted separately, not as a
+    /// steal).
+    fn pop_class(&self, me: usize, class: JobClass, record_steals: bool) -> Option<Job> {
+        let n = self.slots.len();
+        for offset in 0..n {
+            let i = (me + offset) % n;
+            let job = {
+                let mut queues = self.slots[i].queues.lock().unwrap();
+                if offset == 0 {
+                    queues[class.idx()].pop_front()
+                } else {
+                    queues[class.idx()].pop_back()
+                }
+            };
+            if let Some(job) = job {
+                self.queued[class.idx()].fetch_sub(1, Ordering::SeqCst);
+                if offset != 0 && record_steals {
+                    self.steals.fetch_add(1, Ordering::SeqCst);
+                    STEALS.incr();
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// The scheduling policy in one line: every interactive queue in the
+    /// pool drains before any bulk queue is touched.
+    fn find_job(&self, me: usize) -> Option<Job> {
+        self.pop_class(me, JobClass::Interactive, true)
+            .or_else(|| self.pop_class(me, JobClass::Bulk, true))
+    }
+
+    /// Atomically promises one currently-idle worker to a job about to be
+    /// queued; the claim is consumed when the job is dequeued. `false`
+    /// means every idle worker is already spoken for — the caller should
+    /// run inline instead of queueing (a queued job with no claim could
+    /// sit behind an unrelated long-running job, stalling whoever joins
+    /// on it).
+    fn try_claim(&self) -> bool {
+        let mut c = self.claimed.load(Ordering::SeqCst);
+        loop {
+            if c >= self.idle.load(Ordering::SeqCst) {
+                return false;
+            }
+            match self
+                .claimed
+                .compare_exchange(c, c + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(observed) => c = observed,
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    IS_POOL_WORKER.with(|flag| flag.set(true));
+    WORKER_CTX.with(|ctx| {
+        *ctx.borrow_mut() = Some(WorkerCtx {
+            shared: Arc::clone(&shared),
+            slot: me,
+        });
+    });
+    loop {
+        if let Some(job) = shared.find_job(me) {
+            // A panicking job must not take the worker down with it — the
+            // panic is surfaced to the submitter by `run`/`Scope`, and
+            // this thread lives on for the next job.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            continue;
+        }
+        let lot = shared.sleep.lock().unwrap();
+        // Re-check under the lock: a push that raced our scan has already
+        // bumped the count (it bumps before inserting), so we spin back to
+        // the scan instead of parking past its notify.
+        if shared.total_queued() > 0 {
+            drop(lot);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.idle.fetch_add(1, Ordering::SeqCst);
+        let lot = shared.wake.wait(lot).unwrap();
+        shared.idle.fetch_sub(1, Ordering::SeqCst);
+        drop(lot);
+    }
+}
+
+/// A point-in-time snapshot of the scheduler, from [`Pool::stats`]. All
+/// fields are racy reads — consistent enough for dashboards and admission
+/// control, not for synchronization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker thread count (the shared pool's can legitimately be zero).
+    pub threads: usize,
+    /// Workers currently parked waiting for work.
+    pub idle: usize,
+    /// Idle workers not yet promised to a claim-gated job.
+    pub available: usize,
+    /// Interactive jobs pushed but not yet popped.
+    pub queued_interactive: usize,
+    /// Bulk jobs pushed but not yet popped.
+    pub queued_bulk: usize,
+    /// Lifetime count of jobs a worker popped from another worker's slot.
+    pub steals: u64,
+    /// Lifetime count of interactive jobs run inside a [`checkpoint`].
+    pub yields: u64,
+}
+
+impl PoolStats {
+    /// Total queued jobs across classes — the value [`Pool::queue_depth`]
+    /// reports.
+    pub fn queued_total(&self) -> usize {
+        self.queued_interactive + self.queued_bulk
+    }
+}
+
+/// A fixed-size pool of worker threads fed by per-worker stealing deques.
 pub struct Pool {
-    tx: Option<Sender<Job>>,
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    idle: Arc<AtomicUsize>,
-    /// Idle workers already promised to a queued job ([`Pool::try_claim`]).
-    /// Claim-gated submissions ([`Scope::spawn`], [`Pool::run_now`]) only
-    /// queue when `idle - claimed > 0`, so a queued job starts promptly
-    /// instead of stalling behind unrelated long-running work; everything
-    /// else degrades inline on the caller.
-    claimed: Arc<AtomicUsize>,
-    /// Jobs sent but not yet picked up by a worker — the admission-control
-    /// signal surfaced by [`Pool::queue_depth`].
-    queued: Arc<AtomicUsize>,
     // Held (not read) so the budget tokens stay reserved while the pool
     // lives; released to `crate::jobs` on drop.
     _reservation: Option<crate::jobs::Reservation>,
@@ -128,82 +389,64 @@ impl Pool {
     }
 
     fn build(threads: usize, reservation: Option<crate::jobs::Reservation>) -> Self {
-        let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let idle = Arc::new(AtomicUsize::new(0));
+        let shared = Arc::new(Shared {
+            slots: (0..threads).map(|_| Slot::new()).collect(),
+            queued: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            steals: AtomicU64::new(0),
+            yields: AtomicU64::new(0),
+            idle: AtomicUsize::new(0),
+            claimed: AtomicUsize::new(0),
+            next_slot: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        });
         let workers = (0..threads)
             .map(|i| {
-                let rx: Arc<Mutex<Receiver<Job>>> = Arc::clone(&rx);
-                let idle = Arc::clone(&idle);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("dp-pool-worker-{i}"))
-                    .spawn(move || {
-                        IS_POOL_WORKER.with(|flag| flag.set(true));
-                        loop {
-                            // Waiting on the queue (including waiting for
-                            // the queue lock) counts as idle: it is the
-                            // window in which a submitted job would start
-                            // promptly.
-                            idle.fetch_add(1, Ordering::SeqCst);
-                            let job = rx.lock().unwrap().recv();
-                            idle.fetch_sub(1, Ordering::SeqCst);
-                            match job {
-                                // A panicking job must not take the worker
-                                // down with it — the panic is surfaced to
-                                // the submitter by `run`/`Scope`, and this
-                                // thread lives on for the next job.
-                                Ok(job) => {
-                                    let _ = catch_unwind(AssertUnwindSafe(job));
-                                }
-                                Err(_) => return, // queue closed: pool dropped
-                            }
-                        }
-                    })
+                    .spawn(move || worker_loop(shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
         Pool {
-            tx: Some(tx),
+            shared,
             workers,
-            idle,
-            claimed: Arc::new(AtomicUsize::new(0)),
-            queued: Arc::new(AtomicUsize::new(0)),
             _reservation: reservation,
         }
     }
 
-    /// Sends a job to the workers, keeping the queued count exact: the
-    /// count covers the window from send until a worker dequeues the job.
-    /// Every queue send in the pool goes through here.
-    fn enqueue(&self, job: Job) {
-        self.queued.fetch_add(1, Ordering::SeqCst);
-        let queued = Arc::clone(&self.queued);
+    /// Pushes a job to the scheduler, keeping the queued counts exact (the
+    /// count covers the window from push until a worker pops the job) and
+    /// wrapping the job in the standard observability envelope. Every
+    /// queued job in the pool goes through here.
+    fn enqueue(&self, class: JobClass, job: Job) {
         JOBS_QUEUED.incr();
         // Capture the submitter's span context here, enter it on the
         // worker: the job's `pool.job` span parents to whatever was
         // current at submission (a serve request, a sweep generation).
         let ctx = dp_obs::trace::current_ctx();
         let sent = dp_obs::metrics::now();
-        self.tx
-            .as_ref()
-            .expect("pool is live")
-            .send(Box::new(move || {
-                queued.fetch_sub(1, Ordering::SeqCst);
+        self.shared.push(
+            class,
+            Box::new(move || {
                 QUEUE_WAIT_US.record_since(sent);
                 let _ctx = ctx.enter();
                 let _span = dp_obs::trace::span("pool.job");
                 let run = dp_obs::metrics::now();
                 job();
                 JOB_RUN_US.record_since(run);
-            }))
-            .expect("pool workers alive");
+            }),
+        );
     }
 
-    /// Jobs sent to the queue but not yet picked up by a worker — a racy
-    /// snapshot, exposed so layers above (serve admission control, stats)
-    /// can observe backlog without owning the pool's internals.
+    /// Total jobs pushed but not yet popped, across *both* classes — a
+    /// racy snapshot, exposed so layers above (serve admission control,
+    /// stats) can observe backlog without owning the pool's internals.
+    /// Per-class depths live in [`Pool::stats`].
     pub fn queue_depth(&self) -> usize {
-        self.queued.load(Ordering::SeqCst)
+        self.shared.total_queued()
     }
 
     /// Worker count. The shared pool's count is the resolved job count
@@ -213,9 +456,9 @@ impl Pool {
         self.workers.len()
     }
 
-    /// Workers currently waiting for a job — a racy lower bound.
+    /// Workers currently parked waiting for a job — a racy lower bound.
     pub fn idle_workers(&self) -> usize {
-        self.idle.load(Ordering::SeqCst)
+        self.shared.idle.load(Ordering::SeqCst)
     }
 
     /// Idle workers not yet promised to a queued claim-gated job — the
@@ -225,84 +468,115 @@ impl Pool {
     /// direction only (a claim can still fail at spawn time, which
     /// degrades that helper inline).
     pub fn available_workers(&self) -> usize {
-        self.idle
+        self.shared
+            .idle
             .load(Ordering::SeqCst)
-            .saturating_sub(self.claimed.load(Ordering::SeqCst))
+            .saturating_sub(self.shared.claimed.load(Ordering::SeqCst))
     }
 
-    /// Atomically promises one currently-idle worker to a job about to be
-    /// queued; the claim is consumed when the job is dequeued. `false`
-    /// means every idle worker is already spoken for — the caller should
-    /// run inline instead of queueing (a queued job with no claim could
-    /// sit behind an unrelated long-running job, stalling whoever joins
-    /// on it).
-    fn try_claim(&self) -> bool {
-        let mut c = self.claimed.load(Ordering::SeqCst);
-        loop {
-            if c >= self.idle.load(Ordering::SeqCst) {
-                return false;
-            }
-            match self
-                .claimed
-                .compare_exchange(c, c + 1, Ordering::SeqCst, Ordering::SeqCst)
-            {
-                Ok(_) => return true,
-                Err(observed) => c = observed,
-            }
+    /// One coherent snapshot of the scheduler for dashboards and the serve
+    /// `stats` op: per-class queue depths, steal and yield totals, worker
+    /// availability. Replaces reaching for the individual getters when
+    /// more than one value is wanted.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.shared;
+        let idle = s.idle.load(Ordering::SeqCst);
+        let claimed = s.claimed.load(Ordering::SeqCst);
+        PoolStats {
+            threads: self.workers.len(),
+            idle,
+            available: idle.saturating_sub(claimed),
+            queued_interactive: s.queued[JobClass::Interactive.idx()].load(Ordering::SeqCst),
+            queued_bulk: s.queued[JobClass::Bulk.idx()].load(Ordering::SeqCst),
+            steals: s.steals.load(Ordering::SeqCst),
+            yields: s.yields.load(Ordering::SeqCst),
         }
     }
 
-    /// Enqueues a fire-and-forget job. Runs the job inline when the pool
-    /// has no workers or the caller *is* a pool worker (nested submission
-    /// must not queue behind itself).
+    /// Enqueues a fire-and-forget [`JobClass::Bulk`] job — see
+    /// [`Pool::submit_as`].
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.submit_as(JobClass::Bulk, job);
+    }
+
+    /// Enqueues a fire-and-forget job under `class`. Runs the job inline
+    /// when the pool has no workers or the caller *is* a pool worker
+    /// (nested submission must not queue behind itself).
+    pub fn submit_as(&self, class: JobClass, job: impl FnOnce() + Send + 'static) {
         if self.workers.is_empty() || is_worker_thread() {
             let _ = catch_unwind(AssertUnwindSafe(|| observe_inline(job)));
             return;
         }
-        self.enqueue(Box::new(job));
+        self.enqueue(class, Box::new(job));
     }
 
-    /// Runs `f` on a pool worker and blocks for its result — inline on the
-    /// calling thread when the pool has no workers or the caller is itself
-    /// a pool worker (nesting degrades instead of deadlocking). A
-    /// panicking job yields `Err` with the panic payload (the worker
-    /// survives).
+    /// Runs `f` as a [`JobClass::Bulk`] job and blocks for its result —
+    /// see [`Pool::run_as`].
     pub fn run<T: Send + 'static>(
         &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> std::thread::Result<T> {
+        self.run_as(JobClass::Bulk, f)
+    }
+
+    /// Runs `f` on a pool worker under `class` and blocks for its result —
+    /// inline on the calling thread when the pool has no workers or the
+    /// caller is itself a pool worker (nesting degrades instead of
+    /// deadlocking). A panicking job yields `Err` with the panic payload
+    /// (the worker survives).
+    pub fn run_as<T: Send + 'static>(
+        &self,
+        class: JobClass,
         f: impl FnOnce() -> T + Send + 'static,
     ) -> std::thread::Result<T> {
         if self.workers.is_empty() || is_worker_thread() {
             return catch_unwind(AssertUnwindSafe(|| observe_inline(f)));
         }
         let (tx, rx) = sync_channel(1);
-        self.enqueue(Box::new(move || {
-            let result = catch_unwind(AssertUnwindSafe(f));
-            let _ = tx.send(result);
-        }));
+        self.enqueue(
+            class,
+            Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let _ = tx.send(result);
+            }),
+        );
         rx.recv().expect("pool worker delivered a result")
     }
 
-    /// Like [`Pool::run`], but never queues behind busy workers: the job
-    /// runs on a *claimed* idle worker, or inline on the calling thread
-    /// when none is free. For callers whose own thread is a legitimate
-    /// execution vehicle — e.g. serve session threads under a concurrency
-    /// cap — where "wait in the queue" is strictly worse than "do it
-    /// yourself".
+    /// Claim-gated [`JobClass::Bulk`] variant of [`Pool::run_now_as`].
     pub fn run_now<T: Send + 'static>(
         &self,
         f: impl FnOnce() -> T + Send + 'static,
     ) -> std::thread::Result<T> {
-        if self.workers.is_empty() || is_worker_thread() || !self.try_claim() {
+        self.run_now_as(JobClass::Bulk, f)
+    }
+
+    /// Like [`Pool::run_as`], but never queues behind busy workers: the
+    /// job runs on a *claimed* idle worker, or inline on the calling
+    /// thread when none is free. For callers whose own thread is a
+    /// legitimate execution vehicle — e.g. serve session threads under a
+    /// concurrency cap — where "wait in the queue" is strictly worse than
+    /// "do it yourself". Serve submits request execution with
+    /// [`JobClass::Interactive`] so that, when it *does* queue, every
+    /// worker (and every bulk [`checkpoint`]) prefers it over backlog.
+    pub fn run_now_as<T: Send + 'static>(
+        &self,
+        class: JobClass,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> std::thread::Result<T> {
+        if self.workers.is_empty() || is_worker_thread() || !self.shared.try_claim() {
             return catch_unwind(AssertUnwindSafe(|| observe_inline(f)));
         }
-        let claimed = Arc::clone(&self.claimed);
+        let shared = Arc::clone(&self.shared);
         let (tx, rx) = sync_channel(1);
-        self.enqueue(Box::new(move || {
-            claimed.fetch_sub(1, Ordering::SeqCst);
-            let result = catch_unwind(AssertUnwindSafe(f));
-            let _ = tx.send(result);
-        }));
+        self.enqueue(
+            class,
+            Box::new(move || {
+                shared.claimed.fetch_sub(1, Ordering::SeqCst);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let _ = tx.send(result);
+            }),
+        );
         rx.recv().expect("pool worker delivered a result")
     }
 
@@ -346,9 +620,15 @@ impl Pool {
 
 impl Drop for Pool {
     fn drop(&mut self) {
-        // Closing the queue ends the worker loops; join so the budget
-        // reservation is only released once no worker can still be running.
-        self.tx.take();
+        // Workers drain the deques before exiting (they only stop once a
+        // full scan comes up empty *and* shutdown is set), preserving the
+        // submit-then-drop guarantee; join so the budget reservation is
+        // only released once no worker can still be running.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _lot = self.shared.sleep.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -405,20 +685,27 @@ pub struct Scope<'scope, 'env: 'scope> {
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Submits a job that may borrow `'env` data. Runs inline immediately
-    /// when the pool has no workers, the caller is a pool worker, or no
-    /// idle worker can be claimed ([`Pool::try_claim`] — queueing without
-    /// a claim could stall the scope's join behind unrelated work); a
-    /// panic (inline or on a worker) is re-raised by the enclosing
-    /// [`Pool::scope`] after every job has finished.
+    /// Spawns a borrowing [`JobClass::Bulk`] job — see
+    /// [`Scope::spawn_as`].
     pub fn spawn(&'scope self, job: impl FnOnce() + Send + 'env) {
-        if self.pool.workers.is_empty() || is_worker_thread() || !self.pool.try_claim() {
+        self.spawn_as(JobClass::Bulk, job);
+    }
+
+    /// Submits a job under `class` that may borrow `'env` data. Runs
+    /// inline immediately when the pool has no workers, the caller is a
+    /// pool worker, or no idle worker can be claimed
+    /// ([`Shared::try_claim`] — queueing without a claim could stall the
+    /// scope's join behind unrelated work); a panic (inline or on a
+    /// worker) is re-raised by the enclosing [`Pool::scope`] after every
+    /// job has finished.
+    pub fn spawn_as(&'scope self, class: JobClass, job: impl FnOnce() + Send + 'env) {
+        if self.pool.workers.is_empty() || is_worker_thread() || !self.pool.shared.try_claim() {
             observe_inline(job);
             return;
         }
         self.state.add_one();
         let state = Arc::clone(&self.state);
-        let claimed = Arc::clone(&self.pool.claimed);
+        let shared = Arc::clone(&self.pool.shared);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
         // SAFETY: the job may borrow `'env` data, but `Pool::scope` blocks
         // on `wait_all` before returning (on success *and* panic paths),
@@ -426,21 +713,25 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // job outlives the borrows it captured. The transmute only erases
         // the lifetime; the vtable and layout are unchanged.
         let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
-        self.pool.enqueue(Box::new(move || {
-            claimed.fetch_sub(1, Ordering::SeqCst);
-            let result = catch_unwind(AssertUnwindSafe(job));
-            if let Err(payload) = result {
-                state.record_panic(payload);
-            }
-            state.finish_one();
-        }));
+        self.pool.enqueue(
+            class,
+            Box::new(move || {
+                shared.claimed.fetch_sub(1, Ordering::SeqCst);
+                let result = catch_unwind(AssertUnwindSafe(job));
+                if let Err(payload) = result {
+                    state.record_panic(payload);
+                }
+                state.finish_one();
+            }),
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool as TestBool, AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn runs_jobs_and_returns_results() {
@@ -460,7 +751,7 @@ mod tests {
                 counter.fetch_add(1, Ordering::SeqCst);
             });
         }
-        drop(pool); // drop joins the workers, draining the queue
+        drop(pool); // drop drains the deques, then joins the workers
         assert_eq!(counter.load(Ordering::SeqCst), 32);
     }
 
@@ -558,7 +849,7 @@ mod tests {
         // would queue behind it and stall the scope's join until the
         // worker frees. The claim gate must run the job inline instead —
         // observable synchronously, before the worker is unblocked.
-        let ran = std::sync::atomic::AtomicBool::new(false);
+        let ran = TestBool::new(false);
         pool.scope(|scope| {
             scope.spawn(|| ran.store(true, Ordering::SeqCst));
             assert!(
@@ -588,7 +879,7 @@ mod tests {
             if pool.available_workers() == 1 {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(pool.run_now(|| 13).unwrap(), 13);
     }
@@ -614,7 +905,7 @@ mod tests {
             if pool.queue_depth() == 0 {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(pool.queue_depth(), 0, "drained backlog reads zero");
     }
@@ -622,12 +913,12 @@ mod tests {
     #[test]
     fn idle_workers_tracks_availability() {
         let pool = Pool::new(2);
-        // Give the workers a moment to park on the queue.
+        // Give the workers a moment to park on their slots.
         for _ in 0..100 {
             if pool.idle_workers() == 2 {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(pool.idle_workers(), 2);
         let (block_tx, block_rx) = sync_channel::<()>(0);
@@ -639,5 +930,136 @@ mod tests {
         entered_rx.recv().unwrap();
         assert!(pool.idle_workers() <= 1);
         block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn interactive_class_dequeues_before_bulk() {
+        let pool = Pool::new(1);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let (entered_tx, entered_rx) = sync_channel::<()>(0);
+        pool.submit(move || {
+            entered_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        });
+        entered_rx.recv().unwrap();
+        // Behind the blocked worker: three bulk jobs, then one interactive
+        // job pushed *last*. The worker must still run it first.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            pool.submit_as(JobClass::Bulk, move || {
+                order.lock().unwrap().push(format!("bulk-{i}"));
+            });
+        }
+        {
+            let order = Arc::clone(&order);
+            pool.submit_as(JobClass::Interactive, move || {
+                order.lock().unwrap().push("interactive".to_string());
+            });
+        }
+        block_tx.send(()).unwrap();
+        for _ in 0..500 {
+            if order.lock().unwrap().len() == 4 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 4, "all queued jobs ran");
+        assert_eq!(
+            order[0], "interactive",
+            "interactive overtakes the bulk backlog: {order:?}"
+        );
+    }
+
+    #[test]
+    fn stats_snapshot_reports_class_depths() {
+        let pool = Pool::new(1);
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.queued_total(), 0);
+        let (block_tx, block_rx) = sync_channel::<()>(0);
+        let (entered_tx, entered_rx) = sync_channel::<()>(0);
+        pool.submit(move || {
+            entered_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        });
+        entered_rx.recv().unwrap();
+        pool.submit_as(JobClass::Bulk, || {});
+        pool.submit_as(JobClass::Bulk, || {});
+        pool.submit_as(JobClass::Interactive, || {});
+        let stats = pool.stats();
+        assert_eq!(stats.queued_bulk, 2);
+        assert_eq!(stats.queued_interactive, 1);
+        assert_eq!(stats.queued_total(), 3);
+        assert_eq!(stats.queued_total(), pool.queue_depth());
+        block_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_is_noop_off_pool_threads() {
+        assert!(!is_worker_thread());
+        assert!(!checkpoint(), "checkpoint off a worker must be a no-op");
+    }
+
+    #[test]
+    fn checkpoint_yields_to_a_queued_interactive_job() {
+        let pool = Pool::new(1);
+        let (entered_tx, entered_rx) = sync_channel::<()>(0);
+        let (done_tx, done_rx) = sync_channel::<bool>(1);
+        // The bulk job occupies the only worker and polls checkpoint()
+        // until it yields (or times out).
+        pool.submit_as(JobClass::Bulk, move || {
+            entered_tx.send(()).unwrap();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut yielded = false;
+            while !yielded && Instant::now() < deadline {
+                yielded = checkpoint();
+                if !yielded {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            done_tx.send(yielded).unwrap();
+        });
+        entered_rx.recv().unwrap();
+        let ran = Arc::new(TestBool::new(false));
+        {
+            let ran = Arc::clone(&ran);
+            pool.submit_as(JobClass::Interactive, move || {
+                ran.store(true, Ordering::SeqCst);
+            });
+        }
+        assert!(
+            done_rx
+                .recv_timeout(Duration::from_secs(15))
+                .expect("bulk job finished"),
+            "checkpoint must yield to the queued interactive job"
+        );
+        assert!(ran.load(Ordering::SeqCst), "the interactive job ran");
+        assert!(pool.stats().yields >= 1, "the yield was counted");
+    }
+
+    #[test]
+    fn checkpoint_ignores_bulk_backlog() {
+        let pool = Pool::new(1);
+        let (entered_tx, entered_rx) = sync_channel::<()>(0);
+        let (backlog_tx, backlog_rx) = sync_channel::<()>(0);
+        let (done_tx, done_rx) = sync_channel::<bool>(1);
+        pool.submit_as(JobClass::Bulk, move || {
+            entered_tx.send(()).unwrap();
+            // Wait until bulk backlog demonstrably exists: checkpoint only
+            // serves interactive work, so it must still decline.
+            backlog_rx.recv().unwrap();
+            done_tx.send(checkpoint()).unwrap();
+        });
+        entered_rx.recv().unwrap();
+        pool.submit_as(JobClass::Bulk, || {});
+        backlog_tx.send(()).unwrap();
+        assert!(
+            !done_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("bulk job finished"),
+            "checkpoint must not run bulk jobs"
+        );
     }
 }

@@ -1,9 +1,10 @@
 //! Grep-enforcement of the shared-substrate discipline: the VM's grid
-//! execution path and the sweep engine's generation runner must draw
-//! their parallelism from `dp_pool` — no raw `std::thread::scope` /
-//! `std::thread::spawn` is allowed to reappear there (each one is a
-//! per-grid/per-generation thread-spawn tax the pool exists to remove,
-//! and a worker set the shared budget cannot see).
+//! execution path, the sweep engine's generation runner, and the shard
+//! scheduler's daemon drivers must draw their parallelism from `dp_pool`
+//! — no raw `std::thread::scope` / `std::thread::spawn` is allowed to
+//! reappear there (each one is a per-grid/per-generation thread-spawn
+//! tax the pool exists to remove, and a worker set the shared budget
+//! cannot see).
 //!
 //! Comments and doc lines are stripped before matching so the files can
 //! still *talk* about threads; only code is policed.
@@ -11,7 +12,11 @@
 use std::path::Path;
 
 /// Source files on the no-raw-threads list, relative to this crate.
-const POLICED: &[&str] = &["../vm/src/machine.rs", "../sweep/src/lib.rs"];
+const POLICED: &[&str] = &[
+    "../vm/src/machine.rs",
+    "../sweep/src/lib.rs",
+    "../shard/src/lib.rs",
+];
 
 #[test]
 fn grid_execution_and_generation_runner_use_the_shared_pool() {

@@ -4,7 +4,7 @@
 //! it never exceeds what was submitted, it reaches the full backlog while
 //! the workers are parked, and it returns to zero once the queue drains.
 
-use dp_pool::Pool;
+use dp_pool::{JobClass, Pool};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
@@ -96,6 +96,36 @@ fn queue_depth_brackets_backlog_under_concurrent_submitters() {
     wait_for_drain(&pool, &jobs_done, TOTAL);
     assert_eq!(jobs_done.load(Ordering::SeqCst), TOTAL);
     assert_eq!(pool.queue_depth(), 0);
+}
+
+#[test]
+fn queue_depth_is_the_total_across_classes() {
+    let pool = Arc::new(Pool::new(2));
+    let release = saturate(&pool);
+    let jobs_done = Arc::new(AtomicUsize::new(0));
+    for class in [
+        JobClass::Bulk,
+        JobClass::Bulk,
+        JobClass::Interactive,
+        JobClass::Bulk,
+        JobClass::Interactive,
+    ] {
+        let jobs_done = Arc::clone(&jobs_done);
+        pool.submit_as(class, move || {
+            jobs_done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    // At quiescence (workers parked) the per-class depths are exact and
+    // `queue_depth` is their sum — the backward-compatible total.
+    let stats = pool.stats();
+    assert_eq!(stats.queued_bulk, 3);
+    assert_eq!(stats.queued_interactive, 2);
+    assert_eq!(stats.queued_total(), 5);
+    assert_eq!(pool.queue_depth(), 5);
+    drop(release);
+    wait_for_drain(&pool, &jobs_done, 5);
+    let stats = pool.stats();
+    assert_eq!(stats.queued_total(), 0, "both classes drain to zero");
 }
 
 #[test]

@@ -76,5 +76,5 @@ pub use cache::{CompiledCache, CompiledCacheStats};
 pub use client::{Client, ClientOptions, RequestError, ResilientClient};
 pub use dp_pool::Pool;
 pub use faults::{FaultKind, FaultPlan, FaultPoint};
-pub use proto::Endpoint;
+pub use proto::{parse_endpoint_list, Endpoint};
 pub use server::{ServeOptions, Server};

@@ -109,6 +109,38 @@ impl Endpoint {
     }
 }
 
+impl std::str::FromStr for Endpoint {
+    type Err = String;
+
+    /// `"addr".parse::<Endpoint>()` — same grammar as [`Endpoint::parse`];
+    /// round-trips with [`Display`](std::fmt::Display).
+    fn from_str(spec: &str) -> Result<Endpoint, String> {
+        Endpoint::parse(spec)
+    }
+}
+
+/// Parses a comma-separated endpoint list (`host:port`, `unix:/path`) —
+/// the shared grammar behind every `--remote`/`--connect` flag (cli,
+/// shard). Rejects empty entries (`A,,B`, trailing commas) and duplicates
+/// with a clear message instead of letting a comma-bearing string reach
+/// the resolver as one bogus address.
+pub fn parse_endpoint_list(spec: &str) -> Result<Vec<Endpoint>, String> {
+    let mut endpoints = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(format!("empty endpoint in list `{spec}`"));
+        }
+        let endpoint: Endpoint = part.parse()?;
+        if !seen.insert(endpoint.to_string()) {
+            return Err(format!("duplicate endpoint `{part}` in list `{spec}`"));
+        }
+        endpoints.push(endpoint);
+    }
+    Ok(endpoints)
+}
+
 /// A connected socket, TCP or Unix.
 #[derive(Debug)]
 pub enum Stream {
@@ -785,6 +817,35 @@ mod tests {
             Endpoint::Unix(PathBuf::from("/tmp/dp.sock"))
         );
         assert!(Endpoint::parse("nonsense").is_err());
+    }
+
+    #[test]
+    fn endpoint_display_fromstr_round_trips() {
+        for spec in ["127.0.0.1:7477", "unix:/tmp/dp.sock"] {
+            #[cfg(not(unix))]
+            if spec.starts_with("unix:") {
+                continue;
+            }
+            let endpoint: Endpoint = spec.parse().unwrap();
+            assert_eq!(endpoint.to_string(), spec);
+            assert_eq!(endpoint.to_string().parse::<Endpoint>().unwrap(), endpoint);
+        }
+        assert!("nonsense".parse::<Endpoint>().is_err());
+    }
+
+    #[test]
+    fn endpoint_lists_parse() {
+        let list = parse_endpoint_list("127.0.0.1:1, 127.0.0.1:2").unwrap();
+        assert_eq!(
+            list,
+            vec![
+                Endpoint::Tcp("127.0.0.1:1".to_string()),
+                Endpoint::Tcp("127.0.0.1:2".to_string()),
+            ]
+        );
+        assert!(parse_endpoint_list("127.0.0.1:1,,127.0.0.1:2").is_err());
+        assert!(parse_endpoint_list("127.0.0.1:1,").is_err());
+        assert!(parse_endpoint_list("127.0.0.1:1,127.0.0.1:1").is_err());
     }
 
     #[test]

@@ -347,7 +347,10 @@ impl State {
         exec.waiting -= 1;
         slot.consumed = true;
         drop(exec);
-        let result = self.pool.run_now(f);
+        // Interactive class: if the job does queue (claim succeeded), every
+        // worker steals it ahead of bulk backlog, and long bulk cells yield
+        // to it at their next `dp_pool::checkpoint()`.
+        let result = self.pool.run_now_as(dp_pool::JobClass::Interactive, f);
         self.exec.lock().unwrap().free_slots += 1;
         // `notify_all`, not `notify_one`: waiters carry distinct deadlines,
         // and a woken waiter may immediately expire instead of taking the
@@ -1506,14 +1509,25 @@ fn stats_response(state: &Arc<State>, id: Option<&Json>) -> Json {
                 ]),
             ),
             ("op", Json::Str("stats".to_string())),
-            (
-                "pool",
+            ("pool", {
+                // One coherent scheduler snapshot. `queued` stays the
+                // total across classes (backward-compatible with the
+                // pre-deque shape); the per-class depths and the
+                // steal/yield totals are additive.
+                let pool = state.pool.stats();
                 object([
-                    ("idle", json::uint(state.pool.idle_workers() as u64)),
-                    ("queued", json::uint(state.pool.queue_depth() as u64)),
-                    ("threads", json::uint(state.pool.threads() as u64)),
-                ]),
-            ),
+                    ("idle", json::uint(pool.idle as u64)),
+                    ("queued", json::uint(pool.queued_total() as u64)),
+                    ("queued_bulk", json::uint(pool.queued_bulk as u64)),
+                    (
+                        "queued_interactive",
+                        json::uint(pool.queued_interactive as u64),
+                    ),
+                    ("steals", json::uint(pool.steals)),
+                    ("threads", json::uint(pool.threads as u64)),
+                    ("yields", json::uint(pool.yields)),
+                ])
+            }),
             (
                 "queue",
                 object([

@@ -169,6 +169,40 @@ fn responses_are_byte_identical_cold_warm_and_concurrent() {
     }
 }
 
+/// Pins the `stats` pool-object JSON shape for the class-aware deque
+/// pool: `queued` stays the pre-deque total-across-classes field, and the
+/// per-class depths plus the steal/yield counters are purely additive.
+#[test]
+fn stats_pool_shape_is_pinned() {
+    let endpoint = start_server();
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let stats = client.request(&bare_request("stats")).expect("stats");
+    let Some(Json::Object(pool)) = stats.get("pool") else {
+        panic!("stats.pool must be an object: {stats}");
+    };
+    let keys: Vec<&str> = pool.keys().map(String::as_str).collect();
+    assert_eq!(
+        keys,
+        [
+            "idle",
+            "queued",
+            "queued_bulk",
+            "queued_interactive",
+            "steals",
+            "threads",
+            "yields"
+        ],
+        "{stats}"
+    );
+    let field = |k: &str| pool.get(k).and_then(Json::as_u64).expect(k);
+    assert_eq!(
+        field("queued"),
+        field("queued_bulk") + field("queued_interactive"),
+        "queued must remain the total across classes: {stats}"
+    );
+    client.request(&bare_request("shutdown")).expect("shutdown");
+}
+
 #[test]
 fn shutdown_drains_inflight_requests_before_answering() {
     let endpoint = start_server();

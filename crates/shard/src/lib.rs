@@ -60,26 +60,10 @@ const IN_FLIGHT_WINDOW: usize = 32;
 // Endpoint lists
 // ----------------------------------------------------------------------
 
-/// Parses a comma-separated endpoint list (`host:port`, `unix:/path`).
-/// Rejects empty entries (`A,,B`, trailing commas) and duplicates with a
-/// clear message instead of letting a comma-bearing string reach the
-/// resolver as one bogus address.
-pub fn parse_endpoint_list(spec: &str) -> Result<Vec<Endpoint>, String> {
-    let mut endpoints = Vec::new();
-    let mut seen = BTreeSet::new();
-    for part in spec.split(',') {
-        let part = part.trim();
-        if part.is_empty() {
-            return Err(format!("empty endpoint in list `{spec}`"));
-        }
-        let endpoint = Endpoint::parse(part)?;
-        if !seen.insert(endpoint.to_string()) {
-            return Err(format!("duplicate endpoint `{part}` in list `{spec}`"));
-        }
-        endpoints.push(endpoint);
-    }
-    Ok(endpoints)
-}
+// The list grammar moved next to [`Endpoint`] itself (one public type,
+// one parser, shared by every `--remote`/`--connect` call site); this
+// re-export keeps the historical `dp_shard::parse_endpoint_list` path.
+pub use dp_serve::parse_endpoint_list;
 
 // ----------------------------------------------------------------------
 // Rendezvous routing
@@ -297,27 +281,58 @@ pub fn shard_sweep(
             labeled_counter("shard.daemon", &name, suffix).add(slots.len() as u64);
         }
 
-        let outcomes: Vec<DriveOutcome> = std::thread::scope(|scope| {
+        // One driver per daemon, fanned out on the shared pool as
+        // `Interactive` jobs (a remote daemon is idling at the other end
+        // of each one): the caller drives the first daemon itself, and a
+        // busy pool degrades the rest to sequential drives on this thread
+        // via the claim gate — correct at any worker count, daemons are
+        // independent.
+        let drive_list: Vec<(usize, Vec<usize>)> = assigned
+            .iter()
+            .enumerate()
+            .filter(|(_, slots)| !slots.is_empty())
+            .map(|(li, slots)| (live[li], slots.clone()))
+            .collect();
+        let outcome_slots: Vec<std::sync::Mutex<Option<DriveOutcome>>> = drive_list
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        dp_pool::Pool::shared().scope(|scope| {
             let requests = &requests;
-            let handles: Vec<_> = assigned
-                .iter()
-                .enumerate()
-                .filter(|(_, slots)| !slots.is_empty())
-                .map(|(li, slots)| {
-                    let endpoint = endpoints[live[li]].clone();
-                    let endpoint_idx = live[li];
-                    let client_opts = opts.client.clone();
-                    let slots = slots.clone();
-                    scope.spawn(move || {
-                        drive_daemon(endpoint_idx, &endpoint, client_opts, requests, &slots)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("daemon driver panicked"))
-                .collect()
+            let mut work = drive_list.iter().zip(&outcome_slots);
+            let Some(((first_idx, first_slots), first_out)) = work.next() else {
+                return;
+            };
+            for ((endpoint_idx, slots), out) in work {
+                let endpoint = endpoints[*endpoint_idx].clone();
+                let client_opts = opts.client.clone();
+                scope.spawn_as(dp_pool::JobClass::Interactive, move || {
+                    *out.lock().unwrap() = Some(drive_daemon(
+                        *endpoint_idx,
+                        &endpoint,
+                        client_opts,
+                        requests,
+                        slots,
+                    ));
+                });
+            }
+            let endpoint = endpoints[*first_idx].clone();
+            *first_out.lock().unwrap() = Some(drive_daemon(
+                *first_idx,
+                &endpoint,
+                opts.client.clone(),
+                requests,
+                first_slots,
+            ));
         });
+        let outcomes: Vec<DriveOutcome> = outcome_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("daemon driver delivered an outcome")
+            })
+            .collect();
 
         let mut next_pending: Vec<usize> = Vec::new();
         let mut lost: Vec<(usize, String, usize)> = Vec::new();

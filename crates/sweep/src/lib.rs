@@ -537,6 +537,9 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
             needed.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let materialize = || loop {
+            // Dataset instantiation is bulk work; let a waiting serve
+            // request borrow this worker between datasets.
+            dp_pool::checkpoint();
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(&series_idx) = needed.get(i) else {
                 return;
@@ -553,7 +556,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
                 .min(jobs.saturating_sub(1))
                 .min(needed.len().saturating_sub(1));
             for _ in 0..helpers {
-                scope.spawn(materialize);
+                scope.spawn_as(dp_pool::JobClass::Bulk, materialize);
             }
             materialize();
         });
@@ -578,6 +581,10 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
             pending.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let run_generation = || loop {
+            // Cell boundaries are the natural yield points of a sweep:
+            // a long generation hands its worker to one queued
+            // interactive job (a served request) before the next cell.
+            dp_pool::checkpoint();
             let i = next.fetch_add(1, Ordering::Relaxed);
             let Some(cell) = pending.get(i) else {
                 return;
@@ -620,7 +627,7 @@ pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepResult {
                 .min(jobs.saturating_sub(1))
                 .min(pending.len().saturating_sub(1));
             for _ in 0..helpers {
-                scope.spawn(run_generation);
+                scope.spawn_as(dp_pool::JobClass::Bulk, run_generation);
             }
             run_generation();
         });

@@ -1988,6 +1988,11 @@ impl Machine {
         let started = dp_obs::metrics::now();
         let result = (|| {
             while let Some(grid) = self.pending.pop_front() {
+                // Grid boundaries are the VM's cooperative yield points:
+                // when this machine runs inside a bulk pool job (a sweep
+                // cell), a queued interactive request may borrow the
+                // worker between grids. Off-pool threads: cheap no-op.
+                dp_pool::checkpoint();
                 self.execute_grid(grid)?;
             }
             Ok(())
@@ -2225,7 +2230,7 @@ impl Machine {
                 let mut iter = par_workers[..workers].iter_mut();
                 let mine = iter.next().expect("at least one worker");
                 for worker in iter {
-                    scope.spawn(|| run_worker(worker));
+                    scope.spawn_as(dp_pool::JobClass::Bulk, || run_worker(worker));
                 }
                 run_worker(mine);
             });
